@@ -1,0 +1,224 @@
+// Command benchrunner reproduces the paper's evaluation: it runs the three
+// Henkin synthesis engines over the benchmark suite with per-instance
+// timeouts and regenerates every figure and table of the paper's §6:
+//
+//	Figure 6  — cactus plot of VBS(HQS2,Pedant) vs VBS+Manthan3
+//	Figure 7  — scatter Manthan3 vs VBS(HQS2+Pedant)
+//	Figure 8  — scatter Manthan3 vs Pedant
+//	Figure 9  — scatter Manthan3 vs HQS2
+//	Figure 10 — scatter Pedant vs HQS2
+//	Table 1   — in-text solved/unique/fastest counts
+//
+// Usage:
+//
+//	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-out bench/results]
+//	            [-fig 6|7|8|9|10|all] [-table 1]
+//
+// CSV data land in -out; ASCII renderings go to stdout.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	n := flag.Int("n", 563, "number of suite instances to run (prefix of the suite)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-engine per-instance timeout")
+	seed := flag.Int64("seed", 1, "suite and engine seed")
+	outDir := flag.String("out", "bench-results", "output directory for CSV data")
+	fig := flag.String("fig", "all", "which figure to emit: 6,7,8,9,10,all")
+	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+	replay := flag.String("replay", "", "regenerate reports from a previous results_raw.csv instead of re-running")
+	flag.Parse()
+
+	var results []bench.RunResult
+	if *replay != "" {
+		var err error
+		results, err = readResultsCSV(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("replaying %d results from %s\n\n", len(results), *replay)
+	} else {
+		suite := gen.Suite(*seed)
+		if *n < len(suite) {
+			// Take a stratified prefix: preserve family proportions.
+			suite = stratifiedPrefix(suite, *n)
+		}
+		fmt.Printf("running %d instances × %d engines, timeout %v…\n", len(suite), len(bench.Engines), *timeout)
+		start := time.Now()
+		results = bench.RunSuite(suite, bench.Options{Timeout: *timeout, Seed: *seed, Workers: *workers})
+		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	tab := bench.NewTable(results)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
+	wantFig := func(k string) bool { return *fig == "all" || *fig == k }
+
+	if wantFig("6") {
+		fmt.Print(bench.RenderCactusASCII(tab, *timeout, 70, 16))
+		fmt.Println()
+		write("fig6_cactus.csv", func(f *os.File) error {
+			return bench.WriteCactusCSV(f, tab, *timeout)
+		})
+	}
+	scatters := []struct {
+		key   string
+		xs    []string
+		y     string
+		file  string
+		title string
+	}{
+		{"7", []string{bench.EngineExpand, bench.EnginePedant}, bench.EngineManthan3, "fig7_scatter_vbs.csv", "VBS(expand+pedant) vs Manthan3"},
+		{"8", []string{bench.EnginePedant}, bench.EngineManthan3, "fig8_scatter_pedant.csv", "Pedant-arbiter vs Manthan3"},
+		{"9", []string{bench.EngineExpand}, bench.EngineManthan3, "fig9_scatter_hqs.csv", "HQS-expand vs Manthan3"},
+		{"10", []string{bench.EngineExpand}, bench.EnginePedant, "fig10_scatter_baselines.csv", "HQS-expand vs Pedant-arbiter"},
+	}
+	for _, s := range scatters {
+		if !wantFig(s.key) {
+			continue
+		}
+		pts := tab.Scatter(s.xs, s.y, *timeout)
+		fmt.Printf("Fig %s: %s (%d points)\n", s.key, s.title, len(pts))
+		fmt.Print(bench.RenderScatterASCII(pts, s.xs[0], s.y, *timeout, 28))
+		fmt.Println()
+		ptsCopy := pts
+		write(s.file, func(f *os.File) error { return bench.WriteScatterCSV(f, ptsCopy) })
+	}
+
+	sc := bench.Summarize(tab, *timeout)
+	fmt.Println("Table 1: solved/unique/fastest counts")
+	if err := bench.WriteSummary(os.Stdout, sc); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	write("table1_summary.txt", func(f *os.File) error { return bench.WriteSummary(f, sc) })
+
+	fmt.Println("\nper-family synthesized counts (orthogonality):")
+	breakdown := bench.FamilyBreakdown(results)
+	for _, fam := range bench.SortedFamilies(breakdown) {
+		fmt.Printf("  %-12s", fam)
+		for _, e := range bench.Engines {
+			fmt.Printf(" %s=%d", e, breakdown[fam][e])
+		}
+		fmt.Println()
+	}
+	write("EXPERIMENTS.generated.md", func(f *os.File) error {
+		return bench.WriteExperimentsMD(f, tab, results, *timeout)
+	})
+	write("results_raw.csv", func(f *os.File) error {
+		if _, err := fmt.Fprintln(f, "instance,family,engine,outcome,seconds,detail"); err != nil {
+			return err
+		}
+		for _, r := range results {
+			if _, err := fmt.Fprintf(f, "%s,%s,%s,%s,%.4f,%q\n",
+				r.Instance, r.Family, r.Engine, r.Outcome, r.Duration.Seconds(), r.Detail); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	fmt.Printf("\nCSV data written to %s\n", *outDir)
+	return 0
+}
+
+// readResultsCSV parses a results_raw.csv written by a previous run.
+func readResultsCSV(path string) ([]bench.RunResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	outcomeOf := map[string]bench.Outcome{
+		"synthesized": bench.Synthesized,
+		"false":       bench.ProvedFalse,
+		"timeout":     bench.TimedOut,
+		"incomplete":  bench.GaveUp,
+		"failed":      bench.Failed,
+	}
+	var out []bench.RunResult
+	for i, row := range rows {
+		if i == 0 || len(row) < 5 {
+			continue // header / malformed
+		}
+		secs, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: bad seconds %q", path, i+1, row[4])
+		}
+		oc, ok := outcomeOf[row[3]]
+		if !ok {
+			return nil, fmt.Errorf("%s line %d: bad outcome %q", path, i+1, row[3])
+		}
+		rr := bench.RunResult{
+			Instance: row[0],
+			Family:   row[1],
+			Engine:   row[2],
+			Outcome:  oc,
+			Duration: time.Duration(secs * float64(time.Second)),
+		}
+		if len(row) > 5 {
+			rr.Detail = row[5]
+		}
+		out = append(out, rr)
+	}
+	return out, nil
+}
+
+// stratifiedPrefix keeps family proportions while truncating to n instances.
+func stratifiedPrefix(suite []gen.Named, n int) []gen.Named {
+	byFam := make(map[gen.Family][]gen.Named)
+	var famOrder []gen.Family
+	for _, s := range suite {
+		if len(byFam[s.Family]) == 0 {
+			famOrder = append(famOrder, s.Family)
+		}
+		byFam[s.Family] = append(byFam[s.Family], s)
+	}
+	out := make([]gen.Named, 0, n)
+	for i := 0; len(out) < n; i++ {
+		added := false
+		for _, fam := range famOrder {
+			if i < len(byFam[fam]) && len(out) < n {
+				out = append(out, byFam[fam][i])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+// Command manthan3 synthesizes Henkin functions for a DQBF instance in
+// DQDIMACS format, using the Manthan3 engine (default) or one of the
+// baseline synthesizers.
+//
+// Usage:
+//
+//	manthan3 [-engine manthan3|expand|expand-iter|pedant|cegar]
+//	         [-timeout 60s] [-seed 1] [-verify] [-pre] [-verilog out.v]
+//	         [-v] [-q] instance.dqdimacs
+//
+// On True instances, the synthesized functions are printed one per line as
+// `y<var> := <expression>`; the exit status is 0. False instances report
+// FALSE and exit 0. Budget/incompleteness failures exit 2; usage and input
+// errors exit 1.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baselines/cegar"
+	"repro/internal/baselines/expand"
+	"repro/internal/baselines/pedant"
+	"repro/internal/boolfunc"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+	"repro/internal/preproc"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	engine := flag.String("engine", "manthan3", "synthesis engine: manthan3, expand, expand-iter, pedant, or cegar (Skolem only)")
+	timeout := flag.Duration("timeout", 60*time.Second, "synthesis timeout")
+	seed := flag.Int64("seed", 1, "random seed")
+	verify := flag.Bool("verify", true, "independently verify the synthesized vector")
+	quiet := flag.Bool("q", false, "suppress function printing; report status only")
+	verilog := flag.String("verilog", "", "also write the functions as a structural Verilog module to this file")
+	verbose := flag.Bool("v", false, "trace engine progress to stderr (manthan3 engine only)")
+	pre := flag.Bool("pre", false, "run the HQSpre-style preprocessor before synthesis")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: manthan3 [flags] instance.dqdimacs")
+		flag.PrintDefaults()
+		return 1
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer f.Close()
+	in, err := dqbf.ParseDQDIMACS(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	st := in.Stats()
+	fmt.Printf("c instance: %d universal, %d existential, %d clauses, dep sizes %d..%d\n",
+		st.NumUniv, st.NumExist, st.NumClauses, st.MinDepSize, st.MaxDepSize)
+
+	var prep *preproc.Result
+	if *pre {
+		var perr error
+		prep, perr = preproc.Simplify(in)
+		if errors.Is(perr, preproc.ErrFalse) {
+			fmt.Println("c preprocessing refuted the instance")
+			fmt.Println("s FALSE")
+			return 0
+		}
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			return 1
+		}
+		fmt.Printf("c preprocess: %d→%d clauses, %d forced, %d universals reduced\n",
+			prep.Stats.ClausesBefore, prep.Stats.ClausesAfter,
+			len(prep.ForcedExist), len(prep.ReducedUniv))
+	}
+	orig := in
+	if prep != nil {
+		in = prep.Simplified
+	}
+
+	deadline := time.Now().Add(*timeout)
+	start := time.Now()
+	var vec *dqbf.FuncVector
+	switch *engine {
+	case "manthan3":
+		copts := core.Options{Seed: *seed, Deadline: deadline}
+		if *verbose {
+			copts.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "c trace: "+format+"\n", args...)
+			}
+		}
+		res, serr := core.Synthesize(in, copts)
+		if serr != nil {
+			return reportErr(serr, core.ErrFalse)
+		}
+		vec = res.Vector
+		fmt.Printf("c stats: %d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined\n",
+			res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations,
+			res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
+			res.Stats.UnatesDetected, res.Stats.UniqueDefined)
+	case "expand":
+		res, serr := expand.Solve(in, expand.Options{Deadline: deadline})
+		if serr != nil {
+			return reportErr(serr, expand.ErrFalse)
+		}
+		vec = res.Vector
+		fmt.Printf("c stats: %d rows, %d table cells, %d instantiated clauses\n",
+			res.Stats.Rows, res.Stats.TableCells, res.Stats.ClausesOut)
+	case "expand-iter":
+		res, serr := expand.SolveIterative(in, expand.Options{Deadline: deadline})
+		if serr != nil {
+			return reportErr(serr, expand.ErrFalse)
+		}
+		vec = res.Vector
+		fmt.Printf("c stats: %d elimination steps, %d final existential copies\n",
+			res.Stats.Rows, res.Stats.TableCells)
+	case "cegar":
+		res, serr := cegar.Solve(in, cegar.Options{Deadline: deadline})
+		if serr != nil {
+			return reportErr(serr, cegar.ErrFalse)
+		}
+		vec = res.Vector
+		fmt.Printf("c stats: %d iterations, %d strategy moves\n",
+			res.Stats.Iterations, res.Stats.Moves)
+	case "pedant":
+		res, serr := pedant.Solve(in, pedant.Options{Deadline: deadline})
+		if serr != nil {
+			return reportErr(serr, pedant.ErrFalse)
+		}
+		vec = res.Vector
+		fmt.Printf("c stats: %d iterations, %d arbiter vars, %d defined vars\n",
+			res.Stats.Iterations, res.Stats.ArbiterVars, res.Stats.DefinedVars)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	if prep != nil {
+		// Extend the vector with the preprocessor's forced constants and
+		// validate against the original instance.
+		vec = preproc.ReconstructVector(prep, vec)
+	}
+	if *verify {
+		vr, verr := dqbf.VerifyVector(orig, vec, -1)
+		if verr != nil {
+			fmt.Fprintf(os.Stderr, "verification error: %v\n", verr)
+			return 2
+		}
+		if !vr.Valid {
+			fmt.Fprintln(os.Stderr, "INTERNAL ERROR: synthesized vector failed verification")
+			return 2
+		}
+		fmt.Println("c verification: PASS")
+	}
+	fmt.Printf("c time: %.3fs\n", elapsed.Seconds())
+	fmt.Println("s TRUE")
+	if !*quiet {
+		// Certificate lines (`v y<N> := <expr>`) — checkable by the
+		// henkinverify tool.
+		if err := dqbf.WriteCertificate(os.Stdout, vec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if *verilog != "" {
+		vf, err := os.Create(*verilog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer vf.Close()
+		outs := make(map[string]*boolfunc.Node, len(vec.Funcs))
+		for y, f := range vec.Funcs {
+			outs[fmt.Sprintf("y%d", y)] = f
+		}
+		if err := boolfunc.WriteVerilog(vf, "henkin", outs, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("c verilog written to %s\n", *verilog)
+	}
+	return 0
+}
+
+func reportErr(err, falseErr error) int {
+	if errors.Is(err, falseErr) {
+		fmt.Println("s FALSE")
+		return 0
+	}
+	fmt.Fprintln(os.Stderr, err)
+	return 2
+}

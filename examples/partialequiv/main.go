@@ -1,0 +1,104 @@
+// Partial-circuit equivalence checking / ECO patch synthesis — the paper's
+// motivating application from engineering change orders (Jiang et al., DATE
+// 2020; Gitina et al., ICCD 2013).
+//
+// A "golden" specification circuit g(x1..x4) is given. The implementation
+// contains a black-box subcircuit whose output y may only observe x1 and x2
+// (e.g. routing limits which nets reach the spare cell). The question: is
+// there an implementation of the box making the circuits equivalent — and if
+// so, what is the patch function?
+//
+// The encoding is the standard DQBF one: ∀X ∃^{x1,x2}y . impl(X,y) ↔ g(X).
+// We compare all three engines on the same instance.
+//
+// Run with: go run ./examples/partialequiv
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/baselines/expand"
+	"repro/internal/baselines/pedant"
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+)
+
+func main() {
+	// Golden circuit: g = (x1 ∧ x2) ∨ (x3 ∧ x4).
+	// Implementation: impl = box(x1,x2) ∨ (x3 ∧ x4) — the box must realize
+	// x1 ∧ x2 from its two visible inputs.
+	in := dqbf.NewInstance()
+	for i := 1; i <= 4; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	y := cnf.Var(5) // black-box output
+	in.AddExist(y, []cnf.Var{1, 2})
+
+	b := boolfunc.NewBuilder()
+	g := b.Or(b.And(b.Var(1), b.Var(2)), b.And(b.Var(3), b.Var(4)))
+	impl := b.Or(b.Var(y), b.And(b.Var(3), b.Var(4)))
+	equal := b.Not(b.Xor(impl, g))
+	out := boolfunc.ToCNF(equal, in.Matrix, boolfunc.CNFOptions{})
+	in.Matrix.AddUnit(out)
+	// Tseitin auxiliaries are functions of everything: declare them
+	// existential over the full universal block.
+	declared := map[cnf.Var]bool{1: true, 2: true, 3: true, 4: true, y: true}
+	for _, c := range in.Matrix.Clauses {
+		for _, l := range c {
+			if !declared[l.Var()] {
+				declared[l.Var()] = true
+				in.AddExist(l.Var(), []cnf.Var{1, 2, 3, 4})
+			}
+		}
+	}
+	if err := in.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ECO patch synthesis: box sees only x1,x2; target g = (x1∧x2) ∨ (x3∧x4)")
+	deadline := time.Now().Add(30 * time.Second)
+
+	// Manthan3.
+	res, err := core.Synthesize(in, core.Options{Seed: 1, Deadline: deadline})
+	if err != nil {
+		log.Fatalf("manthan3: %v", err)
+	}
+	report(in, "manthan3", res.Vector, y)
+
+	// Expansion baseline.
+	eres, err := expand.Solve(in, expand.Options{Deadline: deadline})
+	if err != nil {
+		log.Fatalf("expand: %v", err)
+	}
+	report(in, "hqs-expand", eres.Vector, y)
+
+	// Arbiter baseline.
+	pres, err := pedant.Solve(in, pedant.Options{Deadline: deadline})
+	if err != nil {
+		log.Fatalf("pedant: %v", err)
+	}
+	report(in, "pedant-arbiter", pres.Vector, y)
+}
+
+func report(in *dqbf.Instance, engine string, vec *dqbf.FuncVector, y cnf.Var) {
+	vr, err := dqbf.VerifyVector(in, vec, -1)
+	if err != nil || !vr.Valid {
+		log.Fatalf("%s: invalid patch: %v", engine, err)
+	}
+	// The patch must be semantically x1 ∧ x2.
+	matches := true
+	for mask := 0; mask < 4; mask++ {
+		a := cnf.NewAssignment(int(y))
+		a.SetBool(1, mask&1 != 0)
+		a.SetBool(2, mask&2 != 0)
+		if boolfunc.Eval(vec.Funcs[y], a) != (mask == 3) {
+			matches = false
+		}
+	}
+	fmt.Printf("  %-14s patch y(x1,x2) := %-30s verified=%t equals x1∧x2=%t\n",
+		engine, boolfunc.String(vec.Funcs[y]), vr.Valid, matches)
+}

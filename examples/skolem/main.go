@@ -1,0 +1,111 @@
+// Skolem synthesis — the 2-QBF special case the paper's related work builds
+// on (H1 = … = Hm = X). This example compares the Manthan3 engine against
+// the classical CEGAR Skolem synthesizer on a small arithmetic relation:
+//
+//	∀ a1 a0 b1 b0 ∃ s2 s1 s0 . (s2s1s0 = a1a0 + b1b0)
+//
+// a 2-bit adder whose sum bits must be synthesized as functions of the
+// inputs. Every dependency set is the full universal block, so both engines
+// apply; on True 2-QBF instances they must synthesize interchangeable
+// function vectors.
+//
+// Run with: go run ./examples/skolem
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines/cegar"
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+)
+
+func main() {
+	// Variables: a1=1 a0=2 b1=3 b0=4 (universal), s2=5 s1=6 s0=7.
+	in := dqbf.NewInstance()
+	for i := 1; i <= 4; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	allX := []cnf.Var{1, 2, 3, 4}
+	for i := 5; i <= 7; i++ {
+		in.AddExist(cnf.Var(i), allX)
+	}
+
+	b := boolfunc.NewBuilder()
+	a1, a0, b1, b0 := b.Var(1), b.Var(2), b.Var(3), b.Var(4)
+	// Ripple-carry: s0 = a0⊕b0, c0 = a0∧b0, s1 = a1⊕b1⊕c0,
+	// c1 = majority(a1,b1,c0), s2 = c1.
+	s0 := b.Xor(a0, b0)
+	c0 := b.And(a0, b0)
+	s1 := b.Xor(b.Xor(a1, b1), c0)
+	c1 := b.Or(b.And(a1, b1), b.And(b.Xor(a1, b1), c0))
+	spec := b.AndN([]*boolfunc.Node{
+		b.Not(b.Xor(b.Var(7), s0)),
+		b.Not(b.Xor(b.Var(6), s1)),
+		b.Not(b.Xor(b.Var(5), c1)),
+	})
+	out := boolfunc.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
+	in.Matrix.AddUnit(out)
+	declared := map[cnf.Var]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true, 7: true}
+	for _, c := range in.Matrix.Clauses {
+		for _, l := range c {
+			if !declared[l.Var()] {
+				declared[l.Var()] = true
+				in.AddExist(l.Var(), allX)
+			}
+		}
+	}
+	if err := in.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2-bit adder Skolem synthesis: s2 s1 s0 := a1a0 + b1b0")
+
+	mres, err := core.Synthesize(in, core.Options{Seed: 5})
+	if err != nil {
+		log.Fatalf("manthan3: %v", err)
+	}
+	check(in, "manthan3", mres.Vector)
+
+	cres, err := cegar.Solve(in, cegar.Options{})
+	if err != nil {
+		log.Fatalf("cegar: %v", err)
+	}
+	check(in, "cegar", cres.Vector)
+	fmt.Printf("cegar collected %d strategy moves in %d iterations\n",
+		cres.Stats.Moves, cres.Stats.Iterations)
+}
+
+func check(in *dqbf.Instance, engine string, vec *dqbf.FuncVector) {
+	vr, err := dqbf.VerifyVector(in, vec, -1)
+	if err != nil || !vr.Valid {
+		log.Fatalf("%s: invalid vector: %v", engine, err)
+	}
+	// Exhaustive adder check on the three sum bits.
+	for a := 0; a < 4; a++ {
+		for bv := 0; bv < 4; bv++ {
+			asg := cnf.NewAssignment(in.Matrix.NumVars)
+			asg.SetBool(1, a&2 != 0)
+			asg.SetBool(2, a&1 != 0)
+			asg.SetBool(3, bv&2 != 0)
+			asg.SetBool(4, bv&1 != 0)
+			sum := a + bv
+			got := 0
+			if boolfunc.Eval(vec.Funcs[5], asg) {
+				got |= 4
+			}
+			if boolfunc.Eval(vec.Funcs[6], asg) {
+				got |= 2
+			}
+			if boolfunc.Eval(vec.Funcs[7], asg) {
+				got |= 1
+			}
+			if got != sum {
+				log.Fatalf("%s: %d+%d: got %d", engine, a, bv, got)
+			}
+		}
+	}
+	fmt.Printf("  %-10s synthesized a correct adder (verified + exhaustive) ✓\n", engine)
+}

@@ -1,0 +1,111 @@
+package expand
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+func TestIterativePaperExample(t *testing.T) {
+	res, err := SolveIterative(paperExample(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := dqbf.VerifyVector(paperExample(), res.Vector, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Valid {
+		t.Fatalf("iterative vector invalid: %v", vr.Counterexample)
+	}
+	if res.Stats.Rows != 3 {
+		t.Fatalf("expansion steps: %d, want 3 (one per universal)", res.Stats.Rows)
+	}
+}
+
+func TestIterativeFalse(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(-2, 1)
+	in.Matrix.AddClause(2, -1)
+	if _, err := SolveIterative(in, Options{}); !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestIterativeAgreesWithDirect(t *testing.T) {
+	// Both expansion strategies must agree on truth, and both vectors must
+	// verify, across random small instances.
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		in := dqbf.NewInstance()
+		nX := 1 + rng.Intn(4)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(3)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+		}
+		for c := 0; c < 2+rng.Intn(5); c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(nX+nY))
+				cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			in.Matrix.AddClause(cl...)
+		}
+		dres, derr := Solve(in, Options{})
+		ires, ierr := SolveIterative(in, Options{})
+		if (derr == nil) != (ierr == nil) {
+			t.Fatalf("trial %d: direct err=%v iterative err=%v", trial, derr, ierr)
+		}
+		if derr != nil {
+			if !errors.Is(derr, ErrFalse) || !errors.Is(ierr, ErrFalse) {
+				t.Fatalf("trial %d: non-False errors %v / %v", trial, derr, ierr)
+			}
+			continue
+		}
+		for name, res := range map[string]*Result{"direct": dres, "iterative": ires} {
+			vr, err := dqbf.VerifyVector(in, res.Vector, -1)
+			if err != nil || !vr.Valid {
+				t.Fatalf("trial %d: %s vector invalid (%v)", trial, name, err)
+			}
+		}
+	}
+}
+
+func TestIterativeDependencyCompliance(t *testing.T) {
+	res, err := SolveIterative(paperExample(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol := res.Vector.DependencyViolations(paperExample()); len(viol) != 0 {
+		t.Fatalf("violations: %v", viol)
+	}
+}
+
+func TestPickUniversalPrefersCheapSplit(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	// Both existentials depend on x1; none on x2 → pick x2.
+	in.AddExist(3, []cnf.Var{1})
+	in.AddExist(4, []cnf.Var{1})
+	in.Matrix.AddClause(3, 4, 2)
+	if got := pickUniversal(in); got != 2 {
+		t.Fatalf("pickUniversal: %d, want 2", got)
+	}
+}

@@ -1,0 +1,344 @@
+// Package pedant implements a definition/arbiter-based Henkin synthesizer in
+// the spirit of Pedant (Reichl, Slivovsky, Szeider, SAT 2021).
+//
+// Pedant detects existential variables uniquely defined by their dependency
+// sets, and covers the remaining freedom with *arbiter variables*: one
+// propositional variable per (existential, dependency-set assignment) cell
+// whose value a SAT solver chooses consistently with all constraints seen so
+// far. This reproduction keeps that architecture with a counterexample-
+// guided instantiation loop:
+//
+//  1. Detect uniquely-defined existentials with Padoa's theorem (statistics
+//     and early convergence; the arbiter loop handles their cells too).
+//  2. Maintain an incremental SAT instance over arbiter variables. Each
+//     verification counterexample β (an assignment of X where the current
+//     tables fail) instantiates every matrix clause under β, with
+//     existential literals mapped to the arbiter cell for β↾Hi, and adds the
+//     instantiated clauses.
+//  3. A model of the arbiter instance is a partial truth-table per
+//     existential (default 0 on untouched cells); verification either
+//     certifies it or produces a new β. Unsatisfiability of the (partial)
+//     instantiation proves the DQBF False, since it under-approximates the
+//     full expansion.
+//
+// The loop terminates: each counterexample's instantiation forces all later
+// models to satisfy ϕ on that β, and there are finitely many β. Like Pedant,
+// the method is complete, certifying (functions verified by construction),
+// and strongest on instances with many defined variables / small dependency
+// sets, complementing both expansion and Manthan3.
+package pedant
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/sat"
+)
+
+// Sentinel errors.
+var (
+	// ErrFalse means the instance is False.
+	ErrFalse = errors.New("pedant: instance is False")
+	// ErrBudget means an iteration/deadline budget expired.
+	ErrBudget = errors.New("pedant: budget exhausted")
+	// ErrTooLarge means a dependency set exceeds the cell limit.
+	ErrTooLarge = errors.New("pedant: dependency sets too large")
+)
+
+// Options configures the synthesizer.
+type Options struct {
+	// MaxIterations caps counterexample rounds (default 4096).
+	MaxIterations int
+	// MaxCellsPerVar caps 2^|Hi| growth per existential (default 1<<16).
+	MaxCellsPerVar int
+	// SATConflictBudget bounds each SAT call (default 500000).
+	SATConflictBudget int64
+	// Deadline aborts when passed.
+	Deadline time.Time
+	// SkipDefinitionCheck disables the Padoa pass.
+	SkipDefinitionCheck bool
+}
+
+// Stats reports work performed.
+type Stats struct {
+	DefinedVars int
+	Iterations  int
+	ArbiterVars int
+	InstClauses int
+	VerifyCalls int
+	SynthesisNs int64
+}
+
+// Result is a successful synthesis.
+type Result struct {
+	Vector *dqbf.FuncVector
+	Stats  Stats
+}
+
+// cellKey identifies an arbiter cell: existential y and the projection of a
+// universal assignment onto H(y), packed as bits in dependency order.
+type cellKey struct {
+	y   cnf.Var
+	row int
+}
+
+type engine struct {
+	in    *dqbf.Instance
+	opts  Options
+	stats Stats
+
+	arb     *sat.Solver         // incremental arbiter instance
+	arbForm *cnf.Formula        // mirror of variables for allocation
+	cells   map[cellKey]cnf.Var // arbiter variable per touched cell
+	touched map[cnf.Var][]int   // y → rows with arbiter vars, in creation order
+	phi     *sat.Solver         // solver over ϕ for extension checks
+	xPos    map[cnf.Var]int
+}
+
+// Solve synthesizes Henkin functions (or proves the instance False).
+func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
+	start := time.Now()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 4096
+	}
+	if opts.MaxCellsPerVar == 0 {
+		opts.MaxCellsPerVar = 1 << 16
+	}
+	if opts.SATConflictBudget == 0 {
+		opts.SATConflictBudget = 500000
+	}
+	for _, y := range in.Exist {
+		// Arbiter cells are allocated lazily per counterexample, so large
+		// dependency sets are fine as long as few cells are touched; only
+		// row-index overflow is rejected up front. MaxCellsPerVar is
+		// enforced on actually-allocated cells during instantiation.
+		if len(in.DepSet(y)) > 30 {
+			return nil, fmt.Errorf("%w: |H(%d)| = %d", ErrTooLarge, y, len(in.DepSet(y)))
+		}
+	}
+	e := &engine{
+		in:      in,
+		opts:    opts,
+		arb:     sat.New(),
+		arbForm: cnf.New(0),
+		cells:   make(map[cellKey]cnf.Var),
+		touched: make(map[cnf.Var][]int),
+		phi:     sat.New(),
+		xPos:    make(map[cnf.Var]int, len(in.Univ)),
+	}
+	e.arb.SetConflictBudget(opts.SATConflictBudget)
+	e.phi.SetConflictBudget(opts.SATConflictBudget)
+	if !opts.Deadline.IsZero() {
+		e.arb.SetDeadline(opts.Deadline)
+		e.phi.SetDeadline(opts.Deadline)
+	}
+	e.phi.AddFormula(in.Matrix)
+	for i, x := range in.Univ {
+		e.xPos[x] = i
+	}
+
+	if !opts.SkipDefinitionCheck {
+		if err := e.countDefined(); err != nil {
+			return nil, err
+		}
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			return nil, fmt.Errorf("%w: deadline", ErrBudget)
+		}
+		e.stats.Iterations = iter + 1
+		fv, err := e.currentVector()
+		if err != nil {
+			return nil, err
+		}
+		cex, valid, err := e.verify(fv)
+		if err != nil {
+			return nil, err
+		}
+		if valid {
+			e.stats.ArbiterVars = len(e.cells)
+			e.stats.SynthesisNs = time.Since(start).Nanoseconds()
+			return &Result{Vector: fv, Stats: e.stats}, nil
+		}
+		if err := e.instantiate(cex); err != nil {
+			return nil, err
+		}
+		if len(e.cells) > opts.MaxCellsPerVar*len(in.Exist) {
+			return nil, fmt.Errorf("%w: %d arbiter cells", ErrTooLarge, len(e.cells))
+		}
+	}
+	return nil, fmt.Errorf("%w: %d iterations", ErrBudget, opts.MaxIterations)
+}
+
+// countDefined runs the Padoa check per existential for statistics.
+func (e *engine) countDefined() error {
+	for _, y := range e.in.Exist {
+		f := e.in.Matrix.Clone()
+		deps := e.in.DepSet(y)
+		inDeps := make(map[cnf.Var]bool, len(deps))
+		for _, d := range deps {
+			inDeps[d] = true
+		}
+		rename := make(map[cnf.Var]cnf.Var)
+		for v := cnf.Var(1); int(v) <= e.in.Matrix.NumVars; v++ {
+			if !inDeps[v] {
+				rename[v] = f.NewVar()
+			}
+		}
+		for _, c := range e.in.Matrix.Clauses {
+			nc := make([]cnf.Lit, len(c))
+			for i, l := range c {
+				if nv, ok := rename[l.Var()]; ok {
+					nc[i] = cnf.MkLit(nv, l.IsPos())
+				} else {
+					nc[i] = l
+				}
+			}
+			f.AddClause(nc...)
+		}
+		f.AddUnit(cnf.PosLit(y))
+		f.AddUnit(cnf.NegLit(rename[y]))
+		s := sat.New()
+		s.SetConflictBudget(e.opts.SATConflictBudget)
+		if !e.opts.Deadline.IsZero() {
+			s.SetDeadline(e.opts.Deadline)
+		}
+		s.AddFormula(f)
+		switch s.Solve() {
+		case sat.Unsat:
+			e.stats.DefinedVars++
+		case sat.Unknown:
+			return fmt.Errorf("%w: definition check", ErrBudget)
+		}
+	}
+	return nil
+}
+
+// cellVar returns (allocating on demand) the arbiter variable for y's row.
+func (e *engine) cellVar(y cnf.Var, row int) cnf.Var {
+	k := cellKey{y, row}
+	if v, ok := e.cells[k]; ok {
+		return v
+	}
+	v := e.arbForm.NewVar()
+	e.arb.EnsureVars(int(v))
+	e.cells[k] = v
+	e.touched[y] = append(e.touched[y], row)
+	return v
+}
+
+// instantiate adds the clause instantiations for the universal assignment in
+// cex to the arbiter instance.
+func (e *engine) instantiate(cex cnf.Assignment) error {
+	beta := 0
+	for i, x := range e.in.Univ {
+		if cex.Get(x) == cnf.True {
+			beta |= 1 << uint(i)
+		}
+	}
+	added := false
+	for _, c := range e.in.Matrix.Clauses {
+		inst := make([]cnf.Lit, 0, len(c))
+		satisfied := false
+		for _, l := range c {
+			if p, isX := e.xPos[l.Var()]; isX {
+				if (beta&(1<<uint(p)) != 0) == l.IsPos() {
+					satisfied = true
+					break
+				}
+				continue
+			}
+			y := l.Var()
+			row := 0
+			for k, d := range e.in.DepSet(y) {
+				if beta&(1<<uint(e.xPos[d])) != 0 {
+					row |= 1 << uint(k)
+				}
+			}
+			inst = append(inst, cnf.MkLit(e.cellVar(y, row), l.IsPos()))
+		}
+		if satisfied {
+			continue
+		}
+		if len(inst) == 0 {
+			return ErrFalse
+		}
+		e.stats.InstClauses++
+		if !e.arb.AddClause(inst...) {
+			return ErrFalse
+		}
+		added = true
+	}
+	if !added {
+		// ϕ is already satisfied under β for any table: the verifier's
+		// counterexample must then be spurious — internal error.
+		return fmt.Errorf("pedant: internal: counterexample added no constraints")
+	}
+	return nil
+}
+
+// currentVector solves the arbiter instance and reads back decision-list
+// functions: for each existential, the disjunction of the cubes of touched
+// rows whose arbiter is true (untouched cells default to 0).
+func (e *engine) currentVector() (*dqbf.FuncVector, error) {
+	switch st := e.arb.Solve(); st {
+	case sat.Unsat:
+		return nil, ErrFalse
+	case sat.Unknown:
+		return nil, fmt.Errorf("%w: arbiter SAT call", ErrBudget)
+	}
+	m := e.arb.Model()
+	fv := dqbf.NewFuncVector(nil)
+	b := fv.B
+	for _, y := range e.in.Exist {
+		deps := e.in.DepSet(y)
+		f := b.False()
+		for _, row := range e.touched[y] {
+			if m.Get(e.cells[cellKey{y, row}]) != cnf.True {
+				continue
+			}
+			cube := b.True()
+			for k, d := range deps {
+				cube = b.And(cube, b.Lit(cnf.MkLit(d, row&(1<<uint(k)) != 0)))
+			}
+			f = b.Or(f, cube)
+		}
+		fv.Funcs[y] = f
+	}
+	return fv, nil
+}
+
+// verify checks the candidate vector against ϕ; on failure it returns the
+// failing universal assignment.
+func (e *engine) verify(fv *dqbf.FuncVector) (cnf.Assignment, bool, error) {
+	e.stats.VerifyCalls++
+	dst := cnf.New(e.in.Matrix.NumVars)
+	e.in.Matrix.NegationInto(dst)
+	for _, y := range e.in.Exist {
+		out := boolfunc.ToCNF(fv.Funcs[y], dst, boolfunc.CNFOptions{})
+		dst.AddEquivLit(cnf.PosLit(y), out)
+	}
+	s := sat.New()
+	s.SetConflictBudget(e.opts.SATConflictBudget)
+	if !e.opts.Deadline.IsZero() {
+		s.SetDeadline(e.opts.Deadline)
+	}
+	s.AddFormula(dst)
+	switch st := s.Solve(); st {
+	case sat.Unsat:
+		return nil, true, nil
+	case sat.Sat:
+		m := s.Model()
+		return m.Restrict(e.in.Univ), false, nil
+	default:
+		return nil, false, fmt.Errorf("%w: verification", ErrBudget)
+	}
+}

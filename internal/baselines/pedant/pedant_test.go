@@ -1,0 +1,204 @@
+package pedant
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+func paperExample() *dqbf.Instance {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddUniv(3)
+	in.AddExist(4, []cnf.Var{1})
+	in.AddExist(5, []cnf.Var{1, 2})
+	in.AddExist(6, []cnf.Var{2, 3})
+	in.Matrix.AddClause(1, 4)
+	in.Matrix.AddClause(-5, 4, -2)
+	in.Matrix.AddClause(5, -4)
+	in.Matrix.AddClause(5, 2)
+	in.Matrix.AddClause(-6, 2, 3)
+	in.Matrix.AddClause(6, -2)
+	in.Matrix.AddClause(6, -3)
+	return in
+}
+
+func TestPaperExample(t *testing.T) {
+	res, err := Solve(paperExample(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := dqbf.VerifyVector(paperExample(), res.Vector, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Valid {
+		t.Fatalf("vector invalid: %v", vr.Counterexample)
+	}
+	// y3 ↔ (x2 ∨ x3) is uniquely defined by H3 = {x2,x3}. (y2 is not: with
+	// x1=1, y1 is free and y2 ↔ y1 ∨ ¬x2 varies with it.)
+	if res.Stats.DefinedVars < 1 {
+		t.Fatalf("defined vars: %d, want >= 1", res.Stats.DefinedVars)
+	}
+	if res.Stats.Iterations == 0 || res.Stats.VerifyCalls == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+}
+
+func TestFalseInstance(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(-2, 1)
+	in.Matrix.AddClause(2, -1)
+	_, err := Solve(in, Options{})
+	if !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestIncomparableDepsTrueInstance(t *testing.T) {
+	// The Manthan3 incompleteness example is solvable by arbiter CEGIS:
+	// ϕ = (y1 ↔ y2), H1={x1,x2}, H2={x2,x3}.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddUniv(3)
+	in.AddExist(4, []cnf.Var{1, 2})
+	in.AddExist(5, []cnf.Var{2, 3})
+	in.Matrix.AddClause(-4, 5)
+	in.Matrix.AddClause(4, -5)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := dqbf.VerifyVector(in, res.Vector, -1)
+	if err != nil || !vr.Valid {
+		t.Fatalf("invalid vector: %v %v", vr, err)
+	}
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		in := dqbf.NewInstance()
+		nX := 1 + rng.Intn(3)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(2)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+		}
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(nX+nY))
+				cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			in.Matrix.AddClause(cl...)
+		}
+		want, err := dqbf.BruteForceTrue(in, 64)
+		if err != nil {
+			continue
+		}
+		res, err := Solve(in, Options{})
+		if want {
+			if err != nil {
+				t.Fatalf("trial %d: True rejected: %v", trial, err)
+			}
+			vr, verr := dqbf.VerifyVector(in, res.Vector, -1)
+			if verr != nil || !vr.Valid {
+				t.Fatalf("trial %d: invalid vector", trial)
+			}
+		} else if !errors.Is(err, ErrFalse) {
+			t.Fatalf("trial %d: False: got %v", trial, err)
+		}
+	}
+}
+
+func TestTooLargeDeps(t *testing.T) {
+	// Row indices beyond 30 dependency bits are rejected up front.
+	in := dqbf.NewInstance()
+	for i := 1; i <= 31; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	deps := make([]cnf.Var, 31)
+	for i := range deps {
+		deps[i] = cnf.Var(i + 1)
+	}
+	in.AddExist(32, deps)
+	in.Matrix.AddClause(32, 1)
+	if _, err := Solve(in, Options{}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestLazyCellsAllowLargeDepSets(t *testing.T) {
+	// A 20-bit dependency set is fine when only a handful of cells are ever
+	// touched (the lazy-arbiter property Pedant relies on).
+	in := dqbf.NewInstance()
+	for i := 1; i <= 20; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	deps := make([]cnf.Var, 20)
+	for i := range deps {
+		deps[i] = cnf.Var(i + 1)
+	}
+	in.AddExist(21, deps)
+	// y must be 1 only when all 20 inputs are 0 — a single relevant cell out
+	// of 2^20, so the lazy loop touches O(1) cells.
+	cl := make([]cnf.Lit, 0, 21)
+	cl = append(cl, cnf.PosLit(21))
+	for i := 1; i <= 20; i++ {
+		cl = append(cl, cnf.PosLit(cnf.Var(i)))
+	}
+	in.Matrix.AddClause(cl...)
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ArbiterVars > 8 {
+		t.Fatalf("lazy allocation touched %d cells", res.Stats.ArbiterVars)
+	}
+	vr, err := dqbf.VerifyVector(in, res.Vector, -1)
+	if err != nil || !vr.Valid {
+		t.Fatal("vector invalid")
+	}
+}
+
+func TestSkipDefinitionCheck(t *testing.T) {
+	res, err := Solve(paperExample(), Options{SkipDefinitionCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DefinedVars != 0 {
+		t.Fatal("definition check ran despite being disabled")
+	}
+	vr, err := dqbf.VerifyVector(paperExample(), res.Vector, -1)
+	if err != nil || !vr.Valid {
+		t.Fatal("invalid vector without definition check")
+	}
+}
+
+func TestIterationCap(t *testing.T) {
+	_, err := Solve(paperExample(), Options{MaxIterations: 1})
+	if err == nil {
+		t.Skip("solved in one iteration — acceptable")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}

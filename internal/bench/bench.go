@@ -1,0 +1,407 @@
+// Package bench is the evaluation harness that reproduces the experiments of
+// the Manthan3 paper: it runs the three Henkin synthesis engines (Manthan3,
+// the HQS2-like expansion baseline, and the Pedant-like arbiter baseline)
+// over the generated benchmark suite with per-instance timeouts, computes
+// Virtual Best Synthesizer (VBS) portfolios, and emits the data behind
+// Figure 6 (cactus plot), Figures 7-10 (scatter plots), and the in-text
+// solved/unique/fastest counts.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/baselines/expand"
+	"repro/internal/baselines/pedant"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+	"repro/internal/gen"
+)
+
+// Engine names.
+const (
+	EngineManthan3 = "manthan3"
+	EngineExpand   = "hqs-expand"
+	EnginePedant   = "pedant-arbiter"
+)
+
+// Engines lists all competitors in canonical order.
+var Engines = []string{EngineExpand, EnginePedant, EngineManthan3}
+
+// Outcome classifies one engine run on one instance.
+type Outcome int
+
+// Outcomes.
+const (
+	// Synthesized means the engine produced a Henkin vector that passed
+	// independent verification.
+	Synthesized Outcome = iota
+	// ProvedFalse means the engine proved the instance False.
+	ProvedFalse
+	// TimedOut means the budget expired.
+	TimedOut
+	// GaveUp means a documented incompleteness or size limit was hit.
+	GaveUp
+	// Failed means an unexpected error (or an invalid vector) occurred.
+	Failed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Synthesized:
+		return "synthesized"
+	case ProvedFalse:
+		return "false"
+	case TimedOut:
+		return "timeout"
+	case GaveUp:
+		return "incomplete"
+	}
+	return "failed"
+}
+
+// RunResult is one engine × instance measurement.
+type RunResult struct {
+	Instance string
+	Family   string
+	Engine   string
+	Outcome  Outcome
+	Duration time.Duration
+	Detail   string
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Timeout per engine per instance (default 2s — the laptop-scale stand-in
+	// for the paper's 7200 s).
+	Timeout time.Duration
+	// Seed for engines that randomize.
+	Seed int64
+	// Workers for parallel execution (default NumCPU).
+	Workers int
+	// Verify re-checks every synthesized vector with an independent SAT
+	// call (default true via VerifyBudget>0 semantics; disable by setting
+	// SkipVerify).
+	SkipVerify bool
+}
+
+// RunEngine executes a single engine on an instance with a timeout.
+func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	start := time.Now()
+	var (
+		vec *dqbf.FuncVector
+		err error
+	)
+	switch engine {
+	case EngineManthan3:
+		var res *core.Result
+		res, err = core.Synthesize(in, core.Options{
+			Seed:     opts.Seed,
+			Deadline: deadline,
+		})
+		if err == nil {
+			vec = res.Vector
+		}
+	case EngineExpand:
+		var res *expand.Result
+		res, err = expand.Solve(in, expand.Options{Deadline: deadline})
+		if err == nil {
+			vec = res.Vector
+		}
+	case EnginePedant:
+		var res *pedant.Result
+		res, err = pedant.Solve(in, pedant.Options{Deadline: deadline})
+		if err == nil {
+			vec = res.Vector
+		}
+	default:
+		return RunResult{Engine: engine, Outcome: Failed, Detail: "unknown engine"}
+	}
+	dur := time.Since(start)
+	out := RunResult{Engine: engine, Duration: dur}
+	switch {
+	case err == nil:
+		if !opts.SkipVerify {
+			vr, verr := dqbf.VerifyVector(in, vec, 2_000_000)
+			if verr != nil || !vr.Valid {
+				out.Outcome = Failed
+				out.Detail = fmt.Sprintf("vector failed verification: %v", verr)
+				return out
+			}
+		}
+		out.Outcome = Synthesized
+	case errors.Is(err, core.ErrFalse), errors.Is(err, expand.ErrFalse), errors.Is(err, pedant.ErrFalse):
+		out.Outcome = ProvedFalse
+	case errors.Is(err, core.ErrIncomplete):
+		out.Outcome = GaveUp
+		out.Detail = err.Error()
+	case errors.Is(err, expand.ErrTooLarge), errors.Is(err, pedant.ErrTooLarge):
+		out.Outcome = GaveUp
+		out.Detail = err.Error()
+	case errors.Is(err, core.ErrBudget), errors.Is(err, expand.ErrBudget), errors.Is(err, pedant.ErrBudget):
+		out.Outcome = TimedOut
+	default:
+		out.Outcome = Failed
+		out.Detail = err.Error()
+	}
+	return out
+}
+
+// RunSuite runs every engine over every instance in parallel.
+func RunSuite(suite []gen.Named, opts Options) []RunResult {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	type job struct {
+		inst   gen.Named
+		engine string
+	}
+	jobs := make(chan job)
+	results := make([]RunResult, 0, len(suite)*len(Engines))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r := RunEngine(j.engine, j.inst.DQBF, opts)
+				r.Instance = j.inst.Name
+				r.Family = string(j.inst.Family)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, inst := range suite {
+		for _, e := range Engines {
+			jobs <- job{inst, e}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Instance != results[j].Instance {
+			return results[i].Instance < results[j].Instance
+		}
+		return results[i].Engine < results[j].Engine
+	})
+	return results
+}
+
+// Table collects per-instance outcomes keyed by engine.
+type Table struct {
+	Instances []string
+	ByEngine  map[string]map[string]RunResult // engine → instance → result
+}
+
+// NewTable indexes run results.
+func NewTable(results []RunResult) *Table {
+	t := &Table{ByEngine: make(map[string]map[string]RunResult)}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if !seen[r.Instance] {
+			seen[r.Instance] = true
+			t.Instances = append(t.Instances, r.Instance)
+		}
+		m := t.ByEngine[r.Engine]
+		if m == nil {
+			m = make(map[string]RunResult)
+			t.ByEngine[r.Engine] = m
+		}
+		m[r.Instance] = r
+	}
+	sort.Strings(t.Instances)
+	return t
+}
+
+// synthesized reports whether the engine synthesized functions for inst.
+func (t *Table) synthesized(engine, inst string) (time.Duration, bool) {
+	r, ok := t.ByEngine[engine][inst]
+	if !ok || r.Outcome != Synthesized {
+		return 0, false
+	}
+	return r.Duration, true
+}
+
+// VBSTime returns the minimum synthesis time among the engines for inst.
+func (t *Table) VBSTime(inst string, engines []string) (time.Duration, bool) {
+	best := time.Duration(0)
+	found := false
+	for _, e := range engines {
+		if d, ok := t.synthesized(e, inst); ok {
+			if !found || d < best {
+				best = d
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// SolvedCount returns the number of instances an engine synthesized.
+func (t *Table) SolvedCount(engine string) int {
+	n := 0
+	for _, inst := range t.Instances {
+		if _, ok := t.synthesized(engine, inst); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// VBSSolvedCount returns the portfolio's synthesized count.
+func (t *Table) VBSSolvedCount(engines []string) int {
+	n := 0
+	for _, inst := range t.Instances {
+		if _, ok := t.VBSTime(inst, engines); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// UniqueCount returns instances only the given engine synthesized.
+func (t *Table) UniqueCount(engine string) int {
+	n := 0
+	for _, inst := range t.Instances {
+		if _, ok := t.synthesized(engine, inst); !ok {
+			continue
+		}
+		others := 0
+		for _, e := range Engines {
+			if e == engine {
+				continue
+			}
+			if _, ok := t.synthesized(e, inst); ok {
+				others++
+			}
+		}
+		if others == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FastestCount returns instances where the engine strictly achieved the
+// minimum synthesis time (ties count for all tied engines).
+func (t *Table) FastestCount(engine string) int {
+	n := 0
+	for _, inst := range t.Instances {
+		d, ok := t.synthesized(engine, inst)
+		if !ok {
+			continue
+		}
+		vbs, _ := t.VBSTime(inst, Engines)
+		if d <= vbs {
+			n++
+		}
+	}
+	return n
+}
+
+// BeatsCount returns instances engine a synthesized that engine b did not.
+func (t *Table) BeatsCount(a, b string) int {
+	n := 0
+	for _, inst := range t.Instances {
+		if _, ok := t.synthesized(a, inst); !ok {
+			continue
+		}
+		if _, ok := t.synthesized(b, inst); !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// IncompleteMisses returns the instances Manthan3 lost to incompleteness
+// (GaveUp) while some other engine synthesized.
+func (t *Table) IncompleteMisses() (incomplete, timeouts int) {
+	for _, inst := range t.Instances {
+		if _, ok := t.synthesized(EngineManthan3, inst); ok {
+			continue
+		}
+		othersSolved := false
+		for _, e := range []string{EngineExpand, EnginePedant} {
+			if _, ok := t.synthesized(e, inst); ok {
+				othersSolved = true
+				break
+			}
+		}
+		if !othersSolved {
+			continue
+		}
+		r := t.ByEngine[EngineManthan3][inst]
+		if r.Outcome == GaveUp {
+			incomplete++
+		} else {
+			timeouts++
+		}
+	}
+	return
+}
+
+// CactusSeries returns the sorted synthesis times for a portfolio: point i
+// (1-based) is the time of the i-th easiest synthesized instance.
+func (t *Table) CactusSeries(engines []string) []time.Duration {
+	var times []time.Duration
+	for _, inst := range t.Instances {
+		if d, ok := t.VBSTime(inst, engines); ok {
+			times = append(times, d)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times
+}
+
+// ScatterPoint pairs two engines' times on one instance; unsolved sides are
+// reported at the timeout value with Solved=false.
+type ScatterPoint struct {
+	Instance         string
+	XTime, YTime     time.Duration
+	XSolved, YSolved bool
+}
+
+// Scatter builds the Figure 7-10 data: x = engines in xs (as a portfolio),
+// y = engine ye.
+func (t *Table) Scatter(xs []string, ye string, timeout time.Duration) []ScatterPoint {
+	var pts []ScatterPoint
+	for _, inst := range t.Instances {
+		p := ScatterPoint{Instance: inst, XTime: timeout, YTime: timeout}
+		if d, ok := t.VBSTime(inst, xs); ok {
+			p.XTime, p.XSolved = d, true
+		}
+		if d, ok := t.synthesized(ye, inst); ok {
+			p.YTime, p.YSolved = d, true
+		}
+		if p.XSolved || p.YSolved {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+// WithinExtra counts scatter points where y solved within `extra` more time
+// than x (the paper's "47 instances within 10 additional seconds" band).
+func WithinExtra(pts []ScatterPoint, extra time.Duration) int {
+	n := 0
+	for _, p := range pts {
+		if p.YSolved && p.XSolved && p.YTime <= p.XTime+extra {
+			n++
+		}
+	}
+	return n
+}

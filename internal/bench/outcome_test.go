@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		Synthesized: "synthesized",
+		ProvedFalse: "false",
+		TimedOut:    "timeout",
+		GaveUp:      "incomplete",
+		Failed:      "failed",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d: %q want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestTableLookupsOnEmpty(t *testing.T) {
+	tab := NewTable(nil)
+	if n := tab.SolvedCount(EngineManthan3); n != 0 {
+		t.Fatalf("solved on empty table: %d", n)
+	}
+	if n := tab.VBSSolvedCount(Engines); n != 0 {
+		t.Fatalf("VBS on empty table: %d", n)
+	}
+	if s := tab.CactusSeries(Engines); len(s) != 0 {
+		t.Fatalf("cactus on empty table: %v", s)
+	}
+	if art := RenderCactusASCII(tab, time.Second, 20, 8); art == "" {
+		t.Fatal("empty-table cactus should still render a message")
+	}
+}
+
+func TestVBSTimeTakesMinimum(t *testing.T) {
+	results := []RunResult{
+		{Instance: "a", Engine: EngineExpand, Outcome: Synthesized, Duration: 3 * time.Second},
+		{Instance: "a", Engine: EnginePedant, Outcome: Synthesized, Duration: time.Second},
+		{Instance: "a", Engine: EngineManthan3, Outcome: TimedOut, Duration: 5 * time.Second},
+	}
+	tab := NewTable(results)
+	d, ok := tab.VBSTime("a", Engines)
+	if !ok || d != time.Second {
+		t.Fatalf("VBSTime: %v %v", d, ok)
+	}
+	if n := tab.FastestCount(EnginePedant); n != 1 {
+		t.Fatalf("fastest pedant: %d", n)
+	}
+	if n := tab.FastestCount(EngineManthan3); n != 0 {
+		t.Fatalf("fastest manthan3 (timed out): %d", n)
+	}
+	if n := tab.UniqueCount(EngineExpand); n != 0 {
+		t.Fatalf("expand is not unique on a: %d", n)
+	}
+}
+
+func TestIncompleteMissesClassification(t *testing.T) {
+	results := []RunResult{
+		// inst1: manthan3 incomplete, expand solved → counts as incomplete miss.
+		{Instance: "i1", Engine: EngineExpand, Outcome: Synthesized, Duration: time.Second},
+		{Instance: "i1", Engine: EnginePedant, Outcome: TimedOut},
+		{Instance: "i1", Engine: EngineManthan3, Outcome: GaveUp},
+		// inst2: manthan3 timeout, pedant solved → timeout miss.
+		{Instance: "i2", Engine: EngineExpand, Outcome: TimedOut},
+		{Instance: "i2", Engine: EnginePedant, Outcome: Synthesized, Duration: time.Second},
+		{Instance: "i2", Engine: EngineManthan3, Outcome: TimedOut},
+		// inst3: nobody solved → not a miss.
+		{Instance: "i3", Engine: EngineExpand, Outcome: TimedOut},
+		{Instance: "i3", Engine: EnginePedant, Outcome: TimedOut},
+		{Instance: "i3", Engine: EngineManthan3, Outcome: TimedOut},
+	}
+	tab := NewTable(results)
+	inc, to := tab.IncompleteMisses()
+	if inc != 1 || to != 1 {
+		t.Fatalf("misses: incomplete=%d timeout=%d, want 1/1", inc, to)
+	}
+}

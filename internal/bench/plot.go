@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteCactusCSV emits the Figure 6 cactus data: one row per solved-count,
+// with the time at which each portfolio reaches it.
+func WriteCactusCSV(w io.Writer, t *Table, timeout time.Duration) error {
+	vbs := t.CactusSeries([]string{EngineExpand, EnginePedant})
+	vbsPlus := t.CactusSeries(Engines)
+	if _, err := fmt.Fprintln(w, "solved,vbs_seconds,vbs_plus_manthan3_seconds"); err != nil {
+		return err
+	}
+	n := len(vbsPlus)
+	if len(vbs) > n {
+		n = len(vbs)
+	}
+	for i := 0; i < n; i++ {
+		a, b := "", ""
+		if i < len(vbs) {
+			a = fmt.Sprintf("%.4f", vbs[i].Seconds())
+		}
+		if i < len(vbsPlus) {
+			b = fmt.Sprintf("%.4f", vbsPlus[i].Seconds())
+		}
+		if _, err := fmt.Fprintf(w, "%d,%s,%s\n", i+1, a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteScatterCSV emits a Figures 7-10 scatter dataset.
+func WriteScatterCSV(w io.Writer, pts []ScatterPoint) error {
+	if _, err := fmt.Fprintln(w, "instance,x_seconds,x_solved,y_seconds,y_solved"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%t,%.4f,%t\n",
+			p.Instance, p.XTime.Seconds(), p.XSolved, p.YTime.Seconds(), p.YSolved); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCactusASCII draws the Figure 6 cactus plot as ASCII art: x-axis is
+// instances solved, y-axis is per-instance time.
+func RenderCactusASCII(t *Table, timeout time.Duration, width, height int) string {
+	if width <= 0 {
+		width = 70
+	}
+	if height <= 0 {
+		height = 16
+	}
+	vbs := t.CactusSeries([]string{EngineExpand, EnginePedant})
+	vbsPlus := t.CactusSeries(Engines)
+	maxN := len(vbsPlus)
+	if len(vbs) > maxN {
+		maxN = len(vbs)
+	}
+	if maxN == 0 {
+		return "(no instances solved)\n"
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(series []time.Duration, mark byte) {
+		for i, d := range series {
+			x := i * (width - 1) / maxN
+			frac := float64(d) / float64(timeout)
+			if frac > 1 {
+				frac = 1
+			}
+			y := height - 1 - int(frac*float64(height-1))
+			if grid[y][x] == ' ' || mark == '*' {
+				grid[y][x] = mark
+			}
+		}
+	}
+	plot(vbs, '+')
+	plot(vbsPlus, '*')
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig 6 cactus: runtime (0..%.1fs vertical) vs instances synthesized\n", timeout.Seconds())
+	fmt.Fprintf(&sb, "  '+' VBS(HQS-expand, Pedant-arbiter)=%d   '*' VBS+Manthan3=%d\n", len(vbs), len(vbsPlus))
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&sb, "   0%sinstances%s%d\n", strings.Repeat(" ", width/2-9), strings.Repeat(" ", width/2-10), maxN)
+	return sb.String()
+}
+
+// RenderScatterASCII draws a log-log style scatter comparison.
+func RenderScatterASCII(pts []ScatterPoint, xName, yName string, timeout time.Duration, size int) string {
+	if size <= 0 {
+		size = 28
+	}
+	grid := make([][]byte, size)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", size))
+	}
+	place := func(d time.Duration) int {
+		// Map [0, timeout] → [0, size-1] with sqrt compression for contrast.
+		frac := float64(d) / float64(timeout)
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		return int(sqrtf(frac) * float64(size-1))
+	}
+	for _, p := range pts {
+		x := place(p.XTime)
+		y := place(p.YTime)
+		grid[size-1-y][x] = 'o'
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scatter: x=%s  y=%s  (axis 0..%.1fs, sqrt scale; timeout edge = unsolved)\n",
+		xName, yName, timeout.Seconds())
+	for _, row := range grid {
+		sb.WriteString("  |")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("  +" + strings.Repeat("-", size) + "\n")
+	return sb.String()
+}
+
+func sqrtf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// SummaryCounts is the in-text counts table of the paper's §6.
+type SummaryCounts struct {
+	Total           int
+	SolvedByEngine  map[string]int
+	UniqueByEngine  map[string]int
+	FastestManthan3 int
+	VBSBaselines    int
+	VBSAll          int
+	ManthanBeatsHQS int // Manthan3 solved, expansion did not
+	ManthanBeatsPed int
+	MissedByManthan int // others solved, Manthan3 did not
+	MissIncomplete  int
+	MissTimeout     int
+	Within10sOfVBS  int
+}
+
+// Summarize computes the counts from a table.
+func Summarize(t *Table, timeout time.Duration) SummaryCounts {
+	sc := SummaryCounts{
+		Total:          len(t.Instances),
+		SolvedByEngine: make(map[string]int),
+		UniqueByEngine: make(map[string]int),
+	}
+	for _, e := range Engines {
+		sc.SolvedByEngine[e] = t.SolvedCount(e)
+		sc.UniqueByEngine[e] = t.UniqueCount(e)
+	}
+	sc.FastestManthan3 = t.FastestCount(EngineManthan3)
+	sc.VBSBaselines = t.VBSSolvedCount([]string{EngineExpand, EnginePedant})
+	sc.VBSAll = t.VBSSolvedCount(Engines)
+	sc.ManthanBeatsHQS = t.BeatsCount(EngineManthan3, EngineExpand)
+	sc.ManthanBeatsPed = t.BeatsCount(EngineManthan3, EnginePedant)
+	inc, to := t.IncompleteMisses()
+	sc.MissIncomplete, sc.MissTimeout = inc, to
+	sc.MissedByManthan = inc + to
+	pts := t.Scatter([]string{EngineExpand, EnginePedant}, EngineManthan3, timeout)
+	sc.Within10sOfVBS = WithinExtra(pts, timeout/200) // scaled 10s-of-7200s band
+	return sc
+}
+
+// WriteSummary renders the counts in the paper's reporting style.
+func WriteSummary(w io.Writer, sc SummaryCounts) error {
+	rows := []string{
+		fmt.Sprintf("instances:                         %d", sc.Total),
+		fmt.Sprintf("synthesized by %-18s %d", EngineExpand+":", sc.SolvedByEngine[EngineExpand]),
+		fmt.Sprintf("synthesized by %-18s %d", EnginePedant+":", sc.SolvedByEngine[EnginePedant]),
+		fmt.Sprintf("synthesized by %-18s %d", EngineManthan3+":", sc.SolvedByEngine[EngineManthan3]),
+		fmt.Sprintf("VBS(baselines):                    %d", sc.VBSBaselines),
+		fmt.Sprintf("VBS(+Manthan3):                    %d", sc.VBSAll),
+		fmt.Sprintf("VBS lift from Manthan3:            +%d", sc.VBSAll-sc.VBSBaselines),
+		fmt.Sprintf("uniquely solved by Manthan3:       %d", sc.UniqueByEngine[EngineManthan3]),
+		fmt.Sprintf("Manthan3 fastest on:               %d", sc.FastestManthan3),
+		fmt.Sprintf("Manthan3 solved, expand missed:    %d", sc.ManthanBeatsHQS),
+		fmt.Sprintf("Manthan3 solved, pedant missed:    %d", sc.ManthanBeatsPed),
+		fmt.Sprintf("missed by Manthan3, others solved: %d (incomplete %d, timeout %d)",
+			sc.MissedByManthan, sc.MissIncomplete, sc.MissTimeout),
+		fmt.Sprintf("within scaled 10s of VBS:          %d", sc.Within10sOfVBS),
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FamilyBreakdown returns solved counts per family per engine, to show the
+// orthogonality of approaches (the paper's incomparability claim).
+func FamilyBreakdown(results []RunResult) map[string]map[string]int {
+	out := make(map[string]map[string]int)
+	for _, r := range results {
+		if r.Outcome != Synthesized {
+			continue
+		}
+		m := out[r.Family]
+		if m == nil {
+			m = make(map[string]int)
+			out[r.Family] = m
+		}
+		m[r.Engine]++
+	}
+	return out
+}
+
+// SortedFamilies returns the family names of a breakdown, sorted.
+func SortedFamilies(b map[string]map[string]int) []string {
+	out := make([]string, 0, len(b))
+	for f := range b {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+func TestWriteExperimentsMD(t *testing.T) {
+	var suite []gen.Named
+	for _, fam := range []gen.Family{gen.FamilyEquiv, gen.FamilyRandom} {
+		for i := 0; i < 2; i++ {
+			suite = append(suite, gen.Generate(fam, i, 55))
+		}
+	}
+	results := RunSuite(suite, Options{Timeout: 2 * time.Second, Workers: 2})
+	tab := NewTable(results)
+	var sb strings.Builder
+	if err := WriteExperimentsMD(&sb, tab, results, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## Table 1",
+		"| instances | 563 |",
+		"## Figure 6",
+		"## Figure 7",
+		"## Figure 10",
+		"Per-family synthesized counts",
+		"paper | measured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q\n---\n%s", want, out)
+		}
+	}
+}

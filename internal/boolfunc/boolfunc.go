@@ -1,0 +1,521 @@
+// Package boolfunc provides a hash-consed DAG representation of Boolean
+// functions with construction, composition, evaluation, simplification, and
+// Tseitin CNF encoding. It stands in for the ABC logic-manipulation library
+// used by the Manthan3 paper to represent and rewrite candidate Henkin
+// functions.
+//
+// Functions are built over named inputs identified by cnf.Var. Structural
+// hashing plus constant folding and local simplification rules keep the DAG
+// compact under the repeated strengthen/weaken rewrites of the repair loop.
+package boolfunc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// Op is the kind of a node.
+type Op uint8
+
+// Node kinds.
+const (
+	OpConst Op = iota // Value field holds the constant
+	OpVar             // Var field holds the input variable
+	OpNot
+	OpAnd
+	OpOr
+	OpXor
+	OpIte // Kids[0] ? Kids[1] : Kids[2]
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case OpConst:
+		return "const"
+	case OpVar:
+		return "var"
+	case OpNot:
+		return "not"
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpXor:
+		return "xor"
+	case OpIte:
+		return "ite"
+	}
+	return "?"
+}
+
+// Node is an immutable function DAG node. Nodes are created through a Builder
+// and must not be modified.
+type Node struct {
+	Op    Op
+	Value bool    // for OpConst
+	Var   cnf.Var // for OpVar
+	Kids  []*Node
+	id    uint64 // unique id within the builder, for hashing and memoization
+}
+
+// Builder hash-conses nodes. All nodes combined by a builder's operations
+// must originate from the same builder.
+type Builder struct {
+	nodes  map[string]*Node
+	nextID uint64
+	tru    *Node
+	fls    *Node
+}
+
+// NewBuilder returns a fresh builder with interned constants.
+func NewBuilder() *Builder {
+	b := &Builder{nodes: make(map[string]*Node)}
+	b.tru = b.intern(&Node{Op: OpConst, Value: true})
+	b.fls = b.intern(&Node{Op: OpConst, Value: false})
+	return b
+}
+
+func (b *Builder) key(n *Node) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%t|%d", n.Op, n.Value, n.Var)
+	for _, k := range n.Kids {
+		fmt.Fprintf(&sb, "|%d", k.id)
+	}
+	return sb.String()
+}
+
+func (b *Builder) intern(n *Node) *Node {
+	k := b.key(n)
+	if old, ok := b.nodes[k]; ok {
+		return old
+	}
+	b.nextID++
+	n.id = b.nextID
+	b.nodes[k] = n
+	return n
+}
+
+// Size returns the number of distinct nodes interned so far.
+func (b *Builder) Size() int { return len(b.nodes) }
+
+// Const returns the constant node for v.
+func (b *Builder) Const(v bool) *Node {
+	if v {
+		return b.tru
+	}
+	return b.fls
+}
+
+// True returns the constant-true node.
+func (b *Builder) True() *Node { return b.tru }
+
+// False returns the constant-false node.
+func (b *Builder) False() *Node { return b.fls }
+
+// Var returns the input node for variable v.
+func (b *Builder) Var(v cnf.Var) *Node {
+	return b.intern(&Node{Op: OpVar, Var: v})
+}
+
+// Lit returns the node for a literal: Var(v) or Not(Var(v)).
+func (b *Builder) Lit(l cnf.Lit) *Node {
+	n := b.Var(l.Var())
+	if !l.IsPos() {
+		n = b.Not(n)
+	}
+	return n
+}
+
+// Not returns ¬a with local simplification.
+func (b *Builder) Not(a *Node) *Node {
+	switch a.Op {
+	case OpConst:
+		return b.Const(!a.Value)
+	case OpNot:
+		return a.Kids[0]
+	}
+	return b.intern(&Node{Op: OpNot, Kids: []*Node{a}})
+}
+
+// And returns a ∧ b with constant folding and idempotence/complement rules.
+func (b *Builder) And(x, y *Node) *Node {
+	if x.Op == OpConst {
+		if x.Value {
+			return y
+		}
+		return b.fls
+	}
+	if y.Op == OpConst {
+		if y.Value {
+			return x
+		}
+		return b.fls
+	}
+	if x == y {
+		return x
+	}
+	if (x.Op == OpNot && x.Kids[0] == y) || (y.Op == OpNot && y.Kids[0] == x) {
+		return b.fls
+	}
+	if y.id < x.id { // canonical order for hashing
+		x, y = y, x
+	}
+	return b.intern(&Node{Op: OpAnd, Kids: []*Node{x, y}})
+}
+
+// Or returns a ∨ b with local simplification.
+func (b *Builder) Or(x, y *Node) *Node {
+	if x.Op == OpConst {
+		if x.Value {
+			return b.tru
+		}
+		return y
+	}
+	if y.Op == OpConst {
+		if y.Value {
+			return b.tru
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	if (x.Op == OpNot && x.Kids[0] == y) || (y.Op == OpNot && y.Kids[0] == x) {
+		return b.tru
+	}
+	if y.id < x.id {
+		x, y = y, x
+	}
+	return b.intern(&Node{Op: OpOr, Kids: []*Node{x, y}})
+}
+
+// Xor returns a ⊕ b with local simplification.
+func (b *Builder) Xor(x, y *Node) *Node {
+	if x.Op == OpConst {
+		if x.Value {
+			return b.Not(y)
+		}
+		return y
+	}
+	if y.Op == OpConst {
+		if y.Value {
+			return b.Not(x)
+		}
+		return x
+	}
+	if x == y {
+		return b.fls
+	}
+	if (x.Op == OpNot && x.Kids[0] == y) || (y.Op == OpNot && y.Kids[0] == x) {
+		return b.tru
+	}
+	if y.id < x.id {
+		x, y = y, x
+	}
+	return b.intern(&Node{Op: OpXor, Kids: []*Node{x, y}})
+}
+
+// Ite returns c ? t : e with local simplification.
+func (b *Builder) Ite(c, t, e *Node) *Node {
+	if c.Op == OpConst {
+		if c.Value {
+			return t
+		}
+		return e
+	}
+	if t == e {
+		return t
+	}
+	if t.Op == OpConst && e.Op == OpConst {
+		// t=1,e=0 → c ; t=0,e=1 → ¬c
+		if t.Value {
+			return c
+		}
+		return b.Not(c)
+	}
+	if t.Op == OpConst && t.Value {
+		return b.Or(c, e)
+	}
+	if t.Op == OpConst && !t.Value {
+		return b.And(b.Not(c), e)
+	}
+	if e.Op == OpConst && e.Value {
+		return b.Or(b.Not(c), t)
+	}
+	if e.Op == OpConst && !e.Value {
+		return b.And(c, t)
+	}
+	return b.intern(&Node{Op: OpIte, Kids: []*Node{c, t, e}})
+}
+
+// AndN folds And over the list; empty list yields true.
+func (b *Builder) AndN(xs []*Node) *Node {
+	out := b.tru
+	for _, x := range xs {
+		out = b.And(out, x)
+	}
+	return out
+}
+
+// OrN folds Or over the list; empty list yields false.
+func (b *Builder) OrN(xs []*Node) *Node {
+	out := b.fls
+	for _, x := range xs {
+		out = b.Or(out, x)
+	}
+	return out
+}
+
+// Cube returns the conjunction of literals.
+func (b *Builder) Cube(lits []cnf.Lit) *Node {
+	out := b.tru
+	for _, l := range lits {
+		out = b.And(out, b.Lit(l))
+	}
+	return out
+}
+
+// Eval evaluates the function under an assignment of its input variables.
+// Unassigned inputs evaluate as false.
+func Eval(n *Node, a cnf.Assignment) bool {
+	memo := make(map[uint64]bool)
+	return evalMemo(n, a, memo)
+}
+
+func evalMemo(n *Node, a cnf.Assignment, memo map[uint64]bool) bool {
+	if v, ok := memo[n.id]; ok {
+		return v
+	}
+	var out bool
+	switch n.Op {
+	case OpConst:
+		out = n.Value
+	case OpVar:
+		out = a.Get(n.Var) == cnf.True
+	case OpNot:
+		out = !evalMemo(n.Kids[0], a, memo)
+	case OpAnd:
+		out = evalMemo(n.Kids[0], a, memo) && evalMemo(n.Kids[1], a, memo)
+	case OpOr:
+		out = evalMemo(n.Kids[0], a, memo) || evalMemo(n.Kids[1], a, memo)
+	case OpXor:
+		out = evalMemo(n.Kids[0], a, memo) != evalMemo(n.Kids[1], a, memo)
+	case OpIte:
+		if evalMemo(n.Kids[0], a, memo) {
+			out = evalMemo(n.Kids[1], a, memo)
+		} else {
+			out = evalMemo(n.Kids[2], a, memo)
+		}
+	}
+	memo[n.id] = out
+	return out
+}
+
+// Support returns the sorted set of input variables the function depends on
+// syntactically.
+func Support(n *Node) []cnf.Var {
+	seen := make(map[uint64]bool)
+	vars := make(map[cnf.Var]bool)
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if seen[m.id] {
+			return
+		}
+		seen[m.id] = true
+		if m.Op == OpVar {
+			vars[m.Var] = true
+		}
+		for _, k := range m.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	out := make([]cnf.Var, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NodeCount returns the number of distinct DAG nodes reachable from n.
+func NodeCount(n *Node) int {
+	seen := make(map[uint64]bool)
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if seen[m.id] {
+			return
+		}
+		seen[m.id] = true
+		for _, k := range m.Kids {
+			walk(k)
+		}
+	}
+	walk(n)
+	return len(seen)
+}
+
+// Substitute returns n with every occurrence of the variables in subst
+// replaced by the corresponding function. Substitution is simultaneous, not
+// sequential. The result is built in builder b (which must own n and the
+// replacement nodes).
+func (b *Builder) Substitute(n *Node, subst map[cnf.Var]*Node) *Node {
+	memo := make(map[uint64]*Node)
+	var walk func(*Node) *Node
+	walk = func(m *Node) *Node {
+		if r, ok := memo[m.id]; ok {
+			return r
+		}
+		var out *Node
+		switch m.Op {
+		case OpConst:
+			out = m
+		case OpVar:
+			if r, ok := subst[m.Var]; ok {
+				out = r
+			} else {
+				out = m
+			}
+		case OpNot:
+			out = b.Not(walk(m.Kids[0]))
+		case OpAnd:
+			out = b.And(walk(m.Kids[0]), walk(m.Kids[1]))
+		case OpOr:
+			out = b.Or(walk(m.Kids[0]), walk(m.Kids[1]))
+		case OpXor:
+			out = b.Xor(walk(m.Kids[0]), walk(m.Kids[1]))
+		case OpIte:
+			out = b.Ite(walk(m.Kids[0]), walk(m.Kids[1]), walk(m.Kids[2]))
+		}
+		memo[m.id] = out
+		return out
+	}
+	return walk(n)
+}
+
+// CNFOptions configures Tseitin encoding.
+type CNFOptions struct {
+	// VarFor maps function inputs to CNF variables in the target formula.
+	// Nil means identity (input v is CNF variable v).
+	VarFor func(cnf.Var) cnf.Var
+}
+
+// ToCNF Tseitin-encodes the function into dst, returning a literal out such
+// that dst's added clauses assert out ↔ n over the mapped input variables.
+// Fresh auxiliary variables are allocated from dst.
+func ToCNF(n *Node, dst *cnf.Formula, opt CNFOptions) cnf.Lit {
+	mapVar := opt.VarFor
+	if mapVar == nil {
+		mapVar = func(v cnf.Var) cnf.Var { return v }
+	}
+	memo := make(map[uint64]cnf.Lit)
+	var walk func(*Node) cnf.Lit
+	walk = func(m *Node) cnf.Lit {
+		if l, ok := memo[m.id]; ok {
+			return l
+		}
+		var out cnf.Lit
+		switch m.Op {
+		case OpConst:
+			v := dst.NewVar()
+			out = cnf.PosLit(v)
+			if m.Value {
+				dst.AddUnit(out)
+			} else {
+				dst.AddUnit(out.Neg())
+			}
+		case OpVar:
+			out = cnf.PosLit(mapVar(m.Var))
+		case OpNot:
+			out = walk(m.Kids[0]).Neg()
+		case OpAnd:
+			a, b2 := walk(m.Kids[0]), walk(m.Kids[1])
+			out = cnf.PosLit(dst.NewVar())
+			dst.AddAnd(out, a, b2)
+		case OpOr:
+			a, b2 := walk(m.Kids[0]), walk(m.Kids[1])
+			out = cnf.PosLit(dst.NewVar())
+			dst.AddOr(out, a, b2)
+		case OpXor:
+			a, b2 := walk(m.Kids[0]), walk(m.Kids[1])
+			out = cnf.PosLit(dst.NewVar())
+			dst.AddXor(out, a, b2)
+		case OpIte:
+			c, tl, el := walk(m.Kids[0]), walk(m.Kids[1]), walk(m.Kids[2])
+			out = cnf.PosLit(dst.NewVar())
+			// out ↔ (c→t) ∧ (¬c→e)
+			dst.AddClause(out.Neg(), c.Neg(), tl)
+			dst.AddClause(out.Neg(), c, el)
+			dst.AddClause(out, c.Neg(), tl.Neg())
+			dst.AddClause(out, c, el.Neg())
+		}
+		memo[m.id] = out
+		return out
+	}
+	return walk(n)
+}
+
+// String renders the function as a readable infix expression with variables
+// shown as v<N>.
+func String(n *Node) string {
+	var sb strings.Builder
+	writeExpr(n, &sb)
+	return sb.String()
+}
+
+func writeExpr(n *Node, sb *strings.Builder) {
+	switch n.Op {
+	case OpConst:
+		if n.Value {
+			sb.WriteString("1")
+		} else {
+			sb.WriteString("0")
+		}
+	case OpVar:
+		fmt.Fprintf(sb, "v%d", n.Var)
+	case OpNot:
+		sb.WriteString("~")
+		writeExpr(n.Kids[0], sb)
+	case OpAnd, OpOr, OpXor:
+		op := map[Op]string{OpAnd: " & ", OpOr: " | ", OpXor: " ^ "}[n.Op]
+		sb.WriteString("(")
+		writeExpr(n.Kids[0], sb)
+		sb.WriteString(op)
+		writeExpr(n.Kids[1], sb)
+		sb.WriteString(")")
+	case OpIte:
+		sb.WriteString("ite(")
+		writeExpr(n.Kids[0], sb)
+		sb.WriteString(", ")
+		writeExpr(n.Kids[1], sb)
+		sb.WriteString(", ")
+		writeExpr(n.Kids[2], sb)
+		sb.WriteString(")")
+	}
+}
+
+// FromTruthTable builds a function over inputs (in order) from a truth table
+// of length 2^len(inputs); bit i of the table is the output for the input
+// assignment whose bit j gives the value of inputs[j]. A small Shannon-
+// expansion construction with hash-consing keeps common subfunctions shared.
+func (b *Builder) FromTruthTable(inputs []cnf.Var, table []bool) (*Node, error) {
+	if len(table) != 1<<uint(len(inputs)) {
+		return nil, fmt.Errorf("boolfunc: table length %d does not match %d inputs", len(table), len(inputs))
+	}
+	var build func(level int, offset int) *Node
+	build = func(level, offset int) *Node {
+		if level == len(inputs) {
+			return b.Const(table[offset])
+		}
+		// inputs[level] selects between two half-tables; bit `level` of the
+		// row index gives the variable's value.
+		lo := build(level+1, offset)          // inputs[level] = 0
+		hi := build(level+1, offset|1<<level) // inputs[level] = 1
+		return b.Ite(b.Var(inputs[level]), hi, lo)
+	}
+	return build(0, 0), nil
+}

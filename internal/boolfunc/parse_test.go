@@ -1,0 +1,93 @@
+package boolfunc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+)
+
+func TestParseBasics(t *testing.T) {
+	b := NewBuilder()
+	cases := map[string]*Node{
+		"0":              b.False(),
+		"1":              b.True(),
+		"v3":             b.Var(3),
+		"~v1":            b.Not(b.Var(1)),
+		"~~v1":           b.Var(1),
+		"v1 & v2":        b.And(b.Var(1), b.Var(2)),
+		"v1 | v2":        b.Or(b.Var(1), b.Var(2)),
+		"v1 ^ v2":        b.Xor(b.Var(1), b.Var(2)),
+		"(v1)":           b.Var(1),
+		"ite(v1, v2, 0)": b.Ite(b.Var(1), b.Var(2), b.False()),
+	}
+	for in, want := range cases {
+		got, err := Parse(b, in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got != want {
+			t.Fatalf("%q: got %s want %s", in, String(got), String(want))
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	b := NewBuilder()
+	// ~ binds tighter than &, & tighter than ^, ^ tighter than |.
+	got, err := Parse(b, "v1 | v2 ^ v3 & ~v4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b.Or(b.Var(1), b.Xor(b.Var(2), b.And(b.Var(3), b.Not(b.Var(4)))))
+	if got != want {
+		t.Fatalf("precedence: got %s want %s", String(got), String(want))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	b := NewBuilder()
+	for _, in := range []string{
+		"", "v", "v0", "(v1", "v1 &", "ite(v1, v2)", "ite(v1 v2, v3)",
+		"v1 v2", "#", "~", "ite(v1, v2, v3", "v1)",
+	} {
+		if _, err := Parse(b, in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder()
+		n := 1 + rng.Intn(5)
+		f := randomNode(b, rng, n, 5)
+		g, err := Parse(b, String(f))
+		if err != nil {
+			return false
+		}
+		// Hash-consing makes semantic identity a pointer comparison for
+		// nodes built in the same builder from the same structure.
+		if g == f {
+			return true
+		}
+		// Structural simplification during reparse can differ; fall back to
+		// semantic comparison.
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			a := cnf.NewAssignment(n)
+			for v := 1; v <= n; v++ {
+				a.SetBool(cnf.Var(v), mask&(1<<uint(v-1)) != 0)
+			}
+			if Eval(f, a) != Eval(g, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

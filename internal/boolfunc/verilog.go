@@ -1,0 +1,107 @@
+package boolfunc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// WriteVerilog emits a synthesizable structural Verilog module computing the
+// given output functions. Inputs are the union of the functions' supports,
+// named by nameOf (default `x<N>`); each output is named by its map key.
+// Shared DAG nodes become shared wires, so the emitted netlist preserves the
+// sharing of the function DAG — the natural interchange format for the
+// ECO/patch-function use case the paper targets.
+func WriteVerilog(w io.Writer, module string, outputs map[string]*Node, nameOf func(cnf.Var) string) error {
+	if nameOf == nil {
+		nameOf = func(v cnf.Var) string { return fmt.Sprintf("x%d", v) }
+	}
+	bw := bufio.NewWriter(w)
+
+	// Collect inputs and count node references across all outputs.
+	inputSet := make(map[cnf.Var]bool)
+	outNames := make([]string, 0, len(outputs))
+	for name, f := range outputs {
+		outNames = append(outNames, name)
+		for _, v := range Support(f) {
+			inputSet[v] = true
+		}
+	}
+	sort.Strings(outNames)
+	inputs := make([]cnf.Var, 0, len(inputSet))
+	for v := range inputSet {
+		inputs = append(inputs, v)
+	}
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i] < inputs[j] })
+
+	fmt.Fprintf(bw, "module %s(", module)
+	for i, v := range inputs {
+		if i > 0 {
+			fmt.Fprint(bw, ", ")
+		}
+		fmt.Fprint(bw, nameOf(v))
+	}
+	for i, name := range outNames {
+		if i > 0 || len(inputs) > 0 {
+			fmt.Fprint(bw, ", ")
+		}
+		fmt.Fprint(bw, name)
+	}
+	fmt.Fprintln(bw, ");")
+	for _, v := range inputs {
+		fmt.Fprintf(bw, "  input %s;\n", nameOf(v))
+	}
+	for _, name := range outNames {
+		fmt.Fprintf(bw, "  output %s;\n", name)
+	}
+
+	// Emit one wire per internal DAG node, in dependency order.
+	wireOf := make(map[uint64]string)
+	next := 0
+	var emit func(n *Node) string
+	emit = func(n *Node) string {
+		if s, ok := wireOf[n.id]; ok {
+			return s
+		}
+		var expr, wire string
+		switch n.Op {
+		case OpConst:
+			if n.Value {
+				wire = "1'b1"
+			} else {
+				wire = "1'b0"
+			}
+			wireOf[n.id] = wire
+			return wire
+		case OpVar:
+			wire = nameOf(n.Var)
+			wireOf[n.id] = wire
+			return wire
+		case OpNot:
+			expr = "~" + emit(n.Kids[0])
+		case OpAnd:
+			expr = emit(n.Kids[0]) + " & " + emit(n.Kids[1])
+		case OpOr:
+			expr = emit(n.Kids[0]) + " | " + emit(n.Kids[1])
+		case OpXor:
+			expr = emit(n.Kids[0]) + " ^ " + emit(n.Kids[1])
+		case OpIte:
+			expr = emit(n.Kids[0]) + " ? " + emit(n.Kids[1]) + " : " + emit(n.Kids[2])
+		}
+		wire = fmt.Sprintf("n%d", next)
+		next++
+		fmt.Fprintf(bw, "  wire %s;\n", wire)
+		fmt.Fprintf(bw, "  assign %s = %s;\n", wire, expr)
+		wireOf[n.id] = wire
+		return wire
+	}
+	for _, name := range outNames {
+		root := emit(outputs[name])
+		fmt.Fprintf(bw, "  assign %s = %s;\n", name, root)
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}

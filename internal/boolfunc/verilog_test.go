@@ -1,0 +1,71 @@
+package boolfunc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestWriteVerilogBasic(t *testing.T) {
+	b := NewBuilder()
+	f := b.Or(b.And(b.Var(1), b.Var(2)), b.Not(b.Var(3)))
+	var sb strings.Builder
+	err := WriteVerilog(&sb, "patch", map[string]*Node{"y": f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"module patch(x1, x2, x3, y);",
+		"input x1;",
+		"output y;",
+		"endmodule",
+		"assign y = ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteVerilogSharing(t *testing.T) {
+	b := NewBuilder()
+	shared := b.And(b.Var(1), b.Var(2))
+	f := b.Xor(shared, b.Var(3))
+	g := b.Or(shared, b.Var(4))
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, "m", map[string]*Node{"f": f, "g": g}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The shared AND gate must be emitted exactly once.
+	if strings.Count(out, "x1 & x2") != 1 {
+		t.Fatalf("shared node duplicated:\n%s", out)
+	}
+	// Outputs are sorted: f before g in the port list.
+	if strings.Index(out, " f") > strings.Index(out, " g") {
+		t.Fatalf("outputs not sorted:\n%s", out)
+	}
+}
+
+func TestWriteVerilogConstantsAndNames(t *testing.T) {
+	b := NewBuilder()
+	var sb strings.Builder
+	err := WriteVerilog(&sb, "m", map[string]*Node{
+		"t": b.True(),
+		"i": b.Ite(b.Var(7), b.Var(8), b.False()),
+	}, func(v cnf.Var) string {
+		return map[cnf.Var]string{7: "sel", 8: "a"}[v]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "assign t = 1'b1;") {
+		t.Fatalf("constant output broken:\n%s", out)
+	}
+	if !strings.Contains(out, "sel") || !strings.Contains(out, "input a;") {
+		t.Fatalf("custom naming broken:\n%s", out)
+	}
+}

@@ -1,0 +1,357 @@
+package cnf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	l := PosLit(5)
+	if l.Var() != 5 || !l.IsPos() {
+		t.Fatalf("PosLit(5) broken: %v", l)
+	}
+	n := l.Neg()
+	if n.Var() != 5 || n.IsPos() {
+		t.Fatalf("Neg broken: %v", n)
+	}
+	if n.Neg() != l {
+		t.Fatal("double negation is not identity")
+	}
+	if MkLit(3, true) != PosLit(3) || MkLit(3, false) != NegLit(3) {
+		t.Fatal("MkLit polarity broken")
+	}
+}
+
+func TestClauseNormalize(t *testing.T) {
+	c := Clause{3, -1, 3, 2}
+	n, taut := c.Normalize()
+	if taut {
+		t.Fatal("unexpected tautology")
+	}
+	if len(n) != 3 {
+		t.Fatalf("dedup failed: %v", n)
+	}
+	c2 := Clause{1, -1}
+	if _, taut := c2.Normalize(); !taut {
+		t.Fatal("tautology not detected")
+	}
+	// Original clause untouched.
+	if len(c) != 4 {
+		t.Fatal("Normalize mutated receiver")
+	}
+}
+
+func TestAssignmentValues(t *testing.T) {
+	a := NewAssignment(3)
+	if a.Get(1) != Unassigned {
+		t.Fatal("fresh assignment not Unassigned")
+	}
+	a.SetBool(1, true)
+	a.SetBool(2, false)
+	if a.LitValue(1) != True || a.LitValue(-1) != False {
+		t.Fatal("LitValue positive broken")
+	}
+	if a.LitValue(2) != False || a.LitValue(-2) != True {
+		t.Fatal("LitValue negative broken")
+	}
+	if a.LitValue(3) != Unassigned || a.LitValue(-3) != Unassigned {
+		t.Fatal("LitValue unassigned broken")
+	}
+	if a.Get(99) != Unassigned {
+		t.Fatal("out-of-range Get should be Unassigned")
+	}
+}
+
+func TestValueNot(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Unassigned.Not() != Unassigned {
+		t.Fatal("Value.Not broken")
+	}
+	if BoolValue(true) != True || BoolValue(false) != False {
+		t.Fatal("BoolValue broken")
+	}
+}
+
+func TestAssignmentRestrict(t *testing.T) {
+	a := NewAssignment(4)
+	a.SetBool(1, true)
+	a.SetBool(2, false)
+	a.SetBool(3, true)
+	r := a.Restrict([]Var{1, 3})
+	if r.Get(1) != True || r.Get(3) != True {
+		t.Fatal("restricted vars lost")
+	}
+	if r.Get(2) != Unassigned {
+		t.Fatal("non-restricted var leaked")
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	f := New(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 2)
+	a := NewAssignment(2)
+	a.SetBool(1, true)
+	a.SetBool(2, true)
+	if !f.Eval(a) {
+		t.Fatal("satisfying assignment rejected")
+	}
+	a.SetBool(2, false)
+	if f.Eval(a) {
+		t.Fatal("falsifying assignment accepted")
+	}
+}
+
+func TestGateEncodings(t *testing.T) {
+	// For each gate encoding, enumerate all input assignments and check the
+	// gate variable is forced to the gate's semantics.
+	type gate struct {
+		name string
+		add  func(f *Formula, z, a, b Lit)
+		eval func(a, b bool) bool
+	}
+	gates := []gate{
+		{"and", (*Formula).AddAnd, func(a, b bool) bool { return a && b }},
+		{"or", (*Formula).AddOr, func(a, b bool) bool { return a || b }},
+		{"xor", (*Formula).AddXor, func(a, b bool) bool { return a != b }},
+	}
+	for _, g := range gates {
+		for mask := 0; mask < 8; mask++ {
+			f := New(3)
+			g.add(f, 3, 1, 2)
+			a := NewAssignment(3)
+			av, bv, zv := mask&1 != 0, mask&2 != 0, mask&4 != 0
+			a.SetBool(1, av)
+			a.SetBool(2, bv)
+			a.SetBool(3, zv)
+			want := zv == g.eval(av, bv)
+			if got := f.Eval(a); got != want {
+				t.Fatalf("%s gate: inputs a=%v b=%v z=%v: eval=%v want %v", g.name, av, bv, zv, got, want)
+			}
+		}
+	}
+}
+
+func TestAddAndNOrN(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 4} {
+		f := New(n + 1)
+		z := PosLit(Var(n + 1))
+		in := make([]Lit, n)
+		for i := range in {
+			in[i] = PosLit(Var(i + 1))
+		}
+		f.AddAndN(z, in)
+		for mask := 0; mask < 1<<(n+1); mask++ {
+			a := NewAssignment(n + 1)
+			allTrue := true
+			for i := 0; i < n; i++ {
+				b := mask&(1<<i) != 0
+				a.SetBool(Var(i+1), b)
+				if !b {
+					allTrue = false
+				}
+			}
+			zv := mask&(1<<n) != 0
+			a.SetBool(Var(n+1), zv)
+			want := zv == allTrue
+			if got := f.Eval(a); got != want {
+				t.Fatalf("AddAndN n=%d mask=%d: eval=%v want %v", n, mask, got, want)
+			}
+		}
+		g := New(n + 1)
+		g.AddOrN(z, in)
+		for mask := 0; mask < 1<<(n+1); mask++ {
+			a := NewAssignment(n + 1)
+			anyTrue := false
+			for i := 0; i < n; i++ {
+				b := mask&(1<<i) != 0
+				a.SetBool(Var(i+1), b)
+				if b {
+					anyTrue = true
+				}
+			}
+			zv := mask&(1<<n) != 0
+			a.SetBool(Var(n+1), zv)
+			want := zv == anyTrue
+			if got := g.Eval(a); got != want {
+				t.Fatalf("AddOrN n=%d mask=%d: eval=%v want %v", n, mask, got, want)
+			}
+		}
+	}
+}
+
+func TestNegationInto(t *testing.T) {
+	// ¬f must be satisfied exactly by assignments falsifying f (projected on
+	// original vars). Check by brute force over originals with the selector
+	// semantics: for each original assignment, ¬f encoding is satisfiable in
+	// the aux vars iff f is false.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(4)
+		f := New(n)
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			k := 1 + rng.Intn(3)
+			c := make([]Lit, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, MkLit(Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c...)
+		}
+		dst := New(n)
+		f.NegationInto(dst)
+		for mask := 0; mask < 1<<n; mask++ {
+			orig := NewAssignment(n)
+			for v := 1; v <= n; v++ {
+				orig.SetBool(Var(v), mask&(1<<(v-1)) != 0)
+			}
+			fVal := f.Eval(orig)
+			// extend orig over dst's aux vars by exhaustive search
+			aux := dst.NumVars - n
+			negSat := false
+			for am := 0; am < 1<<aux; am++ {
+				full := NewAssignment(dst.NumVars)
+				copy(full[:n+1], orig[:n+1])
+				for i := 0; i < aux; i++ {
+					full.SetBool(Var(n+1+i), am&(1<<i) != 0)
+				}
+				if dst.Eval(full) {
+					negSat = true
+					break
+				}
+			}
+			if negSat == fVal {
+				t.Fatalf("trial %d mask %d: f=%v but ¬f satisfiable=%v", trial, mask, fVal, negSat)
+			}
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := New(4)
+	f.AddClause(1, -2, 3)
+	f.AddClause(-4)
+	f.AddClause(2, 4)
+	var b strings.Builder
+	if err := WriteDIMACS(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip mismatch: %d/%d vars, %d/%d clauses",
+			g.NumVars, f.NumVars, len(g.Clauses), len(f.Clauses))
+	}
+	for i := range f.Clauses {
+		if f.Clauses[i].String() != g.Clauses[i].String() {
+			t.Fatalf("clause %d mismatch: %v vs %v", i, f.Clauses[i], g.Clauses[i])
+		}
+	}
+}
+
+func TestDIMACSRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		f := New(n)
+		for i := 0; i < rng.Intn(20); i++ {
+			k := 1 + rng.Intn(4)
+			c := make([]Lit, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, MkLit(Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			f.AddClause(c...)
+		}
+		var b strings.Builder
+		if err := WriteDIMACS(&b, f); err != nil {
+			return false
+		}
+		g, err := ParseDIMACS(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			return false
+		}
+		for i := range f.Clauses {
+			if f.Clauses[i].String() != g.Clauses[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad problem line": "p cnf x 3\n1 0\n",
+		"bad literal":      "p cnf 2 1\n1 foo 0\n",
+		"dup problem":      "p cnf 1 1\np cnf 1 1\n1 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseDIMACSTolerance(t *testing.T) {
+	in := "c comment\n% also skipped\np cnf 3 2\n1 -2\n3 0\n-1 2 3 0"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses spanning lines mishandled: %d clauses", len(f.Clauses))
+	}
+	if f.Clauses[0].String() != "1 -2 3 0" {
+		t.Fatalf("clause 0: %v", f.Clauses[0])
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := New(2)
+	f.AddClause(1, 2)
+	g := f.Clone()
+	g.AddClause(-1)
+	g.Clauses[0][0] = -2
+	if len(f.Clauses) != 1 || f.Clauses[0][0] != 1 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestNewVarGrowth(t *testing.T) {
+	f := New(0)
+	v1 := f.NewVar()
+	vs := f.NewVars(3)
+	if v1 != 1 || vs[0] != 2 || vs[2] != 4 || f.NumVars != 4 {
+		t.Fatalf("variable allocation broken: %v %v %d", v1, vs, f.NumVars)
+	}
+	f.AddClause(10)
+	if f.NumVars != 10 {
+		t.Fatal("AddClause must grow NumVars")
+	}
+}
+
+func TestVars(t *testing.T) {
+	f := New(10)
+	f.AddClause(3, -7)
+	f.AddClause(-3, 5)
+	got := f.Vars()
+	want := []Var{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Vars: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars: %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format. Comment lines (c …) are
+// skipped; the problem line (p cnf V C) is honoured but the clause count is
+// not enforced, matching common solver behaviour. Clauses may span lines and
+// are terminated by 0.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	f := &Formula{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	sawProblem := false
+	var cur Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if sawProblem {
+				return nil, fmt.Errorf("cnf: line %d: duplicate problem line", lineNo)
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count %q", lineNo, fields[2])
+			}
+			f.NumVars = nv
+			sawProblem = true
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, Lit(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if len(cur) > 0 {
+		f.AddClause(cur...)
+	}
+	if !sawProblem && len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("cnf: empty input")
+	}
+	return f, nil
+}
+
+// WriteDIMACS writes the formula in DIMACS format.
+func WriteDIMACS(w io.Writer, f *Formula) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		if _, err := fmt.Fprintln(bw, c.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,465 @@
+// Package core implements Manthan3, the data-driven Henkin function
+// synthesizer of "Synthesis with Explicit Dependencies" (DATE 2023).
+//
+// Given a DQBF ∀X ∃^{H1}y1 … ∃^{Hm}ym . ϕ(X,Y), the engine:
+//
+//  1. samples satisfying assignments of ϕ (constrained sampling),
+//  2. learns a candidate function per existential with a decision tree whose
+//     feature set respects the Henkin dependencies (Algorithm 2),
+//  3. verifies the candidate vector with a SAT oracle on
+//     E(X,Y′) = ¬ϕ(X,Y′) ∧ (Y′ ↔ f), and
+//  4. on counterexamples, localizes faulty candidates with MaxSAT and repairs
+//     them with UnsatCore-guided strengthening/weakening (Algorithm 3),
+//
+// until verification succeeds, the instance is proved False, or the repair
+// loop is stuck (the paper's documented incompleteness).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/sat"
+)
+
+// Sentinel errors returned by Synthesize.
+var (
+	// ErrFalse means the DQBF instance is False: no Henkin vector exists.
+	ErrFalse = errors.New("core: instance is False, no Henkin function vector exists")
+	// ErrIncomplete means the repair loop can make no further progress — the
+	// incompleteness case the paper documents in §5 (49 of its 88 unsolved
+	// instances).
+	ErrIncomplete = errors.New("core: repair stuck, Manthan3 is incomplete on this instance")
+	// ErrBudget means a deadline or iteration budget expired.
+	ErrBudget = errors.New("core: budget exhausted")
+)
+
+// Options tunes the engine. The zero value gives usable defaults.
+type Options struct {
+	// Seed drives sampling and solver randomization.
+	Seed int64
+	// NumSamples is the number of satisfying assignments to learn from
+	// (default 400).
+	NumSamples int
+	// TreeMaxDepth bounds candidate decision trees (default unbounded).
+	TreeMaxDepth int
+	// MaxRepairIterations caps verify-repair rounds (default 2000).
+	MaxRepairIterations int
+	// SATConflictBudget bounds each SAT oracle call (default 500000).
+	SATConflictBudget int64
+	// Deadline aborts the synthesis when passed (zero = none).
+	Deadline time.Time
+
+	// DisableMaxSATLocalization removes the FindCandi MaxSAT step and
+	// instead marks every mismatching candidate for repair (ablation abl1).
+	DisableMaxSATLocalization bool
+	// DisableYHat drops the Ŷ ↔ σ[Ŷ] constraint from the repair formula Gk
+	// (ablation abl2; see the paper's discussion after Formula 1).
+	DisableYHat bool
+	// DisablePreprocess skips constant/unate detection (ablation abl3).
+	DisablePreprocess bool
+	// DisableAdaptiveSampling turns off the Manthan-lineage adaptive phase
+	// bias during data generation (ablation abl4).
+	DisableAdaptiveSampling bool
+
+	// Logf, when non-nil, receives progress trace lines (used by the CLI's
+	// verbose mode; nil disables tracing).
+	Logf func(format string, args ...any)
+}
+
+// tracef forwards to Options.Logf when configured.
+func (e *Engine) tracef(format string, args ...any) {
+	if e.opts.Logf != nil {
+		e.opts.Logf(format, args...)
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.NumSamples == 0 {
+		o.NumSamples = 400
+	}
+	if o.MaxRepairIterations == 0 {
+		o.MaxRepairIterations = 2000
+	}
+	if o.SATConflictBudget == 0 {
+		o.SATConflictBudget = 500000
+	}
+	return o
+}
+
+// Stats reports work performed during synthesis.
+type Stats struct {
+	Samples            int
+	ConstantsDetected  int
+	UnatesDetected     int
+	UniqueDefined      int
+	VerifyCalls        int
+	RepairIterations   int
+	CandidatesRepaired int
+	MaxSATCalls        int
+	CoreCalls          int
+	LearnedNodes       int
+}
+
+// Result is a successful synthesis outcome.
+type Result struct {
+	// Vector holds one function per existential, expressed purely over its
+	// Henkin dependency set.
+	Vector *dqbf.FuncVector
+	// Stats summarizes the run.
+	Stats Stats
+}
+
+// Engine carries the state of one synthesis run.
+type Engine struct {
+	in   *dqbf.Instance
+	opts Options
+	b    *boolfunc.Builder
+
+	funcs map[cnf.Var]*boolfunc.Node // current candidates (may reference Y)
+	fixed map[cnf.Var]bool           // set by preprocessing; never repaired
+	deps  map[cnf.Var]map[cnf.Var]bool
+	// deps[y] is the paper's d_y: the set of Y variables that depend on y,
+	// maintained transitively closed (if yi's candidate references yk, then
+	// yi and everything depending on yi appear in deps of yk and of every
+	// variable yk transitively references).
+	up map[cnf.Var]map[cnf.Var]bool
+	// up[y] is the transitive set of Y variables y's candidate references.
+	order    []cnf.Var       // linear extension (Order)
+	orderIdx map[cnf.Var]int // position in order
+
+	phiSolver *sat.Solver // persistent solver over ϕ for assumption queries
+	stats     Stats
+}
+
+// Synthesize runs Manthan3 on the instance.
+func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	e := &Engine{
+		in:    in,
+		opts:  opts,
+		b:     boolfunc.NewBuilder(),
+		funcs: make(map[cnf.Var]*boolfunc.Node),
+		fixed: make(map[cnf.Var]bool),
+		deps:  make(map[cnf.Var]map[cnf.Var]bool),
+	}
+	e.up = make(map[cnf.Var]map[cnf.Var]bool)
+	for _, y := range in.Exist {
+		e.deps[y] = make(map[cnf.Var]bool)
+		e.up[y] = make(map[cnf.Var]bool)
+	}
+	e.phiSolver = sat.New()
+	e.phiSolver.AddFormula(in.Matrix)
+	e.phiSolver.SetConflictBudget(opts.SATConflictBudget)
+	if !opts.Deadline.IsZero() {
+		e.phiSolver.SetDeadline(opts.Deadline)
+	}
+
+	// Trivial cases: no existentials — valid iff ϕ is a tautology.
+	if len(in.Exist) == 0 {
+		neg := cnf.New(in.Matrix.NumVars)
+		in.Matrix.NegationInto(neg)
+		s := e.newSolver()
+		s.AddFormula(neg)
+		switch s.Solve() {
+		case sat.Unsat:
+			return &Result{Vector: dqbf.NewFuncVector(e.b), Stats: e.stats}, nil
+		case sat.Sat:
+			return nil, ErrFalse
+		default:
+			return nil, ErrBudget
+		}
+	}
+
+	// ϕ itself must be satisfiable for sampling; if not, the instance is
+	// False (a fortiori no functions exist) unless it has no universals and
+	// empty matrix subtleties — ¬SAT ϕ means some X assignment (all of them)
+	// falsifies every completion.
+	if st := e.phiSolver.Solve(); st == sat.Unsat {
+		return nil, ErrFalse
+	} else if st == sat.Unknown {
+		return nil, ErrBudget
+	}
+
+	if !opts.DisablePreprocess {
+		if err := e.preprocess(); err != nil {
+			return nil, err
+		}
+		e.tracef("preprocess: %d constants, %d unates, %d uniquely defined",
+			e.stats.ConstantsDetected, e.stats.UnatesDetected, e.stats.UniqueDefined)
+	}
+
+	if err := e.learnCandidates(); err != nil {
+		return nil, err
+	}
+	e.findOrder()
+	e.tracef("learned %d candidates from %d samples; order %v",
+		len(e.funcs), e.stats.Samples, e.order)
+
+	// Verify-repair loop (Algorithm 1, lines 9-18).
+	for iter := 0; ; iter++ {
+		if iter >= e.opts.MaxRepairIterations {
+			return nil, fmt.Errorf("%w: %d repair iterations", ErrBudget, iter)
+		}
+		if e.deadlineExpired() {
+			return nil, fmt.Errorf("%w: deadline", ErrBudget)
+		}
+		cex, status, err := e.verify()
+		if err != nil {
+			return nil, err
+		}
+		if status == sat.Unsat {
+			break // f is a Henkin vector
+		}
+		// Extend δ[X] to a model of ϕ; UNSAT means the instance is False.
+		sigma, ok, err := e.extendCounterexample(cex)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, ErrFalse
+		}
+		e.stats.RepairIterations++
+		progressed, err := e.repair(sigma)
+		if err != nil {
+			return nil, err
+		}
+		e.tracef("repair iteration %d: %d candidates repaired so far",
+			e.stats.RepairIterations, e.stats.CandidatesRepaired)
+		if !progressed {
+			return nil, ErrIncomplete
+		}
+	}
+
+	vec, err := e.substitute()
+	if err != nil {
+		return nil, err
+	}
+	e.stats.LearnedNodes = e.b.Size()
+	return &Result{Vector: vec, Stats: e.stats}, nil
+}
+
+func (e *Engine) deadlineExpired() bool {
+	return !e.opts.Deadline.IsZero() && time.Now().After(e.opts.Deadline)
+}
+
+func (e *Engine) newSolver() *sat.Solver {
+	s := sat.New()
+	s.SetConflictBudget(e.opts.SATConflictBudget)
+	if !e.opts.Deadline.IsZero() {
+		s.SetDeadline(e.opts.Deadline)
+	}
+	return s
+}
+
+// findOrder computes Order, a linear extension of the partial order induced
+// by deps: if yi ∈ deps[yj] (yi depends on yj) then yi precedes yj.
+func (e *Engine) findOrder() {
+	// deps[y] holds the variables that depend on y; each must precede y.
+	// Repeated sweeps in declaration order give a deterministic extension.
+	placed := make(map[cnf.Var]bool)
+	var order []cnf.Var
+	for len(order) < len(e.in.Exist) {
+		progress := false
+		for _, y := range e.in.Exist {
+			if placed[y] {
+				continue
+			}
+			// y can be placed when every var depending on y is placed.
+			ready := true
+			for dep := range e.deps[y] {
+				if !placed[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				placed[y] = true
+				order = append(order, y)
+				progress = true
+			}
+		}
+		if !progress {
+			// Cycle (should not occur by construction): fall back to
+			// declaration order for the remainder.
+			for _, y := range e.in.Exist {
+				if !placed[y] {
+					placed[y] = true
+					order = append(order, y)
+				}
+			}
+		}
+	}
+	e.order = order
+	e.orderIdx = make(map[cnf.Var]int, len(order))
+	for i, y := range order {
+		e.orderIdx[y] = i
+	}
+}
+
+// substitute expands candidate functions so each is expressed purely over its
+// Henkin dependencies (Algorithm 1, line 19), then validates compliance.
+func (e *Engine) substitute() (*dqbf.FuncVector, error) {
+	fv := dqbf.NewFuncVector(e.b)
+	final := make(map[cnf.Var]*boolfunc.Node, len(e.order))
+	// Functions may reference Y variables that appear later in Order;
+	// process in reverse so referenced functions are finalized first.
+	for i := len(e.order) - 1; i >= 0; i-- {
+		y := e.order[i]
+		f := e.funcs[y]
+		subst := make(map[cnf.Var]*boolfunc.Node)
+		for _, v := range boolfunc.Support(f) {
+			if g, ok := final[v]; ok {
+				subst[v] = g
+			}
+		}
+		if len(subst) > 0 {
+			f = e.b.Substitute(f, subst)
+		}
+		final[y] = f
+		fv.Funcs[y] = f
+	}
+	if viol := fv.DependencyViolations(e.in); len(viol) > 0 {
+		return nil, fmt.Errorf("core: internal error: dependency violations after substitution: %v", viol)
+	}
+	return fv, nil
+}
+
+// verify builds E(X,Y′) = ¬ϕ(X,Y′) ∧ (Y′ ↔ f) and solves it. It returns the
+// model when E is satisfiable (candidates are wrong somewhere).
+func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
+	e.stats.VerifyCalls++
+	ef := cnf.New(e.in.Matrix.NumVars)
+	// Fresh primed copy of every existential.
+	prime := make(map[cnf.Var]cnf.Var, len(e.in.Exist))
+	for _, y := range e.in.Exist {
+		prime[y] = ef.NewVar()
+	}
+	// ¬ϕ(X,Y′): rename Y in the matrix to Y′, then add negation selectors.
+	renamed := cnf.New(ef.NumVars)
+	for _, c := range e.in.Matrix.Clauses {
+		nc := make([]cnf.Lit, len(c))
+		for i, l := range c {
+			if p, ok := prime[l.Var()]; ok {
+				nc[i] = cnf.MkLit(p, l.IsPos())
+			} else {
+				nc[i] = l
+			}
+		}
+		renamed.AddClause(nc...)
+	}
+	renamed.NumVars = ef.NumVars
+	renamed.NegationInto(ef)
+
+	// Y′ ↔ f, with function-internal Y references mapped to primed copies.
+	mapVar := func(v cnf.Var) cnf.Var {
+		if p, ok := prime[v]; ok {
+			return p
+		}
+		return v
+	}
+	for _, y := range e.in.Exist {
+		out := boolfunc.ToCNF(e.funcs[y], ef, boolfunc.CNFOptions{VarFor: mapVar})
+		ef.AddEquivLit(cnf.PosLit(prime[y]), out)
+	}
+
+	s := e.newSolver()
+	s.AddFormula(ef)
+	switch st := s.Solve(); st {
+	case sat.Unsat:
+		return nil, sat.Unsat, nil
+	case sat.Sat:
+		m := s.Model()
+		// Repackage: report X over original vars and candidate outputs on
+		// the ORIGINAL Y variable indices of a fresh "primed view".
+		out := cnf.NewAssignment(e.in.Matrix.NumVars)
+		for _, x := range e.in.Univ {
+			out.Set(x, m.Get(x))
+		}
+		for _, y := range e.in.Exist {
+			out.Set(y, m.Get(prime[y]))
+		}
+		return out, sat.Sat, nil
+	default:
+		return nil, sat.Unknown, fmt.Errorf("%w: verification SAT call", ErrBudget)
+	}
+}
+
+// counterexample bundles σ: the X assignment, a genuine completion π[Y], and
+// the candidate outputs δ[Y′].
+type counterexample struct {
+	x      cnf.Assignment // over Univ
+	y      cnf.Assignment // π[Y]: a completion making ϕ true
+	yPrime cnf.Assignment // δ[Y′]: current candidate outputs (indexed by y)
+}
+
+// extendCounterexample checks ϕ(X,Y) ∧ (X ↔ δ[X]); UNSAT proves the instance
+// False (ok=false). On SAT it assembles σ = π[X] + π[Y] + δ[Y′].
+func (e *Engine) extendCounterexample(delta cnf.Assignment) (*counterexample, bool, error) {
+	assumps := make([]cnf.Lit, 0, len(e.in.Univ))
+	for _, x := range e.in.Univ {
+		assumps = append(assumps, cnf.MkLit(x, delta.Get(x) == cnf.True))
+	}
+	switch st := e.phiSolver.SolveAssume(assumps); st {
+	case sat.Unsat:
+		return nil, false, nil
+	case sat.Sat:
+		pi := e.phiSolver.Model()
+		cx := &counterexample{
+			x:      cnf.NewAssignment(e.in.Matrix.NumVars),
+			y:      cnf.NewAssignment(e.in.Matrix.NumVars),
+			yPrime: cnf.NewAssignment(e.in.Matrix.NumVars),
+		}
+		for _, x := range e.in.Univ {
+			cx.x.Set(x, delta.Get(x))
+		}
+		for _, y := range e.in.Exist {
+			cx.y.Set(y, pi.Get(y))
+			cx.yPrime.Set(y, delta.Get(y))
+		}
+		return cx, true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: counterexample extension", ErrBudget)
+	}
+}
+
+// recordUse registers that yi's candidate now references yk (directly), and
+// restores the transitive closure of deps/up: yi and all of yi's dependents
+// become dependents of yk and of everything yk references.
+func (e *Engine) recordUse(yi, yk cnf.Var) {
+	targets := []cnf.Var{yk}
+	for t := range e.up[yk] {
+		targets = append(targets, t)
+	}
+	newDependents := []cnf.Var{yi}
+	for d := range e.deps[yi] {
+		newDependents = append(newDependents, d)
+	}
+	for _, t := range targets {
+		e.up[yi][t] = true
+		for _, d := range newDependents {
+			e.deps[t][d] = true
+		}
+	}
+	// Everything that depends on yi also now references yk's closure.
+	for d := range e.deps[yi] {
+		for _, t := range targets {
+			e.up[d][t] = true
+		}
+	}
+}
+
+// sortedExist returns existentials sorted by Order position.
+func (e *Engine) sortedExist() []cnf.Var {
+	out := append([]cnf.Var(nil), e.in.Exist...)
+	sort.Slice(out, func(i, j int) bool { return e.orderIdx[out[i]] < e.orderIdx[out[j]] })
+	return out
+}

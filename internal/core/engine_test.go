@@ -1,0 +1,467 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// paperExample is Example 1 from the paper (see dqbf tests for the clause
+// derivation).
+func paperExample() *dqbf.Instance {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddUniv(3)
+	in.AddExist(4, []cnf.Var{1})
+	in.AddExist(5, []cnf.Var{1, 2})
+	in.AddExist(6, []cnf.Var{2, 3})
+	in.Matrix.AddClause(1, 4)
+	in.Matrix.AddClause(-5, 4, -2)
+	in.Matrix.AddClause(5, -4)
+	in.Matrix.AddClause(5, 2)
+	in.Matrix.AddClause(-6, 2, 3)
+	in.Matrix.AddClause(6, -2)
+	in.Matrix.AddClause(6, -3)
+	return in
+}
+
+// synthesizeAndCheck runs the engine and independently verifies the result.
+func synthesizeAndCheck(t *testing.T, in *dqbf.Instance, opts Options) *Result {
+	t.Helper()
+	res, err := Synthesize(in, opts)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	vr, err := dqbf.VerifyVector(in, res.Vector, -1)
+	if err != nil {
+		t.Fatalf("independent verification errored: %v", err)
+	}
+	if !vr.Valid {
+		t.Fatalf("synthesized vector invalid; counterexample %v", vr.Counterexample)
+	}
+	return res
+}
+
+func TestPaperExample1(t *testing.T) {
+	in := paperExample()
+	res := synthesizeAndCheck(t, in, Options{Seed: 1})
+	// Functions must respect dependencies (checked by VerifyVector), and the
+	// instance-specific shape: f3 must equal x2 ∨ x3 semantically.
+	f3 := res.Vector.Funcs[6]
+	for mask := 0; mask < 4; mask++ {
+		a := cnf.NewAssignment(6)
+		a.SetBool(2, mask&1 != 0)
+		a.SetBool(3, mask&2 != 0)
+		want := mask != 0
+		if boolfunc.Eval(f3, a) != want {
+			t.Fatalf("f3 is not x2∨x3 at mask %d", mask)
+		}
+	}
+}
+
+func TestPaperExampleAcrossSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := paperExample()
+		synthesizeAndCheck(t, in, Options{Seed: seed})
+	}
+}
+
+func TestFalseInstance(t *testing.T) {
+	// ∀x1 ∃^{∅}y1 . (x1 ∨ y1) ∧ (x1 ∨ ¬y1) is False: under x1=0 there is no
+	// completion, which fires the ϕ ∧ (X ↔ δ[X]) check (Alg. 1 line 14).
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(1, 2)
+	in.Matrix.AddClause(1, -2)
+	_, err := Synthesize(in, Options{Seed: 1})
+	if !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestFalseBeyondManthanDetection(t *testing.T) {
+	// ∀x1 ∃^{∅}y1 . (y1 ↔ x1) is False, but every X assignment has a
+	// completion, so Manthan3's False check never fires; the faithful
+	// behaviour (paper §5) is an unrepairable loop → ErrIncomplete.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(-2, 1)
+	in.Matrix.AddClause(2, -1)
+	_, err := Synthesize(in, Options{Seed: 1})
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+}
+
+func TestUnsatMatrixIsFalse(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.Matrix.AddClause(2)
+	in.Matrix.AddClause(-2)
+	_, err := Synthesize(in, Options{Seed: 1})
+	if !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestIncompletenessExample(t *testing.T) {
+	// The paper's §5 limitation: ϕ = (y1 ↔ y2), H1={x1,x2}, H2={x2,x3}.
+	// True (f1=f2=x2 works) but Manthan3 may fail to repair. Accept either a
+	// valid vector or ErrIncomplete — never a wrong vector or ErrFalse.
+	for seed := int64(0); seed < 6; seed++ {
+		in := dqbf.NewInstance()
+		in.AddUniv(1)
+		in.AddUniv(2)
+		in.AddUniv(3)
+		in.AddExist(4, []cnf.Var{1, 2})
+		in.AddExist(5, []cnf.Var{2, 3})
+		in.Matrix.AddClause(-4, 5)
+		in.Matrix.AddClause(4, -5)
+		res, err := Synthesize(in, Options{Seed: seed})
+		if err != nil {
+			if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrBudget) {
+				t.Fatalf("seed %d: unexpected error %v", seed, err)
+			}
+			continue
+		}
+		vr, verr := dqbf.VerifyVector(in, res.Vector, -1)
+		if verr != nil || !vr.Valid {
+			t.Fatalf("seed %d: engine returned invalid vector", seed)
+		}
+	}
+}
+
+func TestNoExistentialsTautology(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.Matrix.AddClause(1, -1)
+	res, err := Synthesize(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vector.Funcs) != 0 {
+		t.Fatal("unexpected functions")
+	}
+}
+
+func TestNoExistentialsNonTautology(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.Matrix.AddClause(1)
+	_, err := Synthesize(in, Options{})
+	if !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestConstantDetection(t *testing.T) {
+	// ϕ forces y=1 always: ϕ = (y ∨ x) ∧ (y ∨ ¬x).
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.Matrix.AddClause(2, 1)
+	in.Matrix.AddClause(2, -1)
+	res := synthesizeAndCheck(t, in, Options{Seed: 1})
+	// y never occurs negated, so the syntactic unate fast path fixes it
+	// before the semantic constant check runs; either stat is acceptable.
+	if res.Stats.ConstantsDetected+res.Stats.UnatesDetected != 1 {
+		t.Fatalf("preprocessing hits: %+v, want exactly 1", res.Stats)
+	}
+	if res.Vector.Funcs[2] != res.Vector.B.True() {
+		t.Fatalf("f should be constant true, got %s", boolfunc.String(res.Vector.Funcs[2]))
+	}
+}
+
+func TestSemanticConstantDetection(t *testing.T) {
+	// y occurs in both polarities (so the syntactic fast path stays quiet),
+	// yet ϕ forces y=1: ϕ = (y∨x) ∧ (y∨¬x) ∧ (¬y∨y-tautology-breaker).
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.AddExist(3, []cnf.Var{1})
+	in.Matrix.AddClause(2, 1)
+	in.Matrix.AddClause(2, -1)
+	in.Matrix.AddClause(-2, 3) // ¬y occurrence; forces y3 once y2=1
+	res := synthesizeAndCheck(t, in, Options{Seed: 1})
+	if res.Stats.ConstantsDetected < 1 {
+		t.Fatalf("semantic constant path not exercised: %+v", res.Stats)
+	}
+	if res.Vector.Funcs[2] != res.Vector.B.True() {
+		t.Fatalf("f2 should be constant true")
+	}
+}
+
+func TestUnateDetection(t *testing.T) {
+	// ϕ = (y ∨ x): y is positive unate (setting y=1 always safe).
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.Matrix.AddClause(2, 1)
+	res := synthesizeAndCheck(t, in, Options{Seed: 1})
+	if res.Stats.UnatesDetected+res.Stats.ConstantsDetected < 1 {
+		t.Fatalf("no preprocessing hit: %+v", res.Stats)
+	}
+}
+
+func TestUniqueDefinedStat(t *testing.T) {
+	// y ↔ (x1 ∧ x2) with H = {x1,x2}: y is uniquely defined.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddExist(3, []cnf.Var{1, 2})
+	in.Matrix.AddClause(-3, 1)
+	in.Matrix.AddClause(-3, 2)
+	in.Matrix.AddClause(3, -1, -2)
+	res := synthesizeAndCheck(t, in, Options{Seed: 1})
+	if res.Stats.UniqueDefined != 1 {
+		t.Fatalf("unique defined: %d, want 1", res.Stats.UniqueDefined)
+	}
+	// The function must be x1 ∧ x2 semantically.
+	f := res.Vector.Funcs[3]
+	for mask := 0; mask < 4; mask++ {
+		a := cnf.NewAssignment(3)
+		a.SetBool(1, mask&1 != 0)
+		a.SetBool(2, mask&2 != 0)
+		if boolfunc.Eval(f, a) != (mask == 3) {
+			t.Fatalf("f ≠ x1∧x2 at mask %d", mask)
+		}
+	}
+}
+
+func TestSkolemSpecialCase(t *testing.T) {
+	// Ordinary 2-QBF: ∀x1x2 ∃y. (y ↔ x1⊕x2) with full dependencies.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddExist(3, []cnf.Var{1, 2})
+	// y ↔ x1⊕x2
+	in.Matrix.AddClause(-3, 1, 2)
+	in.Matrix.AddClause(-3, -1, -2)
+	in.Matrix.AddClause(3, -1, 2)
+	in.Matrix.AddClause(3, 1, -2)
+	res := synthesizeAndCheck(t, in, Options{Seed: 2})
+	f := res.Vector.Funcs[3]
+	for mask := 0; mask < 4; mask++ {
+		a := cnf.NewAssignment(3)
+		a.SetBool(1, mask&1 != 0)
+		a.SetBool(2, mask&2 != 0)
+		if boolfunc.Eval(f, a) != ((mask&1 != 0) != (mask&2 != 0)) {
+			t.Fatalf("f ≠ xor at mask %d", mask)
+		}
+	}
+}
+
+func TestChainedDependencies(t *testing.T) {
+	// y1 over {x1}, y2 over {x1,x2} with ϕ forcing y2 ↔ (y1 ⊕ x2) and
+	// y1 ↔ ¬x1 — exercises Y-as-feature learning and ordering.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddExist(3, []cnf.Var{1})
+	in.AddExist(4, []cnf.Var{1, 2})
+	// y1 ↔ ¬x1
+	in.Matrix.AddClause(-3, -1)
+	in.Matrix.AddClause(3, 1)
+	// y2 ↔ (y1 ⊕ x2)
+	in.Matrix.AddClause(-4, 3, 2)
+	in.Matrix.AddClause(-4, -3, -2)
+	in.Matrix.AddClause(4, -3, 2)
+	in.Matrix.AddClause(4, 3, -2)
+	synthesizeAndCheck(t, in, Options{Seed: 3})
+}
+
+func TestAblationsStillSound(t *testing.T) {
+	variants := []Options{
+		{Seed: 1, DisableMaxSATLocalization: true},
+		{Seed: 1, DisableYHat: true},
+		{Seed: 1, DisablePreprocess: true},
+		{Seed: 1, DisableAdaptiveSampling: true},
+	}
+	for i, opt := range variants {
+		in := paperExample()
+		res, err := Synthesize(in, opt)
+		if err != nil {
+			// Ablated variants may become incomplete, never unsound.
+			if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrBudget) {
+				t.Fatalf("variant %d: %v", i, err)
+			}
+			continue
+		}
+		vr, verr := dqbf.VerifyVector(in, res.Vector, -1)
+		if verr != nil || !vr.Valid {
+			t.Fatalf("variant %d: invalid vector", i)
+		}
+	}
+}
+
+func TestDeadlineAborts(t *testing.T) {
+	in := paperExample()
+	_, err := Synthesize(in, Options{Seed: 1, Deadline: time.Now().Add(-time.Second)})
+	if err == nil {
+		t.Skip("engine finished before the deadline check — acceptable")
+	}
+	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrFalse) {
+		// Sampling can also fail under an expired deadline; any budget-ish
+		// error is fine, a wrong result is not.
+		t.Logf("deadline error: %v", err)
+	}
+}
+
+func TestRandomPlantedInstances(t *testing.T) {
+	// Generate True instances by planting functions: pick random fi over Hi,
+	// and let ϕ assert Y ↔ f(X) via CNF encoding of each function. The
+	// engine must synthesize some valid vector.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		in := dqbf.NewInstance()
+		nX := 2 + rng.Intn(3)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(3)
+		b := boolfunc.NewBuilder()
+		planted := make(map[cnf.Var]*boolfunc.Node)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+			f := b.Const(rng.Intn(2) == 0)
+			for _, d := range deps {
+				switch rng.Intn(3) {
+				case 0:
+					f = b.And(f, b.Var(d))
+				case 1:
+					f = b.Or(f, b.Var(d))
+				default:
+					f = b.Xor(f, b.Var(d))
+				}
+			}
+			planted[y] = f
+		}
+		// ϕ := ⋀ (y ↔ f(X)) — encode on the instance's variable space.
+		for y, f := range planted {
+			out := boolfunc.ToCNF(f, in.Matrix, boolfunc.CNFOptions{})
+			in.Matrix.AddEquivLit(cnf.PosLit(y), out)
+		}
+		// Tseitin aux variables become extra existentials depending on all X
+		// plus... simpler: declare them existential with full dependencies.
+		declared := make(map[cnf.Var]bool)
+		for _, v := range in.Univ {
+			declared[v] = true
+		}
+		for _, v := range in.Exist {
+			declared[v] = true
+		}
+		allX := append([]cnf.Var(nil), in.Univ...)
+		for _, c := range in.Matrix.Clauses {
+			for _, l := range c {
+				if !declared[l.Var()] {
+					declared[l.Var()] = true
+					in.AddExist(l.Var(), allX)
+				}
+			}
+		}
+		res, err := Synthesize(in, Options{Seed: int64(trial)})
+		if err != nil {
+			if errors.Is(err, ErrIncomplete) || errors.Is(err, ErrBudget) {
+				continue // incompleteness is permitted, unsoundness is not
+			}
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		vr, verr := dqbf.VerifyVector(in, res.Vector, -1)
+		if verr != nil || !vr.Valid {
+			t.Fatalf("trial %d: invalid vector returned", trial)
+		}
+	}
+}
+
+func TestEqualDepChainsNoCycles(t *testing.T) {
+	// Regression test: many existentials with identical (full) dependency
+	// sets form long reference chains through Y-as-feature learning; the
+	// d-set bookkeeping must stay transitively closed or substitution ends
+	// with functions still referencing Y variables (cyclic orders).
+	// A 2-bit adder with Tseitin auxiliaries reproduces the original bug.
+	in := dqbf.NewInstance()
+	for i := 1; i <= 4; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	allX := []cnf.Var{1, 2, 3, 4}
+	for i := 5; i <= 7; i++ {
+		in.AddExist(cnf.Var(i), allX)
+	}
+	b := boolfunc.NewBuilder()
+	a1, a0, b1, b0 := b.Var(1), b.Var(2), b.Var(3), b.Var(4)
+	s0 := b.Xor(a0, b0)
+	c0 := b.And(a0, b0)
+	s1 := b.Xor(b.Xor(a1, b1), c0)
+	c1 := b.Or(b.And(a1, b1), b.And(b.Xor(a1, b1), c0))
+	spec := b.AndN([]*boolfunc.Node{
+		b.Not(b.Xor(b.Var(7), s0)),
+		b.Not(b.Xor(b.Var(6), s1)),
+		b.Not(b.Xor(b.Var(5), c1)),
+	})
+	out := boolfunc.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
+	in.Matrix.AddUnit(out)
+	declared := map[cnf.Var]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true, 7: true}
+	for _, c := range in.Matrix.Clauses {
+		for _, l := range c {
+			if !declared[l.Var()] {
+				declared[l.Var()] = true
+				in.AddExist(l.Var(), allX)
+			}
+		}
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		res, err := Synthesize(in, Options{Seed: seed})
+		if err != nil {
+			if errors.Is(err, ErrIncomplete) || errors.Is(err, ErrBudget) {
+				continue
+			}
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		vr, verr := dqbf.VerifyVector(in, res.Vector, -1)
+		if verr != nil || !vr.Valid {
+			t.Fatalf("seed %d: invalid vector (%v)", seed, verr)
+		}
+	}
+}
+
+func TestLogfTracing(t *testing.T) {
+	in := paperExample()
+	var lines int
+	_, err := Synthesize(in, Options{
+		Seed: 1,
+		Logf: func(format string, args ...any) { lines++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("no trace lines emitted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	in := paperExample()
+	res := synthesizeAndCheck(t, in, Options{Seed: 1})
+	if res.Stats.Samples == 0 {
+		t.Fatal("no samples recorded")
+	}
+	if res.Stats.VerifyCalls == 0 {
+		t.Fatal("no verify calls recorded")
+	}
+}

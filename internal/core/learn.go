@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/dtree"
+	"repro/internal/sampler"
+)
+
+// learnCandidates implements the data-generation and candidate-learning
+// phases (Algorithm 1 lines 1-7 and Algorithm 2).
+func (e *Engine) learnCandidates() error {
+	samples, err := e.drawSamples()
+	if err != nil {
+		return err
+	}
+	e.stats.Samples = len(samples)
+
+	// Lines 3-5: dependency constraints from strict subset relations — if
+	// Hj ⊂ Hi then yi may depend on yj, so preemptively record yi ∈ d_j,
+	// which bans yj from ever using yi as a feature.
+	for _, yi := range e.in.Exist {
+		for _, yj := range e.in.Exist {
+			if yi == yj {
+				continue
+			}
+			if e.in.ProperSubsetDeps(yj, yi) {
+				e.deps[yj][yi] = true
+			}
+		}
+	}
+
+	// Line 7: learn a candidate per existential (declaration order).
+	for _, yi := range e.in.Exist {
+		if e.fixed[yi] {
+			continue // preprocessing already fixed this function
+		}
+		if err := e.candidateHkF(samples, yi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawSamples produces the training data Σ via constrained sampling of ϕ.
+func (e *Engine) drawSamples() ([]cnf.Assignment, error) {
+	vars := make([]cnf.Var, 0, len(e.in.Univ)+len(e.in.Exist))
+	vars = append(vars, e.in.Univ...)
+	vars = append(vars, e.in.Exist...)
+	adaptive := e.in.Exist
+	if e.opts.DisableAdaptiveSampling {
+		adaptive = nil
+	}
+	samples, err := sampler.Sample(e.in.Matrix, e.opts.NumSamples, sampler.Options{
+		Seed:         e.opts.Seed,
+		Vars:         vars,
+		AdaptiveVars: adaptive,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+	return samples, nil
+}
+
+// candidateHkF is Algorithm 2: learn a decision tree for yi over the feature
+// set Hi ∪ {yj : Hj ⊆ Hi, yj ∉ d_i ∪ {yi}} and convert the 1-labeled paths
+// to a candidate function, updating the dependency bookkeeping D.
+func (e *Engine) candidateHkF(samples []cnf.Assignment, yi cnf.Var) error {
+	featset := append([]cnf.Var(nil), e.in.DepSet(yi)...)
+	for _, yj := range e.in.Exist {
+		if yj == yi {
+			continue
+		}
+		if e.fixed[yj] {
+			// Fixed functions are constants; useless as features.
+			continue
+		}
+		if e.in.SubsetDeps(yj, yi) && !e.deps[yi][yj] {
+			featset = append(featset, yj)
+		}
+	}
+
+	var f = e.b.False()
+	if len(featset) == 0 {
+		// No features: learn the majority label as a constant.
+		pos := 0
+		for _, s := range samples {
+			if s.Get(yi) == cnf.True {
+				pos++
+			}
+		}
+		f = e.b.Const(pos*2 >= len(samples))
+	} else {
+		ds := &dtree.Dataset{Features: featset}
+		for _, s := range samples {
+			row := make([]bool, len(featset))
+			for k, v := range featset {
+				row[k] = s.Get(v) == cnf.True
+			}
+			ds.Rows = append(ds.Rows, row)
+			ds.Labels = append(ds.Labels, s.Get(yi) == cnf.True)
+		}
+		tree, err := dtree.Learn(ds, dtree.Options{MaxDepth: e.opts.TreeMaxDepth})
+		if err != nil {
+			return fmt.Errorf("core: learning candidate for %d: %w", yi, err)
+		}
+		if e.opts.Logf != nil {
+			e.tracef("decision tree for y%d (features %v):\n%s", yi, featset, tree)
+		}
+		f = tree.ToFunc(e.b)
+		// Lines 11-12: every yk used by the tree gains yi (and everything
+		// that depends on yi) as dependents; recordUse keeps the closure
+		// transitive so later learners cannot close a reference cycle.
+		for _, yk := range tree.UsedFeatures() {
+			if !e.in.IsExist(yk) {
+				continue
+			}
+			e.recordUse(yi, yk)
+		}
+	}
+	e.funcs[yi] = f
+	return nil
+}

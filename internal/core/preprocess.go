@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// preprocess performs the semantic preprocessing inherited from the Manthan
+// lineage: constant detection, unate detection, and Padoa unique-definedness
+// marking.
+//
+//   - Constant: if ϕ ∧ yi is UNSAT then fi = 0; if ϕ ∧ ¬yi is UNSAT, fi = 1.
+//   - Positive unate: if ϕ[yi:=0] ∧ ¬ϕ[yi:=1] is UNSAT then setting yi to 1
+//     never hurts, so fi = 1 (symmetrically fi = 0 for negative unate).
+//     Constants have empty support, so they trivially satisfy any Henkin
+//     dependency set.
+//   - Unique definedness (Padoa's theorem): yi is defined by Hi in ϕ iff
+//     ϕ(X,Y) ∧ ϕ(X̂,Ŷ) ∧ (Hi ↔ Ĥi) ∧ yi ∧ ¬ŷi is UNSAT. The paper extracts
+//     such definitions with the interpolation-based UNIQUE tool; this
+//     reproduction substitutes interpolation with the learn+repair loop
+//     itself (defined variables converge quickly because every sample agrees
+//     with the unique definition) and uses the check for statistics and to
+//     prioritize learning fidelity.
+func (e *Engine) preprocess() error {
+	// Syntactic unate fast path: a y that never occurs negated in the CNF is
+	// positive unate (flipping it to 1 can only satisfy more clauses), and
+	// symmetrically for never-positive occurrences.
+	posOcc := make(map[cnf.Var]bool)
+	negOcc := make(map[cnf.Var]bool)
+	for _, c := range e.in.Matrix.Clauses {
+		for _, l := range c {
+			if l.IsPos() {
+				posOcc[l.Var()] = true
+			} else {
+				negOcc[l.Var()] = true
+			}
+		}
+	}
+	for _, y := range e.in.Exist {
+		switch {
+		case !negOcc[y]:
+			e.funcs[y] = e.b.True()
+			e.fixed[y] = true
+			e.stats.UnatesDetected++
+		case !posOcc[y]:
+			e.funcs[y] = e.b.False()
+			e.fixed[y] = true
+			e.stats.UnatesDetected++
+		}
+	}
+	for _, y := range e.in.Exist {
+		if e.fixed[y] {
+			continue
+		}
+		if e.deadlineExpired() {
+			return fmt.Errorf("%w: preprocessing deadline", ErrBudget)
+		}
+		// Constant checks on the persistent ϕ solver.
+		st := e.phiSolver.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
+		if st == sat.Unknown {
+			return fmt.Errorf("%w: preprocessing", ErrBudget)
+		}
+		if st == sat.Unsat {
+			e.funcs[y] = e.b.False()
+			e.fixed[y] = true
+			e.stats.ConstantsDetected++
+			continue
+		}
+		st = e.phiSolver.SolveAssume([]cnf.Lit{cnf.NegLit(y)})
+		if st == sat.Unknown {
+			return fmt.Errorf("%w: preprocessing", ErrBudget)
+		}
+		if st == sat.Unsat {
+			e.funcs[y] = e.b.True()
+			e.fixed[y] = true
+			e.stats.ConstantsDetected++
+			continue
+		}
+		// Unate checks.
+		pos, err := e.isUnate(y, true)
+		if err != nil {
+			return err
+		}
+		if pos {
+			e.funcs[y] = e.b.True()
+			e.fixed[y] = true
+			e.stats.UnatesDetected++
+			continue
+		}
+		neg, err := e.isUnate(y, false)
+		if err != nil {
+			return err
+		}
+		if neg {
+			e.funcs[y] = e.b.False()
+			e.fixed[y] = true
+			e.stats.UnatesDetected++
+			continue
+		}
+	}
+	// Unique-definedness statistics (bounded effort; skipped for fixed).
+	for _, y := range e.in.Exist {
+		if e.fixed[y] {
+			continue
+		}
+		def, err := e.isUniquelyDefined(y)
+		if err != nil {
+			return err
+		}
+		if def {
+			e.stats.UniqueDefined++
+		}
+	}
+	return nil
+}
+
+// cofactor returns ϕ with y fixed to val: clauses satisfied by the fixed
+// literal are dropped and the falsified literal is removed elsewhere.
+func cofactor(f *cnf.Formula, y cnf.Var, val bool) *cnf.Formula {
+	out := cnf.New(f.NumVars)
+	satLit := cnf.MkLit(y, val)
+	for _, c := range f.Clauses {
+		if c.Has(satLit) {
+			continue
+		}
+		nc := make([]cnf.Lit, 0, len(c))
+		for _, l := range c {
+			if l.Var() == y {
+				continue
+			}
+			nc = append(nc, l)
+		}
+		out.AddClause(nc...)
+	}
+	out.NumVars = f.NumVars
+	return out
+}
+
+// isUnate checks semantic unateness of y in ϕ: positive unate when
+// ϕ[y:=0] ∧ ¬ϕ[y:=1] is UNSAT; negative unate with the cofactors swapped.
+func (e *Engine) isUnate(y cnf.Var, positive bool) (bool, error) {
+	low, high := false, true
+	if !positive {
+		low, high = true, false
+	}
+	check := cofactor(e.in.Matrix, y, low)
+	neg := cofactor(e.in.Matrix, y, high)
+	neg.NumVars = check.NumVars
+	neg.NegationInto(check)
+	s := e.newSolver()
+	s.AddFormula(check)
+	switch st := s.Solve(); st {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: unate check", ErrBudget)
+	}
+}
+
+// isUniquelyDefined applies Padoa's theorem: y is uniquely defined by its
+// dependency set H in ϕ iff ϕ(X,Y) ∧ ϕ(X̂,Ŷ) ∧ (H ↔ Ĥ) ∧ y ∧ ¬ŷ is UNSAT,
+// where the hatted copy renames every variable outside H.
+func (e *Engine) isUniquelyDefined(y cnf.Var) (bool, error) {
+	f := e.in.Matrix.Clone()
+	deps := e.in.DepSet(y)
+	inDeps := make(map[cnf.Var]bool, len(deps))
+	for _, d := range deps {
+		inDeps[d] = true
+	}
+	// Rename all variables except the shared dependency set.
+	rename := make(map[cnf.Var]cnf.Var)
+	for v := cnf.Var(1); int(v) <= e.in.Matrix.NumVars; v++ {
+		if !inDeps[v] {
+			rename[v] = f.NewVar()
+		}
+	}
+	for _, c := range e.in.Matrix.Clauses {
+		nc := make([]cnf.Lit, len(c))
+		for i, l := range c {
+			if nv, ok := rename[l.Var()]; ok {
+				nc[i] = cnf.MkLit(nv, l.IsPos())
+			} else {
+				nc[i] = l
+			}
+		}
+		f.AddClause(nc...)
+	}
+	f.AddUnit(cnf.PosLit(y))
+	f.AddUnit(cnf.NegLit(rename[y]))
+	s := e.newSolver()
+	s.AddFormula(f)
+	switch st := s.Solve(); st {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	default:
+		return false, fmt.Errorf("%w: Padoa check", ErrBudget)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/maxsat"
+	"repro/internal/sat"
+)
+
+// repair is Algorithm 3 (RepairHkF): given the counterexample σ, localize
+// faulty candidates with a MaxSAT query and repair each with an
+// UnsatCore-guided strengthening or weakening. It reports whether any
+// candidate changed (no change ⇒ the incompleteness case).
+func (e *Engine) repair(sigma *counterexample) (bool, error) {
+	ind, err := e.findCandi(sigma)
+	if err != nil {
+		return false, err
+	}
+	repairedAny := false
+	inQueue := make(map[cnf.Var]bool, len(ind))
+	for _, y := range ind {
+		inQueue[y] = true
+	}
+	for qi := 0; qi < len(ind); qi++ {
+		yk := ind[qi]
+		if e.fixed[yk] {
+			continue // preprocessed constants are semantically safe as-is
+		}
+		// Ŷ: variables with Hj ⊆ Hk appearing after yk in Order (line 6).
+		var yHat []cnf.Var
+		if !e.opts.DisableYHat {
+			for _, yj := range e.in.Exist {
+				if yj == yk {
+					continue
+				}
+				if e.in.SubsetDeps(yj, yk) && e.orderIdx[yj] > e.orderIdx[yk] {
+					yHat = append(yHat, yj)
+				}
+			}
+		}
+		// Gk = (yk ↔ σ[y′k]) ∧ ϕ ∧ (Hk ↔ σ[Hk]) ∧ (Ŷ ↔ σ[Ŷ]), with the unit
+		// constraints passed as assumptions so the UNSAT core names them.
+		assumps := make([]cnf.Lit, 0, 1+len(e.in.DepSet(yk))+len(yHat))
+		assumps = append(assumps, cnf.MkLit(yk, sigma.yPrime.Get(yk) == cnf.True))
+		for _, x := range e.in.DepSet(yk) {
+			assumps = append(assumps, cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
+		}
+		for _, yj := range yHat {
+			assumps = append(assumps, cnf.MkLit(yj, sigma.y.Get(yj) == cnf.True))
+		}
+		st := e.phiSolver.SolveAssume(assumps)
+		switch st {
+		case sat.Unsat:
+			// Line 11-13: repair from the UNSAT core.
+			e.stats.CoreCalls++
+			core := e.phiSolver.Core()
+			beta := e.buildBeta(core, yk, sigma)
+			if beta == nil {
+				// Core contains only yk itself: the dependencies alone force
+				// the flip; repair with the constant flip on this point is
+				// impossible without literals — treat as no progress for yk.
+				break
+			}
+			old := e.funcs[yk]
+			if sigma.yPrime.Get(yk) == cnf.True {
+				e.funcs[yk] = e.b.And(old, e.b.Not(beta)) // strengthen
+			} else {
+				e.funcs[yk] = e.b.Or(old, beta) // weaken
+			}
+			if e.funcs[yk] != old {
+				repairedAny = true
+				e.stats.CandidatesRepaired++
+			}
+			// Dependency bookkeeping: β may introduce Ŷ variables into fk.
+			for _, v := range boolfunc.Support(beta) {
+				if e.in.IsExist(v) {
+					e.recordUse(yk, v)
+				}
+			}
+		case sat.Sat:
+			// Lines 15-17: blame other candidates whose output disagrees
+			// with the model ρ of Gk.
+			rho := e.phiSolver.Model()
+			yHatSet := make(map[cnf.Var]bool, len(yHat))
+			for _, yj := range yHat {
+				yHatSet[yj] = true
+			}
+			for _, yt := range e.in.Exist {
+				if yt == yk || yHatSet[yt] || inQueue[yt] {
+					continue
+				}
+				if (rho.Get(yt) == cnf.True) != (sigma.yPrime.Get(yt) == cnf.True) {
+					ind = append(ind, yt)
+					inQueue[yt] = true
+				}
+			}
+		default:
+			return false, fmt.Errorf("%w: repair SAT call", ErrBudget)
+		}
+		// Line 18: align σ[yk] with the candidate output.
+		sigma.y.Set(yk, sigma.yPrime.Get(yk))
+	}
+	return repairedAny, nil
+}
+
+// buildBeta constructs the repair formula β = ⋀_{l ∈ core, l ≠ yk-unit}
+// ite(σ[l]=1, l, ¬l) over the failed assumption variables (line 12). It
+// returns nil when the core mentions no variable other than yk.
+func (e *Engine) buildBeta(core []cnf.Lit, yk cnf.Var, sigma *counterexample) *boolfunc.Node {
+	beta := e.b.True()
+	nonTrivial := false
+	for _, l := range core {
+		v := l.Var()
+		if v == yk {
+			continue
+		}
+		var val cnf.Value
+		if e.in.IsUniv(v) {
+			val = sigma.x.Get(v)
+		} else {
+			val = sigma.y.Get(v)
+		}
+		beta = e.b.And(beta, e.b.Lit(cnf.MkLit(v, val == cnf.True)))
+		nonTrivial = true
+	}
+	if !nonTrivial {
+		return nil
+	}
+	return beta
+}
+
+// findCandi is the FindCandi subroutine: a MaxSAT query with hard
+// ϕ ∧ (X ↔ σ[X]) and soft (Y ↔ σ[Y′]); candidates whose soft constraint is
+// falsified in the optimal model need repair. With MaxSAT localization
+// disabled (ablation), every candidate whose output differs from the genuine
+// completion π[Y] is selected.
+func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
+	if e.opts.DisableMaxSATLocalization {
+		var out []cnf.Var
+		for _, y := range e.in.Exist {
+			if sigma.y.Get(y) != sigma.yPrime.Get(y) {
+				out = append(out, y)
+			}
+		}
+		return out, nil
+	}
+	e.stats.MaxSATCalls++
+	hard := e.in.Matrix.Clone()
+	for _, x := range e.in.Univ {
+		hard.AddUnit(cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
+	}
+	softs := make([]maxsat.Soft, 0, len(e.in.Exist))
+	softVar := make([]cnf.Var, 0, len(e.in.Exist))
+	for _, y := range e.in.Exist {
+		softs = append(softs, maxsat.Soft{
+			Clause: cnf.Clause{cnf.MkLit(y, sigma.yPrime.Get(y) == cnf.True)},
+		})
+		softVar = append(softVar, y)
+	}
+	res, err := maxsat.Solve(hard, softs, maxsat.Options{
+		ConflictBudget: e.opts.SATConflictBudget,
+		Deadline:       e.opts.Deadline,
+	})
+	if err != nil {
+		// The MaxSAT solver only errors on budget/deadline exhaustion.
+		return nil, fmt.Errorf("%w: FindCandi: %v", ErrBudget, err)
+	}
+	if res.Status != sat.Sat {
+		// Hard part is ϕ ∧ X↔σ[X], known satisfiable from the extension
+		// check; anything else is an internal inconsistency.
+		return nil, fmt.Errorf("core: FindCandi MaxSAT returned %v", res.Status)
+	}
+	out := make([]cnf.Var, 0, len(res.Falsified))
+	for _, idx := range res.Falsified {
+		out = append(out, softVar[idx])
+	}
+	// Also refresh σ[Y] with the MaxSAT model: it is a genuine completion
+	// that agrees with the candidates except on the repair set, which makes
+	// the Ŷ constraints in Gk consistent with the candidates.
+	for _, y := range e.in.Exist {
+		sigma.y.Set(y, res.Model.Get(y))
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package dqbf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+)
+
+// WriteCertificate renders a function vector as a textual Henkin certificate,
+// one `v y<N> := <expr>` line per existential (sorted by variable), in the
+// syntax accepted by ParseCertificate and boolfunc.Parse.
+func WriteCertificate(w io.Writer, fv *FuncVector) error {
+	bw := bufio.NewWriter(w)
+	ys := make([]int, 0, len(fv.Funcs))
+	for y := range fv.Funcs {
+		ys = append(ys, int(y))
+	}
+	sort.Ints(ys)
+	for _, y := range ys {
+		if _, err := fmt.Fprintf(bw, "v y%d := %s\n", y, boolfunc.String(fv.Funcs[cnf.Var(y)])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseCertificate reads `[v] y<N> := <expr>` lines into a function vector.
+// Blank lines and `c` comment lines are skipped; the `v ` and `y` prefixes
+// are optional.
+func ParseCertificate(r io.Reader) (*FuncVector, error) {
+	fv := NewFuncVector(nil)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "c" || strings.HasPrefix(line, "c ") {
+			continue
+		}
+		line = strings.TrimPrefix(line, "v ")
+		name, expr, ok := strings.Cut(line, ":=")
+		if !ok {
+			return nil, fmt.Errorf("dqbf: certificate line %d: missing ':='", lineNo)
+		}
+		name = strings.TrimSpace(name)
+		name = strings.TrimPrefix(name, "y")
+		v, err := strconv.Atoi(name)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("dqbf: certificate line %d: bad variable %q", lineNo, name)
+		}
+		f, err := boolfunc.Parse(fv.B, strings.TrimSpace(expr))
+		if err != nil {
+			return nil, fmt.Errorf("dqbf: certificate line %d: %v", lineNo, err)
+		}
+		if _, dup := fv.Funcs[cnf.Var(v)]; dup {
+			return nil, fmt.Errorf("dqbf: certificate line %d: duplicate function for %d", lineNo, v)
+		}
+		fv.Funcs[cnf.Var(v)] = f
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(fv.Funcs) == 0 {
+		return nil, fmt.Errorf("dqbf: certificate contains no functions")
+	}
+	return fv, nil
+}

@@ -1,0 +1,77 @@
+package dqbf
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+)
+
+func TestCertificateRoundTrip(t *testing.T) {
+	fv := NewFuncVector(nil)
+	b := fv.B
+	fv.Funcs[4] = b.Not(b.Var(1))
+	fv.Funcs[5] = b.Or(b.Not(b.Var(1)), b.Not(b.Var(2)))
+	fv.Funcs[6] = b.Ite(b.Var(2), b.True(), b.Var(3))
+	var sb strings.Builder
+	if err := WriteCertificate(&sb, fv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseCertificate(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Funcs) != 3 {
+		t.Fatalf("functions: %d, want 3", len(got.Funcs))
+	}
+	// Semantic agreement on all assignments of vars 1..3.
+	for mask := 0; mask < 8; mask++ {
+		a := cnf.NewAssignment(3)
+		for v := 1; v <= 3; v++ {
+			a.SetBool(cnf.Var(v), mask&(1<<(v-1)) != 0)
+		}
+		for y := cnf.Var(4); y <= 6; y++ {
+			if boolfunc.Eval(fv.Funcs[y], a) != boolfunc.Eval(got.Funcs[y], a) {
+				t.Fatalf("function y%d differs at mask %d", y, mask)
+			}
+		}
+	}
+}
+
+func TestCertificateVerifiesPaperExample(t *testing.T) {
+	in := paperExample()
+	cert := `c paper example solution
+v y4 := ~v1
+y5 := ~v1 | ~v2
+v y6 := (v2 | v3)
+`
+	fv, err := ParseCertificate(strings.NewReader(cert))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifyVector(in, fv, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("paper certificate rejected: %v", res.Counterexample)
+	}
+}
+
+func TestCertificateErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"no assign":  "v y4 v1\n",
+		"bad var":    "v yx := v1\n",
+		"zero var":   "v y0 := v1\n",
+		"bad expr":   "v y4 := v1 &&& v2\n",
+		"duplicate":  "v y4 := v1\nv y4 := v2\n",
+		"only cmnts": "c nothing here\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseCertificate(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,401 @@
+package dqbf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+)
+
+// paperExample builds Example 1 from the paper:
+// ϕ = (x1∨y1) ∧ (y2 ↔ (y1∨¬x2)) ∧ (y3 ↔ (x2∨x3))
+// X={1,2,3}=x1..x3, Y={4,5,6}=y1..y3,
+// H1={x1}, H2={x1,x2}, H3={x2,x3}.
+func paperExample() *Instance {
+	in := NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddUniv(3)
+	in.AddExist(4, []cnf.Var{1})
+	in.AddExist(5, []cnf.Var{1, 2})
+	in.AddExist(6, []cnf.Var{2, 3})
+	// (x1 ∨ y1)
+	in.Matrix.AddClause(1, 4)
+	// y2 ↔ (y1 ∨ ¬x2): (¬y2∨y1∨¬x2)(y2∨¬y1)(y2∨x2)
+	in.Matrix.AddClause(-5, 4, -2)
+	in.Matrix.AddClause(5, -4)
+	in.Matrix.AddClause(5, 2)
+	// y3 ↔ (x2 ∨ x3)
+	in.Matrix.AddClause(-6, 2, 3)
+	in.Matrix.AddClause(6, -2)
+	in.Matrix.AddClause(6, -3)
+	return in
+}
+
+func TestValidateOK(t *testing.T) {
+	in := paperExample()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	in := NewInstance()
+	in.AddUniv(1)
+	in.AddExist(1, nil) // duplicate declaration
+	if err := in.Validate(); err == nil {
+		t.Fatal("duplicate declaration accepted")
+	}
+
+	in2 := NewInstance()
+	in2.AddUniv(1)
+	in2.AddExist(2, []cnf.Var{3}) // dep on undeclared
+	if err := in2.Validate(); err == nil {
+		t.Fatal("dependency on non-universal accepted")
+	}
+
+	in3 := NewInstance()
+	in3.AddUniv(1)
+	in3.Matrix.AddClause(2) // undeclared var in matrix
+	if err := in3.Validate(); err == nil {
+		t.Fatal("undeclared matrix variable accepted")
+	}
+
+	in4 := NewInstance()
+	in4.AddExist(2, nil)
+	in4.AddUniv(3)
+	in4.Deps[5] = nil // dangling dep entry
+	if err := in4.Validate(); err == nil {
+		t.Fatal("dangling dependency entry accepted")
+	}
+}
+
+func TestDepQueries(t *testing.T) {
+	in := paperExample()
+	if !in.DepContains(5, 1) || !in.DepContains(5, 2) || in.DepContains(5, 3) {
+		t.Fatal("DepContains broken")
+	}
+	if !in.SubsetDeps(4, 5) {
+		t.Fatal("H1 ⊆ H2 not detected")
+	}
+	if in.SubsetDeps(6, 5) || in.SubsetDeps(5, 6) {
+		t.Fatal("incomparable sets reported as subset")
+	}
+	if !in.ProperSubsetDeps(4, 5) {
+		t.Fatal("H1 ⊂ H2 not detected")
+	}
+	if in.ProperSubsetDeps(5, 5) {
+		t.Fatal("H2 ⊂ H2 reported")
+	}
+	if !in.IsUniv(1) || in.IsUniv(4) {
+		t.Fatal("IsUniv broken")
+	}
+	if !in.IsExist(4) || in.IsExist(1) {
+		t.Fatal("IsExist broken")
+	}
+}
+
+func TestStats(t *testing.T) {
+	in := paperExample()
+	st := in.Stats()
+	if st.NumUniv != 3 || st.NumExist != 3 || st.NumClauses != 7 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MaxDepSize != 2 || st.MinDepSize != 1 || st.TotalDeps != 5 {
+		t.Fatalf("dep stats: %+v", st)
+	}
+}
+
+func TestIsSkolem(t *testing.T) {
+	in := paperExample()
+	if in.IsSkolem() {
+		t.Fatal("Henkin instance reported Skolem")
+	}
+	sk := NewInstance()
+	sk.AddUniv(1)
+	sk.AddUniv(2)
+	sk.AddExist(3, []cnf.Var{1, 2})
+	if !sk.IsSkolem() {
+		t.Fatal("Skolem instance not detected")
+	}
+}
+
+func TestVerifyVectorPaperSolution(t *testing.T) {
+	in := paperExample()
+	fv := NewFuncVector(nil)
+	b := fv.B
+	// The repaired vector from the paper: f1=¬x1, f2=y1∨¬x2 → substituted
+	// = ¬x1∨¬x2, f3=x2∨x3.
+	fv.Funcs[4] = b.Not(b.Var(1))
+	fv.Funcs[5] = b.Or(b.Not(b.Var(1)), b.Not(b.Var(2)))
+	fv.Funcs[6] = b.Or(b.Var(2), b.Var(3))
+	res, err := VerifyVector(in, fv, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("paper solution rejected; counterexample %v", res.Counterexample)
+	}
+	if !CheckVectorExhaustively(in, fv) {
+		t.Fatal("exhaustive check disagrees with SAT verification")
+	}
+}
+
+func TestVerifyVectorRejectsBadCandidate(t *testing.T) {
+	in := paperExample()
+	fv := NewFuncVector(nil)
+	b := fv.B
+	// The pre-repair candidate from the paper: f2 = y1 substituted = ¬x1 is
+	// wrong (fails when x1=1, x2=0).
+	fv.Funcs[4] = b.Not(b.Var(1))
+	fv.Funcs[5] = b.Not(b.Var(1))
+	fv.Funcs[6] = b.Or(b.Var(2), b.Var(3))
+	res, err := VerifyVector(in, fv, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid {
+		t.Fatal("invalid candidate accepted")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample returned")
+	}
+	if CheckVectorExhaustively(in, fv) {
+		t.Fatal("exhaustive check disagrees")
+	}
+}
+
+func TestVerifyVectorDependencyViolation(t *testing.T) {
+	in := paperExample()
+	fv := NewFuncVector(nil)
+	b := fv.B
+	fv.Funcs[4] = b.Var(2) // y1 may only depend on x1
+	fv.Funcs[5] = b.True()
+	fv.Funcs[6] = b.True()
+	if _, err := VerifyVector(in, fv, -1); err == nil {
+		t.Fatal("dependency violation not rejected")
+	}
+	viol := fv.DependencyViolations(in)
+	if len(viol[4]) != 1 || viol[4][0] != 2 {
+		t.Fatalf("violations: %v", viol)
+	}
+}
+
+func TestVerifyVectorMissingFunction(t *testing.T) {
+	in := paperExample()
+	fv := NewFuncVector(nil)
+	fv.Funcs[4] = fv.B.True()
+	if _, err := VerifyVector(in, fv, -1); err == nil {
+		t.Fatal("missing function not rejected")
+	}
+}
+
+func TestBruteForceTruePaperLimitation(t *testing.T) {
+	// The paper's incompleteness example (§5): ϕ = ¬(y1⊕y2), H1={x1,x2},
+	// H2={x2,x3}. True, with f1=f2=x2 as witness.
+	in := NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddUniv(3)
+	in.AddExist(4, []cnf.Var{1, 2})
+	in.AddExist(5, []cnf.Var{2, 3})
+	// ¬(y1⊕y2) = (y1↔y2)
+	in.Matrix.AddClause(-4, 5)
+	in.Matrix.AddClause(4, -5)
+	ok, err := BruteForceTrue(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("True instance reported False")
+	}
+	fv := NewFuncVector(nil)
+	fv.Funcs[4] = fv.B.Var(2)
+	fv.Funcs[5] = fv.B.Var(2)
+	res, err := VerifyVector(in, fv, -1)
+	if err != nil || !res.Valid {
+		t.Fatalf("witness rejected: %v %v", res, err)
+	}
+}
+
+func TestBruteForceFalse(t *testing.T) {
+	// ∀x1 ∃^{}y1 . (y1 ↔ x1) is False: y1 has empty dependencies but must
+	// track x1.
+	in := NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(-2, 1)
+	in.Matrix.AddClause(2, -1)
+	ok, err := BruteForceTrue(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("False instance reported True")
+	}
+}
+
+func TestBruteForceTooLarge(t *testing.T) {
+	in := NewInstance()
+	for i := 1; i <= 10; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	in.AddExist(11, []cnf.Var{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if _, err := BruteForceTrue(in, 0); err == nil {
+		t.Fatal("oversized brute force not rejected")
+	}
+}
+
+func TestDQDIMACSRoundTrip(t *testing.T) {
+	in := paperExample()
+	var sb strings.Builder
+	if err := WriteDQDIMACS(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseDQDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Univ) != 3 || len(got.Exist) != 3 || len(got.Matrix.Clauses) != 7 {
+		t.Fatalf("round trip shape: %+v", got.Stats())
+	}
+	for _, y := range in.Exist {
+		d1, d2 := in.Deps[y], got.Deps[y]
+		if len(d1) != len(d2) {
+			t.Fatalf("deps of %d: %v vs %v", y, d1, d2)
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("deps of %d: %v vs %v", y, d1, d2)
+			}
+		}
+	}
+}
+
+func TestParseDQDIMACSEBlocks(t *testing.T) {
+	// e-block existentials depend on all universals declared so far.
+	input := `c mixed prefix
+p cnf 5 1
+a 1 0
+e 2 0
+a 3 0
+e 4 0
+d 5 1 3 0
+1 2 3 4 5 0
+`
+	in, err := ParseDQDIMACS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Deps[2]) != 1 || in.Deps[2][0] != 1 {
+		t.Fatalf("e after first a: deps %v", in.Deps[2])
+	}
+	if len(in.Deps[4]) != 2 {
+		t.Fatalf("e after second a: deps %v", in.Deps[4])
+	}
+	if len(in.Deps[5]) != 2 || in.Deps[5][0] != 1 || in.Deps[5][1] != 3 {
+		t.Fatalf("d line deps: %v", in.Deps[5])
+	}
+}
+
+func TestParseDQDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem":   "a 1 0\n",
+		"redeclare":    "p cnf 2 0\na 1 0\ne 1 0\n",
+		"neg quant":    "p cnf 2 0\na -1 0\n",
+		"no zero":      "p cnf 2 0\na 1\n",
+		"empty d":      "p cnf 2 0\nd 0\n",
+		"bad lit":      "p cnf 2 1\na 1 0\ne 2 0\n1 x 0\n",
+		"matrix undef": "p cnf 3 1\na 1 0\ne 2 0\n3 0\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseDQDIMACS(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	in := paperExample()
+	cp := in.Clone()
+	cp.Matrix.AddClause(1)
+	cp.AddUniv(9)
+	cp.Deps[4] = append(cp.Deps[4], 3)
+	if len(in.Matrix.Clauses) != 7 || len(in.Univ) != 3 || len(in.Deps[4]) != 1 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestRandomVectorAgreement(t *testing.T) {
+	// Property: SAT-based VerifyVector agrees with exhaustive checking on
+	// random small instances and random candidate vectors.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		in := NewInstance()
+		nX := 1 + rng.Intn(3)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(2)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+		}
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(nX+nY))
+				cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			in.Matrix.AddClause(cl...)
+		}
+		fv := NewFuncVector(nil)
+		for _, y := range in.Exist {
+			deps := in.Deps[y]
+			var f *boolfunc.Node = fv.B.Const(rng.Intn(2) == 0)
+			for _, d := range deps {
+				switch rng.Intn(3) {
+				case 0:
+					f = fv.B.And(f, fv.B.Var(d))
+				case 1:
+					f = fv.B.Or(f, fv.B.Var(d))
+				default:
+					f = fv.B.Xor(f, fv.B.Var(d))
+				}
+			}
+			fv.Funcs[y] = f
+		}
+		res, err := VerifyVector(in, fv, -1)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := CheckVectorExhaustively(in, fv)
+		if res.Valid != want {
+			t.Fatalf("trial %d: SAT verify=%v exhaustive=%v", trial, res.Valid, want)
+		}
+		if !res.Valid {
+			// The counterexample's X part must be extendable-checkable: the
+			// functions' outputs must falsify some clause.
+			cx := res.Counterexample
+			a := cnf.NewAssignment(in.Matrix.NumVars)
+			for _, x := range in.Univ {
+				a.Set(x, cx.Get(x))
+			}
+			for _, y := range in.Exist {
+				a.SetBool(y, boolfunc.Eval(fv.Funcs[y], a))
+			}
+			if in.Matrix.Eval(a) {
+				t.Fatalf("trial %d: counterexample does not falsify ϕ under f", trial)
+			}
+		}
+	}
+}

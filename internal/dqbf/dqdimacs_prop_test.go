@@ -1,0 +1,76 @@
+package dqbf
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+)
+
+// TestDQDIMACSRoundTripProperty: write→parse is the identity on instance
+// structure for random instances.
+func TestDQDIMACSRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 80}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := NewInstance()
+		nX := 1 + rng.Intn(6)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(5)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+		}
+		for c := 0; c < rng.Intn(10); c++ {
+			k := 1 + rng.Intn(4)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(nX+nY))
+				cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			in.Matrix.AddClause(cl...)
+		}
+		var sb strings.Builder
+		if err := WriteDQDIMACS(&sb, in); err != nil {
+			return false
+		}
+		got, err := ParseDQDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		if len(got.Univ) != len(in.Univ) || len(got.Exist) != len(in.Exist) ||
+			len(got.Matrix.Clauses) != len(in.Matrix.Clauses) {
+			return false
+		}
+		for _, y := range in.Exist {
+			d1, d2 := in.Deps[y], got.Deps[y]
+			if len(d1) != len(d2) {
+				return false
+			}
+			for i := range d1 {
+				if d1[i] != d2[i] {
+					return false
+				}
+			}
+		}
+		for i := range in.Matrix.Clauses {
+			if in.Matrix.Clauses[i].String() != got.Matrix.Clauses[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package dqbf
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// ExpandUniversal performs single-variable universal expansion — the core
+// elimination step of HQS-style DQBF solving (Gitina et al., DATE 2015).
+// The universal variable x is removed by duplicating the instance body for
+// x=0 and x=1:
+//
+//   - every existential y with x ∈ H(y) is split into two copies y⁰, y¹
+//     (dependency set H(y) \ {x}), one per branch;
+//   - existentials with x ∉ H(y) are shared between both branches (they
+//     cannot see x, so both branches must use the same function);
+//   - each matrix clause is instantiated twice, with x evaluated to the
+//     branch constant and split existentials renamed per branch.
+//
+// The result is equisatisfiable, and Henkin functions for the original
+// instance are recovered by RecoverExpansion: f_y = ite(x, f_{y¹}, f_{y⁰}).
+//
+// The returned ExpandMap records the copies for function recovery.
+func ExpandUniversal(in *Instance, x cnf.Var) (*Instance, *ExpandMap, error) {
+	if !in.IsUniv(x) {
+		return nil, nil, fmt.Errorf("dqbf: %d is not a universal variable", x)
+	}
+	out := NewInstance()
+	for _, u := range in.Univ {
+		if u != x {
+			out.AddUniv(u)
+		}
+	}
+	em := &ExpandMap{X: x, Lo: make(map[cnf.Var]cnf.Var), Hi: make(map[cnf.Var]cnf.Var)}
+	// Shared existentials keep their index; split ones get y⁰ = y and a
+	// fresh y¹ beyond the current variable range.
+	next := cnf.Var(in.Matrix.NumVars)
+	for _, y := range in.Exist {
+		deps := in.DepSet(y)
+		if in.DepContains(y, x) {
+			newDeps := make([]cnf.Var, 0, len(deps)-1)
+			for _, d := range deps {
+				if d != x {
+					newDeps = append(newDeps, d)
+				}
+			}
+			next++
+			out.AddExist(y, newDeps)
+			out.AddExist(next, newDeps)
+			em.Lo[y] = y
+			em.Hi[y] = next
+		} else {
+			out.AddExist(y, deps)
+			em.Lo[y] = y
+			em.Hi[y] = y
+		}
+	}
+	// Instantiate clauses for both branches.
+	for branch := 0; branch < 2; branch++ {
+		val := branch == 1
+		rename := em.Lo
+		if val {
+			rename = em.Hi
+		}
+		for _, c := range in.Matrix.Clauses {
+			inst := make([]cnf.Lit, 0, len(c))
+			satisfied := false
+			for _, l := range c {
+				if l.Var() == x {
+					if l.IsPos() == val {
+						satisfied = true
+						break
+					}
+					continue
+				}
+				if ny, ok := rename[l.Var()]; ok {
+					inst = append(inst, cnf.MkLit(ny, l.IsPos()))
+				} else {
+					inst = append(inst, l)
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if len(inst) == 0 {
+				return nil, nil, ErrExpansionFalse
+			}
+			out.Matrix.AddClause(inst...)
+		}
+	}
+	if out.Matrix.NumVars < int(next) {
+		out.Matrix.NumVars = int(next)
+	}
+	return out, em, nil
+}
+
+// ErrExpansionFalse is returned when expansion derives an empty clause,
+// proving the original instance False.
+var ErrExpansionFalse = fmt.Errorf("dqbf: expansion derived the empty clause (instance is False)")
+
+// ExpandMap records how existentials were split by ExpandUniversal.
+type ExpandMap struct {
+	// X is the expanded universal variable.
+	X cnf.Var
+	// Lo and Hi map each original existential to its x=0 / x=1 copy
+	// (identical for existentials that did not depend on X).
+	Lo, Hi map[cnf.Var]cnf.Var
+}
+
+// RecoverExpansion lifts a Henkin vector of the expanded instance back to the
+// original: f_y = ite(x, f_{y¹}, f_{y⁰}). The expanded vector's functions are
+// reused node-for-node (both vectors must share the same builder, which
+// Recover enforces by building into expanded.B).
+func RecoverExpansion(em *ExpandMap, expanded *FuncVector) *FuncVector {
+	out := NewFuncVector(expanded.B)
+	b := expanded.B
+	for y, lo := range em.Lo {
+		hi := em.Hi[y]
+		fLo := expanded.Funcs[lo]
+		fHi := expanded.Funcs[hi]
+		if lo == hi {
+			out.Funcs[y] = fLo
+			continue
+		}
+		out.Funcs[y] = b.Ite(b.Var(em.X), fHi, fLo)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package dqbf
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestExpandUniversalShape(t *testing.T) {
+	in := paperExample() // X={1,2,3}, Y={4,5,6}, H1={1},H2={1,2},H3={2,3}
+	out, em, err := ExpandUniversal(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Univ) != 2 {
+		t.Fatalf("universals after expansion: %v", out.Univ)
+	}
+	// y2 (var 5) and y3 (var 6) depend on x2 and split; y1 (var 4) shares.
+	if em.Lo[4] != em.Hi[4] {
+		t.Fatal("y1 should be shared")
+	}
+	if em.Lo[5] == em.Hi[5] || em.Lo[6] == em.Hi[6] {
+		t.Fatal("y2/y3 should be split")
+	}
+	if len(out.Exist) != 5 {
+		t.Fatalf("existentials after expansion: %d, want 5", len(out.Exist))
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Dependency sets of split copies must not contain x2.
+	for _, y := range []cnf.Var{em.Lo[5], em.Hi[5]} {
+		if out.DepContains(y, 2) {
+			t.Fatal("split copy still depends on expanded variable")
+		}
+	}
+}
+
+func TestExpandNonUniversalRejected(t *testing.T) {
+	in := paperExample()
+	if _, _, err := ExpandUniversal(in, 4); err == nil {
+		t.Fatal("expanding an existential should fail")
+	}
+	if _, _, err := ExpandUniversal(in, 99); err == nil {
+		t.Fatal("expanding an unknown variable should fail")
+	}
+}
+
+func TestExpandEmptyClauseDetectsFalse(t *testing.T) {
+	in := NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(1)     // forces x1, falsified in the x1=0 branch
+	in.Matrix.AddClause(2, -2) // keep y present
+	_, _, err := ExpandUniversal(in, 1)
+	if !errors.Is(err, ErrExpansionFalse) {
+		t.Fatalf("want ErrExpansionFalse, got %v", err)
+	}
+}
+
+func TestExpansionPreservesTruth(t *testing.T) {
+	// Property: expanding any universal preserves the instance's truth value
+	// (checked by brute force on small random instances).
+	rng := rand.New(rand.NewSource(31))
+	checked := 0
+	for trial := 0; trial < 120 && checked < 40; trial++ {
+		in := NewInstance()
+		nX := 1 + rng.Intn(3)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(2)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+		}
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(nX+nY))
+				cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			in.Matrix.AddClause(cl...)
+		}
+		before, err := BruteForceTrue(in, 64)
+		if err != nil {
+			continue
+		}
+		x := in.Univ[rng.Intn(len(in.Univ))]
+		out, _, err := ExpandUniversal(in, x)
+		if errors.Is(err, ErrExpansionFalse) {
+			if before {
+				t.Fatalf("trial %d: expansion declared True instance False", trial)
+			}
+			checked++
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := BruteForceTrue(out, 256)
+		if err != nil {
+			continue
+		}
+		if before != after {
+			t.Fatalf("trial %d: truth changed %v → %v", trial, before, after)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("too few comparable trials: %d", checked)
+	}
+}
+
+func TestRecoverExpansion(t *testing.T) {
+	// Expand the paper example on x2, solve the expanded instance by brute
+	// force over a planted vector, and lift back.
+	in := paperExample()
+	out, em, err := ExpandUniversal(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a valid vector for the expanded instance directly: y3's copies
+	// are forced (y3⁰ ↔ x3, y3¹ ↔ 1); y1 = ¬x1; y2⁰ ↔ 1, y2¹ ↔ y1-like.
+	fv := NewFuncVector(nil)
+	b := fv.B
+	// Derive each copy's function via the original semantics with x2 fixed:
+	// f1 = ¬x1 ; f2 = y1 ∨ ¬x2 → branch0: 1, branch1: ¬x1 ; f3 = x2 ∨ x3 →
+	// branch0: x3, branch1: 1.
+	fv.Funcs[em.Lo[4]] = b.Not(b.Var(1))
+	fv.Funcs[em.Lo[5]] = b.True()
+	fv.Funcs[em.Hi[5]] = b.Not(b.Var(1))
+	fv.Funcs[em.Lo[6]] = b.Var(3)
+	fv.Funcs[em.Hi[6]] = b.True()
+	res, err := VerifyVector(out, fv, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid {
+		t.Fatalf("expanded vector invalid: %v", res.Counterexample)
+	}
+	lifted := RecoverExpansion(em, fv)
+	res2, err := VerifyVector(in, lifted, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Valid {
+		t.Fatalf("lifted vector invalid: %v", res2.Counterexample)
+	}
+}

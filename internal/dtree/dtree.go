@@ -1,0 +1,240 @@
+// Package dtree implements a binary decision-tree classifier for Boolean
+// features and labels, built with the ID3 algorithm using the Gini index as
+// the impurity measure — the exact learner configuration the Manthan3 paper
+// uses (via Scikit-Learn's DecisionTreeClassifier) to learn candidate Henkin
+// functions.
+//
+// A learned tree converts to a Boolean function as the disjunction of the
+// root-to-leaf paths that end in a leaf labeled 1 (paper Algorithm 2,
+// lines 7-10).
+package dtree
+
+import (
+	"fmt"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+)
+
+// Options configures learning.
+type Options struct {
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesSplit is the minimum number of rows required to attempt a
+	// split; nodes with fewer rows become leaves. 0 means 2.
+	MinSamplesSplit int
+}
+
+// Dataset is a labeled Boolean training set. Row i has feature values
+// Rows[i] (parallel to Features) and label Labels[i].
+type Dataset struct {
+	// Features names each column with the propositional variable it samples.
+	Features []cnf.Var
+	// Rows holds one feature vector per sample.
+	Rows [][]bool
+	// Labels holds the target value per sample.
+	Labels []bool
+}
+
+// Validate checks shape consistency.
+func (d *Dataset) Validate() error {
+	if len(d.Rows) != len(d.Labels) {
+		return fmt.Errorf("dtree: %d rows but %d labels", len(d.Rows), len(d.Labels))
+	}
+	for i, r := range d.Rows {
+		if len(r) != len(d.Features) {
+			return fmt.Errorf("dtree: row %d has %d values for %d features", i, len(r), len(d.Features))
+		}
+	}
+	return nil
+}
+
+// Node is a decision-tree node. Leaf nodes have Feature == 0 and carry the
+// class in Label; internal nodes test Feature and branch to Lo (feature
+// false) or Hi (feature true).
+type Node struct {
+	Feature cnf.Var
+	Lo, Hi  *Node
+	Label   bool
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Feature == 0 }
+
+// Tree is a learned classifier.
+type Tree struct {
+	Root     *Node
+	Features []cnf.Var
+	featIdx  map[cnf.Var]int
+}
+
+// Learn fits a decision tree to the dataset with ID3/Gini.
+func Learn(d *Dataset, opts Options) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if len(d.Rows) == 0 {
+		return nil, fmt.Errorf("dtree: empty dataset")
+	}
+	minSplit := opts.MinSamplesSplit
+	if minSplit <= 0 {
+		minSplit = 2
+	}
+	idx := make([]int, len(d.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	used := make([]bool, len(d.Features))
+	root := build(d, idx, used, opts.MaxDepth, minSplit)
+	fi := make(map[cnf.Var]int, len(d.Features))
+	for i, f := range d.Features {
+		fi[f] = i
+	}
+	return &Tree{Root: root, Features: append([]cnf.Var(nil), d.Features...), featIdx: fi}, nil
+}
+
+func build(d *Dataset, idx []int, used []bool, depthLeft, minSplit int) *Node {
+	pos := 0
+	for _, i := range idx {
+		if d.Labels[i] {
+			pos++
+		}
+	}
+	majority := pos*2 >= len(idx)
+	if pos == 0 || pos == len(idx) || len(idx) < minSplit || depthLeft == 1 {
+		return &Node{Label: majority}
+	}
+	// Pick the split with minimum weighted Gini. Like CART, a split is taken
+	// whenever the node is impure and some feature separates the rows, even
+	// if the impurity does not strictly decrease at this level (XOR-shaped
+	// targets need that to make progress).
+	bestF := -1
+	bestGini := 2.0
+	bestLo, bestHi := []int(nil), []int(nil)
+	for f := range d.Features {
+		if used[f] {
+			continue
+		}
+		var lo, hi []int
+		loPos, hiPos := 0, 0
+		for _, i := range idx {
+			if d.Rows[i][f] {
+				hi = append(hi, i)
+				if d.Labels[i] {
+					hiPos++
+				}
+			} else {
+				lo = append(lo, i)
+				if d.Labels[i] {
+					loPos++
+				}
+			}
+		}
+		if len(lo) == 0 || len(hi) == 0 {
+			continue
+		}
+		g := (float64(len(lo))*giniOf(loPos, len(lo)) + float64(len(hi))*giniOf(hiPos, len(hi))) / float64(len(idx))
+		if g < bestGini-1e-12 {
+			bestGini, bestF, bestLo, bestHi = g, f, lo, hi
+		}
+	}
+	if bestF < 0 {
+		return &Node{Label: majority}
+	}
+	used[bestF] = true
+	nextDepth := depthLeft
+	if nextDepth > 0 {
+		nextDepth--
+	}
+	lo := build(d, bestLo, used, nextDepth, minSplit)
+	hi := build(d, bestHi, used, nextDepth, minSplit)
+	used[bestF] = false
+	return &Node{Feature: d.Features[bestF], Lo: lo, Hi: hi}
+}
+
+// giniOf returns the Gini impurity of a node with pos positives out of n.
+func giniOf(pos, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return 2 * p * (1 - p)
+}
+
+// Predict classifies a feature vector given as an assignment of the feature
+// variables.
+func (t *Tree) Predict(a cnf.Assignment) bool {
+	n := t.Root
+	for !n.IsLeaf() {
+		if a.Get(n.Feature) == cnf.True {
+			n = n.Hi
+		} else {
+			n = n.Lo
+		}
+	}
+	return n.Label
+}
+
+// Depth returns the depth of the tree (a lone leaf has depth 1).
+func (t *Tree) Depth() int { return depth(t.Root) }
+
+func depth(n *Node) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	dl, dh := depth(n.Lo), depth(n.Hi)
+	if dh > dl {
+		dl = dh
+	}
+	return dl + 1
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leaves(t.Root) }
+
+func leaves(n *Node) int {
+	if n.IsLeaf() {
+		return 1
+	}
+	return leaves(n.Lo) + leaves(n.Hi)
+}
+
+// ToFunc converts the tree to a Boolean function in builder b: the
+// disjunction over all root-to-leaf paths ending in a 1-labeled leaf of the
+// conjunction of the literals along the path.
+func (t *Tree) ToFunc(b *boolfunc.Builder) *boolfunc.Node {
+	var walk func(n *Node, path *boolfunc.Node) *boolfunc.Node
+	walk = func(n *Node, path *boolfunc.Node) *boolfunc.Node {
+		if n.IsLeaf() {
+			if n.Label {
+				return path
+			}
+			return b.False()
+		}
+		lo := walk(n.Lo, b.And(path, b.Not(b.Var(n.Feature))))
+		hi := walk(n.Hi, b.And(path, b.Var(n.Feature)))
+		return b.Or(lo, hi)
+	}
+	return walk(t.Root, b.True())
+}
+
+// UsedFeatures returns the set of feature variables actually tested by the
+// tree, in no particular order.
+func (t *Tree) UsedFeatures() []cnf.Var {
+	seen := make(map[cnf.Var]bool)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			return
+		}
+		seen[n.Feature] = true
+		walk(n.Lo)
+		walk(n.Hi)
+	}
+	walk(t.Root)
+	out := make([]cnf.Var, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	return out
+}

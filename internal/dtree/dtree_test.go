@@ -1,0 +1,262 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+)
+
+// tableDataset builds the full truth table of fn over the given features.
+func tableDataset(features []cnf.Var, fn func([]bool) bool) *Dataset {
+	n := len(features)
+	d := &Dataset{Features: features}
+	for mask := 0; mask < 1<<n; mask++ {
+		row := make([]bool, n)
+		for j := 0; j < n; j++ {
+			row[j] = mask&(1<<j) != 0
+		}
+		d.Rows = append(d.Rows, row)
+		d.Labels = append(d.Labels, fn(row))
+	}
+	return d
+}
+
+func assignOf(features []cnf.Var, row []bool) cnf.Assignment {
+	maxV := cnf.Var(0)
+	for _, f := range features {
+		if f > maxV {
+			maxV = f
+		}
+	}
+	a := cnf.NewAssignment(int(maxV))
+	for i, f := range features {
+		a.SetBool(f, row[i])
+	}
+	return a
+}
+
+func TestLearnConstant(t *testing.T) {
+	d := &Dataset{
+		Features: []cnf.Var{1},
+		Rows:     [][]bool{{false}, {true}},
+		Labels:   []bool{true, true},
+	}
+	tr, err := Learn(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() || !tr.Root.Label {
+		t.Fatal("constant-true data should give a true leaf")
+	}
+	b := boolfunc.NewBuilder()
+	if tr.ToFunc(b) != b.True() {
+		t.Fatal("ToFunc of constant tree should be true")
+	}
+}
+
+func TestLearnSingleVariable(t *testing.T) {
+	feats := []cnf.Var{1, 2, 3}
+	d := tableDataset(feats, func(r []bool) bool { return r[1] })
+	tr, err := Learn(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.Rows {
+		if tr.Predict(assignOf(feats, row)) != d.Labels[i] {
+			t.Fatalf("row %d misclassified", i)
+		}
+	}
+	// Gini should pick exactly the one relevant feature.
+	uf := tr.UsedFeatures()
+	if len(uf) != 1 || uf[0] != 2 {
+		t.Fatalf("used features: %v, want [2]", uf)
+	}
+}
+
+func TestLearnXorNeedsDepth(t *testing.T) {
+	feats := []cnf.Var{1, 2}
+	d := tableDataset(feats, func(r []bool) bool { return r[0] != r[1] })
+	tr, err := Learn(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range d.Rows {
+		if tr.Predict(assignOf(feats, row)) != d.Labels[i] {
+			t.Fatalf("xor row %d misclassified", i)
+		}
+	}
+	if tr.Depth() < 3 {
+		t.Fatalf("xor needs depth 3, got %d", tr.Depth())
+	}
+}
+
+func TestFullTableFidelity(t *testing.T) {
+	// On a complete truth table with no depth bound, the tree must fit the
+	// data perfectly — a key property Manthan3's learning step relies on.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5)
+		feats := make([]cnf.Var, n)
+		for i := range feats {
+			feats[i] = cnf.Var(i + 1)
+		}
+		table := make([]bool, 1<<n)
+		for i := range table {
+			table[i] = rng.Intn(2) == 0
+		}
+		d := tableDataset(feats, func(r []bool) bool {
+			idx := 0
+			for j, b := range r {
+				if b {
+					idx |= 1 << j
+				}
+			}
+			return table[idx]
+		})
+		tr, err := Learn(d, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range d.Rows {
+			if tr.Predict(assignOf(feats, row)) != d.Labels[i] {
+				t.Fatalf("trial %d: row %d misclassified", trial, i)
+			}
+		}
+	}
+}
+
+func TestToFuncMatchesPredict(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		feats := make([]cnf.Var, n)
+		for i := range feats {
+			feats[i] = cnf.Var(i + 1)
+		}
+		d := &Dataset{Features: feats}
+		rows := 1 + rng.Intn(20)
+		for i := 0; i < rows; i++ {
+			row := make([]bool, n)
+			for j := range row {
+				row[j] = rng.Intn(2) == 0
+			}
+			d.Rows = append(d.Rows, row)
+			d.Labels = append(d.Labels, rng.Intn(2) == 0)
+		}
+		tr, err := Learn(d, Options{MaxDepth: 1 + rng.Intn(5)})
+		if err != nil {
+			return false
+		}
+		b := boolfunc.NewBuilder()
+		f := tr.ToFunc(b)
+		// The function and Predict must agree on every complete input.
+		for mask := 0; mask < 1<<n; mask++ {
+			row := make([]bool, n)
+			for j := 0; j < n; j++ {
+				row[j] = mask&(1<<j) != 0
+			}
+			a := assignOf(feats, row)
+			if boolfunc.Eval(f, a) != tr.Predict(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	feats := []cnf.Var{1, 2, 3, 4}
+	d := tableDataset(feats, func(r []bool) bool {
+		return (r[0] != r[1]) != (r[2] != r[3])
+	})
+	tr, err := Learn(d, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 3 {
+		t.Fatalf("depth %d exceeds MaxDepth 3", tr.Depth())
+	}
+}
+
+func TestMinSamplesSplit(t *testing.T) {
+	feats := []cnf.Var{1, 2}
+	d := tableDataset(feats, func(r []bool) bool { return r[0] != r[1] })
+	tr, err := Learn(d, Options{MinSamplesSplit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Root.IsLeaf() {
+		t.Fatal("MinSamplesSplit ignored")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := &Dataset{Features: []cnf.Var{1}, Rows: [][]bool{{true}}, Labels: nil}
+	if _, err := Learn(d, Options{}); err == nil {
+		t.Fatal("row/label mismatch accepted")
+	}
+	d2 := &Dataset{Features: []cnf.Var{1, 2}, Rows: [][]bool{{true}}, Labels: []bool{true}}
+	if _, err := Learn(d2, Options{}); err == nil {
+		t.Fatal("row width mismatch accepted")
+	}
+	d3 := &Dataset{Features: []cnf.Var{1}}
+	if _, err := Learn(d3, Options{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestNoisyMajorityLeaf(t *testing.T) {
+	// Identical feature rows with conflicting labels: majority must win.
+	d := &Dataset{
+		Features: []cnf.Var{1},
+		Rows:     [][]bool{{true}, {true}, {true}},
+		Labels:   []bool{true, true, false},
+	}
+	tr, err := Learn(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cnf.NewAssignment(1)
+	a.SetBool(1, true)
+	if !tr.Predict(a) {
+		t.Fatal("majority label not used")
+	}
+}
+
+func TestLeavesCount(t *testing.T) {
+	feats := []cnf.Var{1, 2}
+	d := tableDataset(feats, func(r []bool) bool { return r[0] && r[1] })
+	tr, err := Learn(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Leaves() < 2 {
+		t.Fatalf("implausible leaf count %d", tr.Leaves())
+	}
+}
+
+func TestGiniPrefersInformativeFeature(t *testing.T) {
+	// Feature 2 perfectly predicts, feature 1 is noise; root must test 2.
+	d := &Dataset{
+		Features: []cnf.Var{1, 2},
+		Rows: [][]bool{
+			{false, false}, {true, false}, {false, true}, {true, true},
+			{false, false}, {true, true},
+		},
+		Labels: []bool{false, false, true, true, false, true},
+	}
+	tr, err := Learn(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.IsLeaf() || tr.Root.Feature != 2 {
+		t.Fatalf("root tests %v, want feature 2", tr.Root.Feature)
+	}
+}

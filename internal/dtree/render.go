@@ -1,0 +1,37 @@
+package dtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the tree as indented ASCII in the style of the paper's
+// Figures 3-5: internal nodes show the tested variable, leaves show the
+// class label.
+//
+//	v2?
+//	├─0─ leaf 0
+//	└─1─ v3?
+//	     ├─0─ leaf 1
+//	     └─1─ leaf 0
+func (t *Tree) String() string {
+	var sb strings.Builder
+	renderNode(&sb, t.Root, "")
+	return sb.String()
+}
+
+func renderNode(sb *strings.Builder, n *Node, prefix string) {
+	if n.IsLeaf() {
+		label := 0
+		if n.Label {
+			label = 1
+		}
+		fmt.Fprintf(sb, "leaf %d\n", label)
+		return
+	}
+	fmt.Fprintf(sb, "v%d?\n", n.Feature)
+	fmt.Fprintf(sb, "%s├─0─ ", prefix)
+	renderNode(sb, n.Lo, prefix+"│    ")
+	fmt.Fprintf(sb, "%s└─1─ ", prefix)
+	renderNode(sb, n.Hi, prefix+"     ")
+}

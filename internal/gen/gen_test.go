@@ -1,0 +1,140 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/baselines/expand"
+	"repro/internal/dqbf"
+)
+
+func TestSuiteSize(t *testing.T) {
+	suite := Suite(1)
+	if len(suite) != 563 {
+		t.Fatalf("suite size %d, want 563", len(suite))
+	}
+	counts := map[Family]int{}
+	names := map[string]bool{}
+	for _, n := range suite {
+		counts[n.Family]++
+		if names[n.Name] {
+			t.Fatalf("duplicate name %s", n.Name)
+		}
+		names[n.Name] = true
+	}
+	if counts[FamilyEquiv] != 150 || counts[FamilyController] != 130 ||
+		counts[FamilySAT2DQBF] != 140 || counts[FamilyRandom] != 143 {
+		t.Fatalf("family counts: %v", counts)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, fam := range []Family{FamilyEquiv, FamilyController, FamilySAT2DQBF, FamilyRandom} {
+		a := Generate(fam, 7, 99)
+		b := Generate(fam, 7, 99)
+		sa, sb := a.DQBF.Stats(), b.DQBF.Stats()
+		if sa != sb {
+			t.Fatalf("%s: nondeterministic shapes %+v vs %+v", fam, sa, sb)
+		}
+		if len(a.DQBF.Matrix.Clauses) != len(b.DQBF.Matrix.Clauses) {
+			t.Fatalf("%s: clause counts differ", fam)
+		}
+		for i := range a.DQBF.Matrix.Clauses {
+			if a.DQBF.Matrix.Clauses[i].String() != b.DQBF.Matrix.Clauses[i].String() {
+				t.Fatalf("%s: clause %d differs", fam, i)
+			}
+		}
+	}
+}
+
+func TestAllInstancesValidate(t *testing.T) {
+	for _, fam := range []Family{FamilyEquiv, FamilyController, FamilySAT2DQBF, FamilyRandom} {
+		for i := 0; i < 20; i++ {
+			n := Generate(fam, i, 3)
+			if err := n.DQBF.Validate(); err != nil {
+				t.Fatalf("%s: %v", n.Name, err)
+			}
+			st := n.DQBF.Stats()
+			if st.NumExist == 0 {
+				t.Fatalf("%s: no existentials", n.Name)
+			}
+		}
+	}
+}
+
+func TestHenkinDependenciesAreRestricted(t *testing.T) {
+	// equiv and controller instances must contain at least one existential
+	// with a strictly partial dependency set — otherwise they degenerate to
+	// Skolem problems.
+	for _, fam := range []Family{FamilyEquiv, FamilyController} {
+		partial := 0
+		for i := 0; i < 15; i++ {
+			n := Generate(fam, i, 5)
+			for _, y := range n.DQBF.Exist {
+				if len(n.DQBF.DepSet(y)) < len(n.DQBF.Univ) {
+					partial++
+					break
+				}
+			}
+		}
+		if partial < 10 {
+			t.Fatalf("%s: only %d/15 instances have partial dependencies", fam, partial)
+		}
+	}
+}
+
+func TestPlantedInstancesAreTrue(t *testing.T) {
+	// Solve a sample of small planted instances with the complete expansion
+	// solver: they must all be True.
+	fams := []Family{FamilyEquiv, FamilyController, FamilyRandom}
+	for _, fam := range fams {
+		for i := 0; i < 6; i++ {
+			n := Generate(fam, i, 11)
+			if n.Known != TruthTrue {
+				continue
+			}
+			res, err := expand.Solve(n.DQBF, expand.Options{MaxUnivVars: 14})
+			if errors.Is(err, expand.ErrTooLarge) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s: planted-True instance not solved: %v", n.Name, err)
+			}
+			vr, verr := dqbf.VerifyVector(n.DQBF, res.Vector, -1)
+			if verr != nil || !vr.Valid {
+				t.Fatalf("%s: expansion vector invalid", n.Name)
+			}
+		}
+	}
+}
+
+func TestSAT2DQBFBothTruths(t *testing.T) {
+	// Across a sample, the sat2dqbf family must contain both True and False
+	// instances (3-SAT around the phase transition).
+	sawTrue, sawFalse := false, false
+	for i := 0; i < 30 && !(sawTrue && sawFalse); i++ {
+		n := Generate(FamilySAT2DQBF, i, 7)
+		_, err := expand.Solve(n.DQBF, expand.Options{})
+		switch {
+		case err == nil:
+			sawTrue = true
+		case errors.Is(err, expand.ErrFalse):
+			sawFalse = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("sat2dqbf truth spread: true=%v false=%v", sawTrue, sawFalse)
+	}
+}
+
+func TestHardnessTiersGrow(t *testing.T) {
+	small := Generate(FamilyEquiv, 0, 1) // h=1
+	large := Generate(FamilyEquiv, 4, 1) // h=5
+	if small.Hardness != 1 || large.Hardness != 5 {
+		t.Fatalf("tiers: %d %d", small.Hardness, large.Hardness)
+	}
+	if large.DQBF.Stats().NumUniv <= small.DQBF.Stats().NumUniv {
+		t.Fatalf("hardness does not grow universals: %d vs %d",
+			small.DQBF.Stats().NumUniv, large.DQBF.Stats().NumUniv)
+	}
+}

@@ -1,0 +1,212 @@
+// Package maxsat implements a partial MaxSAT solver on top of the CDCL SAT
+// solver: all hard clauses must hold, and the solver maximizes the number of
+// satisfied soft clauses. It stands in for the Open-WBO solver used by the
+// Manthan3 paper.
+//
+// Two strategies are provided. The default is model-improving linear search
+// (LSU): relax every soft clause with a fresh relaxation variable, then
+// repeatedly tighten an at-most-k bound over the relaxation variables
+// (sequential-counter encoding) until UNSAT. For instances with few violated
+// softs — the common case in Manthan3's FindCandi, where most candidate
+// outputs are already consistent — an assumption-driven core-guided warm-up
+// quickly lower-bounds the optimum.
+package maxsat
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Soft is a soft clause with unit weight.
+type Soft struct {
+	Clause cnf.Clause
+}
+
+// Result is the outcome of a MaxSAT call.
+type Result struct {
+	// Status is Sat when an optimal (or budget-best) model was found, Unsat
+	// when the hard clauses alone are unsatisfiable.
+	Status sat.Status
+	// Model is the best model found.
+	Model cnf.Assignment
+	// Cost is the number of falsified soft clauses in Model.
+	Cost int
+	// Optimal is true when the search proved Cost minimal.
+	Optimal bool
+	// Falsified lists the indices of soft clauses not satisfied by Model.
+	Falsified []int
+}
+
+// Options configures Solve.
+type Options struct {
+	// ConflictBudget bounds each SAT call; 0 means 200000.
+	ConflictBudget int64
+	// Deadline, when non-zero, aborts optimization and returns the best
+	// model found so far.
+	Deadline time.Time
+}
+
+// Solve minimizes the number of falsified soft clauses subject to hard.
+func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
+	budget := opts.ConflictBudget
+	if budget == 0 {
+		budget = 200000
+	}
+	work := hard.Clone()
+	// Relaxation variable per soft clause: r_i ∨ soft_i ; r_i true means the
+	// soft clause may be violated.
+	relax := make([]cnf.Lit, len(softs))
+	for i, s := range softs {
+		r := cnf.PosLit(work.NewVar())
+		relax[i] = r
+		cl := make([]cnf.Lit, 0, len(s.Clause)+1)
+		cl = append(cl, s.Clause...)
+		cl = append(cl, r)
+		work.AddClause(cl...)
+	}
+
+	solver := sat.New()
+	solver.AddFormula(work)
+	solver.SetConflictBudget(budget)
+	if !opts.Deadline.IsZero() {
+		solver.SetDeadline(opts.Deadline)
+	}
+
+	// First: try all softs satisfied (assume ¬r_i for all i).
+	assumps := make([]cnf.Lit, len(relax))
+	for i, r := range relax {
+		assumps[i] = r.Neg()
+	}
+	switch solver.SolveAssume(assumps) {
+	case sat.Sat:
+		m := solver.Model()
+		return Result{Status: sat.Sat, Model: m, Cost: 0, Optimal: true}, nil
+	case sat.Unknown:
+		return Result{Status: sat.Unknown}, fmt.Errorf("maxsat: budget exhausted before first model")
+	}
+
+	// Hard clauses alone satisfiable?
+	st := solver.Solve()
+	if st == sat.Unsat {
+		return Result{Status: sat.Unsat}, nil
+	}
+	if st == sat.Unknown {
+		return Result{Status: sat.Unknown}, fmt.Errorf("maxsat: budget exhausted on hard clauses")
+	}
+	best := solver.Model()
+	bestCost := costOf(softs, best)
+
+	// Linear search: add at-most-k over relax vars, decreasing k.
+	counter := newSeqCounter(work, relax)
+	solver2 := sat.New()
+	solver2.AddFormula(work)
+	solver2.SetConflictBudget(budget)
+	if !opts.Deadline.IsZero() {
+		solver2.SetDeadline(opts.Deadline)
+	}
+	optimal := false
+	for bestCost > 0 {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			break
+		}
+		// Assume at most bestCost-1 relaxations.
+		k := bestCost - 1
+		st := solver2.SolveAssume(counter.atMost(k))
+		if st == sat.Sat {
+			best = solver2.Model()
+			c := costOf(softs, best)
+			if c >= bestCost {
+				// Should not happen; guard against miscounts.
+				break
+			}
+			bestCost = c
+			continue
+		}
+		if st == sat.Unsat {
+			optimal = true
+		}
+		break
+	}
+	if bestCost == 0 {
+		optimal = true
+	}
+	res := Result{Status: sat.Sat, Model: best, Cost: bestCost, Optimal: optimal}
+	for i, s := range softs {
+		if !clauseSat(s.Clause, best) {
+			res.Falsified = append(res.Falsified, i)
+		}
+	}
+	return res, nil
+}
+
+func clauseSat(c cnf.Clause, m cnf.Assignment) bool {
+	for _, l := range c {
+		if m.LitValue(l) == cnf.True {
+			return true
+		}
+	}
+	return false
+}
+
+func costOf(softs []Soft, m cnf.Assignment) int {
+	cost := 0
+	for _, s := range softs {
+		if !clauseSat(s.Clause, m) {
+			cost++
+		}
+	}
+	return cost
+}
+
+// seqCounter is a sequential-counter cardinality encoding (Sinz 2005) over a
+// set of input literals, with unary outputs outs[k] meaning "at least k+1
+// inputs are true". Bounds are imposed by assuming ¬outs[k].
+type seqCounter struct {
+	outs []cnf.Lit
+}
+
+// newSeqCounter extends f with the counter circuit over lits.
+func newSeqCounter(f *cnf.Formula, lits []cnf.Lit) *seqCounter {
+	n := len(lits)
+	if n == 0 {
+		return &seqCounter{}
+	}
+	// s[i][j]: among lits[0..i], at least j+1 are true.
+	prev := make([]cnf.Lit, 0, n)
+	for i, x := range lits {
+		cur := make([]cnf.Lit, i+1)
+		for j := range cur {
+			cur[j] = cnf.PosLit(f.NewVar())
+		}
+		// cur[0] ↔ x ∨ prev[0]
+		if i == 0 {
+			f.AddEquivLit(cur[0], x)
+		} else {
+			f.AddOr(cur[0], x, prev[0])
+			for j := 1; j <= i; j++ {
+				// cur[j] ↔ prev[j] ∨ (x ∧ prev[j-1])
+				and := cnf.PosLit(f.NewVar())
+				f.AddAnd(and, x, prev[j-1])
+				if j < len(prev) {
+					f.AddOr(cur[j], prev[j], and)
+				} else {
+					f.AddEquivLit(cur[j], and)
+				}
+			}
+		}
+		prev = cur
+	}
+	return &seqCounter{outs: prev}
+}
+
+// atMost returns assumption literals enforcing "at most k inputs true".
+func (c *seqCounter) atMost(k int) []cnf.Lit {
+	if k >= len(c.outs) {
+		return nil
+	}
+	// outs[k] means ≥ k+1 true; forbid it.
+	return []cnf.Lit{c.outs[k].Neg()}
+}

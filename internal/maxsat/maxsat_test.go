@@ -1,0 +1,206 @@
+package maxsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func TestAllSoftSatisfiable(t *testing.T) {
+	hard := cnf.New(2)
+	hard.AddClause(1, 2)
+	softs := []Soft{{Clause: cnf.Clause{1}}, {Clause: cnf.Clause{2}}}
+	res, err := Solve(hard, softs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || !res.Optimal || len(res.Falsified) != 0 {
+		t.Fatalf("want cost 0 optimal, got %+v", res)
+	}
+}
+
+func TestHardUnsat(t *testing.T) {
+	hard := cnf.New(1)
+	hard.AddUnit(1)
+	hard.AddUnit(-1)
+	res, err := Solve(hard, []Soft{{Clause: cnf.Clause{1}}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat {
+		t.Fatalf("want UNSAT hard, got %+v", res)
+	}
+}
+
+func TestOneConflictingSoft(t *testing.T) {
+	// hard: x1; softs: ¬x1, x2 → optimal cost 1 (drop ¬x1).
+	hard := cnf.New(2)
+	hard.AddUnit(1)
+	softs := []Soft{{Clause: cnf.Clause{-1}}, {Clause: cnf.Clause{2}}}
+	res, err := Solve(hard, softs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 || !res.Optimal {
+		t.Fatalf("want cost 1 optimal, got %+v", res)
+	}
+	if len(res.Falsified) != 1 || res.Falsified[0] != 0 {
+		t.Fatalf("falsified: %v, want [0]", res.Falsified)
+	}
+	if res.Model.Get(2) != cnf.True {
+		t.Fatal("independent soft x2 should be satisfied")
+	}
+}
+
+func TestMutuallyExclusiveSofts(t *testing.T) {
+	// hard: exactly-one over x1..x3 (pairwise); softs want all three true.
+	hard := cnf.New(3)
+	hard.AddClause(1, 2, 3)
+	hard.AddClause(-1, -2)
+	hard.AddClause(-1, -3)
+	hard.AddClause(-2, -3)
+	softs := []Soft{{Clause: cnf.Clause{1}}, {Clause: cnf.Clause{2}}, {Clause: cnf.Clause{3}}}
+	res, err := Solve(hard, softs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 2 || !res.Optimal {
+		t.Fatalf("want cost 2 optimal, got %+v", res)
+	}
+}
+
+// exhaustiveOpt computes the true optimum by enumeration.
+func exhaustiveOpt(hard *cnf.Formula, softs []Soft) (int, bool) {
+	n := hard.NumVars
+	best := -1
+	for mask := 0; mask < 1<<n; mask++ {
+		a := cnf.NewAssignment(n)
+		for v := 1; v <= n; v++ {
+			a.SetBool(cnf.Var(v), mask&(1<<(v-1)) != 0)
+		}
+		if !hard.Eval(a) {
+			continue
+		}
+		cost := 0
+		for _, s := range softs {
+			sat := false
+			for _, l := range s.Clause {
+				if a.LitValue(l) == cnf.True {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				cost++
+			}
+		}
+		if best < 0 || cost < best {
+			best = cost
+		}
+	}
+	return best, best >= 0
+}
+
+func TestRandomAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(5)
+		hard := cnf.New(n)
+		for i := 0; i < rng.Intn(6); i++ {
+			k := 1 + rng.Intn(3)
+			c := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			hard.AddClause(c...)
+		}
+		var softs []Soft
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			k := 1 + rng.Intn(2)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.MkLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			softs = append(softs, Soft{Clause: c})
+		}
+		wantCost, feasible := exhaustiveOpt(hard, softs)
+		res, err := Solve(hard, softs, Options{})
+		if !feasible {
+			if err != nil {
+				continue
+			}
+			if res.Status != sat.Unsat {
+				t.Fatalf("trial %d: infeasible but got %+v", trial, res)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Status != sat.Sat || !res.Optimal {
+			t.Fatalf("trial %d: not optimal: %+v", trial, res)
+		}
+		if res.Cost != wantCost {
+			t.Fatalf("trial %d: cost %d, exhaustive %d", trial, res.Cost, wantCost)
+		}
+		// Model must satisfy hard clauses.
+		full := res.Model
+		if !hard.Eval(full) {
+			t.Fatalf("trial %d: model violates hard clauses", trial)
+		}
+		if len(res.Falsified) != res.Cost {
+			t.Fatalf("trial %d: falsified list %v inconsistent with cost %d", trial, res.Falsified, res.Cost)
+		}
+	}
+}
+
+func TestNoSofts(t *testing.T) {
+	hard := cnf.New(1)
+	hard.AddUnit(1)
+	res, err := Solve(hard, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 || !res.Optimal {
+		t.Fatalf("no softs: %+v", res)
+	}
+}
+
+func TestManthanFindCandiShape(t *testing.T) {
+	// The exact query shape from RepairHkF: hard = ϕ ∧ (X ↔ σ[X]),
+	// soft = (Y ↔ σ[Y′]). Paper Example 1: σ[X]={x1=1,x2=0,x3=0},
+	// σ[Y′]={0,0,0}; the MaxSAT optimum flips only y2 (candidates to repair
+	// = {y2} … or an equally-sized set).
+	// Variables: x1..x3 = 1..3, y1..y3 = 4..6.
+	phi := cnf.New(6)
+	phi.AddClause(1, 4)
+	phi.AddClause(-5, 4, -2)
+	phi.AddClause(5, -4)
+	phi.AddClause(5, 2)
+	phi.AddClause(-6, 2, 3)
+	phi.AddClause(6, -2)
+	phi.AddClause(6, -3)
+	hard := phi.Clone()
+	hard.AddUnit(1)
+	hard.AddUnit(-2)
+	hard.AddUnit(-3)
+	softs := []Soft{
+		{Clause: cnf.Clause{-4}}, // y1 ↔ 0
+		{Clause: cnf.Clause{-5}}, // y2 ↔ 0
+		{Clause: cnf.Clause{-6}}, // y3 ↔ 0
+	}
+	res, err := Solve(hard, softs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With x=100: ϕ forces y2 ↔ (y1 ∨ ¬x2) = 1 regardless of y1 (¬x2=1),
+	// y3 ↔ 0, y1 free → optimum keeps y1=0,y3=0, flips y2. Cost 1.
+	if res.Cost != 1 || !res.Optimal {
+		t.Fatalf("want cost 1: %+v", res)
+	}
+	if len(res.Falsified) != 1 || res.Falsified[0] != 1 {
+		t.Fatalf("repair candidate should be y2 (index 1): %v", res.Falsified)
+	}
+}

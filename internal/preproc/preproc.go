@@ -1,0 +1,298 @@
+// Package preproc implements a DQBF preprocessor in the spirit of HQSpre
+// (Wimmer et al., TACAS 2017), the preprocessor the paper's baselines invoke.
+// It applies truth-preserving rewriting rules until fixpoint:
+//
+//   - tautological clauses are removed;
+//   - duplicate and subsumed clauses are removed;
+//   - an existential unit clause forces that variable to a constant (the
+//     constant is recorded for function reconstruction);
+//   - a universal unit clause proves the instance False;
+//   - a pure existential literal (one polarity only) fixes the variable to
+//     the satisfying constant;
+//   - a pure universal literal is reduced by cofactoring to its *opposite*
+//     value (the adversary's best play), removing the literal everywhere —
+//     sound and complete because ϕ|x=pure-value is a subset of ϕ|x=opposite;
+//   - an empty clause proves the instance False.
+//
+// The Result records every forced existential so a Henkin vector synthesized
+// for the simplified instance extends to the original instance
+// (ReconstructVector).
+package preproc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// ErrFalse is returned when preprocessing alone refutes the instance.
+var ErrFalse = errors.New("preproc: instance is False")
+
+// Result is the outcome of Simplify.
+type Result struct {
+	// Simplified is the rewritten instance (shares no state with the input).
+	Simplified *dqbf.Instance
+	// ForcedExist maps existentials removed during preprocessing to their
+	// constant values.
+	ForcedExist map[cnf.Var]bool
+	// ReducedUniv lists universal variables removed by pure-literal
+	// reduction (their value is irrelevant to the simplified matrix).
+	ReducedUniv []cnf.Var
+	// Stats counts rule applications.
+	Stats Stats
+}
+
+// Stats counts preprocessing rule applications.
+type Stats struct {
+	Tautologies   int
+	Duplicates    int
+	Subsumed      int
+	ExistUnits    int
+	PureExist     int
+	PureUniv      int
+	Rounds        int
+	ClausesBefore int
+	ClausesAfter  int
+}
+
+// Simplify runs the rewriting loop to fixpoint.
+func Simplify(in *dqbf.Instance) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	cur := in.Clone()
+	res := &Result{ForcedExist: make(map[cnf.Var]bool)}
+	res.Stats.ClausesBefore = len(cur.Matrix.Clauses)
+
+	for {
+		res.Stats.Rounds++
+		changed := false
+
+		// Tautology / duplicate / empty handling in one sweep.
+		seen := make(map[string]bool)
+		kept := cur.Matrix.Clauses[:0]
+		for _, c := range cur.Matrix.Clauses {
+			norm, taut := c.Normalize()
+			if taut {
+				res.Stats.Tautologies++
+				changed = true
+				continue
+			}
+			if len(norm) == 0 {
+				return nil, ErrFalse
+			}
+			key := norm.String()
+			if seen[key] {
+				res.Stats.Duplicates++
+				changed = true
+				continue
+			}
+			seen[key] = true
+			kept = append(kept, norm)
+		}
+		cur.Matrix.Clauses = append([]cnf.Clause(nil), kept...)
+
+		// Unit rules.
+		for _, c := range cur.Matrix.Clauses {
+			if len(c) != 1 {
+				continue
+			}
+			l := c[0]
+			if cur.IsUniv(l.Var()) {
+				return nil, ErrFalse // fails for the opposite universal value
+			}
+			if cur.IsExist(l.Var()) {
+				forceExist(cur, res, l)
+				changed = true
+				break // restart the sweep: clause set changed
+			}
+		}
+		if changed {
+			continue
+		}
+
+		// Purity analysis.
+		pos := make(map[cnf.Var]bool)
+		neg := make(map[cnf.Var]bool)
+		for _, c := range cur.Matrix.Clauses {
+			for _, l := range c {
+				if l.IsPos() {
+					pos[l.Var()] = true
+				} else {
+					neg[l.Var()] = true
+				}
+			}
+		}
+		for _, y := range append([]cnf.Var(nil), cur.Exist...) {
+			if pos[y] && neg[y] {
+				continue
+			}
+			if !pos[y] && !neg[y] {
+				// Unused existential: any constant works.
+				forceExist(cur, res, cnf.NegLit(y))
+				res.Stats.PureExist++
+				changed = true
+				continue
+			}
+			res.Stats.PureExist++
+			forceExist(cur, res, cnf.MkLit(y, pos[y]))
+			changed = true
+		}
+		if changed {
+			continue
+		}
+		for _, x := range append([]cnf.Var(nil), cur.Univ...) {
+			if pos[x] && neg[x] {
+				continue
+			}
+			if !pos[x] && !neg[x] {
+				removeUniv(cur, res, x)
+				changed = true
+				continue
+			}
+			// Pure universal: cofactor to the opposite value, i.e. simply
+			// delete the pure literal's occurrences.
+			res.Stats.PureUniv++
+			pure := cnf.MkLit(x, pos[x])
+			for i, c := range cur.Matrix.Clauses {
+				out := c[:0]
+				for _, l := range c {
+					if l != pure {
+						out = append(out, l)
+					}
+				}
+				cur.Matrix.Clauses[i] = out
+			}
+			removeUniv(cur, res, x)
+			changed = true
+		}
+		if changed {
+			continue
+		}
+
+		// Subsumption (quadratic; fine at this scale).
+		if removeSubsumed(cur, res) {
+			continue
+		}
+		break
+	}
+	res.Stats.ClausesAfter = len(cur.Matrix.Clauses)
+	res.Simplified = cur
+	if err := cur.Validate(); err != nil {
+		return nil, fmt.Errorf("preproc: internal: %v", err)
+	}
+	return res, nil
+}
+
+// forceExist assigns existential literal l (making it true), removing the
+// variable from the instance.
+func forceExist(in *dqbf.Instance, res *Result, l cnf.Lit) {
+	y := l.Var()
+	res.ForcedExist[y] = l.IsPos()
+	res.Stats.ExistUnits++
+	kept := in.Matrix.Clauses[:0]
+	for _, c := range in.Matrix.Clauses {
+		if c.Has(l) {
+			continue
+		}
+		out := c[:0]
+		for _, lit := range c {
+			if lit != l.Neg() {
+				out = append(out, lit)
+			}
+		}
+		kept = append(kept, out)
+	}
+	in.Matrix.Clauses = append([]cnf.Clause(nil), kept...)
+	for i, e := range in.Exist {
+		if e == y {
+			in.Exist = append(in.Exist[:i], in.Exist[i+1:]...)
+			break
+		}
+	}
+	delete(in.Deps, y)
+}
+
+// removeUniv drops universal x from the prefix and every dependency set.
+func removeUniv(in *dqbf.Instance, res *Result, x cnf.Var) {
+	res.ReducedUniv = append(res.ReducedUniv, x)
+	for i, u := range in.Univ {
+		if u == x {
+			in.Univ = append(in.Univ[:i], in.Univ[i+1:]...)
+			break
+		}
+	}
+	for y, deps := range in.Deps {
+		for i, d := range deps {
+			if d == x {
+				in.Deps[y] = append(deps[:i], deps[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// removeSubsumed drops clauses that are supersets of another clause.
+func removeSubsumed(in *dqbf.Instance, res *Result) bool {
+	cs := in.Matrix.Clauses
+	sort.Slice(cs, func(i, j int) bool { return len(cs[i]) < len(cs[j]) })
+	sets := make([]map[cnf.Lit]bool, len(cs))
+	for i, c := range cs {
+		m := make(map[cnf.Lit]bool, len(c))
+		for _, l := range c {
+			m[l] = true
+		}
+		sets[i] = m
+	}
+	removed := make([]bool, len(cs))
+	changed := false
+	for i := 0; i < len(cs); i++ {
+		if removed[i] {
+			continue
+		}
+		for j := i + 1; j < len(cs); j++ {
+			if removed[j] || len(cs[j]) < len(cs[i]) {
+				continue
+			}
+			sub := true
+			for _, l := range cs[i] {
+				if !sets[j][l] {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				removed[j] = true
+				res.Stats.Subsumed++
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return false
+	}
+	kept := cs[:0]
+	for i, c := range cs {
+		if !removed[i] {
+			kept = append(kept, c)
+		}
+	}
+	in.Matrix.Clauses = append([]cnf.Clause(nil), kept...)
+	return true
+}
+
+// ReconstructVector extends a Henkin vector synthesized for the simplified
+// instance to the original instance by adding the forced constants.
+func ReconstructVector(res *Result, fv *dqbf.FuncVector) *dqbf.FuncVector {
+	out := dqbf.NewFuncVector(fv.B)
+	for y, f := range fv.Funcs {
+		out.Funcs[y] = f
+	}
+	for y, val := range res.ForcedExist {
+		out.Funcs[y] = fv.B.Const(val)
+	}
+	return out
+}

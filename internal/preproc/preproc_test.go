@@ -1,0 +1,221 @@
+package preproc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines/expand"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+func TestTautologyAndDuplicateRemoval(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.Matrix.AddClause(2, -2, 1) // tautology
+	in.Matrix.AddClause(1, 2)
+	in.Matrix.AddClause(2, 1) // duplicate after normalization
+	res, err := Simplify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Tautologies != 1 || res.Stats.Duplicates != 1 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+}
+
+func TestExistentialUnitForcesConstant(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.AddExist(3, []cnf.Var{1})
+	in.Matrix.AddClause(2)     // unit: y2 = 1
+	in.Matrix.AddClause(-2, 3) // simplifies to unit y3
+	res, err := Simplify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := res.ForcedExist[2]; !ok || !v {
+		t.Fatalf("y2 not forced true: %v", res.ForcedExist)
+	}
+	if v, ok := res.ForcedExist[3]; !ok || !v {
+		t.Fatalf("y3 not forced true: %v", res.ForcedExist)
+	}
+	if len(res.Simplified.Matrix.Clauses) != 0 {
+		t.Fatalf("clauses remain: %v", res.Simplified.Matrix.Clauses)
+	}
+}
+
+func TestUniversalUnitIsFalse(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, nil)
+	in.Matrix.AddClause(1)
+	in.Matrix.AddClause(2, -2) // tautology noise
+	if _, err := Simplify(in); !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestPureUniversalReduction(t *testing.T) {
+	// ϕ = (y ∨ x2 ∨ ¬x1) ∧ (¬y ∨ x1): x2 occurs only positively, so the
+	// adversary's best play is x2=0 and the literal is deleted, leaving
+	// y ↔ x1 (True with f = x1). y and x1 appear in both polarities, so no
+	// other rule may fire first.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddExist(3, []cnf.Var{1, 2})
+	in.Matrix.AddClause(3, 2, -1)
+	in.Matrix.AddClause(-3, 1)
+	res, err := Simplify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PureUniv != 1 {
+		t.Fatalf("pure universal not reduced: %+v", res.Stats)
+	}
+	if res.Simplified.IsUniv(2) {
+		t.Fatal("x2 still in prefix")
+	}
+	if res.Simplified.DepContains(3, 2) {
+		t.Fatal("x2 still in y's dependency set")
+	}
+	if len(res.Simplified.Matrix.Clauses) != 2 {
+		t.Fatalf("clauses: %v", res.Simplified.Matrix.Clauses)
+	}
+	// The reduced instance stays True with f = x1.
+	fv := dqbf.NewFuncVector(nil)
+	fv.Funcs[3] = fv.B.Var(1)
+	vr, err := dqbf.VerifyVector(res.Simplified, fv, -1)
+	if err != nil || !vr.Valid {
+		t.Fatalf("reduced instance lost truth: %v %v", vr, err)
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddExist(3, []cnf.Var{1, 2})
+	in.AddExist(4, []cnf.Var{1, 2})
+	// (3 ∨ ¬4) subsumes (3 ∨ ¬4 ∨ x1); add both polarities of uses so no
+	// purity fires first.
+	in.Matrix.AddClause(3, -4)
+	in.Matrix.AddClause(3, -4, 1)
+	in.Matrix.AddClause(-3, 4, -1)
+	in.Matrix.AddClause(-3, 4, 2)
+	in.Matrix.AddClause(3, -2, 4)
+	res, err := Simplify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Subsumed < 1 {
+		t.Fatalf("no subsumption: %+v", res.Stats)
+	}
+}
+
+func TestEmptyClauseFalse(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddExist(1, nil)
+	in.Matrix.AddClause(1)
+	in.Matrix.Clauses = append(in.Matrix.Clauses, cnf.Clause{})
+	if _, err := Simplify(in); !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+}
+
+func TestSimplifyPreservesTruthAndReconstructs(t *testing.T) {
+	// Property: truth is preserved, and a vector synthesized for the
+	// simplified instance reconstructs to a valid vector for the original.
+	rng := rand.New(rand.NewSource(61))
+	checked := 0
+	for trial := 0; trial < 120 && checked < 40; trial++ {
+		in := dqbf.NewInstance()
+		nX := 1 + rng.Intn(3)
+		for i := 1; i <= nX; i++ {
+			in.AddUniv(cnf.Var(i))
+		}
+		nY := 1 + rng.Intn(3)
+		for j := 0; j < nY; j++ {
+			y := cnf.Var(nX + j + 1)
+			var deps []cnf.Var
+			for i := 1; i <= nX; i++ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, cnf.Var(i))
+				}
+			}
+			in.AddExist(y, deps)
+		}
+		for c := 0; c < 1+rng.Intn(5); c++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				v := cnf.Var(1 + rng.Intn(nX+nY))
+				cl = append(cl, cnf.MkLit(v, rng.Intn(2) == 0))
+			}
+			in.Matrix.AddClause(cl...)
+		}
+		orig := in.Clone()
+		wantTrue, err := dqbf.BruteForceTrue(orig, 64)
+		if err != nil {
+			continue
+		}
+		checked++
+		res, serr := Simplify(in)
+		if errors.Is(serr, ErrFalse) {
+			if wantTrue {
+				t.Fatalf("trial %d: preprocessing refuted a True instance", trial)
+			}
+			continue
+		}
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		// Solve the simplified instance with the complete engine.
+		eres, eerr := expand.Solve(res.Simplified, expand.Options{})
+		if errors.Is(eerr, expand.ErrFalse) {
+			if wantTrue {
+				t.Fatalf("trial %d: simplified instance False but original True", trial)
+			}
+			continue
+		}
+		if eerr != nil {
+			continue
+		}
+		if !wantTrue {
+			t.Fatalf("trial %d: simplified instance True but original False", trial)
+		}
+		full := ReconstructVector(res, eres.Vector)
+		// All original existentials must be covered.
+		for _, y := range orig.Exist {
+			if _, ok := full.Funcs[y]; !ok {
+				t.Fatalf("trial %d: reconstruction missing %d", trial, y)
+			}
+		}
+		vr, verr := dqbf.VerifyVector(orig, full, -1)
+		if verr != nil || !vr.Valid {
+			t.Fatalf("trial %d: reconstructed vector invalid (%v)", trial, verr)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few comparable trials: %d", checked)
+	}
+}
+
+func TestStatsBeforeAfter(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1})
+	in.Matrix.AddClause(2, 1)
+	in.Matrix.AddClause(2, -1)
+	res, err := Simplify(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ClausesBefore != 2 || res.Stats.ClausesAfter > 2 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+}

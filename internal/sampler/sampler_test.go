@@ -1,0 +1,152 @@
+package sampler
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestSampleBasic(t *testing.T) {
+	f := cnf.New(4)
+	f.AddClause(1, 2)
+	f.AddClause(-3, 4)
+	samples, err := Sample(f, 10, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for i, m := range samples {
+		if !f.Eval(m) {
+			t.Fatalf("sample %d does not satisfy formula", i)
+		}
+	}
+}
+
+func TestSampleDiversity(t *testing.T) {
+	// Unconstrained 6 vars: 64 solutions; asking for 20 distinct samples
+	// should find many distinct projections.
+	f := cnf.New(6)
+	f.AddClause(1, -1) // keep vars present
+	vars := []cnf.Var{1, 2, 3, 4, 5, 6}
+	samples, err := Sample(f, 20, Options{Seed: 7, Vars: vars})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	for _, m := range samples {
+		key := ""
+		for _, v := range vars {
+			if m.Get(v) == cnf.True {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if seen[key] {
+			t.Fatalf("duplicate sample %s returned", key)
+		}
+		seen[key] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("only %d distinct samples of 20 requested", len(seen))
+	}
+}
+
+func TestSampleExhaustsSolutionSpace(t *testing.T) {
+	// x1 ∨ x2 has 3 solutions over vars {1,2}; requesting more stops early.
+	f := cnf.New(2)
+	f.AddClause(1, 2)
+	samples, err := Sample(f, 50, Options{Seed: 3, Vars: []cnf.Var{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 || len(samples) > 3 {
+		t.Fatalf("got %d samples, want 1..3 (distinct projections)", len(samples))
+	}
+}
+
+func TestSampleUnsat(t *testing.T) {
+	f := cnf.New(1)
+	f.AddUnit(1)
+	f.AddUnit(-1)
+	if _, err := Sample(f, 5, Options{Seed: 1}); err == nil {
+		t.Fatal("UNSAT formula sampled")
+	}
+}
+
+func TestSampleZeroRequested(t *testing.T) {
+	f := cnf.New(1)
+	f.AddUnit(1)
+	samples, err := Sample(f, 0, Options{})
+	if err != nil || samples != nil {
+		t.Fatalf("zero request: %v %v", samples, err)
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	f := cnf.New(5)
+	f.AddClause(1, 2, 3)
+	f.AddClause(-2, 4)
+	f.AddClause(-4, 5)
+	a, err := Sample(f, 8, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(f, 8, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for v := 1; v <= 5; v++ {
+			if a[i].Get(cnf.Var(v)) != b[i].Get(cnf.Var(v)) {
+				t.Fatalf("sample %d differs at var %d", i, v)
+			}
+		}
+	}
+}
+
+func TestAdaptiveSamplingStillSatisfying(t *testing.T) {
+	f := cnf.New(6)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 3)
+	f.AddClause(4, 5, 6)
+	samples, err := Sample(f, 16, Options{
+		Seed:         9,
+		AdaptiveVars: []cnf.Var{4, 5, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range samples {
+		if !f.Eval(m) {
+			t.Fatalf("adaptive sample %d invalid", i)
+		}
+	}
+}
+
+func TestSampleCoversBothPolarities(t *testing.T) {
+	// A free variable should appear with both polarities across samples.
+	f := cnf.New(3)
+	f.AddClause(1, 2, 3)
+	samples, err := Sample(f, 12, Options{Seed: 11, Vars: []cnf.Var{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTrue, sawFalse := false, false
+	for _, m := range samples {
+		if m.Get(1) == cnf.True {
+			sawTrue = true
+		} else {
+			sawFalse = true
+		}
+	}
+	if !sawTrue || !sawFalse {
+		t.Fatalf("sampler not diverse on free variable: true=%v false=%v (n=%d)",
+			sawTrue, sawFalse, len(samples))
+	}
+}

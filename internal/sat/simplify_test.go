@@ -1,0 +1,82 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestSimplifyRemovesSatisfiedClauses(t *testing.T) {
+	s := New()
+	s.EnsureVars(4)
+	s.AddClause(1)
+	s.AddClause(1, 2)  // satisfied by unit
+	s.AddClause(-1, 3) // strengthens to unit 3
+	s.AddClause(2, 4)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("got %v", st)
+	}
+	m := s.Model()
+	if m.Get(1) != cnf.True || m.Get(3) != cnf.True {
+		t.Fatalf("propagation through simplification broken: %v", m)
+	}
+	// Solver stays correct for further incremental use.
+	s.AddClause(-3, -4)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("after simplify: %v", st)
+	}
+	if s.Model().Get(4) != cnf.False {
+		t.Fatal("unit chain after simplification broken")
+	}
+}
+
+func TestSimplifyDerivesConflict(t *testing.T) {
+	s := New()
+	s.EnsureVars(2)
+	s.AddClause(1, 2)
+	s.AddClause(1, -2)
+	s.AddClause(-1, 2)
+	s.AddClause(-1, -2)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("got %v, want UNSAT", st)
+	}
+	// Subsequent calls remain consistent.
+	if st := s.Solve(); st != Unsat {
+		t.Fatal("UNSAT state not sticky")
+	}
+}
+
+func TestSimplifyRandomIncremental(t *testing.T) {
+	// Interleave solving and unit additions; simplification must never
+	// change satisfiability vs a fresh solver on the same clause set.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(5)
+		f := cnf.New(n)
+		s := New()
+		s.EnsureVars(n)
+		consistent := true
+		for phase := 0; phase < 4 && consistent; phase++ {
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				k := 1 + rng.Intn(3)
+				c := make([]cnf.Lit, 0, k)
+				for j := 0; j < k; j++ {
+					c = append(c, cnf.MkLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+				}
+				f.AddClause(c...)
+				s.AddClause(c...)
+			}
+			got := s.Solve()
+			fresh := New()
+			fresh.AddFormula(f)
+			want := fresh.Solve()
+			if got != want {
+				t.Fatalf("trial %d phase %d: incremental=%v fresh=%v", trial, phase, got, want)
+			}
+			if got == Unsat {
+				consistent = false
+			}
+		}
+	}
+}

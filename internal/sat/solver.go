@@ -1,0 +1,1035 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver
+// in the MiniSat lineage: two-watched-literal propagation, first-UIP conflict
+// analysis with clause minimization, VSIDS branching, phase saving, Luby
+// restarts, learned-clause database reduction, solving under assumptions, and
+// extraction of failed-assumption cores.
+//
+// It replaces the PicoSAT/CryptoMiniSat oracles used by the Manthan3 paper.
+// Unsatisfiable cores are reported over assumption literals, which is exactly
+// how Manthan3 consumes cores: the unit clauses of the repair formula Gk are
+// passed as assumptions and the core names the units responsible for
+// infeasibility.
+package sat
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	// Unknown means the solver gave up (budget or deadline exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; see Model.
+	Sat
+	// Unsat means the formula (under the given assumptions) is unsatisfiable.
+	Unsat
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// internal literal code: variable v (1-based) has codes 2v (positive) and
+// 2v+1 (negative). Code 0/1 are unused.
+type lit int32
+
+func toLit(l cnf.Lit) lit {
+	if l > 0 {
+		return lit(2 * l)
+	}
+	return lit(-2*l + 1)
+}
+
+func fromLit(p lit) cnf.Lit {
+	v := cnf.Lit(p >> 1)
+	if p&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+func (p lit) neg() lit    { return p ^ 1 }
+func (p lit) varIdx() int { return int(p >> 1) }
+func (p lit) sign() bool  { return p&1 == 1 } // true = negative literal
+func mkLit(v int, neg bool) lit {
+	p := lit(2 * v)
+	if neg {
+		p++
+	}
+	return p
+}
+
+type clause struct {
+	lits     []lit
+	activity float64
+	learnt   bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker lit // a literal whose truth satisfies the clause (fast skip)
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	numVars int
+	ok      bool // false once a top-level conflict is derived
+
+	clauses []*clause
+	learnts []*clause
+
+	watches [][]watcher // indexed by lit code
+
+	assigns  []int8    // per variable: lTrue/lFalse/lUndef
+	level    []int32   // decision level of assignment
+	reason   []*clause // antecedent clause
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	varDecay float64
+	heap     varHeap
+	phase    []bool // saved phase: true means last assigned true
+
+	claInc   float64
+	claDecay float64
+
+	seen      []bool
+	analyzeSt []lit // scratch
+
+	assumptions []lit
+	conflict    []lit // failed assumptions (negated form: lits that must flip)
+
+	rng           *rand.Rand
+	randVarFreq   float64 // probability of a random branching variable
+	randPhaseFreq float64 // probability of a random phase at a decision
+
+	conflictBudget int64 // -1 = unlimited
+	deadline       time.Time
+	checkCnt       int64
+	conflicts      int64
+	propagations   int64
+	decisions      int64
+	restarts       int64
+	learntLits     int64
+
+	maxLearnts    float64
+	learntAdjust  float64
+	learntAdjCnt  int64
+	learntAdjIncr float64
+
+	simpLastTrail int // trail size at the last top-level simplification
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		ok:             true,
+		varInc:         1,
+		varDecay:       0.95,
+		claInc:         1,
+		claDecay:       0.999,
+		rng:            rand.New(rand.NewSource(0)),
+		conflictBudget: -1,
+		maxLearnts:     0,
+		learntAdjust:   100,
+		learntAdjCnt:   100,
+		learntAdjIncr:  1.5,
+	}
+	s.watches = make([][]watcher, 2)
+	s.assigns = make([]int8, 1)
+	s.level = make([]int32, 1)
+	s.reason = make([]*clause, 1)
+	s.activity = make([]float64, 1)
+	s.phase = make([]bool, 1)
+	s.seen = make([]bool, 1)
+	s.heap.activity = &s.activity
+	return s
+}
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() cnf.Var {
+	s.numVars++
+	v := s.numVars
+	s.watches = append(s.watches, nil, nil)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	s.seen = append(s.seen, false)
+	s.heap.insert(v)
+	return cnf.Var(v)
+}
+
+// EnsureVars grows the variable table to cover variables 1..n.
+func (s *Solver) EnsureVars(n int) {
+	for s.numVars < n {
+		s.NewVar()
+	}
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// SetSeed seeds the solver's random source (used for random branching and
+// random phases; deterministic by default).
+func (s *Solver) SetSeed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+
+// SetRandomVarFreq sets the probability of choosing a random branching
+// variable instead of the VSIDS maximum. Used by the sampler.
+func (s *Solver) SetRandomVarFreq(p float64) { s.randVarFreq = p }
+
+// SetRandomPhaseFreq sets the probability of choosing a random phase at each
+// decision instead of the saved phase. Used by the sampler.
+func (s *Solver) SetRandomPhaseFreq(p float64) { s.randPhaseFreq = p }
+
+// PrimePhase sets the saved phase of variable v, steering the polarity of
+// future decisions on v (used by the sampler's adaptive bias).
+func (s *Solver) PrimePhase(v cnf.Var, phase bool) {
+	s.EnsureVars(int(v))
+	s.phase[v] = phase
+}
+
+// SetConflictBudget limits the number of conflicts for subsequent Solve
+// calls; Solve returns Unknown when the budget is exhausted. Negative means
+// unlimited.
+func (s *Solver) SetConflictBudget(n int64) { s.conflictBudget = n }
+
+// SetDeadline sets a wall-clock deadline for subsequent Solve calls; zero
+// time means no deadline.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// Stats reports cumulative solver statistics.
+func (s *Solver) Stats() (conflicts, propagations, decisions, restarts int64) {
+	return s.conflicts, s.propagations, s.decisions, s.restarts
+}
+
+// AddFormula adds every clause of f, growing the variable table as needed.
+func (s *Solver) AddFormula(f *cnf.Formula) {
+	s.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		s.AddClause(c...)
+	}
+}
+
+// AddClause adds a clause to the solver. It returns false if the solver is
+// already in an unsatisfiable state at level 0 (the clause database is then
+// trivially unsatisfiable). Clauses may be added between Solve calls.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	s.cancelUntil(0)
+	if !s.ok {
+		return false
+	}
+	// Normalize: sort-dedup and detect tautology / false literals at level 0.
+	tmp := make([]lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) > s.numVars {
+			s.EnsureVars(int(l.Var()))
+		}
+		p := toLit(l)
+		switch s.litValue(p) {
+		case lTrue:
+			return true // clause already satisfied at level 0
+		case lFalse:
+			continue // drop false literal
+		}
+		dup := false
+		for _, q := range tmp {
+			if q == p {
+				dup = true
+				break
+			}
+			if q == p.neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			tmp = append(tmp, p)
+		}
+	}
+	switch len(tmp) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(tmp[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: tmp}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	p0, p1 := c.lits[0], c.lits[1]
+	s.watches[p0.neg()] = append(s.watches[p0.neg()], watcher{c, p1})
+	s.watches[p1.neg()] = append(s.watches[p1.neg()], watcher{c, p0})
+}
+
+func (s *Solver) detach(c *clause) {
+	s.removeWatch(c.lits[0].neg(), c)
+	s.removeWatch(c.lits[1].neg(), c)
+}
+
+func (s *Solver) removeWatch(p lit, c *clause) {
+	ws := s.watches[p]
+	for i := range ws {
+		if ws[i].c == c {
+			ws[i] = ws[len(ws)-1]
+			s.watches[p] = ws[:len(ws)-1]
+			return
+		}
+	}
+}
+
+func (s *Solver) litValue(p lit) int8 {
+	v := s.assigns[p.varIdx()]
+	if v == lUndef {
+		return lUndef
+	}
+	if p.sign() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) uncheckedEnqueue(p lit, from *clause) {
+	v := p.varIdx()
+	if p.sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.phase[v] = !p.sign()
+	s.trail = append(s.trail, p)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		v := s.trail[i].varIdx()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		if !s.heap.inHeap(v) {
+			s.heap.insert(v)
+		}
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	if s.qhead > len(s.trail) {
+		s.qhead = len(s.trail)
+	}
+}
+
+// propagate performs unit propagation over the trail; it returns the
+// conflicting clause, or nil if no conflict arises.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.propagations++
+		falseLit := p.neg()
+		ws := s.watches[p] // clauses where ¬p ... see convention below
+		_ = falseLit
+		// Convention: watches[q] holds watchers for clauses in which the
+		// literal ¬q is watched; i.e. when q becomes true we must visit them.
+		i, j := 0, 0
+		var confl *clause
+		for i < len(ws) {
+			w := ws[i]
+			i++
+			if s.litValue(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Make sure the false literal is lits[1].
+			if c.lits[0] == p.neg() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watcher moved; do not keep in this list
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.litValue(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				// copy remaining watchers
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.numVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heap.inHeap(v) {
+		s.heap.decrease(v)
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, l := range s.learnts {
+			l.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (first literal is the asserting literal) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]lit, int) {
+	learnt := []lit{0} // placeholder for asserting literal
+	pathC := 0
+	var p lit = 0
+	idx := len(s.trail) - 1
+	for {
+		s.bumpClause(confl)
+		for k := 0; k < len(confl.lits); k++ {
+			q := confl.lits[k]
+			if p != 0 && k == 0 {
+				// skip the asserting literal position when expanding reason
+			}
+			if q == p {
+				continue
+			}
+			v := q.varIdx()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				pathC++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand.
+		for !s.seen[s.trail[idx].varIdx()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.varIdx()
+		s.seen[v] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	learnt[0] = p.neg()
+
+	// Simple local minimization: drop literals whose reason is subsumed.
+	// Snapshot the tail first: appends below reuse learnt's backing array.
+	tail := make([]lit, len(learnt)-1)
+	copy(tail, learnt[1:])
+	for _, q := range tail {
+		s.seen[q.varIdx()] = true
+	}
+	out := learnt[:1]
+	for _, q := range tail {
+		if !s.litRedundant(q) {
+			out = append(out, q)
+		}
+	}
+	for _, q := range tail {
+		s.seen[q.varIdx()] = false
+	}
+	learnt = out
+
+	// Find backtrack level: max level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].varIdx()] > s.level[learnt[maxI].varIdx()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].varIdx()])
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether q is implied by other seen literals via its
+// reason clause (one-step self-subsumption check).
+func (s *Solver) litRedundant(q lit) bool {
+	r := s.reason[q.varIdx()]
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits {
+		if l == q.neg() || l == q {
+			continue
+		}
+		v := l.varIdx()
+		if s.level[v] == 0 {
+			continue
+		}
+		if !s.seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// analyzeFinal computes the failed-assumption core when assumption p is
+// falsified: the subset of assumptions that together imply ¬p.
+func (s *Solver) analyzeFinal(p lit) {
+	s.conflict = s.conflict[:0]
+	s.conflict = append(s.conflict, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.varIdx()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].varIdx()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			if s.level[v] > 0 {
+				s.conflict = append(s.conflict, s.trail[i].neg())
+			}
+		} else {
+			for _, l := range s.reason[v].lits {
+				if l.varIdx() != v && s.level[l.varIdx()] > 0 {
+					s.seen[l.varIdx()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.varIdx()] = false
+}
+
+func (s *Solver) pickBranchLit() lit {
+	v := 0
+	if s.randVarFreq > 0 && s.rng.Float64() < s.randVarFreq && !s.heap.empty() {
+		cand := s.heap.data[s.rng.Intn(len(s.heap.data))]
+		if s.assigns[cand] == lUndef {
+			v = cand
+		}
+	}
+	for v == 0 {
+		if s.heap.empty() {
+			return 0
+		}
+		cand := s.heap.removeMin()
+		if s.assigns[cand] == lUndef {
+			v = cand
+		}
+	}
+	s.decisions++
+	ph := s.phase[v]
+	if s.randPhaseFreq > 0 && s.rng.Float64() < s.randPhaseFreq {
+		ph = s.rng.Intn(2) == 0
+	}
+	return mkLit(v, !ph)
+}
+
+func (s *Solver) reduceDB() {
+	// Sort learnts by activity ascending and drop the lower half, keeping
+	// reason clauses and binary clauses.
+	if len(s.learnts) < 2 {
+		return
+	}
+	ls := s.learnts
+	// partial selection: simple sort
+	sortClausesByActivity(ls)
+	lim := len(ls) / 2
+	kept := ls[:0]
+	for i, c := range ls {
+		if len(c.lits) == 2 || s.isReason(c) || i >= lim {
+			kept = append(kept, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) isReason(c *clause) bool {
+	v := c.lits[0].varIdx()
+	return s.assigns[v] != lUndef && s.reason[v] == c
+}
+
+func sortClausesByActivity(cs []*clause) {
+	// insertion-friendly small sort; len can be large so use a simple
+	// quicksort via sort.Slice equivalent without importing sort to keep the
+	// hot path obvious.
+	quickSortClauses(cs, 0, len(cs)-1)
+}
+
+func quickSortClauses(cs []*clause, lo, hi int) {
+	for lo < hi {
+		p := cs[(lo+hi)/2].activity
+		i, j := lo, hi
+		for i <= j {
+			for cs[i].activity < p {
+				i++
+			}
+			for cs[j].activity > p {
+				j--
+			}
+			if i <= j {
+				cs[i], cs[j] = cs[j], cs[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSortClauses(cs, lo, j)
+			lo = i
+		} else {
+			quickSortClauses(cs, i, hi)
+			hi = j
+		}
+	}
+}
+
+// search runs CDCL until a model, a conflict at level 0, the restart limit
+// (nofConflicts, <0 = none), or budget exhaustion.
+func (s *Solver) search(nofConflicts int64) Status {
+	conflictC := int64(0)
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			conflictC++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.learntLits += int64(len(learnt))
+			s.varInc /= s.varDecay
+			s.claInc /= s.claDecay
+			s.learntAdjCnt--
+			if s.learntAdjCnt <= 0 {
+				s.learntAdjust *= s.learntAdjIncr
+				s.learntAdjCnt = int64(s.learntAdjust)
+				s.maxLearnts *= 1.1
+			}
+			continue
+		}
+		// No conflict.
+		if nofConflicts >= 0 && conflictC >= nofConflicts {
+			s.cancelUntil(s.assumptionLevel())
+			return Unknown
+		}
+		if s.budgetExhausted() {
+			return Unknown
+		}
+		if s.maxLearnts > 0 && float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+		}
+		// Assumptions as pseudo-decisions.
+		next := lit(0)
+		for s.decisionLevel() < len(s.assumptions) {
+			p := s.assumptions[s.decisionLevel()]
+			switch s.litValue(p) {
+			case lTrue:
+				s.newDecisionLevel() // already satisfied; dummy level
+			case lFalse:
+				s.analyzeFinal(p.neg())
+				return Unsat
+			default:
+				next = p
+			}
+			if next != 0 {
+				break
+			}
+		}
+		if next == 0 {
+			next = s.pickBranchLit()
+			if next == 0 {
+				return Sat // all variables assigned
+			}
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+func (s *Solver) assumptionLevel() int {
+	if len(s.assumptions) < s.decisionLevel() {
+		return len(s.assumptions)
+	}
+	return s.decisionLevel()
+}
+
+func (s *Solver) budgetExhausted() bool {
+	if s.conflictBudget >= 0 && s.conflicts >= s.conflictBudget {
+		return true
+	}
+	s.checkCnt++
+	if !s.deadline.IsZero() && s.checkCnt&1023 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// luby computes the Luby restart sequence value for 0-based index x
+// (1, 1, 2, 1, 1, 2, 4, …), following the standard MiniSat formulation.
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// simplifyDB removes clauses satisfied at the top level and strips false
+// literals from the remainder — MiniSat's top-level simplification. Must be
+// called at decision level 0.
+func (s *Solver) simplifyDB() {
+	if !s.ok || s.decisionLevel() != 0 || s.qhead < len(s.trail) {
+		return
+	}
+	if len(s.trail) == s.simpLastTrail {
+		return // nothing new fixed since the last pass
+	}
+	s.clauses = s.simplifyList(s.clauses)
+	if s.ok {
+		s.learnts = s.simplifyList(s.learnts)
+	}
+	s.simpLastTrail = len(s.trail)
+}
+
+func (s *Solver) simplifyList(cs []*clause) []*clause {
+	kept := cs[:0]
+	for _, c := range cs {
+		if !s.ok {
+			kept = append(kept, c)
+			continue
+		}
+		satisfied := false
+		for _, l := range c.lits {
+			if s.litValue(l) == lTrue {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			s.detach(c)
+			continue
+		}
+		// Strip false literals (beyond the two watched positions, any
+		// literal may be false at level 0).
+		hasFalse := false
+		for _, l := range c.lits {
+			if s.litValue(l) == lFalse {
+				hasFalse = true
+				break
+			}
+		}
+		if !hasFalse {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+		nl := c.lits[:0]
+		for _, l := range c.lits {
+			if s.litValue(l) != lFalse {
+				nl = append(nl, l)
+			}
+		}
+		c.lits = nl
+		switch len(c.lits) {
+		case 0:
+			s.ok = false
+		case 1:
+			s.uncheckedEnqueue(c.lits[0], nil)
+			if s.propagate() != nil {
+				s.ok = false
+			}
+		default:
+			s.attach(c)
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// Solve determines satisfiability of the clause database.
+func (s *Solver) Solve() Status { return s.SolveAssume(nil) }
+
+// SolveAssume determines satisfiability under the given assumption literals.
+// On Unsat, Core returns the subset of assumptions responsible. On Sat, Model
+// returns the satisfying assignment.
+func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
+	s.cancelUntil(0)
+	s.conflict = s.conflict[:0]
+	if !s.ok {
+		return Unsat
+	}
+	if s.propagate() != nil {
+		s.ok = false
+		return Unsat
+	}
+	s.simplifyDB()
+	if !s.ok {
+		return Unsat
+	}
+	s.assumptions = s.assumptions[:0]
+	for _, a := range assumps {
+		if int(a.Var()) > s.numVars {
+			s.EnsureVars(int(a.Var()))
+		}
+		s.assumptions = append(s.assumptions, toLit(a))
+	}
+	if s.maxLearnts == 0 {
+		s.maxLearnts = float64(len(s.clauses)) / 3
+		if s.maxLearnts < 1000 {
+			s.maxLearnts = 1000
+		}
+	}
+	startConfl := s.conflicts
+	var status Status = Unknown
+	for restart := int64(1); status == Unknown; restart++ {
+		if s.conflictBudget >= 0 && s.conflicts-startConfl >= s.conflictBudget {
+			break
+		}
+		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+			break
+		}
+		budget := luby(restart-1) * 100
+		status = s.search(budget)
+		if status == Unknown {
+			s.restarts++
+			// distinguish restart from budget exhaustion
+			if s.budgetOut(startConfl) {
+				break
+			}
+		}
+	}
+	if status == Sat {
+		// keep trail for Model; caller must read before next Solve
+		return Sat
+	}
+	s.cancelUntil(0)
+	return status
+}
+
+func (s *Solver) budgetOut(startConfl int64) bool {
+	if s.conflictBudget >= 0 && s.conflicts-startConfl >= s.conflictBudget {
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve/SolveAssume call. Only meaningful after Sat.
+func (s *Solver) Model() cnf.Assignment {
+	m := cnf.NewAssignment(s.numVars)
+	for v := 1; v <= s.numVars; v++ {
+		switch s.assigns[v] {
+		case lTrue:
+			m.Set(cnf.Var(v), cnf.True)
+		case lFalse:
+			m.Set(cnf.Var(v), cnf.False)
+		default:
+			// Unconstrained variable: pick saved phase for determinism.
+			m.Set(cnf.Var(v), cnf.BoolValue(s.phase[v]))
+		}
+	}
+	return m
+}
+
+// Core returns the failed assumptions from the last Unsat SolveAssume call:
+// a subset A of the assumptions such that the clause database together with
+// A is unsatisfiable.
+func (s *Solver) Core() []cnf.Lit {
+	out := make([]cnf.Lit, 0, len(s.conflict))
+	for _, p := range s.conflict {
+		out = append(out, fromLit(p).Neg())
+	}
+	return out
+}
+
+// Okay reports whether the solver is still consistent at level 0 (false once
+// an empty clause has been derived).
+func (s *Solver) Okay() bool { return s.ok }
+
+// BlockModel adds a clause forbidding the current model restricted to the
+// given variables (used for model enumeration). Must be called after Sat.
+func (s *Solver) BlockModel(vars []cnf.Var) bool {
+	m := s.Model()
+	lits := make([]cnf.Lit, 0, len(vars))
+	for _, v := range vars {
+		lits = append(lits, cnf.MkLit(v, m.Get(v) != cnf.True))
+	}
+	return s.AddClause(lits...)
+}
+
+// varHeap is a binary max-heap over variable activities.
+type varHeap struct {
+	data     []int
+	indices  []int // position+1 of var in data; 0 = absent
+	activity *[]float64
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.activity)[a] > (*h.activity)[b] }
+
+func (h *varHeap) inHeap(v int) bool { return v < len(h.indices) && h.indices[v] != 0 }
+
+func (h *varHeap) empty() bool { return len(h.data) == 0 }
+
+func (h *varHeap) insert(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, 0)
+	}
+	if h.indices[v] != 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.indices[v] = len(h.data)
+	h.percolateUp(len(h.data) - 1)
+}
+
+func (h *varHeap) decrease(v int) { // activity increased → move up
+	if h.indices[v] == 0 {
+		return
+	}
+	h.percolateUp(h.indices[v] - 1)
+}
+
+func (h *varHeap) removeMin() int {
+	top := h.data[0]
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	h.indices[top] = 0
+	if len(h.data) > 0 {
+		h.data[0] = last
+		h.indices[last] = 1
+		h.percolateDown(0)
+	}
+	return top
+}
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.data[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.data[p]) {
+			break
+		}
+		h.data[i] = h.data[p]
+		h.indices[h.data[i]] = i + 1
+		i = p
+	}
+	h.data[i] = v
+	h.indices[v] = i + 1
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.data[i]
+	for 2*i+1 < len(h.data) {
+		c := 2*i + 1
+		if c+1 < len(h.data) && h.less(h.data[c+1], h.data[c]) {
+			c++
+		}
+		if !h.less(h.data[c], v) {
+			break
+		}
+		h.data[i] = h.data[c]
+		h.indices[h.data[i]] = i + 1
+		i = c
+	}
+	h.data[i] = v
+	h.indices[v] = i + 1
+}

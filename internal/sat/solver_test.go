@@ -1,0 +1,482 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// bruteForceSat enumerates all assignments of f (NumVars must be small).
+func bruteForceSat(f *cnf.Formula) bool {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		a := cnf.NewAssignment(n)
+		for v := 1; v <= n; v++ {
+			a.SetBool(cnf.Var(v), mask&(1<<(v-1)) != 0)
+		}
+		if f.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func randomFormula(rng *rand.Rand, nVars, nClauses, maxLen int) *cnf.Formula {
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(maxLen)
+		c := make([]cnf.Lit, 0, k)
+		for j := 0; j < k; j++ {
+			v := cnf.Var(1 + rng.Intn(nVars))
+			c = append(c, cnf.MkLit(v, rng.Intn(2) == 0))
+		}
+		f.AddClause(c...)
+	}
+	return f
+}
+
+func solveFormula(t *testing.T, f *cnf.Formula) (Status, cnf.Assignment) {
+	t.Helper()
+	s := New()
+	s.AddFormula(f)
+	st := s.Solve()
+	if st == Sat {
+		return st, s.Model()
+	}
+	return st, nil
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("empty formula: got %v, want SAT", got)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	f := cnf.New(3)
+	f.AddUnit(1)
+	f.AddUnit(-2)
+	f.AddUnit(3)
+	st, m := solveFormula(t, f)
+	if st != Sat {
+		t.Fatalf("got %v, want SAT", st)
+	}
+	if m.Get(1) != cnf.True || m.Get(2) != cnf.False || m.Get(3) != cnf.True {
+		t.Fatalf("bad model: %v", m)
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	f := cnf.New(1)
+	f.AddUnit(1)
+	f.AddUnit(-1)
+	st, _ := solveFormula(t, f)
+	if st != Unsat {
+		t.Fatalf("got %v, want UNSAT", st)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("AddClause() of empty clause should report false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+}
+
+func TestSimplePropagationChain(t *testing.T) {
+	// 1, 1→2, 2→3, 3→4 forces all true.
+	f := cnf.New(4)
+	f.AddUnit(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	f.AddClause(-3, 4)
+	st, m := solveFormula(t, f)
+	if st != Sat {
+		t.Fatalf("got %v, want SAT", st)
+	}
+	for v := cnf.Var(1); v <= 4; v++ {
+		if m.Get(v) != cnf.True {
+			t.Fatalf("var %d: got %v, want True", v, m.Get(v))
+		}
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons into n holes is UNSAT. Use n=4 (5 pigeons).
+	n := 4
+	f := cnf.New(0)
+	varAt := make([][]cnf.Var, n+1)
+	for p := 0; p <= n; p++ {
+		varAt[p] = make([]cnf.Var, n)
+		for h := 0; h < n; h++ {
+			varAt[p][h] = f.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		c := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = cnf.PosLit(varAt[p][h])
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				f.AddClause(cnf.NegLit(varAt[p1][h]), cnf.NegLit(varAt[p2][h]))
+			}
+		}
+	}
+	st, _ := solveFormula(t, f)
+	if st != Unsat {
+		t.Fatalf("PHP(5,4): got %v, want UNSAT", st)
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons into n holes is SAT.
+	n := 4
+	f := cnf.New(0)
+	varAt := make([][]cnf.Var, n)
+	for p := 0; p < n; p++ {
+		varAt[p] = make([]cnf.Var, n)
+		for h := 0; h < n; h++ {
+			varAt[p][h] = f.NewVar()
+		}
+	}
+	for p := 0; p < n; p++ {
+		c := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = cnf.PosLit(varAt[p][h])
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 < n; p1++ {
+			for p2 := p1 + 1; p2 < n; p2++ {
+				f.AddClause(cnf.NegLit(varAt[p1][h]), cnf.NegLit(varAt[p2][h]))
+			}
+		}
+	}
+	st, m := solveFormula(t, f)
+	if st != Sat {
+		t.Fatalf("PHP(4,4): got %v, want SAT", st)
+	}
+	if !f.Eval(m) {
+		t.Fatal("model does not satisfy formula")
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		nVars := 1 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(20)
+		f := randomFormula(rng, nVars, nClauses, 3)
+		want := bruteForceSat(f)
+		st, m := solveFormula(t, f)
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v formula:\n%s", trial, st, want, f)
+		}
+		if st == Sat && !f.Eval(m) {
+			t.Fatalf("trial %d: returned model does not satisfy formula", trial)
+		}
+	}
+}
+
+func TestAssumptionsSatAndUnsat(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2)
+	f.AddClause(-1, 3)
+	s := New()
+	s.AddFormula(f)
+	if st := s.SolveAssume([]cnf.Lit{1, -3}); st != Unsat {
+		t.Fatalf("assume {1,-3}: got %v, want UNSAT", st)
+	}
+	core := s.Core()
+	if len(core) == 0 {
+		t.Fatal("empty core for failed assumptions")
+	}
+	coreSet := map[cnf.Lit]bool{}
+	for _, l := range core {
+		coreSet[l] = true
+	}
+	for l := range coreSet {
+		if l != 1 && l != -3 {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+	}
+	// Solver must remain usable and consistent afterwards.
+	if st := s.SolveAssume([]cnf.Lit{1, 3}); st != Sat {
+		t.Fatalf("assume {1,3}: got %v, want SAT", st)
+	}
+	m := s.Model()
+	if m.Get(1) != cnf.True || m.Get(3) != cnf.True {
+		t.Fatalf("assumptions not honoured in model: %v", m)
+	}
+}
+
+func TestCoreIsActuallyUnsat(t *testing.T) {
+	// Chain: assumptions a1..a5 where a2 and a4 conflict via clauses.
+	f := cnf.New(10)
+	f.AddClause(-2, 6)
+	f.AddClause(-4, -6)
+	s := New()
+	s.AddFormula(f)
+	assumps := []cnf.Lit{1, 2, 3, 4, 5}
+	if st := s.SolveAssume(assumps); st != Unsat {
+		t.Fatalf("got %v, want UNSAT", st)
+	}
+	core := s.Core()
+	// Re-solving with just the core must stay UNSAT.
+	s2 := New()
+	s2.AddFormula(f)
+	if st := s2.SolveAssume(core); st != Unsat {
+		t.Fatalf("core %v does not reproduce UNSAT", core)
+	}
+	// Core should not mention irrelevant assumptions 1,3,5.
+	for _, l := range core {
+		if l == 1 || l == 3 || l == 5 {
+			t.Errorf("core contains irrelevant assumption %v", l)
+		}
+	}
+}
+
+func TestRandomAssumptionCores(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		nVars := 3 + rng.Intn(7)
+		f := randomFormula(rng, nVars, 2+rng.Intn(15), 3)
+		nAssume := 1 + rng.Intn(nVars)
+		assumps := make([]cnf.Lit, 0, nAssume)
+		used := map[cnf.Var]bool{}
+		for len(assumps) < nAssume {
+			v := cnf.Var(1 + rng.Intn(nVars))
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			assumps = append(assumps, cnf.MkLit(v, rng.Intn(2) == 0))
+		}
+		s := New()
+		s.AddFormula(f)
+		st := s.SolveAssume(assumps)
+		// Cross-check with brute force: conjoin assumptions as units.
+		g := f.Clone()
+		for _, a := range assumps {
+			g.AddUnit(a)
+		}
+		want := bruteForceSat(g)
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: solver=%v brute=%v", trial, st, want)
+		}
+		if st == Unsat {
+			core := s.Core()
+			h := f.Clone()
+			for _, a := range core {
+				h.AddUnit(a)
+			}
+			if bruteForceSat(h) {
+				t.Fatalf("trial %d: reported core %v is satisfiable", trial, core)
+			}
+		}
+	}
+}
+
+func TestIncrementalAddClause(t *testing.T) {
+	s := New()
+	s.EnsureVars(3)
+	s.AddClause(1, 2)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("phase 1: got %v", st)
+	}
+	s.AddClause(-1)
+	s.AddClause(-2, 3)
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("phase 2: got %v", st)
+	}
+	m := s.Model()
+	if m.Get(1) != cnf.False || m.Get(2) != cnf.True || m.Get(3) != cnf.True {
+		t.Fatalf("bad incremental model: %v", m)
+	}
+	s.AddClause(-3)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("phase 3: got %v, want UNSAT", st)
+	}
+}
+
+func TestBlockModelEnumeration(t *testing.T) {
+	// x1 ∨ x2 over 2 vars has exactly 3 models.
+	f := cnf.New(2)
+	f.AddClause(1, 2)
+	s := New()
+	s.AddFormula(f)
+	vars := []cnf.Var{1, 2}
+	count := 0
+	for s.Solve() == Sat {
+		count++
+		if count > 4 {
+			t.Fatal("enumeration did not terminate")
+		}
+		if !s.BlockModel(vars) {
+			break
+		}
+	}
+	if count != 3 {
+		t.Fatalf("enumerated %d models, want 3", count)
+	}
+}
+
+func TestConflictBudgetReturnsUnknown(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget must return Unknown.
+	n := 8
+	f := cnf.New(0)
+	varAt := make([][]cnf.Var, n+1)
+	for p := 0; p <= n; p++ {
+		varAt[p] = make([]cnf.Var, n)
+		for h := 0; h < n; h++ {
+			varAt[p][h] = f.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		c := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = cnf.PosLit(varAt[p][h])
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				f.AddClause(cnf.NegLit(varAt[p1][h]), cnf.NegLit(varAt[p2][h]))
+			}
+		}
+	}
+	s := New()
+	s.AddFormula(f)
+	s.SetConflictBudget(10)
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("got %v, want Unknown under tiny budget", st)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	n := 10
+	f := cnf.New(0)
+	varAt := make([][]cnf.Var, n+1)
+	for p := 0; p <= n; p++ {
+		varAt[p] = make([]cnf.Var, n)
+		for h := 0; h < n; h++ {
+			varAt[p][h] = f.NewVar()
+		}
+	}
+	for p := 0; p <= n; p++ {
+		c := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = cnf.PosLit(varAt[p][h])
+		}
+		f.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				f.AddClause(cnf.NegLit(varAt[p1][h]), cnf.NegLit(varAt[p2][h]))
+			}
+		}
+	}
+	s := New()
+	s.AddFormula(f)
+	s.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	st := s.Solve()
+	if st == Sat {
+		t.Fatal("PHP(11,10) cannot be SAT")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+}
+
+func TestRandomPhaseStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		f := randomFormula(rng, 1+rng.Intn(7), 1+rng.Intn(15), 3)
+		want := bruteForceSat(f)
+		s := New()
+		s.SetSeed(int64(trial))
+		s.SetRandomPhaseFreq(1.0)
+		s.SetRandomVarFreq(0.5)
+		s.AddFormula(f)
+		st := s.Solve()
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: randomized solver=%v brute=%v", trial, st, want)
+		}
+		if st == Sat && !f.Eval(s.Model()) {
+			t.Fatalf("trial %d: bad model", trial)
+		}
+	}
+}
+
+func TestXorChains(t *testing.T) {
+	// Encode x1 ⊕ x2 ⊕ … ⊕ xn = 1 via Tseitin chains; SAT, and flipping the
+	// final unit to both polarities keeps exactly one satisfiable.
+	f := cnf.New(0)
+	n := 12
+	vars := f.NewVars(n)
+	acc := cnf.PosLit(vars[0])
+	for i := 1; i < n; i++ {
+		z := cnf.PosLit(f.NewVar())
+		f.AddXor(z, acc, cnf.PosLit(vars[i]))
+		acc = z
+	}
+	f1 := f.Clone()
+	f1.AddUnit(acc)
+	st, m := solveFormula(t, f1)
+	if st != Sat {
+		t.Fatalf("xor=1: got %v", st)
+	}
+	parity := false
+	for _, v := range vars {
+		if m.Get(v) == cnf.True {
+			parity = !parity
+		}
+	}
+	if !parity {
+		t.Fatal("model has even parity, want odd")
+	}
+	f2 := f.Clone()
+	f2.AddUnit(acc)
+	f2.AddUnit(acc.Neg())
+	if st, _ := solveFormula(t, f2); st != Unsat {
+		t.Fatalf("xor both polarities: got %v, want UNSAT", st)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestStatsProgress(t *testing.T) {
+	f := cnf.New(3)
+	f.AddClause(1, 2, 3)
+	f.AddClause(-1, -2)
+	s := New()
+	s.AddFormula(f)
+	if st := s.Solve(); st != Sat {
+		t.Fatal("want SAT")
+	}
+	_, props, decs, _ := s.Stats()
+	if props == 0 && decs == 0 {
+		t.Fatal("no work recorded in stats")
+	}
+}

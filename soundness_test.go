@@ -1,0 +1,55 @@
+// Cross-engine soundness: no engine may ever declare a planted-True
+// benchmark instance False, and every synthesized vector must pass
+// independent verification (enforced by bench.RunEngine). This guards the
+// most damaging failure mode a synthesis portfolio can have.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+)
+
+func TestNoEngineRefutesPlantedTrueInstances(t *testing.T) {
+	fams := []gen.Family{gen.FamilyEquiv, gen.FamilyController, gen.FamilyRandom}
+	for _, fam := range fams {
+		for i := 0; i < 10; i++ {
+			inst := gen.Generate(fam, i, 271)
+			if inst.Known != gen.TruthTrue {
+				continue
+			}
+			for _, engine := range bench.Engines {
+				r := bench.RunEngine(engine, inst.DQBF, bench.Options{
+					Timeout: 800 * time.Millisecond,
+					Seed:    int64(i),
+				})
+				switch r.Outcome {
+				case bench.ProvedFalse:
+					t.Errorf("%s: %s declared a planted-True instance False", inst.Name, engine)
+				case bench.Failed:
+					t.Errorf("%s: %s failed: %s", inst.Name, engine, r.Detail)
+				}
+			}
+		}
+	}
+}
+
+func TestSweepOutcomesAccountedFor(t *testing.T) {
+	// Every run must land in a defined outcome and within its timeout plus
+	// slack (the engines check deadlines at bounded intervals).
+	suite := []gen.Named{
+		gen.Generate(gen.FamilyRandom, 0, 99),
+		gen.Generate(gen.FamilySAT2DQBF, 1, 99),
+	}
+	results := bench.RunSuite(suite, bench.Options{Timeout: time.Second, Workers: 2})
+	for _, r := range results {
+		if r.Outcome < bench.Synthesized || r.Outcome > bench.Failed {
+			t.Errorf("%s/%s: undefined outcome %d", r.Instance, r.Engine, r.Outcome)
+		}
+		if r.Duration > 10*time.Second {
+			t.Errorf("%s/%s: run far exceeded timeout: %v", r.Instance, r.Engine, r.Duration)
+		}
+	}
+}
