@@ -166,8 +166,7 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("%w: SAT call inconclusive", ErrBudget)
 	}
 	m := s.Model()
-	confl, _, _, _ := s.Stats()
-	stats.SATConfl = confl
+	stats.SATConfl = s.Stats().Conflicts
 
 	fv := dqbf.NewFuncVector(nil)
 	for _, y := range in.Exist {

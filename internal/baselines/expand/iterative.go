@@ -80,8 +80,7 @@ func SolveIterative(in *dqbf.Instance, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("%w: SAT call inconclusive", ErrBudget)
 	}
 	m := s.Model()
-	confl, _, _, _ := s.Stats()
-	stats.SATConfl = confl
+	stats.SATConfl = s.Stats().Conflicts
 
 	// Constants for the fully-expanded existentials, then fold back.
 	fv := dqbf.NewFuncVector(nil)

@@ -99,13 +99,15 @@ func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
 	best := solver.Model()
 	bestCost := costOf(softs, best)
 
-	// Linear search: add at-most-k over relax vars, decreasing k.
+	// Linear search: add at-most-k over relax vars, decreasing k. The counter
+	// circuit is appended incrementally to the same solver — no fresh solver
+	// per iteration; learnt clauses and VSIDS state carry over between bound
+	// tightenings, matching how core/engine.go keeps its persistent phiSolver.
+	preLen := len(work.Clauses)
 	counter := newSeqCounter(work, relax)
-	solver2 := sat.New()
-	solver2.AddFormula(work)
-	solver2.SetConflictBudget(budget)
-	if !opts.Deadline.IsZero() {
-		solver2.SetDeadline(opts.Deadline)
+	solver.EnsureVars(work.NumVars)
+	for _, c := range work.Clauses[preLen:] {
+		solver.AddClause(c...)
 	}
 	optimal := false
 	for bestCost > 0 {
@@ -114,9 +116,9 @@ func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
 		}
 		// Assume at most bestCost-1 relaxations.
 		k := bestCost - 1
-		st := solver2.SolveAssume(counter.atMost(k))
+		st := solver.SolveAssume(counter.atMost(k))
 		if st == sat.Sat {
-			best = solver2.Model()
+			best = solver.Model()
 			c := costOf(softs, best)
 			if c >= bestCost {
 				// Should not happen; guard against miscounts.

@@ -9,10 +9,48 @@
 // how Manthan3 consumes cores: the unit clauses of the repair formula Gk are
 // passed as assumptions and the core names the units responsible for
 // infeasibility.
+//
+// # Clause arena
+//
+// Clauses live in a single flat arena ([]uint32); a clause reference (cref)
+// is a uint32 word offset into that buffer, and crefUndef (all ones) plays
+// the role of a nil pointer. The layout of a clause at offset c is:
+//
+//	arena[c]      header: bit 0 = learnt, bit 1 = relocated (GC forwarding),
+//	              bits 2..31 = number of literals
+//	arena[c+1]    float32 activity bits (learnt clauses only)
+//	arena[c+…]    the literals, one lit code per word
+//
+// Literal codes are the usual 2v / 2v+1 encoding (see lit below). Storing
+// clauses contiguously removes per-clause heap objects entirely: after
+// AddFormula the solver performs no clause allocations, propagation touches
+// sequential memory, and the GC never scans clause bodies (the arena holds no
+// pointers).
+//
+// # Watch lists
+//
+// watches[q] is a flat []watch of the clauses in which literal ¬q is watched;
+// the list is visited when q becomes true. Each watch packs the clause cref
+// and a binary-clause flag into one word (crb = cref<<1 | bin) next to a
+// blocker literal whose truth lets the visit skip the clause body. For binary
+// clauses the blocker IS the other literal, so propagating a binary clause
+// never reads the arena at all: the watch entry alone decides between skip,
+// enqueue, and conflict.
+//
+// # Reclamation
+//
+// reduceDB and top-level simplification free clauses by accounting their
+// words as wasted; when more than 20% of the arena is dead, the live clauses
+// are compacted into a fresh buffer and every cref (clause lists, watch
+// lists, reason slots) is rewritten through per-clause forwarding offsets.
+// Solver.Stats reports arena size, wasted words, and compaction count.
 package sat
 
 import (
+	"cmp"
+	"math"
 	"math/rand"
+	"slices"
 	"time"
 
 	"repro/internal/cnf"
@@ -72,16 +110,35 @@ func mkLit(v int, neg bool) lit {
 	return p
 }
 
-type clause struct {
-	lits     []lit
-	activity float64
-	learnt   bool
+// cref is a clause reference: a word offset into the solver's arena.
+type cref uint32
+
+const (
+	crefUndef   cref = ^cref(0) // "no clause"
+	reasonUndef      = crefUndef
+
+	hdrLearnt    uint32 = 1 << 0 // clause is learnt (has an activity word)
+	hdrReloc     uint32 = 1 << 1 // clause was moved during compaction
+	hdrSizeShift        = 2
+)
+
+// watch is one entry of a flat watch list: the clause reference with a
+// binary-clause flag packed into the low bit, plus a blocker literal.
+type watch struct {
+	crb     uint32 // cref<<1 | isBinary
+	blocker lit
 }
 
-type watcher struct {
-	c       *clause
-	blocker lit // a literal whose truth satisfies the clause (fast skip)
+func mkWatch(c cref, blocker lit, bin bool) watch {
+	crb := uint32(c) << 1
+	if bin {
+		crb |= 1
+	}
+	return watch{crb: crb, blocker: blocker}
 }
+
+func (w watch) cref() cref  { return cref(w.crb >> 1) }
+func (w watch) isBin() bool { return w.crb&1 != 0 }
 
 const (
 	lUndef int8 = 0
@@ -95,14 +152,18 @@ type Solver struct {
 	numVars int
 	ok      bool // false once a top-level conflict is derived
 
-	clauses []*clause
-	learnts []*clause
+	arena    []uint32 // flat clause store; see the package comment for layout
+	wasted   int      // dead words in arena, eligible for compaction
+	arenaGCs int64    // number of compactions performed
 
-	watches [][]watcher // indexed by lit code
+	clauses []cref
+	learnts []cref
 
-	assigns  []int8    // per variable: lTrue/lFalse/lUndef
-	level    []int32   // decision level of assignment
-	reason   []*clause // antecedent clause
+	watches [][]watch // indexed by lit code
+
+	assigns  []int8  // per literal code: lTrue/lFalse/lUndef (both phases kept)
+	level    []int32 // decision level of assignment
+	reason   []cref  // antecedent clause (reasonUndef = none)
 	trail    []lit
 	trailLim []int
 	qhead    int
@@ -116,8 +177,10 @@ type Solver struct {
 	claInc   float64
 	claDecay float64
 
-	seen      []bool
-	analyzeSt []lit // scratch
+	seen        []bool
+	analyzeSt   []lit // scratch: learnt clause under construction
+	minimizeTmp []lit // scratch: minimization snapshot
+	addTmp      []lit // scratch: AddClause normalization
 
 	assumptions []lit
 	conflict    []lit // failed assumptions (negated form: lits that must flip)
@@ -126,7 +189,8 @@ type Solver struct {
 	randVarFreq   float64 // probability of a random branching variable
 	randPhaseFreq float64 // probability of a random phase at a decision
 
-	conflictBudget int64 // -1 = unlimited
+	conflictBudget int64 // -1 = unlimited; counted per Solve call
+	budgetStart    int64 // s.conflicts at the start of the current Solve call
 	deadline       time.Time
 	checkCnt       int64
 	conflicts      int64
@@ -158,10 +222,10 @@ func New() *Solver {
 		learntAdjCnt:   100,
 		learntAdjIncr:  1.5,
 	}
-	s.watches = make([][]watcher, 2)
-	s.assigns = make([]int8, 1)
+	s.watches = make([][]watch, 2)
+	s.assigns = make([]int8, 2)
 	s.level = make([]int32, 1)
-	s.reason = make([]*clause, 1)
+	s.reason = []cref{reasonUndef}
 	s.activity = make([]float64, 1)
 	s.phase = make([]bool, 1)
 	s.seen = make([]bool, 1)
@@ -171,24 +235,48 @@ func New() *Solver {
 
 // NewVar allocates a fresh variable and returns it.
 func (s *Solver) NewVar() cnf.Var {
-	s.numVars++
-	v := s.numVars
-	s.watches = append(s.watches, nil, nil)
-	s.assigns = append(s.assigns, lUndef)
-	s.level = append(s.level, 0)
-	s.reason = append(s.reason, nil)
-	s.activity = append(s.activity, 0)
-	s.phase = append(s.phase, false)
-	s.seen = append(s.seen, false)
-	s.heap.insert(v)
-	return cnf.Var(v)
+	s.EnsureVars(s.numVars + 1)
+	return cnf.Var(s.numVars)
 }
 
-// EnsureVars grows the variable table to cover variables 1..n.
-func (s *Solver) EnsureVars(n int) {
-	for s.numVars < n {
-		s.NewVar()
+// growTo extends s to length n with zero values (no-op if already long
+// enough).
+func growTo[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
 	}
+	return append(s, make([]T, n-len(s))...)
+}
+
+// EnsureVars grows the variable table to cover variables 1..n. All per-var
+// and per-literal tables are grown in a single step (not per NewVar), and
+// trail capacity is reserved up front so enqueues never reallocate.
+func (s *Solver) EnsureVars(n int) {
+	if n <= s.numVars {
+		return
+	}
+	s.watches = growTo(s.watches, 2*(n+1))
+	s.assigns = growTo(s.assigns, 2*(n+1))
+	s.level = growTo(s.level, n+1)
+	s.activity = growTo(s.activity, n+1)
+	s.phase = growTo(s.phase, n+1)
+	s.seen = growTo(s.seen, n+1)
+	old := len(s.reason)
+	s.reason = growTo(s.reason, n+1)
+	for i := old; i < len(s.reason); i++ {
+		s.reason[i] = reasonUndef
+	}
+	if cap(s.trail) < n {
+		s.trail = slices.Grow(s.trail, n-len(s.trail))
+	}
+	s.heap.indices = growTo(s.heap.indices, n+1)
+	if cap(s.heap.data) < n {
+		s.heap.data = slices.Grow(s.heap.data, n-len(s.heap.data))
+	}
+	for v := s.numVars + 1; v <= n; v++ {
+		s.heap.insert(v)
+	}
+	s.numVars = n
 }
 
 // NumVars returns the number of allocated variables.
@@ -222,14 +310,187 @@ func (s *Solver) SetConflictBudget(n int64) { s.conflictBudget = n }
 // time means no deadline.
 func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 
-// Stats reports cumulative solver statistics.
-func (s *Solver) Stats() (conflicts, propagations, decisions, restarts int64) {
-	return s.conflicts, s.propagations, s.decisions, s.restarts
+// Stats holds cumulative solver counters.
+type Stats struct {
+	Conflicts    int64
+	Propagations int64
+	Decisions    int64
+	Restarts     int64
+	LearntLits   int64 // total literals in learnt clauses
+	ArenaWords   int   // current arena length (uint32 words)
+	ArenaWasted  int   // dead words awaiting compaction
+	ArenaGCs     int64 // arena compactions performed
 }
 
+// Stats reports cumulative solver statistics.
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Propagations: s.propagations,
+		Decisions:    s.decisions,
+		Restarts:     s.restarts,
+		LearntLits:   s.learntLits,
+		ArenaWords:   len(s.arena),
+		ArenaWasted:  s.wasted,
+		ArenaGCs:     s.arenaGCs,
+	}
+}
+
+// --- arena primitives ---
+
+// maxArenaWords bounds the arena: crefs are packed into 31 bits in watch
+// entries (crb = cref<<1 | bin), so growing past 2^31 words would silently
+// corrupt watch lists. Fail loudly instead (MiniSat's allocator does too).
+const maxArenaWords = int64(1) << 31
+
+// allocClause appends a clause to the arena and returns its cref.
+func (s *Solver) allocClause(lits []lit, learnt bool) cref {
+	if int64(len(s.arena))+int64(len(lits))+2 > maxArenaWords {
+		panic("sat: clause arena exceeds 2^31 words")
+	}
+	c := cref(len(s.arena))
+	hdr := uint32(len(lits)) << hdrSizeShift
+	if learnt {
+		hdr |= hdrLearnt
+	}
+	s.arena = append(s.arena, hdr)
+	if learnt {
+		s.arena = append(s.arena, 0) // activity = 0.0
+	}
+	for _, p := range lits {
+		s.arena = append(s.arena, uint32(p))
+	}
+	return c
+}
+
+func (s *Solver) claLearnt(c cref) bool { return s.arena[c]&hdrLearnt != 0 }
+func (s *Solver) claSize(c cref) int    { return int(s.arena[c] >> hdrSizeShift) }
+
+// claLits returns the literal window of clause c as a live sub-slice of the
+// arena; writes through it mutate the clause. The slice must not be held
+// across allocClause or garbageCollect.
+func (s *Solver) claLits(c cref) []uint32 {
+	hdr := s.arena[c]
+	base := int(c) + 1 + int(hdr&hdrLearnt)
+	return s.arena[base : base+int(hdr>>hdrSizeShift)]
+}
+
+// claWords is the total footprint of clause c in arena words.
+func (s *Solver) claWords(c cref) int {
+	hdr := s.arena[c]
+	return 1 + int(hdr&hdrLearnt) + int(hdr>>hdrSizeShift)
+}
+
+func (s *Solver) claSetSize(c cref, n int) {
+	s.arena[c] = s.arena[c]&(1<<hdrSizeShift-1) | uint32(n)<<hdrSizeShift
+}
+
+func (s *Solver) claActivity(c cref) float32 {
+	return math.Float32frombits(s.arena[c+1])
+}
+
+func (s *Solver) claSetActivity(c cref, a float32) {
+	s.arena[c+1] = math.Float32bits(a)
+}
+
+// freeClause marks the words of c as dead; the space is reclaimed by the next
+// compaction.
+func (s *Solver) freeClause(c cref) { s.wasted += s.claWords(c) }
+
+// removeClause detaches and frees c, clearing a locked reason slot so no
+// assigned variable keeps a cref to freed words.
+func (s *Solver) removeClause(c cref) {
+	s.detach(c)
+	if v := s.lockedVar(c); v >= 0 {
+		s.reason[v] = reasonUndef
+	}
+	s.freeClause(c)
+}
+
+// maybeGC compacts the arena when at least 20% of it is dead.
+func (s *Solver) maybeGC() {
+	if s.wasted*5 >= len(s.arena) && s.wasted > 0 {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts live clauses into a fresh arena and rewrites every
+// cref (watch lists, reason slots, clause lists) through forwarding offsets
+// left in the old arena.
+func (s *Solver) garbageCollect() {
+	to := make([]uint32, 0, len(s.arena)-s.wasted)
+	for qi := range s.watches {
+		ws := s.watches[qi]
+		for k := range ws {
+			nc := s.relocate(ws[k].cref(), &to)
+			ws[k].crb = uint32(nc)<<1 | ws[k].crb&1
+		}
+	}
+	for _, p := range s.trail {
+		v := p.varIdx()
+		if s.reason[v] != reasonUndef {
+			s.reason[v] = s.relocate(s.reason[v], &to)
+		}
+	}
+	for i := range s.clauses {
+		s.clauses[i] = s.relocate(s.clauses[i], &to)
+	}
+	for i := range s.learnts {
+		s.learnts[i] = s.relocate(s.learnts[i], &to)
+	}
+	s.arena = to
+	s.wasted = 0
+	s.arenaGCs++
+}
+
+// relocate moves clause c into the new arena (or follows its forwarding
+// offset if already moved) and returns the new cref.
+func (s *Solver) relocate(c cref, to *[]uint32) cref {
+	hdr := s.arena[c]
+	if hdr&hdrReloc != 0 {
+		return cref(s.arena[c+1])
+	}
+	nc := cref(len(*to))
+	n := s.claWords(c)
+	*to = append(*to, s.arena[int(c):int(c)+n]...)
+	s.arena[c] = hdr | hdrReloc
+	s.arena[c+1] = uint32(nc)
+	return nc
+}
+
+// --- clause database ---
+
 // AddFormula adds every clause of f, growing the variable table as needed.
+// The arena, clause list, and watch lists are pre-sized from the formula's
+// clause and literal counts so construction performs no incremental growth.
 func (s *Solver) AddFormula(f *cnf.Formula) {
 	s.EnsureVars(f.NumVars)
+	words := 0
+	for _, c := range f.Clauses {
+		words += len(c) + 1
+	}
+	s.arena = slices.Grow(s.arena, words)
+	s.clauses = slices.Grow(s.clauses, len(f.Clauses))
+	// Reserve watch capacity: each clause of length ≥ 2 watches (almost
+	// always) its first two literals, so count those per literal and grow
+	// each list once.
+	counts := make([]int32, len(s.watches))
+	for _, c := range f.Clauses {
+		if len(c) < 2 {
+			continue
+		}
+		q0, q1 := toLit(c[0]).neg(), toLit(c[1]).neg()
+		if int(q0) < len(counts) && int(q1) < len(counts) {
+			counts[q0]++
+			counts[q1]++
+		}
+	}
+	for q, n := range counts {
+		if n == 0 {
+			continue
+		}
+		s.watches[q] = slices.Grow(s.watches[q], int(n))
+	}
 	for _, c := range f.Clauses {
 		s.AddClause(c...)
 	}
@@ -244,7 +505,7 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		return false
 	}
 	// Normalize: sort-dedup and detect tautology / false literals at level 0.
-	tmp := make([]lit, 0, len(lits))
+	tmp := s.addTmp[:0]
 	for _, l := range lits {
 		if int(l.Var()) > s.numVars {
 			s.EnsureVars(int(l.Var()))
@@ -252,6 +513,7 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		p := toLit(l)
 		switch s.litValue(p) {
 		case lTrue:
+			s.addTmp = tmp[:0]
 			return true // clause already satisfied at level 0
 		case lFalse:
 			continue // drop false literal
@@ -263,6 +525,7 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 				break
 			}
 			if q == p.neg() {
+				s.addTmp = tmp[:0]
 				return true // tautology
 			}
 		}
@@ -270,36 +533,40 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 			tmp = append(tmp, p)
 		}
 	}
+	s.addTmp = tmp[:0] // retain grown capacity for the next call
 	switch len(tmp) {
 	case 0:
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(tmp[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(tmp[0], reasonUndef)
+		s.ok = s.propagate() == crefUndef
 		return s.ok
 	}
-	c := &clause{lits: tmp}
+	c := s.allocClause(tmp, false)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	p0, p1 := c.lits[0], c.lits[1]
-	s.watches[p0.neg()] = append(s.watches[p0.neg()], watcher{c, p1})
-	s.watches[p1.neg()] = append(s.watches[p1.neg()], watcher{c, p0})
+func (s *Solver) attach(c cref) {
+	ls := s.claLits(c)
+	p0, p1 := lit(ls[0]), lit(ls[1])
+	bin := len(ls) == 2
+	s.watches[p0.neg()] = append(s.watches[p0.neg()], mkWatch(c, p1, bin))
+	s.watches[p1.neg()] = append(s.watches[p1.neg()], mkWatch(c, p0, bin))
 }
 
-func (s *Solver) detach(c *clause) {
-	s.removeWatch(c.lits[0].neg(), c)
-	s.removeWatch(c.lits[1].neg(), c)
+func (s *Solver) detach(c cref) {
+	ls := s.claLits(c)
+	s.removeWatch(lit(ls[0]).neg(), c)
+	s.removeWatch(lit(ls[1]).neg(), c)
 }
 
-func (s *Solver) removeWatch(p lit, c *clause) {
+func (s *Solver) removeWatch(p lit, c cref) {
 	ws := s.watches[p]
 	for i := range ws {
-		if ws[i].c == c {
+		if ws[i].cref() == c {
 			ws[i] = ws[len(ws)-1]
 			s.watches[p] = ws[:len(ws)-1]
 			return
@@ -307,24 +574,17 @@ func (s *Solver) removeWatch(p lit, c *clause) {
 	}
 }
 
-func (s *Solver) litValue(p lit) int8 {
-	v := s.assigns[p.varIdx()]
-	if v == lUndef {
-		return lUndef
-	}
-	if p.sign() {
-		return -v
-	}
-	return v
-}
+// litValue returns the truth value of literal p. assigns is literal-indexed
+// (both phases stored) so this is a single load with no sign branch.
+func (s *Solver) litValue(p lit) int8 { return s.assigns[p] }
 
-func (s *Solver) uncheckedEnqueue(p lit, from *clause) {
+// varValue returns the truth value of variable v (its positive literal).
+func (s *Solver) varValue(v int) int8 { return s.assigns[2*v] }
+
+func (s *Solver) uncheckedEnqueue(p lit, from cref) {
 	v := p.varIdx()
-	if p.sign() {
-		s.assigns[v] = lFalse
-	} else {
-		s.assigns[v] = lTrue
-	}
+	s.assigns[p] = lTrue
+	s.assigns[p.neg()] = lFalse
 	s.level[v] = int32(s.decisionLevel())
 	s.reason[v] = from
 	s.phase[v] = !p.sign()
@@ -340,9 +600,11 @@ func (s *Solver) cancelUntil(lvl int) {
 		return
 	}
 	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
-		v := s.trail[i].varIdx()
-		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		p := s.trail[i]
+		v := p.varIdx()
+		s.assigns[p] = lUndef
+		s.assigns[p.neg()] = lUndef
+		s.reason[v] = reasonUndef
 		if !s.heap.inHeap(v) {
 			s.heap.insert(v)
 		}
@@ -355,53 +617,74 @@ func (s *Solver) cancelUntil(lvl int) {
 }
 
 // propagate performs unit propagation over the trail; it returns the
-// conflicting clause, or nil if no conflict arises.
-func (s *Solver) propagate() *clause {
+// conflicting clause, or crefUndef if no conflict arises.
+//
+// Convention: watches[q] holds watchers for clauses in which the literal ¬q
+// is watched; i.e. when q becomes true we must visit them. In steady state
+// (warm watch-list capacities) this function performs no heap allocations.
+func (s *Solver) propagate() cref {
+	ar := s.arena
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
 		s.propagations++
 		falseLit := p.neg()
-		ws := s.watches[p] // clauses where ¬p ... see convention below
-		_ = falseLit
-		// Convention: watches[q] holds watchers for clauses in which the
-		// literal ¬q is watched; i.e. when q becomes true we must visit them.
+		ws := s.watches[p]
 		i, j := 0, 0
-		var confl *clause
+		confl := crefUndef
+	visit:
 		for i < len(ws) {
 			w := ws[i]
 			i++
-			if s.litValue(w.blocker) == lTrue {
+			bv := s.litValue(w.blocker)
+			if bv == lTrue {
 				ws[j] = w
 				j++
 				continue
 			}
-			c := w.c
-			// Make sure the false literal is lits[1].
-			if c.lits[0] == p.neg() {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if w.isBin() {
+				// Binary clause: the blocker is the other literal, so the
+				// watch entry alone decides — no arena access.
+				ws[j] = w
+				j++
+				if bv == lFalse {
+					confl = w.cref()
+					s.qhead = len(s.trail)
+					for i < len(ws) {
+						ws[j] = ws[i]
+						i++
+						j++
+					}
+					break
+				}
+				s.uncheckedEnqueue(w.blocker, w.cref())
+				continue
 			}
-			first := c.lits[0]
+			c := w.cref()
+			hdr := ar[c]
+			base := int(c) + 1 + int(hdr&hdrLearnt)
+			size := int(hdr >> hdrSizeShift)
+			// Make sure the false literal is at position 1.
+			if lit(ar[base]) == falseLit {
+				ar[base], ar[base+1] = ar[base+1], ar[base]
+			}
+			first := lit(ar[base])
 			if first != w.blocker && s.litValue(first) == lTrue {
-				ws[j] = watcher{c, first}
+				ws[j] = mkWatch(c, first, false)
 				j++
 				continue
 			}
 			// Look for a new literal to watch.
-			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.litValue(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, first})
-					found = true
-					break
+			for k := 2; k < size; k++ {
+				q := lit(ar[base+k])
+				if s.litValue(q) != lFalse {
+					ar[base+1], ar[base+k] = ar[base+k], ar[base+1]
+					s.watches[q.neg()] = append(s.watches[q.neg()], mkWatch(c, first, false))
+					continue visit // watcher moved; do not keep in this list
 				}
 			}
-			if found {
-				continue // watcher moved; do not keep in this list
-			}
 			// Clause is unit or conflicting.
-			ws[j] = watcher{c, first}
+			ws[j] = mkWatch(c, first, false)
 			j++
 			if s.litValue(first) == lFalse {
 				confl = c
@@ -417,11 +700,11 @@ func (s *Solver) propagate() *clause {
 			s.uncheckedEnqueue(first, c)
 		}
 		s.watches[p] = ws[:j]
-		if confl != nil {
+		if confl != crefUndef {
 			return confl
 		}
 	}
-	return nil
+	return crefUndef
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -437,30 +720,33 @@ func (s *Solver) bumpVar(v int) {
 	}
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+func (s *Solver) bumpClause(c cref) {
+	if !s.claLearnt(c) {
+		return
+	}
+	a := s.claActivity(c) + float32(s.claInc)
+	s.claSetActivity(c, a)
+	if a > 1e20 {
 		for _, l := range s.learnts {
-			l.activity *= 1e-20
+			s.claSetActivity(l, s.claActivity(l)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
 }
 
 // analyze performs first-UIP conflict analysis, returning the learnt clause
-// (first literal is the asserting literal) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]lit, int) {
-	learnt := []lit{0} // placeholder for asserting literal
+// (first literal is the asserting literal) and the backtrack level. The
+// returned slice is scratch storage owned by the solver; callers must copy
+// it (allocClause does) before the next analyze call.
+func (s *Solver) analyze(confl cref) ([]lit, int) {
+	learnt := append(s.analyzeSt[:0], 0) // placeholder for asserting literal
 	pathC := 0
 	var p lit = 0
 	idx := len(s.trail) - 1
 	for {
 		s.bumpClause(confl)
-		for k := 0; k < len(confl.lits); k++ {
-			q := confl.lits[k]
-			if p != 0 && k == 0 {
-				// skip the asserting literal position when expanding reason
-			}
+		for _, u := range s.claLits(confl) {
+			q := lit(u)
 			if q == p {
 				continue
 			}
@@ -494,8 +780,7 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 
 	// Simple local minimization: drop literals whose reason is subsumed.
 	// Snapshot the tail first: appends below reuse learnt's backing array.
-	tail := make([]lit, len(learnt)-1)
-	copy(tail, learnt[1:])
+	tail := append(s.minimizeTmp[:0], learnt[1:]...)
 	for _, q := range tail {
 		s.seen[q.varIdx()] = true
 	}
@@ -509,6 +794,8 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 		s.seen[q.varIdx()] = false
 	}
 	learnt = out
+	s.analyzeSt = learnt[:0]
+	s.minimizeTmp = tail[:0]
 
 	// Find backtrack level: max level among learnt[1:].
 	btLevel := 0
@@ -529,10 +816,11 @@ func (s *Solver) analyze(confl *clause) ([]lit, int) {
 // reason clause (one-step self-subsumption check).
 func (s *Solver) litRedundant(q lit) bool {
 	r := s.reason[q.varIdx()]
-	if r == nil {
+	if r == reasonUndef {
 		return false
 	}
-	for _, l := range r.lits {
+	for _, u := range s.claLits(r) {
+		l := lit(u)
 		if l == q.neg() || l == q {
 			continue
 		}
@@ -561,12 +849,13 @@ func (s *Solver) analyzeFinal(p lit) {
 		if !s.seen[v] {
 			continue
 		}
-		if s.reason[v] == nil {
+		if s.reason[v] == reasonUndef {
 			if s.level[v] > 0 {
 				s.conflict = append(s.conflict, s.trail[i].neg())
 			}
 		} else {
-			for _, l := range s.reason[v].lits {
+			for _, u := range s.claLits(s.reason[v]) {
+				l := lit(u)
 				if l.varIdx() != v && s.level[l.varIdx()] > 0 {
 					s.seen[l.varIdx()] = true
 				}
@@ -581,7 +870,7 @@ func (s *Solver) pickBranchLit() lit {
 	v := 0
 	if s.randVarFreq > 0 && s.rng.Float64() < s.randVarFreq && !s.heap.empty() {
 		cand := s.heap.data[s.rng.Intn(len(s.heap.data))]
-		if s.assigns[cand] == lUndef {
+		if s.varValue(cand) == lUndef {
 			v = cand
 		}
 	}
@@ -590,7 +879,7 @@ func (s *Solver) pickBranchLit() lit {
 			return 0
 		}
 		cand := s.heap.removeMin()
-		if s.assigns[cand] == lUndef {
+		if s.varValue(cand) == lUndef {
 			v = cand
 		}
 	}
@@ -602,65 +891,49 @@ func (s *Solver) pickBranchLit() lit {
 	return mkLit(v, !ph)
 }
 
+// reduceDB halves the learnt-clause database, keeping binary clauses, locked
+// (reason) clauses, and the more active half, then compacts the arena if
+// enough of it died.
 func (s *Solver) reduceDB() {
-	// Sort learnts by activity ascending and drop the lower half, keeping
-	// reason clauses and binary clauses.
 	if len(s.learnts) < 2 {
 		return
 	}
 	ls := s.learnts
-	// partial selection: simple sort
-	sortClausesByActivity(ls)
+	slices.SortFunc(ls, func(a, b cref) int {
+		return cmp.Compare(s.claActivity(a), s.claActivity(b))
+	})
 	lim := len(ls) / 2
 	kept := ls[:0]
 	for i, c := range ls {
-		if len(c.lits) == 2 || s.isReason(c) || i >= lim {
+		if s.claSize(c) == 2 || s.isReason(c) || i >= lim {
 			kept = append(kept, c)
 		} else {
-			s.detach(c)
+			s.removeClause(c)
 		}
 	}
 	s.learnts = kept
+	s.maybeGC()
 }
 
-func (s *Solver) isReason(c *clause) bool {
-	v := c.lits[0].varIdx()
-	return s.assigns[v] != lUndef && s.reason[v] == c
-}
-
-func sortClausesByActivity(cs []*clause) {
-	// insertion-friendly small sort; len can be large so use a simple
-	// quicksort via sort.Slice equivalent without importing sort to keep the
-	// hot path obvious.
-	quickSortClauses(cs, 0, len(cs)-1)
-}
-
-func quickSortClauses(cs []*clause, lo, hi int) {
-	for lo < hi {
-		p := cs[(lo+hi)/2].activity
-		i, j := lo, hi
-		for i <= j {
-			for cs[i].activity < p {
-				i++
-			}
-			for cs[j].activity > p {
-				j--
-			}
-			if i <= j {
-				cs[i], cs[j] = cs[j], cs[i]
-				i++
-				j--
-			}
-		}
-		if j-lo < hi-i {
-			quickSortClauses(cs, lo, j)
-			lo = i
-		} else {
-			quickSortClauses(cs, i, hi)
-			hi = j
+// lockedVar returns the variable whose antecedent is c, or -1 if c is not a
+// reason clause. Only the two watched positions can hold the asserting
+// literal: the long-clause path enqueues lits[0], but the binary fast path
+// enqueues the blocker, which may sit at either position since binary
+// propagation never reorders the arena literals. A clause can be the
+// antecedent of at most one assignment at a time.
+func (s *Solver) lockedVar(c cref) int {
+	ls := s.claLits(c)
+	for i := 0; i < len(ls) && i < 2; i++ {
+		v := lit(ls[i]).varIdx()
+		if s.varValue(v) != lUndef && s.reason[v] == c {
+			return v
 		}
 	}
+	return -1
 }
+
+// isReason reports whether c is the antecedent of an assigned variable.
+func (s *Solver) isReason(c cref) bool { return s.lockedVar(c) >= 0 }
 
 // search runs CDCL until a model, a conflict at level 0, the restart limit
 // (nofConflicts, <0 = none), or budget exhaustion.
@@ -668,7 +941,7 @@ func (s *Solver) search(nofConflicts int64) Status {
 	conflictC := int64(0)
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefUndef {
 			s.conflicts++
 			conflictC++
 			if s.decisionLevel() == 0 {
@@ -678,9 +951,9 @@ func (s *Solver) search(nofConflicts int64) Status {
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], reasonUndef)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				c := s.allocClause(learnt, true)
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
 				s.bumpClause(c)
@@ -732,7 +1005,7 @@ func (s *Solver) search(nofConflicts int64) Status {
 			}
 		}
 		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, reasonUndef)
 	}
 }
 
@@ -743,15 +1016,26 @@ func (s *Solver) assumptionLevel() int {
 	return s.decisionLevel()
 }
 
+// conflictBudgetSpent reports whether the per-call conflict budget is used
+// up. The budget counts from budgetStart, not zero — the solver may have
+// been reused across many Solve calls.
+func (s *Solver) conflictBudgetSpent() bool {
+	return s.conflictBudget >= 0 && s.conflicts-s.budgetStart >= s.conflictBudget
+}
+
+// outOfBudget checks the conflict budget and the wall-clock deadline
+// (unconditionally; use budgetExhausted in the search hot path, which
+// samples the clock).
+func (s *Solver) outOfBudget() bool {
+	return s.conflictBudgetSpent() || (!s.deadline.IsZero() && time.Now().After(s.deadline))
+}
+
 func (s *Solver) budgetExhausted() bool {
-	if s.conflictBudget >= 0 && s.conflicts >= s.conflictBudget {
+	if s.conflictBudgetSpent() {
 		return true
 	}
 	s.checkCnt++
-	if !s.deadline.IsZero() && s.checkCnt&1023 == 0 && time.Now().After(s.deadline) {
-		return true
-	}
-	return false
+	return !s.deadline.IsZero() && s.checkCnt&1023 == 0 && time.Now().After(s.deadline)
 }
 
 // luby computes the Luby restart sequence value for 0-based index x
@@ -785,31 +1069,31 @@ func (s *Solver) simplifyDB() {
 		s.learnts = s.simplifyList(s.learnts)
 	}
 	s.simpLastTrail = len(s.trail)
+	s.maybeGC()
 }
 
-func (s *Solver) simplifyList(cs []*clause) []*clause {
+func (s *Solver) simplifyList(cs []cref) []cref {
 	kept := cs[:0]
 	for _, c := range cs {
 		if !s.ok {
 			kept = append(kept, c)
 			continue
 		}
+		ls := s.claLits(c)
 		satisfied := false
-		for _, l := range c.lits {
-			if s.litValue(l) == lTrue {
+		for _, u := range ls {
+			if s.litValue(lit(u)) == lTrue {
 				satisfied = true
 				break
 			}
 		}
 		if satisfied {
-			s.detach(c)
+			s.removeClause(c)
 			continue
 		}
-		// Strip false literals (beyond the two watched positions, any
-		// literal may be false at level 0).
 		hasFalse := false
-		for _, l := range c.lits {
-			if s.litValue(l) == lFalse {
+		for _, u := range ls {
+			if s.litValue(lit(u)) == lFalse {
 				hasFalse = true
 				break
 			}
@@ -818,22 +1102,28 @@ func (s *Solver) simplifyList(cs []*clause) []*clause {
 			kept = append(kept, c)
 			continue
 		}
+		// Strip false literals in place (beyond the two watched positions,
+		// any literal may be false at level 0); the tail words become dead.
 		s.detach(c)
-		nl := c.lits[:0]
-		for _, l := range c.lits {
-			if s.litValue(l) != lFalse {
-				nl = append(nl, l)
+		j := 0
+		for _, u := range ls {
+			if s.litValue(lit(u)) != lFalse {
+				ls[j] = u
+				j++
 			}
 		}
-		c.lits = nl
-		switch len(c.lits) {
+		s.wasted += len(ls) - j
+		s.claSetSize(c, j)
+		switch j {
 		case 0:
 			s.ok = false
+			s.freeClause(c) // header (+activity) words die too
 		case 1:
-			s.uncheckedEnqueue(c.lits[0], nil)
-			if s.propagate() != nil {
+			s.uncheckedEnqueue(lit(ls[0]), reasonUndef)
+			if s.propagate() != crefUndef {
 				s.ok = false
 			}
+			s.freeClause(c) // absorbed into the trail; clause is dead
 		default:
 			s.attach(c)
 			kept = append(kept, c)
@@ -854,7 +1144,7 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
-	if s.propagate() != nil {
+	if s.propagate() != crefUndef {
 		s.ok = false
 		return Unsat
 	}
@@ -875,13 +1165,10 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 			s.maxLearnts = 1000
 		}
 	}
-	startConfl := s.conflicts
+	s.budgetStart = s.conflicts
 	var status Status = Unknown
 	for restart := int64(1); status == Unknown; restart++ {
-		if s.conflictBudget >= 0 && s.conflicts-startConfl >= s.conflictBudget {
-			break
-		}
-		if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		if s.outOfBudget() {
 			break
 		}
 		budget := luby(restart-1) * 100
@@ -889,7 +1176,7 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 		if status == Unknown {
 			s.restarts++
 			// distinguish restart from budget exhaustion
-			if s.budgetOut(startConfl) {
+			if s.outOfBudget() {
 				break
 			}
 		}
@@ -902,22 +1189,12 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	return status
 }
 
-func (s *Solver) budgetOut(startConfl int64) bool {
-	if s.conflictBudget >= 0 && s.conflicts-startConfl >= s.conflictBudget {
-		return true
-	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		return true
-	}
-	return false
-}
-
 // Model returns the satisfying assignment found by the last successful
 // Solve/SolveAssume call. Only meaningful after Sat.
 func (s *Solver) Model() cnf.Assignment {
 	m := cnf.NewAssignment(s.numVars)
 	for v := 1; v <= s.numVars; v++ {
-		switch s.assigns[v] {
+		switch s.varValue(v) {
 		case lTrue:
 			m.Set(cnf.Var(v), cnf.True)
 		case lFalse:

@@ -475,8 +475,8 @@ func TestStatsProgress(t *testing.T) {
 	if st := s.Solve(); st != Sat {
 		t.Fatal("want SAT")
 	}
-	_, props, decs, _ := s.Stats()
-	if props == 0 && decs == 0 {
+	st := s.Stats()
+	if st.Propagations == 0 && st.Decisions == 0 {
 		t.Fatal("no work recorded in stats")
 	}
 }
