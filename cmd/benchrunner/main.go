@@ -21,6 +21,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -135,19 +136,33 @@ func run() int {
 		return bench.WriteExperimentsMD(f, tab, results, *timeout)
 	})
 	write("results_raw.csv", func(f *os.File) error {
-		if _, err := fmt.Fprintln(f, "instance,family,engine,outcome,seconds,detail"); err != nil {
-			return err
-		}
-		for _, r := range results {
-			if _, err := fmt.Fprintf(f, "%s,%s,%s,%s,%.4f,%q\n",
-				r.Instance, r.Family, r.Engine, r.Outcome, r.Duration.Seconds(), r.Detail); err != nil {
-				return err
-			}
-		}
-		return nil
+		return writeResultsCSV(f, results)
 	})
 	fmt.Printf("\nCSV data written to %s\n", *outDir)
 	return 0
+}
+
+// writeResultsCSV emits the raw per-run results. The Detail column is free
+// text (engine error strings); everything goes through encoding/csv so
+// quotes, commas, and newlines in details survive the replay round-trip with
+// readResults — hand-rolled fmt.Fprintf("%q") escaping does Go escaping,
+// which encoding/csv does not undo.
+func writeResultsCSV(w io.Writer, results []bench.RunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"instance", "family", "engine", "outcome", "seconds", "detail"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.Instance, r.Family, r.Engine, r.Outcome.String(),
+			strconv.FormatFloat(r.Duration.Seconds(), 'f', 4, 64), r.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // readResultsCSV parses a results_raw.csv written by a previous run.
@@ -157,8 +172,12 @@ func readResultsCSV(path string) ([]bench.RunResult, error) {
 		return nil, err
 	}
 	defer f.Close()
-	r := csv.NewReader(f)
-	rows, err := r.ReadAll()
+	return readResults(f, path)
+}
+
+func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
+	r := csv.NewReader(rd)
+	rows, err := r.ReadAll() // field count inferred from the header: short rows fail loudly
 	if err != nil {
 		return nil, err
 	}

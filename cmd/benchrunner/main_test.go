@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// TestResultsCSVRoundTripHostileDetails: the raw results CSV used to be
+// written by hand with fmt.Fprintf %q (Go escaping) while the replay path
+// parses with encoding/csv — a Detail containing a quote, backslash,
+// newline, or comma corrupted the round-trip. Writer and reader now both
+// speak encoding/csv; every hostile detail must survive verbatim.
+func TestResultsCSVRoundTripHostileDetails(t *testing.T) {
+	details := []string{
+		`plain detail`,
+		`contains "double quotes" inside`,
+		`backslash \ and \" escaped-quote lookalike`,
+		"embedded\nnewline line2",
+		`comma, separated, detail`,
+		`trailing backslash \`,
+		"tab\tand unicode ∀∃ and quote\" mix",
+		``,
+	}
+	outcomes := []bench.Outcome{
+		bench.Synthesized, bench.ProvedFalse, bench.TimedOut, bench.GaveUp,
+		bench.Failed, bench.Failed, bench.Synthesized, bench.TimedOut,
+	}
+	in := make([]bench.RunResult, len(details))
+	for i, d := range details {
+		in[i] = bench.RunResult{
+			Instance: "inst_" + strings.Repeat("x", i+1),
+			Family:   "family",
+			Engine:   "manthan3",
+			Outcome:  outcomes[i],
+			Duration: time.Duration(i+1) * 125 * time.Millisecond,
+			Detail:   d,
+		}
+	}
+	var buf bytes.Buffer
+	if err := writeResultsCSV(&buf, in); err != nil {
+		t.Fatalf("writeResultsCSV: %v", err)
+	}
+	got, err := readResults(bytes.NewReader(buf.Bytes()), "buf")
+	if err != nil {
+		t.Fatalf("readResults: %v", err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round-trip row count: got %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i].Instance != in[i].Instance || got[i].Family != in[i].Family ||
+			got[i].Engine != in[i].Engine || got[i].Outcome != in[i].Outcome {
+			t.Fatalf("row %d metadata mismatch: got %+v want %+v", i, got[i], in[i])
+		}
+		if got[i].Detail != in[i].Detail {
+			t.Fatalf("row %d detail corrupted:\n got %q\nwant %q", i, got[i].Detail, in[i].Detail)
+		}
+		if d := got[i].Duration - in[i].Duration; d < -time.Millisecond || d > time.Millisecond {
+			t.Fatalf("row %d duration drifted: got %v want %v", i, got[i].Duration, in[i].Duration)
+		}
+	}
+}

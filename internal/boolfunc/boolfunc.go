@@ -65,7 +65,7 @@ type Node struct {
 // Builder hash-conses nodes. All nodes combined by a builder's operations
 // must originate from the same builder.
 type Builder struct {
-	nodes  map[string]*Node
+	nodes  map[nodeKey]*Node
 	nextID uint64
 	tru    *Node
 	fls    *Node
@@ -73,19 +73,35 @@ type Builder struct {
 
 // NewBuilder returns a fresh builder with interned constants.
 func NewBuilder() *Builder {
-	b := &Builder{nodes: make(map[string]*Node)}
+	b := &Builder{nodes: make(map[nodeKey]*Node)}
 	b.tru = b.intern(&Node{Op: OpConst, Value: true})
 	b.fls = b.intern(&Node{Op: OpConst, Value: false})
 	return b
 }
 
-func (b *Builder) key(n *Node) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%d|%t|%d", n.Op, n.Value, n.Var)
-	for _, k := range n.Kids {
-		fmt.Fprintf(&sb, "|%d", k.id)
+// nodeKey is the comparable interning key: op, payload, and up to three kid
+// ids (OpIte is the widest node). A struct key keeps interning allocation-
+// free on the repair loop's hot strengthen/weaken path.
+type nodeKey struct {
+	op         Op
+	value      bool
+	v          cnf.Var
+	k0, k1, k2 uint64
+}
+
+func (b *Builder) key(n *Node) nodeKey {
+	k := nodeKey{op: n.Op, value: n.Value, v: n.Var}
+	switch len(n.Kids) {
+	case 3:
+		k.k2 = n.Kids[2].id
+		fallthrough
+	case 2:
+		k.k1 = n.Kids[1].id
+		fallthrough
+	case 1:
+		k.k0 = n.Kids[0].id
 	}
-	return sb.String()
+	return k
 }
 
 func (b *Builder) intern(n *Node) *Node {
@@ -402,6 +418,12 @@ type CNFOptions struct {
 	// VarFor maps function inputs to CNF variables in the target formula.
 	// Nil means identity (input v is CNF variable v).
 	VarFor func(cnf.Var) cnf.Var
+	// Cache, when non-nil, persists node → output-literal memoization across
+	// ToCNF calls: nodes already present are not re-encoded (no clauses
+	// added), so incremental callers pay only for the DAG delta. All calls
+	// sharing a cache must target the same variable space and use the same
+	// VarFor mapping, and the previously added clauses must still be live.
+	Cache map[uint64]cnf.Lit
 }
 
 // ToCNF Tseitin-encodes the function into dst, returning a literal out such
@@ -412,7 +434,10 @@ func ToCNF(n *Node, dst *cnf.Formula, opt CNFOptions) cnf.Lit {
 	if mapVar == nil {
 		mapVar = func(v cnf.Var) cnf.Var { return v }
 	}
-	memo := make(map[uint64]cnf.Lit)
+	memo := opt.Cache
+	if memo == nil {
+		memo = make(map[uint64]cnf.Lit)
+	}
 	var walk func(*Node) cnf.Lit
 	walk = func(m *Node) cnf.Lit {
 		if l, ok := memo[m.id]; ok {

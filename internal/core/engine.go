@@ -13,6 +13,31 @@
 //
 // until verification succeeds, the instance is proved False, or the repair
 // loop is stuck (the paper's documented incompleteness).
+//
+// # Persistent oracles
+//
+// Every SAT-flavoured oracle in the verify–repair loop is incremental and
+// lives for the whole synthesis run:
+//
+//   - phiSolver holds ϕ and answers all assumption queries (preprocessing,
+//     counterexample extension, the Gk repair queries with their UNSAT
+//     cores).
+//   - verifySolver holds ¬ϕ(X,Y′) permanently, the Tseitin definitions of
+//     every candidate-DAG node encoded exactly once through a persistent
+//     node → literal cache, and per candidate a tiny releasable clause group
+//     tying Y′y to its function's root literal (sat.AddClauseGroup). A
+//     repair round releases and re-encodes only the candidates that
+//     changed — a steady-state iteration performs no solver construction
+//     and no re-encode of E(X,Y′).
+//   - FindCandi's MaxSAT localization runs through maxsat.Incremental
+//     against a solver that loads ϕ once; the per-counterexample machinery
+//     (relaxation clauses, cardinality counter) lives in clause groups and
+//     recycled variables.
+//   - The sampler draws all training assignments from one solver, blocking
+//     each projected sample instead of rebuilding.
+//
+// Stats.VerifySolversBuilt and Stats.CandidateReencodes expose the
+// persistence invariants; BenchmarkVerifyRepair tracks the win.
 package core
 
 import (
@@ -24,6 +49,7 @@ import (
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/maxsat"
 	"repro/internal/sat"
 )
 
@@ -104,6 +130,13 @@ type Stats struct {
 	MaxSATCalls        int
 	CoreCalls          int
 	LearnedNodes       int
+	// VerifySolversBuilt counts constructions of the verification solver; the
+	// persistent-oracle architecture keeps it at 1 per synthesis run.
+	VerifySolversBuilt int
+	// CandidateReencodes counts per-candidate clause groups re-encoded into
+	// the persistent verification solver after repairs (the initial encoding
+	// of each candidate is not counted).
+	CandidateReencodes int
 }
 
 // Result is a successful synthesis outcome.
@@ -134,7 +167,23 @@ type Engine struct {
 	orderIdx map[cnf.Var]int // position in order
 
 	phiSolver *sat.Solver // persistent solver over ϕ for assumption queries
-	stats     Stats
+
+	// Persistent verification oracle: one solver holds ¬ϕ(X,Y′) for the whole
+	// run plus one releasable clause group per candidate's Y′ ↔ f encoding.
+	// verify swaps only the groups of candidates that changed since the last
+	// call (tracked in dirty) instead of rebuilding E(X,Y′) from scratch.
+	verifySolver *sat.Solver
+	verifyEnc    *cnf.Formula            // scratch formula, also the solver's variable allocator
+	prime        map[cnf.Var]cnf.Var     // Y → Y′
+	groupOf      map[cnf.Var]sat.GroupID // live equivalence group per existential
+	encCache     map[uint64]cnf.Lit      // persistent Tseitin memo: DAG node → literal
+	dirty        map[cnf.Var]bool        // candidates changed since last encode
+
+	// Persistent FindCandi oracle: ϕ stays loaded; per-counterexample MaxSAT
+	// machinery lives in clause groups released after each query.
+	candi *maxsat.Incremental
+
+	stats Stats
 }
 
 // Synthesize runs Manthan3 on the instance.
@@ -150,6 +199,7 @@ func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
 		funcs: make(map[cnf.Var]*boolfunc.Node),
 		fixed: make(map[cnf.Var]bool),
 		deps:  make(map[cnf.Var]map[cnf.Var]bool),
+		dirty: make(map[cnf.Var]bool),
 	}
 	e.up = make(map[cnf.Var]map[cnf.Var]bool)
 	for _, y := range in.Exist {
@@ -333,22 +383,33 @@ func (e *Engine) substitute() (*dqbf.FuncVector, error) {
 	return fv, nil
 }
 
-// verify builds E(X,Y′) = ¬ϕ(X,Y′) ∧ (Y′ ↔ f) and solves it. It returns the
-// model when E is satisfiable (candidates are wrong somewhere).
-func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
-	e.stats.VerifyCalls++
+// setFunc installs f as y's candidate and marks its verification clause
+// group stale. Every candidate mutation after learning must go through here
+// so the persistent verify solver re-encodes exactly the changed candidates.
+func (e *Engine) setFunc(y cnf.Var, f *boolfunc.Node) {
+	if e.funcs[y] == f {
+		return
+	}
+	e.funcs[y] = f
+	e.dirty[y] = true
+}
+
+// buildVerifySolver constructs the persistent verification solver: the
+// static part ¬ϕ(X,Y′) is loaded once as plain clauses, then every
+// candidate's Y′ ↔ f encoding is added as a releasable clause group.
+func (e *Engine) buildVerifySolver() {
+	e.stats.VerifySolversBuilt++
 	ef := cnf.New(e.in.Matrix.NumVars)
-	// Fresh primed copy of every existential.
-	prime := make(map[cnf.Var]cnf.Var, len(e.in.Exist))
+	e.prime = make(map[cnf.Var]cnf.Var, len(e.in.Exist))
 	for _, y := range e.in.Exist {
-		prime[y] = ef.NewVar()
+		e.prime[y] = ef.NewVar()
 	}
 	// ¬ϕ(X,Y′): rename Y in the matrix to Y′, then add negation selectors.
 	renamed := cnf.New(ef.NumVars)
 	for _, c := range e.in.Matrix.Clauses {
 		nc := make([]cnf.Lit, len(c))
 		for i, l := range c {
-			if p, ok := prime[l.Var()]; ok {
+			if p, ok := e.prime[l.Var()]; ok {
 				nc[i] = cnf.MkLit(p, l.IsPos())
 			} else {
 				nc[i] = l
@@ -359,25 +420,82 @@ func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
 	renamed.NumVars = ef.NumVars
 	renamed.NegationInto(ef)
 
-	// Y′ ↔ f, with function-internal Y references mapped to primed copies.
+	e.verifySolver = e.newSolver()
+	e.verifySolver.AddFormula(ef)
+	// ef stays on as the solver's variable allocator: candidate encodings
+	// allocate Tseitin variables from it, clauses are transferred and the
+	// clause list truncated, and NumVars is re-synced whenever the solver
+	// allocates a group activation variable of its own.
+	ef.Clauses = ef.Clauses[:0]
+	e.verifyEnc = ef
+
+	e.groupOf = make(map[cnf.Var]sat.GroupID, len(e.in.Exist))
+	e.encCache = make(map[uint64]cnf.Lit)
+	for _, y := range e.in.Exist {
+		e.groupOf[y] = e.encodeCandidate(y)
+	}
+	clear(e.dirty)
+}
+
+// encodeCandidate encodes Y′y ↔ fy (function-internal Y references mapped to
+// primed copies) into the persistent verification solver and returns the
+// releasable group tying them together. The Tseitin definitions of fy's DAG
+// nodes are added as PERMANENT clauses through a persistent node → literal
+// cache: repairs rewrite candidates by wrapping the previous function
+// (strengthen/weaken), so the hash-consed DAG shares almost all nodes with
+// the already-encoded version and each re-encode pays only for the new
+// nodes. Definitions are pure (they constrain only their own fresh output
+// variables), so they stay sound when the candidate changes; only the
+// two-clause equivalence Y′y ↔ root must be swapped, and that is all the
+// releasable group contains.
+func (e *Engine) encodeCandidate(y cnf.Var) sat.GroupID {
+	ef := e.verifyEnc
+	ef.Clauses = ef.Clauses[:0]
 	mapVar := func(v cnf.Var) cnf.Var {
-		if p, ok := prime[v]; ok {
+		if p, ok := e.prime[v]; ok {
 			return p
 		}
 		return v
 	}
-	for _, y := range e.in.Exist {
-		out := boolfunc.ToCNF(e.funcs[y], ef, boolfunc.CNFOptions{VarFor: mapVar})
-		ef.AddEquivLit(cnf.PosLit(prime[y]), out)
+	out := boolfunc.ToCNF(e.funcs[y], ef, boolfunc.CNFOptions{VarFor: mapVar, Cache: e.encCache})
+	e.verifySolver.EnsureVars(ef.NumVars)
+	for _, c := range ef.Clauses {
+		e.verifySolver.AddClause(c...)
 	}
+	ef.Clauses = ef.Clauses[:0]
+	p := cnf.PosLit(e.prime[y])
+	gid := e.verifySolver.AddClauseGroup([]cnf.Clause{{p.Neg(), out}, {p, out.Neg()}})
+	// The group's activation variable was allocated from the solver's space;
+	// sync the formula's counter so future Tseitin variables don't collide.
+	ef.NumVars = e.verifySolver.NumVars()
+	return gid
+}
 
-	s := e.newSolver()
-	s.AddFormula(ef)
-	switch st := s.Solve(); st {
+// verify decides E(X,Y′) = ¬ϕ(X,Y′) ∧ (Y′ ↔ f) on the persistent
+// verification solver, first re-encoding the clause groups of candidates
+// repaired since the previous call. It returns the model when E is
+// satisfiable (candidates are wrong somewhere).
+func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
+	e.stats.VerifyCalls++
+	if e.verifySolver == nil {
+		e.buildVerifySolver()
+	} else if len(e.dirty) > 0 {
+		// Deterministic order: iterate declaration order, not the map.
+		for _, y := range e.in.Exist {
+			if !e.dirty[y] {
+				continue
+			}
+			e.verifySolver.ReleaseGroup(e.groupOf[y])
+			e.groupOf[y] = e.encodeCandidate(y)
+			e.stats.CandidateReencodes++
+		}
+		clear(e.dirty)
+	}
+	switch st := e.verifySolver.Solve(); st {
 	case sat.Unsat:
 		return nil, sat.Unsat, nil
 	case sat.Sat:
-		m := s.Model()
+		m := e.verifySolver.Model()
 		// Repackage: report X over original vars and candidate outputs on
 		// the ORIGINAL Y variable indices of a fresh "primed view".
 		out := cnf.NewAssignment(e.in.Matrix.NumVars)
@@ -385,7 +503,7 @@ func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
 			out.Set(x, m.Get(x))
 		}
 		for _, y := range e.in.Exist {
-			out.Set(y, m.Get(prime[y]))
+			out.Set(y, m.Get(e.prime[y]))
 		}
 		return out, sat.Sat, nil
 	default:

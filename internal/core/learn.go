@@ -119,6 +119,6 @@ func (e *Engine) candidateHkF(samples []cnf.Assignment, yi cnf.Var) error {
 			e.recordUse(yi, yk)
 		}
 	}
-	e.funcs[yi] = f
+	e.setFunc(yi, f)
 	return nil
 }

@@ -41,11 +41,11 @@ func (e *Engine) preprocess() error {
 	for _, y := range e.in.Exist {
 		switch {
 		case !negOcc[y]:
-			e.funcs[y] = e.b.True()
+			e.setFunc(y, e.b.True())
 			e.fixed[y] = true
 			e.stats.UnatesDetected++
 		case !posOcc[y]:
-			e.funcs[y] = e.b.False()
+			e.setFunc(y, e.b.False())
 			e.fixed[y] = true
 			e.stats.UnatesDetected++
 		}
@@ -63,7 +63,7 @@ func (e *Engine) preprocess() error {
 			return fmt.Errorf("%w: preprocessing", ErrBudget)
 		}
 		if st == sat.Unsat {
-			e.funcs[y] = e.b.False()
+			e.setFunc(y, e.b.False())
 			e.fixed[y] = true
 			e.stats.ConstantsDetected++
 			continue
@@ -73,7 +73,7 @@ func (e *Engine) preprocess() error {
 			return fmt.Errorf("%w: preprocessing", ErrBudget)
 		}
 		if st == sat.Unsat {
-			e.funcs[y] = e.b.True()
+			e.setFunc(y, e.b.True())
 			e.fixed[y] = true
 			e.stats.ConstantsDetected++
 			continue
@@ -84,7 +84,7 @@ func (e *Engine) preprocess() error {
 			return err
 		}
 		if pos {
-			e.funcs[y] = e.b.True()
+			e.setFunc(y, e.b.True())
 			e.fixed[y] = true
 			e.stats.UnatesDetected++
 			continue
@@ -94,7 +94,7 @@ func (e *Engine) preprocess() error {
 			return err
 		}
 		if neg {
-			e.funcs[y] = e.b.False()
+			e.setFunc(y, e.b.False())
 			e.fixed[y] = true
 			e.stats.UnatesDetected++
 			continue

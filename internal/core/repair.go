@@ -65,9 +65,9 @@ func (e *Engine) repair(sigma *counterexample) (bool, error) {
 			}
 			old := e.funcs[yk]
 			if sigma.yPrime.Get(yk) == cnf.True {
-				e.funcs[yk] = e.b.And(old, e.b.Not(beta)) // strengthen
+				e.setFunc(yk, e.b.And(old, e.b.Not(beta))) // strengthen
 			} else {
-				e.funcs[yk] = e.b.Or(old, beta) // weaken
+				e.setFunc(yk, e.b.Or(old, beta)) // weaken
 			}
 			if e.funcs[yk] != old {
 				repairedAny = true
@@ -99,10 +99,27 @@ func (e *Engine) repair(sigma *counterexample) (bool, error) {
 		default:
 			return false, fmt.Errorf("%w: repair SAT call", ErrBudget)
 		}
-		// Line 18: align σ[yk] with the candidate output.
-		sigma.y.Set(yk, sigma.yPrime.Get(yk))
+		// Line 18: align σ[yk] with the candidate's output at σ. The output
+		// must be recomputed from the CURRENT function: on the UNSAT branch
+		// the repair just flipped fk's output at σ (strengthening forces 0,
+		// weakening forces 1), so the pre-repair σ[y′k] is stale, and later
+		// queued candidates read σ[yk] through their Ŷ assumptions.
+		sigma.y.Set(yk, cnf.BoolValue(e.evalAtSigma(e.funcs[yk], sigma)))
 	}
 	return repairedAny, nil
+}
+
+// evalAtSigma evaluates f on the assignment σ = σ[X] ∪ σ[Y] (candidate
+// functions may reference Ŷ variables besides their Henkin dependencies).
+func (e *Engine) evalAtSigma(f *boolfunc.Node, sigma *counterexample) bool {
+	a := cnf.NewAssignment(e.in.Matrix.NumVars)
+	for _, x := range e.in.Univ {
+		a.Set(x, sigma.x.Get(x))
+	}
+	for _, y := range e.in.Exist {
+		a.Set(y, sigma.y.Get(y))
+	}
+	return boolfunc.Eval(f, a)
 }
 
 // buildBeta constructs the repair formula β = ⋀_{l ∈ core, l ≠ yk-unit}
@@ -147,9 +164,17 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 		return out, nil
 	}
 	e.stats.MaxSATCalls++
-	hard := e.in.Matrix.Clone()
+	// Persistent hard-part solver: ϕ is loaded once per synthesis; the
+	// counterexample-specific X ↔ σ[X] units are passed as assumptions and
+	// the per-query MaxSAT machinery lives in released clause groups.
+	if e.candi == nil {
+		s := e.newSolver()
+		s.AddFormula(e.in.Matrix)
+		e.candi = maxsat.NewIncremental(s)
+	}
+	assumps := make([]cnf.Lit, 0, len(e.in.Univ))
 	for _, x := range e.in.Univ {
-		hard.AddUnit(cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
+		assumps = append(assumps, cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
 	}
 	softs := make([]maxsat.Soft, 0, len(e.in.Exist))
 	softVar := make([]cnf.Var, 0, len(e.in.Exist))
@@ -159,7 +184,7 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 		})
 		softVar = append(softVar, y)
 	}
-	res, err := maxsat.Solve(hard, softs, maxsat.Options{
+	res, err := e.candi.Solve(assumps, softs, maxsat.Options{
 		ConflictBudget: e.opts.SATConflictBudget,
 		Deadline:       e.opts.Deadline,
 	})

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/sat"
+)
+
+// TestRepairAlignsSigmaWithRepairedOutput is the regression test for the
+// Algorithm 3 line-18 bug: σ[yk] was refreshed with the PRE-repair candidate
+// output σ[y′k] even on the UNSAT branch, where the repair just flipped fk's
+// output at σ. With two queued candidates the second one's Ŷ assumption then
+// read the stale (un-repaired) value.
+//
+// Setup: X = {x1}, ya = y2 with H = {x1}, yb = y3 with H = {x1};
+// ϕ = (ya ↔ ¬x) ∧ (yb ↔ ya). Candidates fa = fb = x (wrong everywhere).
+// Order is [yb, ya], so when repairing yb (second in the queue) its Ŷ set is
+// {ya} and its Gk assumptions read σ[ya] — which must by then hold the
+// repaired output of fa at σ, not the stale pre-repair output.
+func TestRepairAlignsSigmaWithRepairedOutput(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddExist(2, []cnf.Var{1}) // ya
+	in.AddExist(3, []cnf.Var{1}) // yb
+	in.Matrix.AddClause(-2, -1)  // ya → ¬x
+	in.Matrix.AddClause(2, 1)    // ¬x → ya
+	in.Matrix.AddClause(-3, 2)   // yb → ya
+	in.Matrix.AddClause(3, -2)   // ya → yb
+
+	e := &Engine{
+		in:    in,
+		opts:  Options{}.withDefaults(),
+		b:     boolfunc.NewBuilder(),
+		funcs: make(map[cnf.Var]*boolfunc.Node),
+		fixed: make(map[cnf.Var]bool),
+		deps:  map[cnf.Var]map[cnf.Var]bool{2: {}, 3: {}},
+		up:    map[cnf.Var]map[cnf.Var]bool{2: {}, 3: {}},
+		dirty: make(map[cnf.Var]bool),
+	}
+	e.funcs[2] = e.b.Var(1)
+	e.funcs[3] = e.b.Var(1)
+	e.order = []cnf.Var{3, 2}
+	e.orderIdx = map[cnf.Var]int{3: 0, 2: 1}
+	e.phiSolver = sat.New()
+	e.phiSolver.AddFormula(in.Matrix)
+
+	// Counterexample at x = 1: both candidates output 1, but ϕ forces
+	// ya = yb = 0 there.
+	sigma := &counterexample{
+		x:      cnf.NewAssignment(in.Matrix.NumVars),
+		y:      cnf.NewAssignment(in.Matrix.NumVars),
+		yPrime: cnf.NewAssignment(in.Matrix.NumVars),
+	}
+	sigma.x.Set(1, cnf.True)
+	sigma.y.Set(2, cnf.False)
+	sigma.y.Set(3, cnf.False)
+	sigma.yPrime.Set(2, cnf.True)
+	sigma.yPrime.Set(3, cnf.True)
+
+	progressed, err := e.repair(sigma)
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if !progressed {
+		t.Fatal("repair made no progress")
+	}
+	// Algorithm 3 line 18: for every processed candidate, σ[yk] must equal
+	// the CURRENT (possibly repaired) candidate's output at σ.
+	for _, y := range []cnf.Var{2, 3} {
+		want := cnf.BoolValue(e.evalAtSigma(e.funcs[y], sigma))
+		if got := sigma.y.Get(y); got != want {
+			t.Fatalf("σ[y%d] = %v, want the repaired candidate output %v", y, got, want)
+		}
+	}
+	// The strengthening of fa at σ (x=1, output was 1) must flip its output
+	// to 0 there — and σ must reflect it.
+	a := cnf.NewAssignment(in.Matrix.NumVars)
+	a.Set(1, cnf.True)
+	a.Set(2, sigma.y.Get(2))
+	a.Set(3, sigma.y.Get(3))
+	if boolfunc.Eval(e.funcs[2], a) {
+		t.Fatal("fa was not strengthened at the counterexample point")
+	}
+	if sigma.y.Get(2) != cnf.False {
+		t.Fatalf("σ[ya] = %v after a repair that forced fa(σ) = 0", sigma.y.Get(2))
+	}
+}
+
+// TestVerifySolverPersistent checks the persistent-oracle acceptance
+// criterion: a multi-iteration synthesis run constructs exactly one
+// verification solver and re-encodes only changed candidates.
+func TestVerifySolverPersistent(t *testing.T) {
+	in := parityInstance(4)
+	res, err := Synthesize(in, repairHeavyOptions(1))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if res.Stats.RepairIterations < 2 {
+		t.Fatalf("instance not repair-heavy enough: %d iterations", res.Stats.RepairIterations)
+	}
+	if res.Stats.VerifySolversBuilt != 1 {
+		t.Fatalf("VerifySolversBuilt = %d, want 1 (persistent verification solver)",
+			res.Stats.VerifySolversBuilt)
+	}
+	if res.Stats.CandidateReencodes == 0 {
+		t.Fatal("no candidate re-encodes recorded despite repairs")
+	}
+	// Repairs touch a strict subset of candidates per iteration; re-encodes
+	// must not exceed candidates-repaired (one re-encode per changed
+	// candidate per verify round, not a full E rebuild).
+	if res.Stats.CandidateReencodes > res.Stats.CandidatesRepaired {
+		t.Fatalf("re-encodes (%d) exceed candidate repairs (%d): full re-encode suspected",
+			res.Stats.CandidateReencodes, res.Stats.CandidatesRepaired)
+	}
+}

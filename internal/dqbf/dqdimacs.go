@@ -28,10 +28,11 @@ func ParseDQDIMACS(r io.Reader) (*Instance, error) {
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	var cur cnf.Clause
 	var univSoFar []cnf.Var
-	declared := make(map[cnf.Var]bool)
+	declared := make(map[cnf.Var]byte) // 'a' universal, 'e'/'d' existential
 	lineNo := 0
 	sawProblem := false
 	numVars := 0
+	declLimit := int(^uint(0) >> 1) // no bound until the problem line is seen
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -52,34 +53,35 @@ func ParseDQDIMACS(r io.Reader) (*Instance, error) {
 				return nil, fmt.Errorf("dqdimacs: line %d: bad var count", lineNo)
 			}
 			numVars = nv
+			declLimit = nv
 			sawProblem = true
 		case "a":
-			vars, err := parseVarList(fields[1:], lineNo)
+			vars, err := parseVarList(fields[1:], lineNo, declLimit)
 			if err != nil {
 				return nil, err
 			}
 			for _, v := range vars {
-				if declared[v] {
+				if declared[v] != 0 {
 					return nil, fmt.Errorf("dqdimacs: line %d: variable %d redeclared", lineNo, v)
 				}
-				declared[v] = true
+				declared[v] = 'a'
 				in.AddUniv(v)
 				univSoFar = append(univSoFar, v)
 			}
 		case "e":
-			vars, err := parseVarList(fields[1:], lineNo)
+			vars, err := parseVarList(fields[1:], lineNo, declLimit)
 			if err != nil {
 				return nil, err
 			}
 			for _, v := range vars {
-				if declared[v] {
+				if declared[v] != 0 {
 					return nil, fmt.Errorf("dqdimacs: line %d: variable %d redeclared", lineNo, v)
 				}
-				declared[v] = true
+				declared[v] = 'e'
 				in.AddExist(v, univSoFar)
 			}
 		case "d":
-			vars, err := parseVarList(fields[1:], lineNo)
+			vars, err := parseVarList(fields[1:], lineNo, declLimit)
 			if err != nil {
 				return nil, err
 			}
@@ -87,10 +89,22 @@ func ParseDQDIMACS(r io.Reader) (*Instance, error) {
 				return nil, fmt.Errorf("dqdimacs: line %d: empty d line", lineNo)
 			}
 			y := vars[0]
-			if declared[y] {
+			if declared[y] != 0 {
 				return nil, fmt.Errorf("dqdimacs: line %d: variable %d redeclared", lineNo, y)
 			}
-			declared[y] = true
+			// Henkin dependency sets must name previously declared
+			// universals: undeclared or existential entries are format
+			// errors, rejected here with the offending line.
+			for _, dep := range vars[1:] {
+				switch declared[dep] {
+				case 'a':
+				case 0:
+					return nil, fmt.Errorf("dqdimacs: line %d: dependency %d of existential %d is undeclared", lineNo, dep, y)
+				default:
+					return nil, fmt.Errorf("dqdimacs: line %d: dependency %d of existential %d is existential, not universal", lineNo, dep, y)
+				}
+			}
+			declared[y] = 'd'
 			in.AddExist(y, vars[1:])
 		default:
 			for _, tok := range fields {
@@ -102,6 +116,9 @@ func ParseDQDIMACS(r io.Reader) (*Instance, error) {
 					in.Matrix.AddClause(cur...)
 					cur = cur[:0]
 					continue
+				}
+				if abs(n) > declLimit {
+					return nil, fmt.Errorf("dqdimacs: line %d: literal %d exceeds the %d variables of the problem line", lineNo, n, numVars)
 				}
 				cur = append(cur, cnf.Lit(n))
 			}
@@ -125,7 +142,14 @@ func ParseDQDIMACS(r io.Reader) (*Instance, error) {
 	return in, nil
 }
 
-func parseVarList(fields []string, lineNo int) ([]cnf.Var, error) {
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+func parseVarList(fields []string, lineNo, numVars int) ([]cnf.Var, error) {
 	out := make([]cnf.Var, 0, len(fields))
 	sawZero := false
 	for _, tok := range fields {
@@ -139,6 +163,9 @@ func parseVarList(fields []string, lineNo int) ([]cnf.Var, error) {
 		}
 		if n < 0 {
 			return nil, fmt.Errorf("dqdimacs: line %d: negative variable %d in quantifier line", lineNo, n)
+		}
+		if n > numVars {
+			return nil, fmt.Errorf("dqdimacs: line %d: variable %d exceeds the %d variables of the problem line", lineNo, n, numVars)
 		}
 		out = append(out, cnf.Var(n))
 	}

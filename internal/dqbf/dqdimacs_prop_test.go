@@ -1,6 +1,7 @@
 package dqbf
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -71,6 +72,79 @@ func TestDQDIMACSRoundTripProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDLineRejectsUndeclaredDependency: a d-line naming a never-declared
+// variable in its dependency set must fail with a line-numbered error
+// (previously it was silently accepted and only maybe caught much later by
+// Validate, without the line).
+func TestDLineRejectsUndeclaredDependency(t *testing.T) {
+	in := "p cnf 3 1\na 1 0\nd 3 1 2 0\n3 0\n"
+	_, err := ParseDQDIMACS(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("undeclared dependency accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("want line-numbered undeclared-dependency error, got: %v", err)
+	}
+}
+
+// TestDLineRejectsExistentialDependency: Henkin dependency sets must contain
+// universals only.
+func TestDLineRejectsExistentialDependency(t *testing.T) {
+	in := "p cnf 3 1\na 1 0\ne 2 0\nd 3 1 2 0\n3 0\n"
+	_, err := ParseDQDIMACS(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("existential dependency accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") || !strings.Contains(err.Error(), "existential") {
+		t.Fatalf("want line-numbered existential-dependency error, got: %v", err)
+	}
+}
+
+// TestClauseRejectsVariableBeyondHeader: clauses may only use variables
+// 1..<vars> of the problem line.
+func TestClauseRejectsVariableBeyondHeader(t *testing.T) {
+	in := "p cnf 2 2\na 1 0\ne 2 0\n1 2 0\n-1 7 0\n"
+	_, err := ParseDQDIMACS(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("out-of-range clause literal accepted")
+	}
+	if !strings.Contains(err.Error(), "line 5") || !strings.Contains(err.Error(), "7") {
+		t.Fatalf("want line-numbered out-of-range error, got: %v", err)
+	}
+}
+
+// TestDLineValidProperty: d-lines over declared universals keep parsing, with
+// dependency sets preserved, for randomized orders and subsets.
+func TestDLineValidProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nX := 1 + rng.Intn(5)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "p cnf %d 1\na", nX+1)
+		for i := 1; i <= nX; i++ {
+			fmt.Fprintf(&sb, " %d", i)
+		}
+		sb.WriteString(" 0\nd ")
+		fmt.Fprintf(&sb, "%d", nX+1)
+		var deps []int
+		for i := 1; i <= nX; i++ {
+			if rng.Intn(2) == 0 {
+				deps = append(deps, i)
+				fmt.Fprintf(&sb, " %d", i)
+			}
+		}
+		fmt.Fprintf(&sb, " 0\n%d 0\n", nX+1)
+		got, err := ParseDQDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return len(got.Deps[cnf.Var(nX+1)]) == len(deps)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,6 +10,11 @@
 // softs — the common case in Manthan3's FindCandi, where most candidate
 // outputs are already consistent — an assumption-driven core-guided warm-up
 // quickly lower-bounds the optimum.
+//
+// SolveIncremental runs the same optimization against a caller-owned solver:
+// the hard formula stays loaded across queries, per-query machinery lives in
+// releasable clause groups, and the query-specific hard unit constraints are
+// passed as assumptions.
 package maxsat
 
 import (
@@ -49,66 +54,135 @@ type Options struct {
 	Deadline time.Time
 }
 
-// Solve minimizes the number of falsified soft clauses subject to hard.
+// Solve minimizes the number of falsified soft clauses subject to hard. It
+// builds a throwaway solver over the hard clauses; callers running many
+// MaxSAT queries against the same hard formula should load it into a solver
+// once and reuse an Incremental.
 func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
+	base := sat.New()
+	base.AddFormula(hard)
+	return NewIncremental(base).Solve(nil, softs, opts)
+}
+
+// Incremental runs repeated MaxSAT queries against one caller-owned solver.
+// The hard formula is loaded into the solver once by the caller; each query
+// passes its hard unit constraints as assumptions, and all machinery a query
+// adds — relaxation clauses and the cardinality counter — lives in
+// releasable clause groups freed before the query returns. Auxiliary
+// variables are drawn from a recycling pool so the solver's variable table
+// does not grow with the number of queries (Manthan3's FindCandi runs one
+// query per counterexample; recycled variables keep late queries as cheap as
+// early ones).
+type Incremental struct {
+	base *sat.Solver
+	pool []cnf.Var // recycled relaxation/counter variables
+	next int       // pool watermark for the current query
+
+	// Cached cardinality counter. Relaxation variables are always the first
+	// len(softs) pool entries, so for a fixed soft count the counter circuit
+	// is bit-identical across queries and its clause group can stay loaded;
+	// it is only rebuilt when the soft count changes.
+	counter      *seqCounter
+	counterGroup sat.GroupID
+	counterN     int // soft count the cached counter covers; 0 = none
+}
+
+// NewIncremental wraps a solver already loaded with the hard clauses.
+func NewIncremental(base *sat.Solver) *Incremental {
+	return &Incremental{base: base}
+}
+
+// allocVar returns a recycled auxiliary variable, falling back to a fresh
+// solver variable when the pool runs dry. Recycling is sound because a
+// released group's clauses are physically gone and any learnt clause that
+// mentions a pooled variable also carries the released group's activation
+// literal, which is fixed true.
+func (inc *Incremental) allocVar() cnf.Var {
+	if inc.next < len(inc.pool) {
+		v := inc.pool[inc.next]
+		inc.next++
+		return v
+	}
+	v := inc.base.NewVar()
+	inc.pool = append(inc.pool, v)
+	inc.next++
+	return v
+}
+
+// Solve minimizes the number of falsified soft clauses subject to the
+// solver's clauses plus the given assumptions. The caller's conflict budget
+// and deadline are installed on the base solver for the duration.
+func (inc *Incremental) Solve(assumps []cnf.Lit, softs []Soft, opts Options) (Result, error) {
+	base := inc.base
 	budget := opts.ConflictBudget
 	if budget == 0 {
 		budget = 200000
 	}
-	work := hard.Clone()
-	// Relaxation variable per soft clause: r_i ∨ soft_i ; r_i true means the
+	base.SetConflictBudget(budget)
+	// Install unconditionally: a zero deadline must CLEAR any deadline a
+	// previous query left on the shared solver.
+	base.SetDeadline(opts.Deadline)
+	inc.next = 0 // recycle the variable pool from the top
+	// A cached counter for a different soft count is stale — and its
+	// auxiliary variables overlap the pool positions this query hands out as
+	// relaxation variables — so it must go before any variable is recycled.
+	if inc.counterN != 0 && inc.counterN != len(softs) {
+		base.ReleaseGroup(inc.counterGroup)
+		inc.counter = nil
+		inc.counterN = 0
+	}
+
+	// Relaxation variable per soft clause: soft_i ∨ r_i ; r_i true means the
 	// soft clause may be violated.
 	relax := make([]cnf.Lit, len(softs))
+	relaxCls := make([]cnf.Clause, len(softs))
 	for i, s := range softs {
-		r := cnf.PosLit(work.NewVar())
+		r := cnf.PosLit(inc.allocVar())
 		relax[i] = r
-		cl := make([]cnf.Lit, 0, len(s.Clause)+1)
+		cl := make(cnf.Clause, 0, len(s.Clause)+1)
 		cl = append(cl, s.Clause...)
 		cl = append(cl, r)
-		work.AddClause(cl...)
+		relaxCls[i] = cl
 	}
-
-	solver := sat.New()
-	solver.AddFormula(work)
-	solver.SetConflictBudget(budget)
-	if !opts.Deadline.IsZero() {
-		solver.SetDeadline(opts.Deadline)
-	}
+	softGroup := base.AddClauseGroup(relaxCls)
+	defer base.ReleaseGroup(softGroup)
 
 	// First: try all softs satisfied (assume ¬r_i for all i).
-	assumps := make([]cnf.Lit, len(relax))
-	for i, r := range relax {
-		assumps[i] = r.Neg()
+	sa := make([]cnf.Lit, 0, len(assumps)+len(relax)+1)
+	sa = append(sa, assumps...)
+	for _, r := range relax {
+		sa = append(sa, r.Neg())
 	}
-	switch solver.SolveAssume(assumps) {
+	switch base.SolveAssume(sa) {
 	case sat.Sat:
-		m := solver.Model()
+		m := base.Model()
 		return Result{Status: sat.Sat, Model: m, Cost: 0, Optimal: true}, nil
 	case sat.Unknown:
 		return Result{Status: sat.Unknown}, fmt.Errorf("maxsat: budget exhausted before first model")
 	}
 
 	// Hard clauses alone satisfiable?
-	st := solver.Solve()
+	st := base.SolveAssume(assumps)
 	if st == sat.Unsat {
 		return Result{Status: sat.Unsat}, nil
 	}
 	if st == sat.Unknown {
 		return Result{Status: sat.Unknown}, fmt.Errorf("maxsat: budget exhausted on hard clauses")
 	}
-	best := solver.Model()
+	best := base.Model()
 	bestCost := costOf(softs, best)
 
 	// Linear search: add at-most-k over relax vars, decreasing k. The counter
-	// circuit is appended incrementally to the same solver — no fresh solver
-	// per iteration; learnt clauses and VSIDS state carry over between bound
-	// tightenings, matching how core/engine.go keeps its persistent phiSolver.
-	preLen := len(work.Clauses)
-	counter := newSeqCounter(work, relax)
-	solver.EnsureVars(work.NumVars)
-	for _, c := range work.Clauses[preLen:] {
-		solver.AddClause(c...)
+	// circuit lives in its own clause group and is cached across queries of
+	// the same soft count; learnt clauses and VSIDS state carry over between
+	// bound tightenings and between queries.
+	if inc.counterN == 0 {
+		counter, counterCls := inc.buildCounter(relax)
+		inc.counter = counter
+		inc.counterGroup = base.AddClauseGroup(counterCls)
+		inc.counterN = len(relax)
 	}
+	counter := inc.counter
 	optimal := false
 	for bestCost > 0 {
 		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
@@ -116,9 +190,10 @@ func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
 		}
 		// Assume at most bestCost-1 relaxations.
 		k := bestCost - 1
-		st := solver.SolveAssume(counter.atMost(k))
+		sa = append(append(sa[:0], assumps...), counter.atMost(k)...)
+		st := base.SolveAssume(sa)
 		if st == sat.Sat {
-			best = solver.Model()
+			best = base.Model()
 			c := costOf(softs, best)
 			if c >= bestCost {
 				// Should not happen; guard against miscounts.
@@ -142,6 +217,54 @@ func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// buildCounter encodes the sequential counter over relax into a virtual
+// variable space and remaps its auxiliary variables through the recycling
+// pool, returning the counter (outputs remapped) and the remapped clauses.
+func (inc *Incremental) buildCounter(relax []cnf.Lit) (*seqCounter, []cnf.Clause) {
+	virt := inc.base.NumVars() // counter vars are encoded above this mark
+	cf := cnf.New(virt)
+	counter := newSeqCounter(cf, relax)
+	vmap := make([]cnf.Var, cf.NumVars-virt)
+	for i := range vmap {
+		vmap[i] = inc.allocVar()
+	}
+	remap := func(l cnf.Lit) cnf.Lit {
+		if v := int(l.Var()); v > virt {
+			return cnf.MkLit(vmap[v-virt-1], l.IsPos())
+		}
+		return l
+	}
+	for _, c := range cf.Clauses {
+		for i, l := range c {
+			c[i] = remap(l)
+		}
+	}
+	for i, l := range counter.outs {
+		counter.outs[i] = remap(l)
+	}
+	return counter, cf.Clauses
+}
+
+// Release frees the cached counter group. The Incremental remains usable;
+// call it when the solver will outlive the MaxSAT queries.
+func (inc *Incremental) Release() {
+	if inc.counterN != 0 {
+		inc.base.ReleaseGroup(inc.counterGroup)
+		inc.counter = nil
+		inc.counterN = 0
+	}
+}
+
+// SolveIncremental is a convenience wrapper for a single incremental query,
+// leaving no groups behind on base; see Incremental for the reusable form
+// that also recycles variables and the cardinality counter across queries.
+func SolveIncremental(base *sat.Solver, assumps []cnf.Lit, softs []Soft, opts Options) (Result, error) {
+	inc := NewIncremental(base)
+	res, err := inc.Solve(assumps, softs, opts)
+	inc.Release()
+	return res, err
 }
 
 func clauseSat(c cnf.Clause, m cnf.Assignment) bool {

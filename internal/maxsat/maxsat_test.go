@@ -204,3 +204,76 @@ func TestManthanFindCandiShape(t *testing.T) {
 		t.Fatalf("repair candidate should be y2 (index 1): %v", res.Falsified)
 	}
 }
+
+func TestSolveIncrementalReusesBaseSolver(t *testing.T) {
+	// One persistent solver over the hard formula, many queries with varying
+	// assumptions and softs — the FindCandi pattern. Results must match the
+	// throwaway-solver path, and each query must clean its groups up.
+	hard := cnf.New(4)
+	hard.AddClause(1, 2)
+	hard.AddClause(-1, 3)
+	hard.AddClause(-2, -4)
+	base := sat.New()
+	base.AddFormula(hard)
+	for i := 0; i < 6; i++ {
+		assumps := []cnf.Lit{cnf.MkLit(1, i%2 == 0)}
+		softs := []Soft{
+			{Clause: cnf.Clause{cnf.MkLit(3, i%3 == 0)}},
+			{Clause: cnf.Clause{cnf.MkLit(4, i%2 == 0)}},
+		}
+		inc, err := SolveIncremental(base, assumps, softs, Options{})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		ref := hard.Clone()
+		ref.AddUnit(assumps[0])
+		want, err := Solve(ref, softs, Options{})
+		if err != nil {
+			t.Fatalf("query %d reference: %v", i, err)
+		}
+		if inc.Status != want.Status || inc.Cost != want.Cost || inc.Optimal != want.Optimal {
+			t.Fatalf("query %d: incremental %+v vs reference %+v", i, inc, want)
+		}
+		if st := base.Stats(); st.LiveGroups != 0 {
+			t.Fatalf("query %d leaked %d clause groups", i, st.LiveGroups)
+		}
+	}
+}
+
+func TestSolveIncrementalRandomEquivalence(t *testing.T) {
+	// Random hard formulas + softs: persistent-solver answers must equal the
+	// one-shot path call after call on the same base.
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nv := 5 + rng.Intn(5)
+		hard := cnf.New(nv)
+		for i := 0; i < 8+rng.Intn(10); i++ {
+			k := 1 + rng.Intn(3)
+			cl := make([]cnf.Lit, 0, k)
+			for j := 0; j < k; j++ {
+				cl = append(cl, cnf.MkLit(cnf.Var(1+rng.Intn(nv)), rng.Intn(2) == 0))
+			}
+			hard.AddClause(cl...)
+		}
+		base := sat.New()
+		base.AddFormula(hard)
+		for q := 0; q < 3; q++ {
+			ns := 1 + rng.Intn(4)
+			softs := make([]Soft, ns)
+			for i := range softs {
+				softs[i] = Soft{Clause: cnf.Clause{cnf.MkLit(cnf.Var(1+rng.Intn(nv)), rng.Intn(2) == 0)}}
+			}
+			inc, ierr := SolveIncremental(base, nil, softs, Options{})
+			ref, rerr := Solve(hard, softs, Options{})
+			if (ierr == nil) != (rerr == nil) {
+				t.Fatalf("seed %d query %d: err mismatch %v vs %v", seed, q, ierr, rerr)
+			}
+			if ierr != nil {
+				continue
+			}
+			if inc.Status != ref.Status || inc.Cost != ref.Cost {
+				t.Fatalf("seed %d query %d: incremental %+v vs reference %+v", seed, q, inc, ref)
+			}
+		}
+	}
+}

@@ -32,9 +32,17 @@ type Options struct {
 	MaxConflictsPerSample int64
 }
 
-// Sample draws up to n satisfying assignments of f. It returns fewer when
-// the formula has fewer distinct solutions (projected on opts.Vars) or when
-// budgets run out, and an error when the formula is unsatisfiable.
+// Sample draws up to n satisfying assignments of f, pairwise distinct on the
+// projection to opts.Vars. It returns fewer when the formula has fewer
+// distinct projected solutions or when budgets run out, and an error when the
+// formula is unsatisfiable.
+//
+// One solver is loaded with f and reused across all n draws: each accepted
+// sample adds a blocking clause over the projected variables (so duplicates
+// are impossible by construction, and sampling runs until the projected
+// solution space is exhausted), while the solver's single seeded RNG stream
+// keeps branching variables and phases random from draw to draw. The
+// per-draw restart costs a backtrack to level 0, not a formula reload.
 func Sample(f *cnf.Formula, n int, opts Options) ([]cnf.Assignment, error) {
 	if n <= 0 {
 		return nil, nil
@@ -52,48 +60,49 @@ func Sample(f *cnf.Formula, n int, opts Options) ([]cnf.Assignment, error) {
 	// Frequency counters for adaptive bias.
 	freq := make(map[cnf.Var]int)
 
+	s := sat.New()
+	s.SetSeed(rng.Int63()) // one seed: the solver's stream stays random across draws
+	s.SetRandomVarFreq(0.6)
+	s.SetRandomPhaseFreq(1.0)
+	s.SetConflictBudget(budget) // budget is per Solve call
+	s.AddFormula(f)
+
 	samples := make([]cnf.Assignment, 0, n)
-	seen := make(map[string]bool)
 	misses := 0
 	for len(samples) < n && misses < 3 {
-		s := sat.New()
-		s.SetSeed(rng.Int63())
-		s.SetRandomVarFreq(0.6)
-		s.SetRandomPhaseFreq(1.0)
-		s.SetConflictBudget(budget)
-		s.AddFormula(f)
-
-		// Adaptive phase bias: seed assumptions-free preference via initial
-		// random decisions is already in place; bias adaptive vars by adding
-		// them as soft preferences through phase priming.
+		// Adaptive phase bias: bias adaptive vars toward their empirical
+		// frequency once half the requested samples are in (Manthan's
+		// adaptive weighted sampling).
 		if len(opts.AdaptiveVars) > 0 && len(samples) >= n/2 {
 			primePhases(s, opts.AdaptiveVars, freq, len(samples), rng)
 		}
 
 		st := s.Solve()
 		if st == sat.Unsat {
+			// All projected solutions enumerated (or f unsatisfiable).
 			if len(samples) == 0 {
 				return nil, fmt.Errorf("sampler: formula is unsatisfiable")
 			}
 			break
 		}
 		if st == sat.Unknown {
-			misses++
-			continue
-		}
-		m := s.Model()
-		key := projectKey(m, vars)
-		if seen[key] {
+			// Budget exhausted on this draw; retry — the RNG stream has
+			// advanced, so the next attempt explores differently.
 			misses++
 			continue
 		}
 		misses = 0
-		seen[key] = true
+		m := s.Model()
 		samples = append(samples, m)
 		for _, v := range opts.AdaptiveVars {
 			if m.Get(v) == cnf.True {
 				freq[v]++
 			}
+		}
+		// Forbid this projection; an inconsistent solver (empty projection
+		// set) means no further distinct samples exist.
+		if !s.BlockModel(vars) {
+			break
 		}
 	}
 	if len(samples) == 0 {
@@ -124,14 +133,3 @@ func primePhases(s *sat.Solver, vars []cnf.Var, freq map[cnf.Var]int, total int,
 	}
 }
 
-func projectKey(m cnf.Assignment, vars []cnf.Var) string {
-	buf := make([]byte, len(vars))
-	for i, v := range vars {
-		if m.Get(v) == cnf.True {
-			buf[i] = '1'
-		} else {
-			buf[i] = '0'
-		}
-	}
-	return string(buf)
-}

@@ -150,3 +150,51 @@ func TestSampleCoversBothPolarities(t *testing.T) {
 			sawTrue, sawFalse, len(samples))
 	}
 }
+
+func TestSampleReturnsAllDistinctWhenAvailable(t *testing.T) {
+	// 5 free variables → 32 distinct projections. Requesting 30 must return
+	// 30 distinct samples: the sampler blocks seen projections instead of
+	// giving up after a run of duplicate draws (the old `misses < 3` rule
+	// silently shrank training data long before the space was exhausted).
+	f := cnf.New(5)
+	f.AddClause(1, -1)
+	vars := []cnf.Var{1, 2, 3, 4, 5}
+	for seed := int64(0); seed < 5; seed++ {
+		samples, err := Sample(f, 30, Options{Seed: seed, Vars: vars})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(samples) != 30 {
+			t.Fatalf("seed %d: got %d samples, want 30 (32 exist)", seed, len(samples))
+		}
+		seen := make(map[string]bool)
+		for _, m := range samples {
+			key := ""
+			for _, v := range vars {
+				if m.Get(v) == cnf.True {
+					key += "1"
+				} else {
+					key += "0"
+				}
+			}
+			if seen[key] {
+				t.Fatalf("seed %d: duplicate projection %s", seed, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestSampleExhaustsExactSolutionCount(t *testing.T) {
+	// x1 ∨ x2 has exactly 3 distinct projections on {1,2}; with blocking
+	// clauses the sampler must enumerate all 3, then stop.
+	f := cnf.New(2)
+	f.AddClause(1, 2)
+	samples, err := Sample(f, 50, Options{Seed: 3, Vars: []cnf.Var{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want exactly 3", len(samples))
+	}
+}

@@ -44,6 +44,21 @@
 // are compacted into a fresh buffer and every cref (clause lists, watch
 // lists, reason slots) is rewritten through per-clause forwarding offsets.
 // Solver.Stats reports arena size, wasted words, and compaction count.
+//
+// # Clause groups
+//
+// AddClauseGroup installs a batch of clauses guarded by a fresh activation
+// variable s: each clause c is stored as (c ∨ s), and ¬s is passed as a
+// standing assumption on every subsequent Solve/SolveAssume call, so the
+// group behaves exactly like ordinary clauses while active. ReleaseGroup
+// detaches the group's clauses and frees their words into the arena's wasted
+// account, then fixes s true at the top level: any learnt clause that
+// resolved a group clause contains s positively (s was a falsified
+// assumption when the learnt was derived), so fixing s true permanently
+// satisfies those learnts and the next top-level simplification reclaims
+// them. This makes incremental re-encoding sound: callers swap out one
+// group's clauses without invalidating the solver's remaining learnt state.
+// Core never reports activation literals.
 package sat
 
 import (
@@ -185,7 +200,13 @@ type Solver struct {
 	assumptions []lit
 	conflict    []lit // failed assumptions (negated form: lits that must flip)
 
-	rng           *rand.Rand
+	groups      []clauseGroup
+	standing    []lit  // ¬activation for every live group; assumed on each Solve
+	isSel       []bool // per var: true when the var is a group activation var
+	groupsFreed int64
+
+	rng           *rand.Rand // lazily built: seeding is ~µs and most solvers never branch randomly
+	rngSeed       int64
 	randVarFreq   float64 // probability of a random branching variable
 	randPhaseFreq float64 // probability of a random phase at a decision
 
@@ -215,7 +236,6 @@ func New() *Solver {
 		varDecay:       0.95,
 		claInc:         1,
 		claDecay:       0.999,
-		rng:            rand.New(rand.NewSource(0)),
 		conflictBudget: -1,
 		maxLearnts:     0,
 		learntAdjust:   100,
@@ -284,7 +304,18 @@ func (s *Solver) NumVars() int { return s.numVars }
 
 // SetSeed seeds the solver's random source (used for random branching and
 // random phases; deterministic by default).
-func (s *Solver) SetSeed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+func (s *Solver) SetSeed(seed int64) {
+	s.rngSeed = seed
+	s.rng = nil
+}
+
+// random returns the solver's random source, constructing it on first use.
+func (s *Solver) random() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.rngSeed))
+	}
+	return s.rng
+}
 
 // SetRandomVarFreq sets the probability of choosing a random branching
 // variable instead of the VSIDS maximum. Used by the sampler.
@@ -320,6 +351,8 @@ type Stats struct {
 	ArenaWords   int   // current arena length (uint32 words)
 	ArenaWasted  int   // dead words awaiting compaction
 	ArenaGCs     int64 // arena compactions performed
+	LiveGroups   int   // clause groups added and not yet released
+	GroupsFreed  int64 // clause groups released over the solver's lifetime
 }
 
 // Stats reports cumulative solver statistics.
@@ -333,6 +366,8 @@ func (s *Solver) Stats() Stats {
 		ArenaWords:   len(s.arena),
 		ArenaWasted:  s.wasted,
 		ArenaGCs:     s.arenaGCs,
+		LiveGroups:   len(s.standing),
+		GroupsFreed:  s.groupsFreed,
 	}
 }
 
@@ -407,9 +442,12 @@ func (s *Solver) removeClause(c cref) {
 	s.freeClause(c)
 }
 
-// maybeGC compacts the arena when at least 20% of it is dead.
+// maybeGC compacts the arena when at least 20% of it is dead. Compaction
+// walks every watch list (O(vars)), so tiny arenas are left alone: below the
+// floor the dead words cost less than the walk.
 func (s *Solver) maybeGC() {
-	if s.wasted*5 >= len(s.arena) && s.wasted > 0 {
+	const minWastedWords = 1024
+	if s.wasted >= minWastedWords && s.wasted*5 >= len(s.arena) {
 		s.garbageCollect()
 	}
 }
@@ -437,6 +475,12 @@ func (s *Solver) garbageCollect() {
 	}
 	for i := range s.learnts {
 		s.learnts[i] = s.relocate(s.learnts[i], &to)
+	}
+	for gi := range s.groups {
+		cs := s.groups[gi].crefs
+		for i := range cs {
+			cs[i] = s.relocate(cs[i], &to)
+		}
 	}
 	s.arena = to
 	s.wasted = 0
@@ -500,9 +544,22 @@ func (s *Solver) AddFormula(f *cnf.Formula) {
 // already in an unsatisfiable state at level 0 (the clause database is then
 // trivially unsatisfiable). Clauses may be added between Solve calls.
 func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	c, ok := s.addClauseCref(lits)
+	if c != crefUndef {
+		s.clauses = append(s.clauses, c)
+	}
+	return ok
+}
+
+// addClauseCref normalizes and installs a clause, returning the allocated
+// cref — crefUndef when the clause was absorbed (already satisfied at level
+// 0, tautological, reduced to a unit, or empty) — plus the solver's level-0
+// consistency. The caller owns cref bookkeeping: AddClause records it in the
+// problem-clause list, AddClauseGroup in the group's own list.
+func (s *Solver) addClauseCref(lits []cnf.Lit) (cref, bool) {
 	s.cancelUntil(0)
 	if !s.ok {
-		return false
+		return crefUndef, false
 	}
 	// Normalize: sort-dedup and detect tautology / false literals at level 0.
 	tmp := s.addTmp[:0]
@@ -514,7 +571,7 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		switch s.litValue(p) {
 		case lTrue:
 			s.addTmp = tmp[:0]
-			return true // clause already satisfied at level 0
+			return crefUndef, true // clause already satisfied at level 0
 		case lFalse:
 			continue // drop false literal
 		}
@@ -526,7 +583,7 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 			}
 			if q == p.neg() {
 				s.addTmp = tmp[:0]
-				return true // tautology
+				return crefUndef, true // tautology
 			}
 		}
 		if !dup {
@@ -537,16 +594,103 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 	switch len(tmp) {
 	case 0:
 		s.ok = false
-		return false
+		return crefUndef, false
 	case 1:
 		s.uncheckedEnqueue(tmp[0], reasonUndef)
 		s.ok = s.propagate() == crefUndef
-		return s.ok
+		return crefUndef, s.ok
 	}
 	c := s.allocClause(tmp, false)
-	s.clauses = append(s.clauses, c)
 	s.attach(c)
-	return true
+	return c, true
+}
+
+// GroupID identifies a releasable clause group created by AddClauseGroup.
+type GroupID int
+
+// clauseGroup tracks the clauses guarded by one activation variable.
+type clauseGroup struct {
+	selVar   int
+	crefs    []cref
+	released bool
+}
+
+// AddClauseGroup installs the clauses as one releasable group: a fresh
+// activation variable s is allocated, every clause c is stored as (c ∨ s),
+// and ¬s joins the standing assumptions of all subsequent Solve/SolveAssume
+// calls, so the group is semantically indistinguishable from plain clauses
+// until ReleaseGroup physically removes it. Group clauses are exempt from
+// top-level simplification and learnt-DB reduction; only ReleaseGroup frees
+// them.
+func (s *Solver) AddClauseGroup(clauses []cnf.Clause) GroupID {
+	s.cancelUntil(0)
+	// Grow the variable table over the incoming clauses first so the
+	// activation variable lands above every variable the caller references
+	// (callers sync their own variable counters with NumVars afterwards).
+	maxv := s.numVars
+	for _, c := range clauses {
+		for _, l := range c {
+			if int(l.Var()) > maxv {
+				maxv = int(l.Var())
+			}
+		}
+	}
+	s.EnsureVars(maxv)
+	selVar := int(s.NewVar())
+	s.isSel = growTo(s.isSel, selVar+1)
+	s.isSel[selVar] = true
+	sel := cnf.PosLit(cnf.Var(selVar))
+
+	id := GroupID(len(s.groups))
+	g := clauseGroup{selVar: selVar}
+	var buf []cnf.Lit
+	for _, c := range clauses {
+		buf = append(buf[:0], c...)
+		buf = append(buf, sel)
+		if cr, _ := s.addClauseCref(buf); cr != crefUndef {
+			g.crefs = append(g.crefs, cr)
+		}
+	}
+	s.groups = append(s.groups, g)
+	s.standing = append(s.standing, mkLit(selVar, true)) // ¬sel
+	return id
+}
+
+// ReleaseGroup detaches and frees every clause of the group (their words go
+// to the arena's wasted account, triggering compaction at the usual
+// threshold) and fixes the activation variable true at the top level so
+// learnt clauses derived from the group become permanently satisfied.
+// Releasing an already-released group is a no-op.
+func (s *Solver) ReleaseGroup(id GroupID) {
+	g := &s.groups[id]
+	if g.released {
+		return
+	}
+	s.cancelUntil(0)
+	for _, c := range g.crefs {
+		s.removeClause(c)
+	}
+	g.crefs = nil
+	g.released = true
+	s.groupsFreed++
+	sel := mkLit(g.selVar, false)
+	if s.ok && s.litValue(sel) == lUndef {
+		s.uncheckedEnqueue(sel, reasonUndef)
+		if s.propagate() != crefUndef {
+			s.ok = false
+		}
+	}
+	// Drop the group's standing assumption, preserving creation order (the
+	// order assumptions are asserted shapes the search; keep it stable).
+	// The list is as short as the number of live groups.
+	dead := mkLit(g.selVar, true)
+	for i, p := range s.standing {
+		if p == dead {
+			s.standing = append(s.standing[:i], s.standing[i+1:]...)
+			break
+		}
+	}
+	s.maybeGC()
 }
 
 func (s *Solver) attach(c cref) {
@@ -868,8 +1012,8 @@ func (s *Solver) analyzeFinal(p lit) {
 
 func (s *Solver) pickBranchLit() lit {
 	v := 0
-	if s.randVarFreq > 0 && s.rng.Float64() < s.randVarFreq && !s.heap.empty() {
-		cand := s.heap.data[s.rng.Intn(len(s.heap.data))]
+	if s.randVarFreq > 0 && s.random().Float64() < s.randVarFreq && !s.heap.empty() {
+		cand := s.heap.data[s.random().Intn(len(s.heap.data))]
 		if s.varValue(cand) == lUndef {
 			v = cand
 		}
@@ -885,8 +1029,8 @@ func (s *Solver) pickBranchLit() lit {
 	}
 	s.decisions++
 	ph := s.phase[v]
-	if s.randPhaseFreq > 0 && s.rng.Float64() < s.randPhaseFreq {
-		ph = s.rng.Intn(2) == 0
+	if s.randPhaseFreq > 0 && s.random().Float64() < s.randPhaseFreq {
+		ph = s.random().Intn(2) == 0
 	}
 	return mkLit(v, !ph)
 }
@@ -1152,7 +1296,7 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	if !s.ok {
 		return Unsat
 	}
-	s.assumptions = s.assumptions[:0]
+	s.assumptions = append(s.assumptions[:0], s.standing...)
 	for _, a := range assumps {
 		if int(a.Var()) > s.numVars {
 			s.EnsureVars(int(a.Var()))
@@ -1209,10 +1353,14 @@ func (s *Solver) Model() cnf.Assignment {
 
 // Core returns the failed assumptions from the last Unsat SolveAssume call:
 // a subset A of the assumptions such that the clause database together with
-// A is unsatisfiable.
+// A is unsatisfiable. Group activation literals (standing assumptions) are
+// infrastructure, not caller assumptions, and are filtered out.
 func (s *Solver) Core() []cnf.Lit {
 	out := make([]cnf.Lit, 0, len(s.conflict))
 	for _, p := range s.conflict {
+		if v := p.varIdx(); v < len(s.isSel) && s.isSel[v] {
+			continue
+		}
 		out = append(out, fromLit(p).Neg())
 	}
 	return out
