@@ -18,6 +18,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -123,9 +124,9 @@ func runAblation(b *testing.B, opts core.Options) {
 	for i := 0; i < b.N; i++ {
 		solved = 0
 		for _, inst := range suite {
-			o := opts
-			o.Deadline = time.Now().Add(benchTimeout)
-			res, err := core.Synthesize(inst.DQBF, o)
+			ctx, cancel := context.WithTimeout(context.Background(), benchTimeout)
+			res, err := core.Synthesize(ctx, inst.DQBF, opts)
+			cancel()
 			if err != nil {
 				continue
 			}

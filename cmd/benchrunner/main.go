@@ -11,10 +11,12 @@
 //
 // Usage:
 //
-//	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-out bench/results]
+//	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-j 0] [-out bench/results]
 //	            [-fig 6|7|8|9|10|all] [-table 1]
 //
-// CSV data land in -out; ASCII renderings go to stdout.
+// -j sets the number of parallel engine-run workers (0 = NumCPU); the worker
+// count is reported in the run header. CSV data land in -out; ASCII
+// renderings go to stdout.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -41,7 +44,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "suite and engine seed")
 	outDir := flag.String("out", "bench-results", "output directory for CSV data")
 	fig := flag.String("fig", "all", "which figure to emit: 6,7,8,9,10,all")
-	workers := flag.Int("workers", 0, "parallel workers (0 = NumCPU)")
+	jobs := flag.Int("j", 0, "parallel engine-run workers (0 = NumCPU)")
 	replay := flag.String("replay", "", "regenerate reports from a previous results_raw.csv instead of re-running")
 	flag.Parse()
 
@@ -60,9 +63,14 @@ func run() int {
 			// Take a stratified prefix: preserve family proportions.
 			suite = stratifiedPrefix(suite, *n)
 		}
-		fmt.Printf("running %d instances × %d engines, timeout %v…\n", len(suite), len(bench.Engines), *timeout)
+		workers := *jobs
+		if workers <= 0 {
+			workers = runtime.NumCPU()
+		}
+		fmt.Printf("running %d instances × %d engines, timeout %v, %d workers…\n",
+			len(suite), len(bench.Engines), *timeout, workers)
 		start := time.Now()
-		results = bench.RunSuite(suite, bench.Options{Timeout: *timeout, Seed: *seed, Workers: *workers})
+		results = bench.RunSuite(suite, bench.Options{Timeout: *timeout, Seed: *seed, Workers: workers})
 		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	tab := bench.NewTable(results)
@@ -188,10 +196,22 @@ func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
 		"incomplete":  bench.GaveUp,
 		"failed":      bench.Failed,
 	}
+	known := make(map[string]bool, len(bench.Engines))
+	for _, e := range bench.Engines {
+		known[e] = true
+	}
+	unknown := map[string]bool{}
 	var out []bench.RunResult
 	for i, row := range rows {
 		if i == 0 || len(row) < 5 {
 			continue // header / malformed
+		}
+		if !known[row[2]] && !unknown[row[2]] {
+			// Loud, not fatal: stale names (e.g. pre-rename "hqs-expand")
+			// would otherwise replay as silent zeros in every report.
+			unknown[row[2]] = true
+			fmt.Fprintf(os.Stderr, "warning: %s: engine %q is not in the report set %v; its rows will not appear in tables/figures\n",
+				path, row[2], bench.Engines)
 		}
 		secs, err := strconv.ParseFloat(row[4], 64)
 		if err != nil {

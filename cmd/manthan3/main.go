@@ -1,12 +1,21 @@
 // Command manthan3 synthesizes Henkin functions for a DQBF instance in
-// DQDIMACS format, using the Manthan3 engine (default) or one of the
-// baseline synthesizers.
+// DQDIMACS format. Engines are resolved through the internal/backend
+// registry: the Manthan3 engine (default) or one of the baseline
+// synthesizers, or a portfolio racing several of them.
 //
 // Usage:
 //
 //	manthan3 [-engine manthan3|expand|expand-iter|pedant|cegar]
-//	         [-timeout 60s] [-seed 1] [-verify] [-pre] [-verilog out.v]
+//	         [-portfolio manthan3,expand,pedant] [-timeout 60s] [-j 0]
+//	         [-seed 1] [-verify] [-pre] [-verilog out.v]
 //	         [-v] [-q] instance.dqdimacs
+//
+// -timeout bounds the whole synthesis through a context threaded into every
+// engine's SAT search loops, so expiry interrupts a run promptly.
+// -portfolio races the named backends under one context: the first
+// definitive answer (functions or a False proof) wins and the losers are
+// canceled; it overrides -engine. -j bounds engine-internal parallelism
+// (currently the manthan3 learn phase; 0 = NumCPU).
 //
 // On True instances, the synthesized functions are printed one per line as
 // `y<var> := <expression>`; the exit status is 0. False instances report
@@ -15,19 +24,25 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"repro/internal/baselines/cegar"
-	"repro/internal/baselines/expand"
-	"repro/internal/baselines/pedant"
+	"repro/internal/backend"
 	"repro/internal/boolfunc"
-	"repro/internal/core"
 	"repro/internal/dqbf"
 	"repro/internal/preproc"
+
+	// Engine registrations: each engine package registers itself with the
+	// backend registry in its init.
+	_ "repro/internal/baselines/cegar"
+	_ "repro/internal/baselines/expand"
+	_ "repro/internal/baselines/pedant"
+	_ "repro/internal/core"
 )
 
 func main() {
@@ -35,9 +50,11 @@ func main() {
 }
 
 func run() int {
-	engine := flag.String("engine", "manthan3", "synthesis engine: manthan3, expand, expand-iter, pedant, or cegar (Skolem only)")
-	timeout := flag.Duration("timeout", 60*time.Second, "synthesis timeout")
+	engine := flag.String("engine", "manthan3", "synthesis engine: "+strings.Join(backend.Names(), ", "))
+	portfolio := flag.String("portfolio", "", "race a comma-separated list of engines, first definitive answer wins (overrides -engine)")
+	timeout := flag.Duration("timeout", 60*time.Second, "synthesis timeout (enforced via context cancellation)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("j", 0, "engine-internal worker count (0 = NumCPU)")
 	verify := flag.Bool("verify", true, "independently verify the synthesized vector")
 	quiet := flag.Bool("q", false, "suppress function printing; report status only")
 	verilog := flag.String("verilog", "", "also write the functions as a structural Verilog module to this file")
@@ -49,6 +66,28 @@ func run() int {
 		flag.PrintDefaults()
 		return 1
 	}
+
+	var be backend.Backend
+	if *portfolio != "" {
+		var members []backend.Backend
+		for _, name := range strings.Split(*portfolio, ",") {
+			b, err := backend.Get(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			members = append(members, b)
+		}
+		be = backend.Portfolio(members...)
+	} else {
+		b, err := backend.Get(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		be = b
+	}
+
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -86,63 +125,30 @@ func run() int {
 		in = prep.Simplified
 	}
 
-	deadline := time.Now().Add(*timeout)
-	start := time.Now()
-	var vec *dqbf.FuncVector
-	switch *engine {
-	case "manthan3":
-		copts := core.Options{Seed: *seed, Deadline: deadline}
-		if *verbose {
-			copts.Logf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "c trace: "+format+"\n", args...)
-			}
+	bopts := backend.Options{Seed: *seed, Workers: *workers}
+	if *verbose {
+		bopts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "c trace: "+format+"\n", args...)
 		}
-		res, serr := core.Synthesize(in, copts)
-		if serr != nil {
-			return reportErr(serr, core.ErrFalse)
-		}
-		vec = res.Vector
-		fmt.Printf("c stats: %d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined\n",
-			res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations,
-			res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
-			res.Stats.UnatesDetected, res.Stats.UniqueDefined)
-	case "expand":
-		res, serr := expand.Solve(in, expand.Options{Deadline: deadline})
-		if serr != nil {
-			return reportErr(serr, expand.ErrFalse)
-		}
-		vec = res.Vector
-		fmt.Printf("c stats: %d rows, %d table cells, %d instantiated clauses\n",
-			res.Stats.Rows, res.Stats.TableCells, res.Stats.ClausesOut)
-	case "expand-iter":
-		res, serr := expand.SolveIterative(in, expand.Options{Deadline: deadline})
-		if serr != nil {
-			return reportErr(serr, expand.ErrFalse)
-		}
-		vec = res.Vector
-		fmt.Printf("c stats: %d elimination steps, %d final existential copies\n",
-			res.Stats.Rows, res.Stats.TableCells)
-	case "cegar":
-		res, serr := cegar.Solve(in, cegar.Options{Deadline: deadline})
-		if serr != nil {
-			return reportErr(serr, cegar.ErrFalse)
-		}
-		vec = res.Vector
-		fmt.Printf("c stats: %d iterations, %d strategy moves\n",
-			res.Stats.Iterations, res.Stats.Moves)
-	case "pedant":
-		res, serr := pedant.Solve(in, pedant.Options{Deadline: deadline})
-		if serr != nil {
-			return reportErr(serr, pedant.ErrFalse)
-		}
-		vec = res.Vector
-		fmt.Printf("c stats: %d iterations, %d arbiter vars, %d defined vars\n",
-			res.Stats.Iterations, res.Stats.ArbiterVars, res.Stats.DefinedVars)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-		return 1
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	fmt.Printf("c engine: %s\n", be.Name())
+	start := time.Now()
+	res, serr := be.Synthesize(ctx, in, bopts)
 	elapsed := time.Since(start)
+	if serr != nil {
+		if errors.Is(serr, backend.ErrFalse) {
+			fmt.Println("s FALSE")
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, serr)
+		return 2
+	}
+	vec := res.Vector
+	if res.Stats != "" {
+		fmt.Printf("c stats: %s\n", res.Stats)
+	}
 
 	if prep != nil {
 		// Extend the vector with the preprocessor's forced constants and
@@ -189,13 +195,4 @@ func run() int {
 		fmt.Printf("c verilog written to %s\n", *verilog)
 	}
 	return 0
-}
-
-func reportErr(err, falseErr error) int {
-	if errors.Is(err, falseErr) {
-		fmt.Println("s FALSE")
-		return 0
-	}
-	fmt.Fprintln(os.Stderr, err)
-	return 2
 }

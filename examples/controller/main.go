@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -60,7 +61,7 @@ func main() {
 	}
 
 	fmt.Println("distributed safety controller: c1 sees {s1,s2}, c2 sees {s2,s3}")
-	res, err := core.Synthesize(in, core.Options{Seed: 7})
+	res, err := core.Synthesize(context.Background(), in, core.Options{Seed: 7})
 	if err != nil {
 		log.Fatalf("synthesis: %v", err)
 	}

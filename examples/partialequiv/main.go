@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -60,28 +61,29 @@ func main() {
 	}
 
 	fmt.Println("ECO patch synthesis: box sees only x1,x2; target g = (x1∧x2) ∨ (x3∧x4)")
-	deadline := time.Now().Add(30 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
 	// Manthan3.
-	res, err := core.Synthesize(in, core.Options{Seed: 1, Deadline: deadline})
+	res, err := core.Synthesize(ctx, in, core.Options{Seed: 1})
 	if err != nil {
 		log.Fatalf("manthan3: %v", err)
 	}
 	report(in, "manthan3", res.Vector, y)
 
 	// Expansion baseline.
-	eres, err := expand.Solve(in, expand.Options{Deadline: deadline})
+	eres, err := expand.Solve(ctx, in, expand.Options{})
 	if err != nil {
 		log.Fatalf("expand: %v", err)
 	}
-	report(in, "hqs-expand", eres.Vector, y)
+	report(in, "expand", eres.Vector, y)
 
 	// Arbiter baseline.
-	pres, err := pedant.Solve(in, pedant.Options{Deadline: deadline})
+	pres, err := pedant.Solve(ctx, in, pedant.Options{})
 	if err != nil {
 		log.Fatalf("pedant: %v", err)
 	}
-	report(in, "pedant-arbiter", pres.Vector, y)
+	report(in, "pedant", pres.Vector, y)
 }
 
 func report(in *dqbf.Instance, engine string, vec *dqbf.FuncVector, y cnf.Var) {

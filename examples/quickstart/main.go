@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -41,7 +42,7 @@ func main() {
 	in.Matrix.AddClause(6, -2)
 	in.Matrix.AddClause(6, -3)
 
-	res, err := core.Synthesize(in, core.Options{Seed: 1})
+	res, err := core.Synthesize(context.Background(), in, core.Options{Seed: 1})
 	if err != nil {
 		log.Fatalf("synthesis failed: %v", err)
 	}

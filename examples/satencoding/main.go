@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -42,12 +43,12 @@ func main() {
 		switch engine {
 		case "expand":
 			var r *expand.Result
-			if r, err = expand.Solve(in, expand.Options{}); err == nil {
+			if r, err = expand.Solve(context.Background(), in, expand.Options{}); err == nil {
 				vec = r.Vector
 			}
 		case "pedant":
 			var r *pedant.Result
-			if r, err = pedant.Solve(in, pedant.Options{}); err == nil {
+			if r, err = pedant.Solve(context.Background(), in, pedant.Options{}); err == nil {
 				vec = r.Vector
 			}
 		}
@@ -64,7 +65,7 @@ func main() {
 	// An unsatisfiable F must yield a False DQBF.
 	unsat := [][]int{{1}, {-1}}
 	inU := encode(unsat, 1)
-	if _, err := expand.Solve(inU, expand.Options{}); !errors.Is(err, expand.ErrFalse) {
+	if _, err := expand.Solve(context.Background(), inU, expand.Options{}); !errors.Is(err, expand.ErrFalse) {
 		log.Fatalf("UNSAT encoding not detected False: %v", err)
 	}
 	fmt.Println("  UNSAT propositional formula correctly encodes a False DQBF ✓")

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,13 +64,13 @@ func main() {
 	}
 	fmt.Println("2-bit adder Skolem synthesis: s2 s1 s0 := a1a0 + b1b0")
 
-	mres, err := core.Synthesize(in, core.Options{Seed: 5})
+	mres, err := core.Synthesize(context.Background(), in, core.Options{Seed: 5})
 	if err != nil {
 		log.Fatalf("manthan3: %v", err)
 	}
 	check(in, "manthan3", mres.Vector)
 
-	cres, err := cegar.Solve(in, cegar.Options{})
+	cres, err := cegar.Solve(context.Background(), in, cegar.Options{})
 	if err != nil {
 		log.Fatalf("cegar: %v", err)
 	}

@@ -4,24 +4,28 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/baselines/expand"
 	"repro/internal/baselines/pedant"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/dqbf"
 	"repro/internal/gen"
+
+	_ "repro/internal/baselines/cegar"
 )
 
 // truthOf runs the complete expansion solver as ground truth.
 func truthOf(t *testing.T, in *dqbf.Instance) (bool, bool) {
 	t.Helper()
-	_, err := expand.Solve(in, expand.Options{})
+	_, err := expand.Solve(context.Background(), in, expand.Options{})
 	switch {
 	case err == nil:
 		return true, true
@@ -65,7 +69,7 @@ func TestEnginesAgreeOnRandomInstances(t *testing.T) {
 			continue
 		}
 		// Pedant must agree exactly (it is complete).
-		pres, perr := pedant.Solve(in, pedant.Options{})
+		pres, perr := pedant.Solve(context.Background(), in, pedant.Options{})
 		if want {
 			if perr != nil {
 				t.Fatalf("trial %d: pedant rejected True instance: %v", trial, perr)
@@ -77,7 +81,7 @@ func TestEnginesAgreeOnRandomInstances(t *testing.T) {
 			t.Fatalf("trial %d: pedant on False instance: %v", trial, perr)
 		}
 		// Manthan3 may be incomplete but never wrong.
-		mres, merr := core.Synthesize(in, core.Options{Seed: int64(trial)})
+		mres, merr := core.Synthesize(context.Background(), in, core.Options{Seed: int64(trial)})
 		if merr == nil {
 			if !want {
 				t.Fatalf("trial %d: manthan3 synthesized on a False instance", trial)
@@ -104,7 +108,7 @@ func TestSuiteInstancesEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: reparse: %v", inst.Name, err)
 		}
-		res, err := expand.Solve(parsed, expand.Options{})
+		res, err := expand.Solve(context.Background(), parsed, expand.Options{})
 		if err != nil {
 			t.Fatalf("%s: expand after round-trip: %v", inst.Name, err)
 		}
@@ -124,10 +128,9 @@ func TestManthanSolvesPlantedSuiteInstances(t *testing.T) {
 			continue
 		}
 		tried++
-		res, err := core.Synthesize(inst.DQBF, core.Options{
-			Seed:     3,
-			Deadline: time.Now().Add(20 * time.Second),
-		})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		res, err := core.Synthesize(ctx, inst.DQBF, core.Options{Seed: 3})
+		cancel()
 		if err != nil {
 			continue
 		}
@@ -142,5 +145,79 @@ func TestManthanSolvesPlantedSuiteInstances(t *testing.T) {
 	}
 	if solved == 0 {
 		t.Fatalf("manthan3 solved 0/%d easy planted instances", tried)
+	}
+}
+
+// TestBackendRegistryHasAllEngines pins the registry contract: every engine
+// package registers itself under its stable name, and the registry is the
+// single dispatch path for the CLIs and the bench harness.
+func TestBackendRegistryHasAllEngines(t *testing.T) {
+	for _, name := range []string{"manthan3", "expand", "expand-iter", "cegar", "pedant"} {
+		if _, err := backend.Get(name); err != nil {
+			t.Fatalf("backend %q not registered: %v", name, err)
+		}
+	}
+}
+
+// TestBackendsEndToEnd runs every registered complete backend through the
+// uniform interface on an easy True instance.
+func TestBackendsEndToEnd(t *testing.T) {
+	inst := gen.Generate(gen.FamilyRandom, 0, 42)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, name := range []string{"expand", "expand-iter", "pedant"} {
+		b, err := backend.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.Synthesize(ctx, inst.DQBF, backend.Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if vr, verr := dqbf.VerifyVector(inst.DQBF, res.Vector, -1); verr != nil || !vr.Valid {
+			t.Fatalf("%s: invalid vector", name)
+		}
+		if res.Stats == "" {
+			t.Fatalf("%s: empty stats line", name)
+		}
+	}
+}
+
+// TestPortfolioEndToEnd races the three paper engines on real instances:
+// the portfolio must return a valid vector (or a correct False proof) and
+// must never be wrong, whichever member wins.
+func TestPortfolioEndToEnd(t *testing.T) {
+	var members []backend.Backend
+	for _, name := range []string{"manthan3", "expand", "pedant"} {
+		b, err := backend.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, b)
+	}
+	p := backend.Portfolio(members...)
+	for i := 0; i < 4; i++ {
+		inst := gen.Generate(gen.FamilyRandom, i, 13)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		res, err := p.Synthesize(ctx, inst.DQBF, backend.Options{Seed: 1})
+		cancel()
+		switch {
+		case err == nil:
+			if inst.Known == gen.TruthFalse {
+				t.Fatalf("%s: portfolio synthesized on a False instance", inst.Name)
+			}
+			if vr, verr := dqbf.VerifyVector(inst.DQBF, res.Vector, -1); verr != nil || !vr.Valid {
+				t.Fatalf("%s: portfolio returned invalid vector", inst.Name)
+			}
+			if !strings.Contains(res.Stats, "winner=") {
+				t.Fatalf("%s: stats missing winner: %q", inst.Name, res.Stats)
+			}
+		case errors.Is(err, backend.ErrFalse):
+			if inst.Known == gen.TruthTrue {
+				t.Fatalf("%s: portfolio declared a True instance False", inst.Name)
+			}
+		default:
+			t.Logf("%s: portfolio inconclusive (acceptable): %v", inst.Name, err)
+		}
 	}
 }

@@ -1,0 +1,177 @@
+// Package backend defines the pluggable synthesis-backend abstraction shared
+// by every engine entry point in the repository.
+//
+// A Backend wraps one Henkin-function synthesizer behind a uniform,
+// context-aware interface. Engines register themselves (in their package
+// init) into a process-global registry under a stable name — "manthan3",
+// "expand", "expand-iter", "cegar", "pedant" — and cmd/manthan3,
+// cmd/benchrunner, and internal/bench all dispatch through Get/Names instead
+// of maintaining their own engine switches. Adding an engine is therefore
+// one Register call; every front end picks it up automatically.
+//
+// # Error taxonomy
+//
+// Registered backends map their engine-specific sentinel errors onto the
+// package's shared ones, so callers classify outcomes with errors.Is without
+// importing any engine:
+//
+//   - ErrFalse: the instance is proved False (a definitive answer, like a
+//     synthesized vector).
+//   - ErrIncomplete: the engine gave up due to a documented incompleteness.
+//   - ErrTooLarge: the instance exceeds the engine's structural size limits.
+//   - ErrUnsupported: the instance shape is outside the engine's fragment
+//     (e.g. cegar on a non-Skolem DQBF).
+//   - ErrBudget: a time/conflict/iteration budget — including the context
+//     deadline — expired.
+//   - ErrCanceled: the caller canceled the context mid-run.
+//
+// The original engine error stays in the wrapped chain.
+//
+// # Cancellation
+//
+// Synthesize must honor ctx promptly: the context is threaded through every
+// engine into the SAT-solver search loops, so cancellation (or a deadline)
+// interrupts a run within milliseconds. This is what makes Portfolio viable:
+// it races k backends under one derived context, returns the first
+// definitive answer, and cancels the losers — see Portfolio for the exact
+// semantics.
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dqbf"
+)
+
+// Shared sentinel errors; see the package comment for the taxonomy.
+var (
+	ErrFalse       = errors.New("backend: instance is False")
+	ErrIncomplete  = errors.New("backend: engine gave up (documented incompleteness)")
+	ErrTooLarge    = errors.New("backend: instance exceeds engine size limits")
+	ErrUnsupported = errors.New("backend: instance shape not supported by this engine")
+	ErrBudget      = errors.New("backend: budget exhausted")
+	ErrCanceled    = errors.New("backend: synthesis canceled")
+)
+
+// An ErrorClass pairs one engine-specific sentinel error with the shared
+// taxonomy sentinel it maps onto.
+type ErrorClass struct {
+	Engine error
+	Shared error
+}
+
+// MapEngineError wraps err with the Shared sentinel of the first matching
+// ErrorClass, preserving the original chain; err is returned unchanged when
+// nothing matches. Registration adapters use it to translate their engine's
+// sentinels into the shared taxonomy — order the classes so cancellation
+// (context.Canceled, or an engine's own canceled sentinel) is checked before
+// the budget class, since engines wrap ctx errors inside their budget
+// errors.
+func MapEngineError(err error, classes ...ErrorClass) error {
+	for _, c := range classes {
+		if errors.Is(err, c.Engine) {
+			return fmt.Errorf("%w: %w", c.Shared, err)
+		}
+	}
+	return err
+}
+
+// Options tunes a backend run. The zero value gives usable defaults.
+type Options struct {
+	// Seed drives engine randomization (sampling, solver tie-breaking).
+	Seed int64
+	// Workers bounds engine-internal parallelism where an engine has any
+	// (currently the manthan3 learn phase); 0 means NumCPU.
+	Workers int
+	// Logf, when non-nil, receives progress trace lines from engines that
+	// support tracing; nil disables tracing.
+	Logf func(format string, args ...any)
+}
+
+// Result is a successful synthesis outcome.
+type Result struct {
+	// Vector holds one function per existential, valid for the instance.
+	Vector *dqbf.FuncVector
+	// Stats is a one-line, engine-specific statistics summary for display.
+	Stats string
+}
+
+// Backend is one registered Henkin-function synthesis engine.
+type Backend interface {
+	// Name is the registry key, stable across runs.
+	Name() string
+	// Synthesize solves the instance or proves it False (ErrFalse). It must
+	// return promptly when ctx is canceled or reaches its deadline.
+	Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error)
+}
+
+// funcBackend adapts a plain function to the Backend interface.
+type funcBackend struct {
+	name string
+	fn   func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error)
+}
+
+func (b funcBackend) Name() string { return b.name }
+
+func (b funcBackend) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return b.fn(ctx, in, opts)
+}
+
+// NewFunc wraps fn as a Backend with the given registry name.
+func NewFunc(name string, fn func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error)) Backend {
+	return funcBackend{name: name, fn: fn}
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register makes b available under b.Name(). Engines call it from package
+// init; registering two backends under one name is a programming error and
+// panics.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := b.Name()
+	if name == "" {
+		panic("backend: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: Register called twice for %q", name))
+	}
+	registry[name] = b
+}
+
+// Get returns the backend registered under name, or an error listing the
+// available names.
+func Get(name string) (Backend, error) {
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (available: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

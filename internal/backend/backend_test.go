@@ -1,0 +1,174 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dqbf"
+)
+
+// fake returns a Backend that waits for delay (or ctx) and then returns the
+// given result/error, flagging observed cancellation in canceled.
+func fake(name string, delay time.Duration, res *Result, err error, canceled *atomic.Bool) Backend {
+	return NewFunc(name, func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+		select {
+		case <-time.After(delay):
+			return res, err
+		case <-ctx.Done():
+			if canceled != nil {
+				canceled.Store(true)
+			}
+			return nil, fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+		}
+	})
+}
+
+func TestRegistry(t *testing.T) {
+	b := fake("test-registry-a", 0, &Result{}, nil, nil)
+	Register(b)
+	got, err := Get("test-registry-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "test-registry-a" {
+		t.Fatalf("Get returned %q", got.Name())
+	}
+	names := Names()
+	found := false
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if n == "test-registry-a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered name missing from Names: %v", names)
+	}
+	if _, err := Get("no-such-backend"); err == nil {
+		t.Fatal("Get of unknown backend succeeded")
+	} else if !strings.Contains(err.Error(), "available:") {
+		t.Fatalf("unknown-backend error does not list candidates: %v", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fake("test-registry-dup", 0, &Result{}, nil, nil))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(fake("test-registry-dup", 0, &Result{}, nil, nil))
+}
+
+func TestPortfolioFirstResultWinsAndCancelsLosers(t *testing.T) {
+	var slowCanceled atomic.Bool
+	fast := fake("fast", 10*time.Millisecond, &Result{Stats: "fast stats"}, nil, nil)
+	slow := fake("slow", 10*time.Second, nil, ErrIncomplete, &slowCanceled)
+	p := Portfolio(slow, fast)
+	if got := p.Name(); got != "portfolio(slow+fast)" {
+		t.Fatalf("Name: %q", got)
+	}
+	start := time.Now()
+	res, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("portfolio failed: %v", err)
+	}
+	if !strings.HasPrefix(res.Stats, "winner=fast") {
+		t.Fatalf("stats missing winner: %q", res.Stats)
+	}
+	if !slowCanceled.Load() {
+		t.Fatal("losing backend was not canceled")
+	}
+	// The slow member sleeps 10 s; returning quickly proves the loser was
+	// canceled rather than awaited to completion.
+	if elapsed > 2*time.Second {
+		t.Fatalf("portfolio did not cancel losers promptly: %v", elapsed)
+	}
+}
+
+func TestPortfolioFalseProofWins(t *testing.T) {
+	falsifier := fake("falsifier", 5*time.Millisecond, nil, fmt.Errorf("%w: proof", ErrFalse), nil)
+	slow := fake("slow", 10*time.Second, nil, ErrBudget, nil)
+	p := Portfolio(falsifier, slow)
+	_, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "falsifier") {
+		t.Fatalf("winner name missing from error: %v", err)
+	}
+}
+
+func TestPortfolioNonDefinitiveFailuresDoNotWin(t *testing.T) {
+	// A quick incompleteness give-up must not beat a slower real answer.
+	quitter := fake("quitter", time.Millisecond, nil, ErrIncomplete, nil)
+	solver := fake("solver", 50*time.Millisecond, &Result{Stats: "solved"}, nil, nil)
+	p := Portfolio(quitter, solver)
+	res, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err != nil {
+		t.Fatalf("portfolio failed: %v", err)
+	}
+	if !strings.HasPrefix(res.Stats, "winner=solver") {
+		t.Fatalf("wrong winner: %q", res.Stats)
+	}
+}
+
+func TestPortfolioAllFailClassification(t *testing.T) {
+	tooLarge := fake("large", time.Millisecond, nil, ErrTooLarge, nil)
+	budget := fake("budget", time.Millisecond, nil, ErrBudget, nil)
+	p := Portfolio(tooLarge, budget)
+	_, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want the budget class to dominate, got %v", err)
+	}
+
+	p2 := Portfolio(tooLarge)
+	_, err = p2.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestPortfolioOuterCancellation(t *testing.T) {
+	var aCanceled, bCanceled atomic.Bool
+	a := fake("a", 10*time.Second, &Result{}, nil, &aCanceled)
+	b := fake("b", 10*time.Second, &Result{}, nil, &bCanceled)
+	p := Portfolio(a, b)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.Synthesize(ctx, dqbf.NewInstance(), Options{})
+	if err == nil {
+		t.Fatal("canceled portfolio returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("outer cancellation not propagated promptly: %v", elapsed)
+	}
+	if !aCanceled.Load() || !bCanceled.Load() {
+		t.Fatal("members did not observe the outer cancellation")
+	}
+}
+
+func TestEmptyPortfolio(t *testing.T) {
+	_, err := Portfolio().Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}

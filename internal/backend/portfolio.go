@@ -1,0 +1,100 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dqbf"
+)
+
+// Portfolio returns a Backend that races the given backends under one
+// context: every member starts concurrently on the same instance, the first
+// DEFINITIVE answer — a synthesized vector or a False proof (ErrFalse) —
+// wins, and the remaining members are canceled through the shared derived
+// context. Non-definitive failures (budget, incompleteness, size limits,
+// unsupported fragment) never win; if no member produces a definitive
+// answer, the merged error reports the most actionable failure class across
+// members (budget first: more time might still help).
+//
+// Synthesize returns only after every member has exited, so the caller never
+// observes a racing goroutine; promptness therefore relies on the members'
+// own cancellation latency, which the context threading through the SAT
+// layer keeps in the milliseconds.
+//
+// Racing members share the instance; engines treat instances as read-only,
+// which makes that safe.
+func Portfolio(members ...Backend) Backend {
+	return &portfolio{members: members}
+}
+
+type portfolio struct {
+	members []Backend
+}
+
+// Name lists the member names, e.g. "portfolio(manthan3+expand)".
+func (p *portfolio) Name() string {
+	names := make([]string, len(p.members))
+	for i, b := range p.members {
+		names[i] = b.Name()
+	}
+	return "portfolio(" + strings.Join(names, "+") + ")"
+}
+
+func (p *portfolio) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	if len(p.members) == 0 {
+		return nil, fmt.Errorf("%w: empty portfolio", ErrUnsupported)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		idx int
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, len(p.members))
+	for i, b := range p.members {
+		go func(i int, b Backend) {
+			res, err := b.Synthesize(ctx, in, opts)
+			ch <- outcome{idx: i, res: res, err: err}
+		}(i, b)
+	}
+
+	errs := make([]error, len(p.members))
+	var winner *outcome
+	for remaining := len(p.members); remaining > 0; remaining-- {
+		o := <-ch
+		errs[o.idx] = o.err
+		if winner == nil && (o.err == nil || errors.Is(o.err, ErrFalse)) {
+			winner = &o
+			cancel() // stop the losers; keep draining until all have exited
+		}
+	}
+	if winner == nil {
+		return nil, p.mergeErrors(errs)
+	}
+	if winner.err != nil {
+		return nil, fmt.Errorf("%s: %w", p.members[winner.idx].Name(), winner.err)
+	}
+	res := *winner.res
+	res.Stats = fmt.Sprintf("winner=%s; %s", p.members[winner.idx].Name(), winner.res.Stats)
+	return &res, nil
+}
+
+// mergeErrors picks the failure class to surface when nobody answered,
+// in decreasing order of actionability for the caller.
+func (p *portfolio) mergeErrors(errs []error) error {
+	for _, kind := range []error{ErrBudget, ErrCanceled, ErrIncomplete, ErrTooLarge, ErrUnsupported} {
+		for i, err := range errs {
+			if errors.Is(err, kind) {
+				return fmt.Errorf("portfolio: no definitive answer: %s: %w", p.members[i].Name(), err)
+			}
+		}
+	}
+	return fmt.Errorf("portfolio: no definitive answer: %w", errors.Join(errs...))
+}

@@ -24,6 +24,7 @@
 package cegar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -50,8 +51,6 @@ type Options struct {
 	MaxIterations int
 	// SATConflictBudget bounds each SAT call (default 500000).
 	SATConflictBudget int64
-	// Deadline aborts when passed (zero = none).
-	Deadline time.Time
 }
 
 // Stats reports the work performed.
@@ -68,9 +67,13 @@ type Result struct {
 }
 
 // Solve decides the 2-QBF and synthesizes Skolem functions for True
-// instances.
-func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
+// instances. Cancellation of ctx aborts the refinement loop and the SAT
+// calls promptly with ErrBudget (the ctx error stays in the chain).
+func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -87,9 +90,7 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 	newSolver := func() *sat.Solver {
 		s := sat.New()
 		s.SetConflictBudget(opts.SATConflictBudget)
-		if !opts.Deadline.IsZero() {
-			s.SetDeadline(opts.Deadline)
-		}
+		s.SetContext(ctx)
 		return s
 	}
 
@@ -109,8 +110,8 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 	stats := Stats{}
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, fmt.Errorf("%w: deadline", ErrBudget)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: interrupted: %w", ErrBudget, ctx.Err())
 		}
 		stats.Iterations = iter + 1
 		switch st := abs.Solve(); st {
@@ -125,7 +126,7 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 			stats.SynthesisNs = time.Since(start).Nanoseconds()
 			return &Result{Vector: vec, Stats: stats}, nil
 		case sat.Unknown:
-			return nil, fmt.Errorf("%w: abstraction SAT call", ErrBudget)
+			return nil, abs.UnknownError(ErrBudget, "abstraction SAT call")
 		}
 		alpha := abs.Model()
 		assumps := make([]cnf.Lit, 0, len(in.Univ))
@@ -136,7 +137,7 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 		case sat.Unsat:
 			return nil, ErrFalse // α is a winning adversary move
 		case sat.Unknown:
-			return nil, fmt.Errorf("%w: completion SAT call", ErrBudget)
+			return nil, phi.UnknownError(ErrBudget, "completion SAT call")
 		}
 		pi := phi.Model()
 		beta := cnf.NewAssignment(in.Matrix.NumVars)

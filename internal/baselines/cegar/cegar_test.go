@@ -1,6 +1,7 @@
 package cegar
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func skolemXor() *dqbf.Instance {
 }
 
 func TestSkolemXor(t *testing.T) {
-	res, err := Solve(skolemXor(), Options{})
+	res, err := Solve(context.Background(), skolemXor(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestRejectsHenkinInstance(t *testing.T) {
 	in.AddUniv(2)
 	in.AddExist(3, []cnf.Var{1}) // partial dependency set
 	in.Matrix.AddClause(3, 1)
-	if _, err := Solve(in, Options{}); !errors.Is(err, ErrNotSkolem) {
+	if _, err := Solve(context.Background(), in, Options{}); !errors.Is(err, ErrNotSkolem) {
 		t.Fatalf("want ErrNotSkolem, got %v", err)
 	}
 }
@@ -57,7 +58,7 @@ func TestFalse2QBF(t *testing.T) {
 	in.AddExist(2, []cnf.Var{1})
 	in.Matrix.AddClause(1, 2)
 	in.Matrix.AddClause(1, -2)
-	if _, err := Solve(in, Options{}); !errors.Is(err, ErrFalse) {
+	if _, err := Solve(context.Background(), in, Options{}); !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
 }
@@ -69,7 +70,7 @@ func TestConstantWitnessShortcut(t *testing.T) {
 	in.AddExist(2, []cnf.Var{1})
 	in.Matrix.AddClause(2, 1)
 	in.Matrix.AddClause(2, -1)
-	res, err := Solve(in, Options{})
+	res, err := Solve(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		res, serr := Solve(in, Options{})
+		res, serr := Solve(context.Background(), in, Options{})
 		if want {
 			if serr != nil {
 				t.Fatalf("trial %d: True rejected: %v", trial, serr)
@@ -121,7 +122,7 @@ func TestAgainstBruteForce(t *testing.T) {
 }
 
 func TestIterationCap(t *testing.T) {
-	_, err := Solve(skolemXor(), Options{MaxIterations: 1})
+	_, err := Solve(context.Background(), skolemXor(), Options{MaxIterations: 1})
 	if err == nil {
 		t.Skip("solved within one iteration — acceptable")
 	}

@@ -17,6 +17,7 @@
 package expand
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -44,8 +45,6 @@ type Options struct {
 	MaxTableCells int
 	// SATConflictBudget bounds the final SAT call (default unlimited).
 	SATConflictBudget int64
-	// Deadline aborts when passed (zero = none).
-	Deadline time.Time
 }
 
 // Stats reports the expansion size.
@@ -64,9 +63,13 @@ type Result struct {
 }
 
 // Solve decides the DQBF and synthesizes Henkin functions for True
-// instances.
-func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
+// instances. Cancellation of ctx aborts the expansion loop and the final
+// SAT call promptly with ErrBudget (the ctx error stays in the chain).
+func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,8 +109,8 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 	stats := Stats{TableCells: cells}
 	seenClause := make(map[string]bool)
 	for beta := 0; beta < 1<<uint(nX); beta++ {
-		if !opts.Deadline.IsZero() && beta&1023 == 0 && time.Now().After(opts.Deadline) {
-			return nil, fmt.Errorf("%w: expansion deadline", ErrBudget)
+		if beta&1023 == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: expansion interrupted: %w", ErrBudget, ctx.Err())
 		}
 		stats.Rows++
 		for _, c := range in.Matrix.Clauses {
@@ -156,14 +159,12 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 	if opts.SATConflictBudget > 0 {
 		s.SetConflictBudget(opts.SATConflictBudget)
 	}
-	if !opts.Deadline.IsZero() {
-		s.SetDeadline(opts.Deadline)
-	}
+	s.SetContext(ctx)
 	switch st := s.Solve(); st {
 	case sat.Unsat:
 		return nil, ErrFalse
 	case sat.Unknown:
-		return nil, fmt.Errorf("%w: SAT call inconclusive", ErrBudget)
+		return nil, s.UnknownError(ErrBudget, "final SAT call")
 	}
 	m := s.Model()
 	stats.SATConfl = s.Stats().Conflicts

@@ -1,6 +1,7 @@
 package expand
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -29,7 +30,7 @@ func paperExample() *dqbf.Instance {
 }
 
 func TestPaperExample(t *testing.T) {
-	res, err := Solve(paperExample(), Options{})
+	res, err := Solve(context.Background(), paperExample(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFalseInstance(t *testing.T) {
 	in.AddExist(2, nil)
 	in.Matrix.AddClause(-2, 1)
 	in.Matrix.AddClause(2, -1)
-	_, err := Solve(in, Options{})
+	_, err := Solve(context.Background(), in, Options{})
 	if !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
@@ -69,7 +70,7 @@ func TestEmptyClauseUnderExpansion(t *testing.T) {
 	in.AddExist(3, []cnf.Var{1})
 	in.Matrix.AddClause(1, 2)
 	in.Matrix.AddClause(3, -3) // keep y used
-	_, err := Solve(in, Options{})
+	_, err := Solve(context.Background(), in, Options{})
 	if !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
@@ -82,10 +83,10 @@ func TestTooLargeGuards(t *testing.T) {
 	}
 	in.AddExist(6, []cnf.Var{1, 2, 3, 4, 5})
 	in.Matrix.AddClause(6, 1)
-	if _, err := Solve(in, Options{MaxUnivVars: 3}); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), in, Options{MaxUnivVars: 3}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("univ cap: %v", err)
 	}
-	if _, err := Solve(in, Options{MaxTableCells: 8}); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), in, Options{MaxTableCells: 8}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("cell cap: %v", err)
 	}
 }
@@ -124,7 +125,7 @@ func TestAgainstBruteForce(t *testing.T) {
 			continue
 		}
 		agree++
-		res, err := Solve(in, Options{})
+		res, err := Solve(context.Background(), in, Options{})
 		if want {
 			if err != nil {
 				t.Fatalf("trial %d: True instance rejected: %v", trial, err)
@@ -143,7 +144,7 @@ func TestAgainstBruteForce(t *testing.T) {
 }
 
 func TestVectorRespectsDependencies(t *testing.T) {
-	res, err := Solve(paperExample(), Options{})
+	res, err := Solve(context.Background(), paperExample(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestNoUniversals(t *testing.T) {
 	in := dqbf.NewInstance()
 	in.AddExist(1, nil)
 	in.Matrix.AddClause(1)
-	res, err := Solve(in, Options{})
+	res, err := Solve(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package expand
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -22,8 +23,11 @@ import (
 // transformation sequence, so memory grows with the product of branch
 // splits. Kept as a faithful model of elimination-based solving and as a
 // cross-check for the direct table construction.
-func SolveIterative(in *dqbf.Instance, opts Options) (*Result, error) {
+func SolveIterative(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -40,8 +44,8 @@ func SolveIterative(in *dqbf.Instance, opts Options) (*Result, error) {
 	var maps []*dqbf.ExpandMap
 	stats := Stats{}
 	for len(cur.Univ) > 0 {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, fmt.Errorf("%w: expansion deadline", ErrBudget)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: expansion interrupted: %w", ErrBudget, ctx.Err())
 		}
 		if len(cur.Exist) > opts.MaxTableCells {
 			return nil, fmt.Errorf("%w: %d existential copies (limit %d)", ErrTooLarge, len(cur.Exist), opts.MaxTableCells)
@@ -70,14 +74,12 @@ func SolveIterative(in *dqbf.Instance, opts Options) (*Result, error) {
 	if opts.SATConflictBudget > 0 {
 		s.SetConflictBudget(opts.SATConflictBudget)
 	}
-	if !opts.Deadline.IsZero() {
-		s.SetDeadline(opts.Deadline)
-	}
+	s.SetContext(ctx)
 	switch st := s.Solve(); st {
 	case sat.Unsat:
 		return nil, ErrFalse
 	case sat.Unknown:
-		return nil, fmt.Errorf("%w: SAT call inconclusive", ErrBudget)
+		return nil, s.UnknownError(ErrBudget, "final SAT call")
 	}
 	m := s.Model()
 	stats.SATConfl = s.Stats().Conflicts

@@ -1,6 +1,7 @@
 package expand
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestIterativePaperExample(t *testing.T) {
-	res, err := SolveIterative(paperExample(), Options{})
+	res, err := SolveIterative(context.Background(), paperExample(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestIterativeFalse(t *testing.T) {
 	in.AddExist(2, nil)
 	in.Matrix.AddClause(-2, 1)
 	in.Matrix.AddClause(2, -1)
-	if _, err := SolveIterative(in, Options{}); !errors.Is(err, ErrFalse) {
+	if _, err := SolveIterative(context.Background(), in, Options{}); !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
 }
@@ -67,8 +68,8 @@ func TestIterativeAgreesWithDirect(t *testing.T) {
 			}
 			in.Matrix.AddClause(cl...)
 		}
-		dres, derr := Solve(in, Options{})
-		ires, ierr := SolveIterative(in, Options{})
+		dres, derr := Solve(context.Background(), in, Options{})
+		ires, ierr := SolveIterative(context.Background(), in, Options{})
 		if (derr == nil) != (ierr == nil) {
 			t.Fatalf("trial %d: direct err=%v iterative err=%v", trial, derr, ierr)
 		}
@@ -88,7 +89,7 @@ func TestIterativeAgreesWithDirect(t *testing.T) {
 }
 
 func TestIterativeDependencyCompliance(t *testing.T) {
-	res, err := SolveIterative(paperExample(), Options{})
+	res, err := SolveIterative(context.Background(), paperExample(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

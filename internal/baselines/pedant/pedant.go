@@ -29,6 +29,7 @@
 package pedant
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -57,8 +58,6 @@ type Options struct {
 	MaxCellsPerVar int
 	// SATConflictBudget bounds each SAT call (default 500000).
 	SATConflictBudget int64
-	// Deadline aborts when passed.
-	Deadline time.Time
 	// SkipDefinitionCheck disables the Padoa pass.
 	SkipDefinitionCheck bool
 }
@@ -87,6 +86,7 @@ type cellKey struct {
 }
 
 type engine struct {
+	ctx   context.Context
 	in    *dqbf.Instance
 	opts  Options
 	stats Stats
@@ -100,8 +100,13 @@ type engine struct {
 }
 
 // Solve synthesizes Henkin functions (or proves the instance False).
-func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
+// Cancellation of ctx aborts the counterexample loop and every SAT call
+// promptly with ErrBudget (the ctx error stays in the chain).
+func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
 	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -124,6 +129,7 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 		}
 	}
 	e := &engine{
+		ctx:     ctx,
 		in:      in,
 		opts:    opts,
 		arb:     sat.New(),
@@ -135,10 +141,8 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 	}
 	e.arb.SetConflictBudget(opts.SATConflictBudget)
 	e.phi.SetConflictBudget(opts.SATConflictBudget)
-	if !opts.Deadline.IsZero() {
-		e.arb.SetDeadline(opts.Deadline)
-		e.phi.SetDeadline(opts.Deadline)
-	}
+	e.arb.SetContext(ctx)
+	e.phi.SetContext(ctx)
 	e.phi.AddFormula(in.Matrix)
 	for i, x := range in.Univ {
 		e.xPos[x] = i
@@ -151,8 +155,8 @@ func Solve(in *dqbf.Instance, opts Options) (*Result, error) {
 	}
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			return nil, fmt.Errorf("%w: deadline", ErrBudget)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: interrupted: %w", ErrBudget, ctx.Err())
 		}
 		e.stats.Iterations = iter + 1
 		fv, err := e.currentVector()
@@ -208,15 +212,13 @@ func (e *engine) countDefined() error {
 		f.AddUnit(cnf.NegLit(rename[y]))
 		s := sat.New()
 		s.SetConflictBudget(e.opts.SATConflictBudget)
-		if !e.opts.Deadline.IsZero() {
-			s.SetDeadline(e.opts.Deadline)
-		}
+		s.SetContext(e.ctx)
 		s.AddFormula(f)
 		switch s.Solve() {
 		case sat.Unsat:
 			e.stats.DefinedVars++
 		case sat.Unknown:
-			return fmt.Errorf("%w: definition check", ErrBudget)
+			return s.UnknownError(ErrBudget, "definition check")
 		}
 	}
 	return nil
@@ -293,7 +295,7 @@ func (e *engine) currentVector() (*dqbf.FuncVector, error) {
 	case sat.Unsat:
 		return nil, ErrFalse
 	case sat.Unknown:
-		return nil, fmt.Errorf("%w: arbiter SAT call", ErrBudget)
+		return nil, e.arb.UnknownError(ErrBudget, "arbiter SAT call")
 	}
 	m := e.arb.Model()
 	fv := dqbf.NewFuncVector(nil)
@@ -328,9 +330,7 @@ func (e *engine) verify(fv *dqbf.FuncVector) (cnf.Assignment, bool, error) {
 	}
 	s := sat.New()
 	s.SetConflictBudget(e.opts.SATConflictBudget)
-	if !e.opts.Deadline.IsZero() {
-		s.SetDeadline(e.opts.Deadline)
-	}
+	s.SetContext(e.ctx)
 	s.AddFormula(dst)
 	switch st := s.Solve(); st {
 	case sat.Unsat:
@@ -339,6 +339,6 @@ func (e *engine) verify(fv *dqbf.FuncVector) (cnf.Assignment, bool, error) {
 		m := s.Model()
 		return m.Restrict(e.in.Univ), false, nil
 	default:
-		return nil, false, fmt.Errorf("%w: verification", ErrBudget)
+		return nil, false, s.UnknownError(ErrBudget, "verification")
 	}
 }

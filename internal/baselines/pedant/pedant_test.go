@@ -1,6 +1,7 @@
 package pedant
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func paperExample() *dqbf.Instance {
 }
 
 func TestPaperExample(t *testing.T) {
-	res, err := Solve(paperExample(), Options{})
+	res, err := Solve(context.Background(), paperExample(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFalseInstance(t *testing.T) {
 	in.AddExist(2, nil)
 	in.Matrix.AddClause(-2, 1)
 	in.Matrix.AddClause(2, -1)
-	_, err := Solve(in, Options{})
+	_, err := Solve(context.Background(), in, Options{})
 	if !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
@@ -72,7 +73,7 @@ func TestIncomparableDepsTrueInstance(t *testing.T) {
 	in.AddExist(5, []cnf.Var{2, 3})
 	in.Matrix.AddClause(-4, 5)
 	in.Matrix.AddClause(4, -5)
-	res, err := Solve(in, Options{})
+	res, err := Solve(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		res, err := Solve(in, Options{})
+		res, err := Solve(context.Background(), in, Options{})
 		if want {
 			if err != nil {
 				t.Fatalf("trial %d: True rejected: %v", trial, err)
@@ -141,7 +142,7 @@ func TestTooLargeDeps(t *testing.T) {
 	}
 	in.AddExist(32, deps)
 	in.Matrix.AddClause(32, 1)
-	if _, err := Solve(in, Options{}); !errors.Is(err, ErrTooLarge) {
+	if _, err := Solve(context.Background(), in, Options{}); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("want ErrTooLarge, got %v", err)
 	}
 }
@@ -166,7 +167,7 @@ func TestLazyCellsAllowLargeDepSets(t *testing.T) {
 		cl = append(cl, cnf.PosLit(cnf.Var(i)))
 	}
 	in.Matrix.AddClause(cl...)
-	res, err := Solve(in, Options{})
+	res, err := Solve(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestLazyCellsAllowLargeDepSets(t *testing.T) {
 }
 
 func TestSkipDefinitionCheck(t *testing.T) {
-	res, err := Solve(paperExample(), Options{SkipDefinitionCheck: true})
+	res, err := Solve(context.Background(), paperExample(), Options{SkipDefinitionCheck: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestSkipDefinitionCheck(t *testing.T) {
 }
 
 func TestIterationCap(t *testing.T) {
-	_, err := Solve(paperExample(), Options{MaxIterations: 1})
+	_, err := Solve(context.Background(), paperExample(), Options{MaxIterations: 1})
 	if err == nil {
 		t.Skip("solved in one iteration — acceptable")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/boolfunc"
@@ -64,7 +65,7 @@ func BenchmarkVerifyRepair(b *testing.B) {
 	in := parityInstance(5)
 	opts := repairHeavyOptions(1)
 	// Sanity outside the timed loop: the loop really iterates.
-	res, err := Synthesize(in, opts)
+	res, err := Synthesize(context.Background(), in, opts)
 	if err != nil {
 		b.Fatalf("Synthesize: %v", err)
 	}
@@ -74,7 +75,7 @@ func BenchmarkVerifyRepair(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Synthesize(in, opts); err != nil {
+		if _, err := Synthesize(context.Background(), in, opts); err != nil {
 			b.Fatalf("Synthesize: %v", err)
 		}
 	}
@@ -101,7 +102,7 @@ func BenchmarkSynthesizeEndToEnd(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Synthesize(in, Options{Seed: 1}); err != nil {
+		if _, err := Synthesize(context.Background(), in, Options{Seed: 1}); err != nil {
 			b.Fatalf("Synthesize: %v", err)
 		}
 	}

@@ -41,10 +41,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
@@ -63,6 +63,10 @@ var (
 	ErrIncomplete = errors.New("core: repair stuck, Manthan3 is incomplete on this instance")
 	// ErrBudget means a deadline or iteration budget expired.
 	ErrBudget = errors.New("core: budget exhausted")
+	// ErrCanceled means the caller canceled the context mid-synthesis. The
+	// wrapped chain also contains context.Canceled, so either sentinel works
+	// with errors.Is.
+	ErrCanceled = errors.New("core: synthesis canceled")
 )
 
 // Options tunes the engine. The zero value gives usable defaults.
@@ -78,8 +82,10 @@ type Options struct {
 	MaxRepairIterations int
 	// SATConflictBudget bounds each SAT oracle call (default 500000).
 	SATConflictBudget int64
-	// Deadline aborts the synthesis when passed (zero = none).
-	Deadline time.Time
+	// LearnWorkers bounds the decision-tree learning worker pool (0 =
+	// NumCPU). The learned candidates are bit-identical for every worker
+	// count; see learnCandidates.
+	LearnWorkers int
 
 	// DisableMaxSATLocalization removes the FindCandi MaxSAT step and
 	// instead marks every mismatching candidate for repair (ablation abl1).
@@ -130,6 +136,10 @@ type Stats struct {
 	MaxSATCalls        int
 	CoreCalls          int
 	LearnedNodes       int
+	// LearnConflicts counts candidates whose speculatively (in parallel)
+	// learned tree referenced a feature a concurrently-learned candidate
+	// banned, forcing a serial relearn during the deterministic merge.
+	LearnConflicts int
 	// VerifySolversBuilt counts constructions of the verification solver; the
 	// persistent-oracle architecture keeps it at 1 per synthesis run.
 	VerifySolversBuilt int
@@ -150,6 +160,7 @@ type Result struct {
 
 // Engine carries the state of one synthesis run.
 type Engine struct {
+	ctx  context.Context
 	in   *dqbf.Instance
 	opts Options
 	b    *boolfunc.Builder
@@ -186,13 +197,20 @@ type Engine struct {
 	stats Stats
 }
 
-// Synthesize runs Manthan3 on the instance.
-func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
+// Synthesize runs Manthan3 on the instance. ctx cancels the run promptly:
+// it is threaded into every SAT oracle (polled inside Solve calls) and
+// checked at every loop boundary; a canceled run returns ErrCanceled, an
+// expired ctx deadline returns ErrBudget. A nil ctx means no cancellation.
+func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
+		ctx:   ctx,
 		in:    in,
 		opts:  opts,
 		b:     boolfunc.NewBuilder(),
@@ -206,12 +224,8 @@ func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
 		e.deps[y] = make(map[cnf.Var]bool)
 		e.up[y] = make(map[cnf.Var]bool)
 	}
-	e.phiSolver = sat.New()
+	e.phiSolver = e.newSolver()
 	e.phiSolver.AddFormula(in.Matrix)
-	e.phiSolver.SetConflictBudget(opts.SATConflictBudget)
-	if !opts.Deadline.IsZero() {
-		e.phiSolver.SetDeadline(opts.Deadline)
-	}
 
 	// Trivial cases: no existentials — valid iff ϕ is a tautology.
 	if len(in.Exist) == 0 {
@@ -225,7 +239,7 @@ func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
 		case sat.Sat:
 			return nil, ErrFalse
 		default:
-			return nil, ErrBudget
+			return nil, e.oracleUnknown(s, "tautology check")
 		}
 	}
 
@@ -236,7 +250,7 @@ func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
 	if st := e.phiSolver.Solve(); st == sat.Unsat {
 		return nil, ErrFalse
 	} else if st == sat.Unknown {
-		return nil, ErrBudget
+		return nil, e.oracleUnknown(e.phiSolver, "initial satisfiability check")
 	}
 
 	if !opts.DisablePreprocess {
@@ -259,8 +273,8 @@ func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
 		if iter >= e.opts.MaxRepairIterations {
 			return nil, fmt.Errorf("%w: %d repair iterations", ErrBudget, iter)
 		}
-		if e.deadlineExpired() {
-			return nil, fmt.Errorf("%w: deadline", ErrBudget)
+		if err := e.interrupted(); err != nil {
+			return nil, err
 		}
 		cex, status, err := e.verify()
 		if err != nil {
@@ -297,16 +311,41 @@ func Synthesize(in *dqbf.Instance, opts Options) (*Result, error) {
 	return &Result{Vector: vec, Stats: e.stats}, nil
 }
 
-func (e *Engine) deadlineExpired() bool {
-	return !e.opts.Deadline.IsZero() && time.Now().After(e.opts.Deadline)
+// interrupted maps the engine context's state onto the sentinel errors:
+// nil while the context is live, ErrCanceled after cancellation, ErrBudget
+// after a deadline expiry. The ctx error stays in the wrapped chain.
+func (e *Engine) interrupted() error {
+	err := e.ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrBudget, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}
+
+// oracleUnknown converts an Unknown status from a SAT oracle into the
+// matching sentinel: cancellation if the solver stopped on a canceled
+// context, budget exhaustion otherwise (conflict budget or ctx deadline).
+// The corresponding context error joins the chain so errors.Is works with
+// either vocabulary.
+func (e *Engine) oracleUnknown(s *sat.Solver, what string) error {
+	switch s.StopCause() {
+	case sat.StopCanceled:
+		return fmt.Errorf("%w: %s: %w", ErrCanceled, what, context.Canceled)
+	case sat.StopDeadline:
+		return fmt.Errorf("%w: %s: %w", ErrBudget, what, context.DeadlineExceeded)
+	default:
+		return fmt.Errorf("%w: %s (conflict budget)", ErrBudget, what)
+	}
 }
 
 func (e *Engine) newSolver() *sat.Solver {
 	s := sat.New()
 	s.SetConflictBudget(e.opts.SATConflictBudget)
-	if !e.opts.Deadline.IsZero() {
-		s.SetDeadline(e.opts.Deadline)
-	}
+	s.SetContext(e.ctx)
 	return s
 }
 
@@ -507,7 +546,7 @@ func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
 		}
 		return out, sat.Sat, nil
 	default:
-		return nil, sat.Unknown, fmt.Errorf("%w: verification SAT call", ErrBudget)
+		return nil, sat.Unknown, e.oracleUnknown(e.verifySolver, "verification SAT call")
 	}
 }
 
@@ -545,7 +584,7 @@ func (e *Engine) extendCounterexample(delta cnf.Assignment) (*counterexample, bo
 		}
 		return cx, true, nil
 	default:
-		return nil, false, fmt.Errorf("%w: counterexample extension", ErrBudget)
+		return nil, false, e.oracleUnknown(e.phiSolver, "counterexample extension")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -34,7 +35,7 @@ func paperExample() *dqbf.Instance {
 // synthesizeAndCheck runs the engine and independently verifies the result.
 func synthesizeAndCheck(t *testing.T, in *dqbf.Instance, opts Options) *Result {
 	t.Helper()
-	res, err := Synthesize(in, opts)
+	res, err := Synthesize(context.Background(), in, opts)
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestFalseInstance(t *testing.T) {
 	in.AddExist(2, nil)
 	in.Matrix.AddClause(1, 2)
 	in.Matrix.AddClause(1, -2)
-	_, err := Synthesize(in, Options{Seed: 1})
+	_, err := Synthesize(context.Background(), in, Options{Seed: 1})
 	if !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
@@ -95,7 +96,7 @@ func TestFalseBeyondManthanDetection(t *testing.T) {
 	in.AddExist(2, nil)
 	in.Matrix.AddClause(-2, 1)
 	in.Matrix.AddClause(2, -1)
-	_, err := Synthesize(in, Options{Seed: 1})
+	_, err := Synthesize(context.Background(), in, Options{Seed: 1})
 	if !errors.Is(err, ErrIncomplete) {
 		t.Fatalf("want ErrIncomplete, got %v", err)
 	}
@@ -107,7 +108,7 @@ func TestUnsatMatrixIsFalse(t *testing.T) {
 	in.AddExist(2, []cnf.Var{1})
 	in.Matrix.AddClause(2)
 	in.Matrix.AddClause(-2)
-	_, err := Synthesize(in, Options{Seed: 1})
+	_, err := Synthesize(context.Background(), in, Options{Seed: 1})
 	if !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
@@ -126,7 +127,7 @@ func TestIncompletenessExample(t *testing.T) {
 		in.AddExist(5, []cnf.Var{2, 3})
 		in.Matrix.AddClause(-4, 5)
 		in.Matrix.AddClause(4, -5)
-		res, err := Synthesize(in, Options{Seed: seed})
+		res, err := Synthesize(context.Background(), in, Options{Seed: seed})
 		if err != nil {
 			if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrBudget) {
 				t.Fatalf("seed %d: unexpected error %v", seed, err)
@@ -144,7 +145,7 @@ func TestNoExistentialsTautology(t *testing.T) {
 	in := dqbf.NewInstance()
 	in.AddUniv(1)
 	in.Matrix.AddClause(1, -1)
-	res, err := Synthesize(in, Options{})
+	res, err := Synthesize(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestNoExistentialsNonTautology(t *testing.T) {
 	in := dqbf.NewInstance()
 	in.AddUniv(1)
 	in.Matrix.AddClause(1)
-	_, err := Synthesize(in, Options{})
+	_, err := Synthesize(context.Background(), in, Options{})
 	if !errors.Is(err, ErrFalse) {
 		t.Fatalf("want ErrFalse, got %v", err)
 	}
@@ -288,7 +289,7 @@ func TestAblationsStillSound(t *testing.T) {
 	}
 	for i, opt := range variants {
 		in := paperExample()
-		res, err := Synthesize(in, opt)
+		res, err := Synthesize(context.Background(), in, opt)
 		if err != nil {
 			// Ablated variants may become incomplete, never unsound.
 			if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrBudget) {
@@ -305,14 +306,17 @@ func TestAblationsStillSound(t *testing.T) {
 
 func TestDeadlineAborts(t *testing.T) {
 	in := paperExample()
-	_, err := Synthesize(in, Options{Seed: 1, Deadline: time.Now().Add(-time.Second)})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Synthesize(ctx, in, Options{Seed: 1})
 	if err == nil {
 		t.Skip("engine finished before the deadline check — acceptable")
 	}
-	if !errors.Is(err, ErrBudget) && !errors.Is(err, ErrFalse) {
-		// Sampling can also fail under an expired deadline; any budget-ish
-		// error is fine, a wrong result is not.
-		t.Logf("deadline error: %v", err)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("expired ctx deadline: got %v, want ErrBudget", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ctx error missing from the chain: %v", err)
 	}
 }
 
@@ -375,7 +379,7 @@ func TestRandomPlantedInstances(t *testing.T) {
 				}
 			}
 		}
-		res, err := Synthesize(in, Options{Seed: int64(trial)})
+		res, err := Synthesize(context.Background(), in, Options{Seed: int64(trial)})
 		if err != nil {
 			if errors.Is(err, ErrIncomplete) || errors.Is(err, ErrBudget) {
 				continue // incompleteness is permitted, unsoundness is not
@@ -426,7 +430,7 @@ func TestEqualDepChainsNoCycles(t *testing.T) {
 		}
 	}
 	for seed := int64(0); seed < 4; seed++ {
-		res, err := Synthesize(in, Options{Seed: seed})
+		res, err := Synthesize(context.Background(), in, Options{Seed: seed})
 		if err != nil {
 			if errors.Is(err, ErrIncomplete) || errors.Is(err, ErrBudget) {
 				continue
@@ -443,7 +447,7 @@ func TestEqualDepChainsNoCycles(t *testing.T) {
 func TestLogfTracing(t *testing.T) {
 	in := paperExample()
 	var lines int
-	_, err := Synthesize(in, Options{
+	_, err := Synthesize(context.Background(), in, Options{
 		Seed: 1,
 		Logf: func(format string, args ...any) { lines++ },
 	})

@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cnf"
 	"repro/internal/dtree"
@@ -10,6 +13,18 @@ import (
 
 // learnCandidates implements the data-generation and candidate-learning
 // phases (Algorithm 1 lines 1-7 and Algorithm 2).
+//
+// Decision-tree learning is the expensive part and, given the samples and a
+// snapshot of the dependency matrix, each existential's tree is independent
+// of the others, so the trees are learned speculatively on a worker pool
+// (Options.LearnWorkers). The deps/recordUse bookkeeping is NOT independent
+// — in the serial algorithm, the tree learned for y1 bans y1 as a feature
+// for later trees that would close a reference cycle — so the learned trees
+// are merged back sequentially in declaration order: a tree that references
+// a feature banned by an earlier merge is relearned serially against the
+// current matrix (Stats.LearnConflicts counts these). Because the parallel
+// phase depends only on the snapshot and the merge only on declaration
+// order, the resulting candidates are bit-identical for every worker count.
 func (e *Engine) learnCandidates() error {
 	samples, err := e.drawSamples()
 	if err != nil {
@@ -31,12 +46,23 @@ func (e *Engine) learnCandidates() error {
 		}
 	}
 
-	// Line 7: learn a candidate per existential (declaration order).
+	// Line 7: learn a candidate per existential. The worker pool reads the
+	// engine (samples, instance, dependency matrix) strictly read-only; all
+	// mutation happens in the sequential merge below.
+	todo := make([]cnf.Var, 0, len(e.in.Exist))
 	for _, yi := range e.in.Exist {
 		if e.fixed[yi] {
 			continue // preprocessing already fixed this function
 		}
-		if err := e.candidateHkF(samples, yi); err != nil {
+		todo = append(todo, yi)
+	}
+	learned, err := e.learnTrees(samples, todo)
+	if err != nil {
+		return err
+	}
+	// Deterministic merge in declaration order.
+	for i, yi := range todo {
+		if err := e.mergeCandidate(samples, yi, learned[i]); err != nil {
 			return err
 		}
 	}
@@ -52,21 +78,86 @@ func (e *Engine) drawSamples() ([]cnf.Assignment, error) {
 	if e.opts.DisableAdaptiveSampling {
 		adaptive = nil
 	}
-	samples, err := sampler.Sample(e.in.Matrix, e.opts.NumSamples, sampler.Options{
+	samples, err := sampler.Sample(e.ctx, e.in.Matrix, e.opts.NumSamples, sampler.Options{
 		Seed:         e.opts.Seed,
 		Vars:         vars,
 		AdaptiveVars: adaptive,
 	})
 	if err != nil {
+		if cerr := e.interrupted(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("core: sampling: %w", err)
 	}
 	return samples, nil
 }
 
-// candidateHkF is Algorithm 2: learn a decision tree for yi over the feature
-// set Hi ∪ {yj : Hj ⊆ Hi, yj ∉ d_i ∪ {yi}} and convert the 1-labeled paths
-// to a candidate function, updating the dependency bookkeeping D.
-func (e *Engine) candidateHkF(samples []cnf.Assignment, yi cnf.Var) error {
+// learnedTree is the output of the speculative learning phase for one
+// existential: either a decision tree over feats, or (when the feature set
+// is empty) the majority-label constant.
+type learnedTree struct {
+	feats    []cnf.Var
+	tree     *dtree.Tree // nil → constant candidate
+	constVal bool
+}
+
+// learnTrees learns a candidate tree for every variable of todo on a worker
+// pool of Options.LearnWorkers goroutines. Workers only read shared state;
+// results land at their own index, so the output is independent of
+// scheduling.
+func (e *Engine) learnTrees(samples []cnf.Assignment, todo []cnf.Var) ([]learnedTree, error) {
+	workers := e.opts.LearnWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	out := make([]learnedTree, len(todo))
+	errs := make([]error, len(todo))
+	if workers <= 1 {
+		for i, yi := range todo {
+			if err := e.interrupted(); err != nil {
+				return nil, err
+			}
+			out[i], errs[i] = e.learnTree(samples, yi)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(todo) {
+						return
+					}
+					if err := e.ctx.Err(); err != nil {
+						errs[i] = err
+						return
+					}
+					out[i], errs[i] = e.learnTree(samples, todo[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			if cerr := e.interrupted(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("core: learning candidate for %d: %w", todo[i], err)
+		}
+	}
+	return out, nil
+}
+
+// featuresFor computes Algorithm 2's feature set for yi against the CURRENT
+// dependency matrix: Hi ∪ {yj : Hj ⊆ Hi, yj ∉ d_i ∪ {yi}}.
+func (e *Engine) featuresFor(yi cnf.Var) []cnf.Var {
 	featset := append([]cnf.Var(nil), e.in.DepSet(yi)...)
 	for _, yj := range e.in.Exist {
 		if yj == yi {
@@ -80,8 +171,12 @@ func (e *Engine) candidateHkF(samples []cnf.Assignment, yi cnf.Var) error {
 			featset = append(featset, yj)
 		}
 	}
+	return featset
+}
 
-	var f = e.b.False()
+// learnTree learns one candidate tree for yi over featuresFor(yi).
+func (e *Engine) learnTree(samples []cnf.Assignment, yi cnf.Var) (learnedTree, error) {
+	featset := e.featuresFor(yi)
 	if len(featset) == 0 {
 		// No features: learn the majority label as a constant.
 		pos := 0
@@ -90,34 +185,61 @@ func (e *Engine) candidateHkF(samples []cnf.Assignment, yi cnf.Var) error {
 				pos++
 			}
 		}
-		f = e.b.Const(pos*2 >= len(samples))
-	} else {
-		ds := &dtree.Dataset{Features: featset}
-		for _, s := range samples {
-			row := make([]bool, len(featset))
-			for k, v := range featset {
-				row[k] = s.Get(v) == cnf.True
+		return learnedTree{constVal: pos*2 >= len(samples)}, nil
+	}
+	ds := &dtree.Dataset{Features: featset}
+	for _, s := range samples {
+		row := make([]bool, len(featset))
+		for k, v := range featset {
+			row[k] = s.Get(v) == cnf.True
+		}
+		ds.Rows = append(ds.Rows, row)
+		ds.Labels = append(ds.Labels, s.Get(yi) == cnf.True)
+	}
+	tree, err := dtree.Learn(ds, dtree.Options{MaxDepth: e.opts.TreeMaxDepth})
+	if err != nil {
+		return learnedTree{}, err
+	}
+	return learnedTree{feats: featset, tree: tree}, nil
+}
+
+// mergeCandidate installs one speculatively-learned tree (Algorithm 2 lines
+// 8-12): convert the 1-labeled paths to a candidate function and update the
+// dependency bookkeeping D through recordUse. If the tree references a
+// feature that an earlier merge banned (using it now would close a reference
+// cycle), the tree is relearned serially against the current dependency
+// matrix first — the one spot where speculative parallelism and the serial
+// semantics can disagree.
+func (e *Engine) mergeCandidate(samples []cnf.Assignment, yi cnf.Var, lt learnedTree) error {
+	if lt.tree != nil {
+		for _, yk := range lt.tree.UsedFeatures() {
+			if e.in.IsExist(yk) && e.deps[yi][yk] {
+				e.stats.LearnConflicts++
+				relearned, err := e.learnTree(samples, yi)
+				if err != nil {
+					return fmt.Errorf("core: relearning candidate for %d: %w", yi, err)
+				}
+				lt = relearned
+				break
 			}
-			ds.Rows = append(ds.Rows, row)
-			ds.Labels = append(ds.Labels, s.Get(yi) == cnf.True)
 		}
-		tree, err := dtree.Learn(ds, dtree.Options{MaxDepth: e.opts.TreeMaxDepth})
-		if err != nil {
-			return fmt.Errorf("core: learning candidate for %d: %w", yi, err)
+	}
+	if lt.tree == nil {
+		e.setFunc(yi, e.b.Const(lt.constVal))
+		return nil
+	}
+	if e.opts.Logf != nil {
+		e.tracef("decision tree for y%d (features %v):\n%s", yi, lt.feats, lt.tree)
+	}
+	f := lt.tree.ToFunc(e.b)
+	// Lines 11-12: every yk used by the tree gains yi (and everything
+	// that depends on yi) as dependents; recordUse keeps the closure
+	// transitive so later merges cannot close a reference cycle.
+	for _, yk := range lt.tree.UsedFeatures() {
+		if !e.in.IsExist(yk) {
+			continue
 		}
-		if e.opts.Logf != nil {
-			e.tracef("decision tree for y%d (features %v):\n%s", yi, featset, tree)
-		}
-		f = tree.ToFunc(e.b)
-		// Lines 11-12: every yk used by the tree gains yi (and everything
-		// that depends on yi) as dependents; recordUse keeps the closure
-		// transitive so later learners cannot close a reference cycle.
-		for _, yk := range tree.UsedFeatures() {
-			if !e.in.IsExist(yk) {
-				continue
-			}
-			e.recordUse(yi, yk)
-		}
+		e.recordUse(yi, yk)
 	}
 	e.setFunc(yi, f)
 	return nil

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/boolfunc"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// plantedChainInstance builds a True instance with nY existentials over nX
+// universals where every dependency set is the full universal block and ϕ
+// asserts Y ↔ planted functions chained through Tseitin auxiliaries — equal
+// dependency sets force heavy Y-as-feature learning, the regime where the
+// speculative parallel learn phase can disagree with the serial semantics
+// and the merge's relearn path matters.
+func plantedChainInstance(seed int64, nX, nY int) *dqbf.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := dqbf.NewInstance()
+	for i := 1; i <= nX; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	allX := append([]cnf.Var(nil), in.Univ...)
+	b := boolfunc.NewBuilder()
+	planted := make(map[cnf.Var]*boolfunc.Node, nY)
+	for j := 0; j < nY; j++ {
+		y := cnf.Var(nX + j + 1)
+		in.AddExist(y, allX)
+		f := b.Const(rng.Intn(2) == 0)
+		for i := 1; i <= nX; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				f = b.And(f, b.Var(cnf.Var(i)))
+			case 1:
+				f = b.Or(f, b.Var(cnf.Var(i)))
+			default:
+				f = b.Xor(f, b.Var(cnf.Var(i)))
+			}
+		}
+		planted[y] = f
+	}
+	for j := 0; j < nY; j++ {
+		y := cnf.Var(nX + j + 1)
+		out := boolfunc.ToCNF(planted[y], in.Matrix, boolfunc.CNFOptions{})
+		in.Matrix.AddEquivLit(cnf.PosLit(y), out)
+	}
+	// Tseitin auxiliaries become existentials with full dependencies.
+	declared := make(map[cnf.Var]bool)
+	for _, v := range in.Univ {
+		declared[v] = true
+	}
+	for _, v := range in.Exist {
+		declared[v] = true
+	}
+	for _, c := range in.Matrix.Clauses {
+		for _, l := range c {
+			if !declared[l.Var()] {
+				declared[l.Var()] = true
+				in.AddExist(l.Var(), allX)
+			}
+		}
+	}
+	return in
+}
+
+// outcomeFingerprint renders a synthesis outcome as a comparable string:
+// the full certificate on success (bit-identical functions ⇒ identical
+// certificates) plus the stats that the learn phase influences, or the
+// error text on failure.
+func outcomeFingerprint(t *testing.T, in *dqbf.Instance, workers int) string {
+	t.Helper()
+	res, err := Synthesize(context.Background(), in, Options{Seed: 7, LearnWorkers: workers})
+	if err != nil {
+		if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrBudget) {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		return "error: " + err.Error()
+	}
+	var sb strings.Builder
+	if err := dqbf.WriteCertificate(&sb, res.Vector); err != nil {
+		t.Fatalf("workers=%d: certificate: %v", workers, err)
+	}
+	fmt.Fprintf(&sb, "stats: samples=%d verify=%d repairs=%d learnConflicts=%d\n",
+		res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.CandidatesRepaired,
+		res.Stats.LearnConflicts)
+	return sb.String()
+}
+
+// TestParallelLearnDeterministic asserts the headline property of the
+// parallel learn phase: for a fixed seed, the synthesized Skolem/Henkin
+// functions are bit-identical regardless of the worker count.
+func TestParallelLearnDeterministic(t *testing.T) {
+	instances := map[string]*dqbf.Instance{
+		"paper":    paperExample(),
+		"chain-a":  plantedChainInstance(3, 4, 5),
+		"chain-b":  plantedChainInstance(11, 3, 8),
+		"wide-dep": plantedChainInstance(23, 5, 3),
+	}
+	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
+	for name, in := range instances {
+		want := outcomeFingerprint(t, in, workerCounts[0])
+		for _, w := range workerCounts[1:] {
+			if got := outcomeFingerprint(t, in, w); got != want {
+				t.Fatalf("%s: workers=%d diverges from workers=%d:\n--- want ---\n%s\n--- got ---\n%s",
+					name, w, workerCounts[0], want, got)
+			}
+		}
+	}
+}
+
+// TestSynthesizeCancellationPrompt asserts that canceling the context of a
+// long-running Synthesize returns promptly (target ~10 ms; the bound below
+// is slack for loaded CI machines) with a status distinguishable from budget
+// exhaustion.
+func TestSynthesizeCancellationPrompt(t *testing.T) {
+	// Many universals and a sparse matrix give an astronomically large
+	// projected solution space, so the sampling loop alone runs far longer
+	// than the test; cancellation must cut it short.
+	in := dqbf.NewInstance()
+	const nX = 20
+	for i := 1; i <= nX; i++ {
+		in.AddUniv(cnf.Var(i))
+	}
+	in.AddExist(cnf.Var(nX+1), []cnf.Var{1, 2})
+	in.AddExist(cnf.Var(nX+2), []cnf.Var{3, 4})
+	for i := 1; i+2 <= nX; i += 3 {
+		in.Matrix.AddClause(cnf.Lit(i), cnf.Lit(i+1), cnf.Lit(i+2))
+	}
+	in.Matrix.AddClause(cnf.PosLit(cnf.Var(nX+1)), cnf.PosLit(cnf.Var(1)))
+	in.Matrix.AddClause(cnf.PosLit(cnf.Var(nX+2)), cnf.PosLit(cnf.Var(3)))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		err error
+		at  time.Time
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		_, err := Synthesize(ctx, in, Options{Seed: 1, NumSamples: 1 << 30})
+		done <- outcome{err: err, at: time.Now()}
+	}()
+	time.Sleep(50 * time.Millisecond) // let it get deep into sampling
+	canceledAt := time.Now()
+	cancel()
+	select {
+	case o := <-done:
+		latency := o.at.Sub(canceledAt)
+		if o.err == nil {
+			t.Fatal("canceled synthesis returned a result")
+		}
+		if !errors.Is(o.err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", o.err)
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("ctx error missing from the chain: %v", o.err)
+		}
+		if errors.Is(o.err, ErrBudget) {
+			t.Fatalf("cancellation not distinguishable from budget exhaustion: %v", o.err)
+		}
+		if latency > 100*time.Millisecond {
+			t.Fatalf("cancellation latency %v, want ~10ms", latency)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("synthesis did not return after cancellation")
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
@@ -54,13 +52,13 @@ func (e *Engine) preprocess() error {
 		if e.fixed[y] {
 			continue
 		}
-		if e.deadlineExpired() {
-			return fmt.Errorf("%w: preprocessing deadline", ErrBudget)
+		if err := e.interrupted(); err != nil {
+			return err
 		}
 		// Constant checks on the persistent ϕ solver.
 		st := e.phiSolver.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
 		if st == sat.Unknown {
-			return fmt.Errorf("%w: preprocessing", ErrBudget)
+			return e.oracleUnknown(e.phiSolver, "preprocessing")
 		}
 		if st == sat.Unsat {
 			e.setFunc(y, e.b.False())
@@ -70,7 +68,7 @@ func (e *Engine) preprocess() error {
 		}
 		st = e.phiSolver.SolveAssume([]cnf.Lit{cnf.NegLit(y)})
 		if st == sat.Unknown {
-			return fmt.Errorf("%w: preprocessing", ErrBudget)
+			return e.oracleUnknown(e.phiSolver, "preprocessing")
 		}
 		if st == sat.Unsat {
 			e.setFunc(y, e.b.True())
@@ -157,7 +155,7 @@ func (e *Engine) isUnate(y cnf.Var, positive bool) (bool, error) {
 	case sat.Sat:
 		return false, nil
 	default:
-		return false, fmt.Errorf("%w: unate check", ErrBudget)
+		return false, e.oracleUnknown(s, "unate check")
 	}
 }
 
@@ -199,6 +197,6 @@ func (e *Engine) isUniquelyDefined(y cnf.Var) (bool, error) {
 	case sat.Sat:
 		return false, nil
 	default:
-		return false, fmt.Errorf("%w: Padoa check", ErrBudget)
+		return false, e.oracleUnknown(s, "Padoa check")
 	}
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/dqbf"
+)
+
+// init registers the Manthan3 engine with the shared backend registry — the
+// single dispatch path used by cmd/manthan3, cmd/benchrunner, and
+// internal/bench.
+func init() {
+	backend.Register(backend.NewFunc("manthan3",
+		func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
+			res, err := Synthesize(ctx, in, Options{
+				Seed:         opts.Seed,
+				LearnWorkers: opts.Workers,
+				Logf:         opts.Logf,
+			})
+			if err != nil {
+				return nil, backendErr(err)
+			}
+			return &backend.Result{
+				Vector: res.Vector,
+				Stats: fmt.Sprintf("%d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined",
+					res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations,
+					res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
+					res.Stats.UnatesDetected, res.Stats.UniqueDefined),
+			}, nil
+		}))
+}
+
+// backendErr maps the engine's sentinel errors onto the backend registry's
+// shared taxonomy, preserving the original chain.
+func backendErr(err error) error {
+	return backend.MapEngineError(err,
+		backend.ErrorClass{Engine: ErrFalse, Shared: backend.ErrFalse},
+		backend.ErrorClass{Engine: ErrIncomplete, Shared: backend.ErrIncomplete},
+		backend.ErrorClass{Engine: ErrCanceled, Shared: backend.ErrCanceled},
+		backend.ErrorClass{Engine: ErrBudget, Shared: backend.ErrBudget},
+	)
+}

@@ -97,7 +97,7 @@ func (e *Engine) repair(sigma *counterexample) (bool, error) {
 				}
 			}
 		default:
-			return false, fmt.Errorf("%w: repair SAT call", ErrBudget)
+			return false, e.oracleUnknown(e.phiSolver, "repair SAT call")
 		}
 		// Line 18: align σ[yk] with the candidate's output at σ. The output
 		// must be recomputed from the CURRENT function: on the UNSAT branch
@@ -184,12 +184,14 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 		})
 		softVar = append(softVar, y)
 	}
-	res, err := e.candi.Solve(assumps, softs, maxsat.Options{
+	res, err := e.candi.Solve(e.ctx, assumps, softs, maxsat.Options{
 		ConflictBudget: e.opts.SATConflictBudget,
-		Deadline:       e.opts.Deadline,
 	})
 	if err != nil {
-		// The MaxSAT solver only errors on budget/deadline exhaustion.
+		// The MaxSAT solver only errors on budget/cancellation exhaustion.
+		if cerr := e.interrupted(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("%w: FindCandi: %v", ErrBudget, err)
 	}
 	if res.Status != sat.Sat {

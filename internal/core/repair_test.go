@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/boolfunc"
@@ -94,7 +95,7 @@ func TestRepairAlignsSigmaWithRepairedOutput(t *testing.T) {
 // verification solver and re-encodes only changed candidates.
 func TestVerifySolverPersistent(t *testing.T) {
 	in := parityInstance(4)
-	res, err := Synthesize(in, repairHeavyOptions(1))
+	res, err := Synthesize(context.Background(), in, repairHeavyOptions(1))
 	if err != nil {
 		t.Fatalf("Synthesize: %v", err)
 	}

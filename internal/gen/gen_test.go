@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestPlantedInstancesAreTrue(t *testing.T) {
 			if n.Known != TruthTrue {
 				continue
 			}
-			res, err := expand.Solve(n.DQBF, expand.Options{MaxUnivVars: 14})
+			res, err := expand.Solve(context.Background(), n.DQBF, expand.Options{MaxUnivVars: 14})
 			if errors.Is(err, expand.ErrTooLarge) {
 				continue
 			}
@@ -114,7 +115,7 @@ func TestSAT2DQBFBothTruths(t *testing.T) {
 	sawTrue, sawFalse := false, false
 	for i := 0; i < 30 && !(sawTrue && sawFalse); i++ {
 		n := Generate(FamilySAT2DQBF, i, 7)
-		_, err := expand.Solve(n.DQBF, expand.Options{})
+		_, err := expand.Solve(context.Background(), n.DQBF, expand.Options{})
 		switch {
 		case err == nil:
 			sawTrue = true

@@ -18,12 +18,19 @@
 package maxsat
 
 import (
-	"fmt"
-	"time"
+	"context"
+	"errors"
 
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
+
+// ErrInconclusive is returned when a SAT call exhausts its budget or the
+// context ends before the first model is found. When the stop came from the
+// context, the wrapped chain also contains the ctx error
+// (context.Canceled / context.DeadlineExceeded), so callers can distinguish
+// cancellation from conflict-budget exhaustion with errors.Is.
+var ErrInconclusive = errors.New("maxsat: optimization inconclusive")
 
 // Soft is a soft clause with unit weight.
 type Soft struct {
@@ -49,19 +56,17 @@ type Result struct {
 type Options struct {
 	// ConflictBudget bounds each SAT call; 0 means 200000.
 	ConflictBudget int64
-	// Deadline, when non-zero, aborts optimization and returns the best
-	// model found so far.
-	Deadline time.Time
 }
 
-// Solve minimizes the number of falsified soft clauses subject to hard. It
-// builds a throwaway solver over the hard clauses; callers running many
-// MaxSAT queries against the same hard formula should load it into a solver
-// once and reuse an Incremental.
-func Solve(hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
+// Solve minimizes the number of falsified soft clauses subject to hard,
+// aborting (with the best model found so far) when ctx ends. It builds a
+// throwaway solver over the hard clauses; callers running many MaxSAT
+// queries against the same hard formula should load it into a solver once
+// and reuse an Incremental.
+func Solve(ctx context.Context, hard *cnf.Formula, softs []Soft, opts Options) (Result, error) {
 	base := sat.New()
 	base.AddFormula(hard)
-	return NewIncremental(base).Solve(nil, softs, opts)
+	return NewIncremental(base).Solve(ctx, nil, softs, opts)
 }
 
 // Incremental runs repeated MaxSAT queries against one caller-owned solver.
@@ -111,17 +116,21 @@ func (inc *Incremental) allocVar() cnf.Var {
 
 // Solve minimizes the number of falsified soft clauses subject to the
 // solver's clauses plus the given assumptions. The caller's conflict budget
-// and deadline are installed on the base solver for the duration.
-func (inc *Incremental) Solve(assumps []cnf.Lit, softs []Soft, opts Options) (Result, error) {
+// and context are installed on the base solver for the duration; a canceled
+// or expired ctx ends the optimization early with the best model found.
+func (inc *Incremental) Solve(ctx context.Context, assumps []cnf.Lit, softs []Soft, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	base := inc.base
 	budget := opts.ConflictBudget
 	if budget == 0 {
 		budget = 200000
 	}
 	base.SetConflictBudget(budget)
-	// Install unconditionally: a zero deadline must CLEAR any deadline a
+	// Install unconditionally: this query's context must REPLACE whatever a
 	// previous query left on the shared solver.
-	base.SetDeadline(opts.Deadline)
+	base.SetContext(ctx)
 	inc.next = 0 // recycle the variable pool from the top
 	// A cached counter for a different soft count is stale — and its
 	// auxiliary variables overlap the pool positions this query hands out as
@@ -158,7 +167,7 @@ func (inc *Incremental) Solve(assumps []cnf.Lit, softs []Soft, opts Options) (Re
 		m := base.Model()
 		return Result{Status: sat.Sat, Model: m, Cost: 0, Optimal: true}, nil
 	case sat.Unknown:
-		return Result{Status: sat.Unknown}, fmt.Errorf("maxsat: budget exhausted before first model")
+		return Result{Status: sat.Unknown}, base.UnknownError(ErrInconclusive, "before first model")
 	}
 
 	// Hard clauses alone satisfiable?
@@ -167,7 +176,7 @@ func (inc *Incremental) Solve(assumps []cnf.Lit, softs []Soft, opts Options) (Re
 		return Result{Status: sat.Unsat}, nil
 	}
 	if st == sat.Unknown {
-		return Result{Status: sat.Unknown}, fmt.Errorf("maxsat: budget exhausted on hard clauses")
+		return Result{Status: sat.Unknown}, base.UnknownError(ErrInconclusive, "on hard clauses")
 	}
 	best := base.Model()
 	bestCost := costOf(softs, best)
@@ -185,7 +194,7 @@ func (inc *Incremental) Solve(assumps []cnf.Lit, softs []Soft, opts Options) (Re
 	counter := inc.counter
 	optimal := false
 	for bestCost > 0 {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+		if ctx.Err() != nil {
 			break
 		}
 		// Assume at most bestCost-1 relaxations.
@@ -260,9 +269,9 @@ func (inc *Incremental) Release() {
 // SolveIncremental is a convenience wrapper for a single incremental query,
 // leaving no groups behind on base; see Incremental for the reusable form
 // that also recycles variables and the cardinality counter across queries.
-func SolveIncremental(base *sat.Solver, assumps []cnf.Lit, softs []Soft, opts Options) (Result, error) {
+func SolveIncremental(ctx context.Context, base *sat.Solver, assumps []cnf.Lit, softs []Soft, opts Options) (Result, error) {
 	inc := NewIncremental(base)
-	res, err := inc.Solve(assumps, softs, opts)
+	res, err := inc.Solve(ctx, assumps, softs, opts)
 	inc.Release()
 	return res, err
 }

@@ -1,6 +1,7 @@
 package maxsat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestAllSoftSatisfiable(t *testing.T) {
 	hard := cnf.New(2)
 	hard.AddClause(1, 2)
 	softs := []Soft{{Clause: cnf.Clause{1}}, {Clause: cnf.Clause{2}}}
-	res, err := Solve(hard, softs, Options{})
+	res, err := Solve(context.Background(), hard, softs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestHardUnsat(t *testing.T) {
 	hard := cnf.New(1)
 	hard.AddUnit(1)
 	hard.AddUnit(-1)
-	res, err := Solve(hard, []Soft{{Clause: cnf.Clause{1}}}, Options{})
+	res, err := Solve(context.Background(), hard, []Soft{{Clause: cnf.Clause{1}}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestOneConflictingSoft(t *testing.T) {
 	hard := cnf.New(2)
 	hard.AddUnit(1)
 	softs := []Soft{{Clause: cnf.Clause{-1}}, {Clause: cnf.Clause{2}}}
-	res, err := Solve(hard, softs, Options{})
+	res, err := Solve(context.Background(), hard, softs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestMutuallyExclusiveSofts(t *testing.T) {
 	hard.AddClause(-1, -3)
 	hard.AddClause(-2, -3)
 	softs := []Soft{{Clause: cnf.Clause{1}}, {Clause: cnf.Clause{2}}, {Clause: cnf.Clause{3}}}
-	res, err := Solve(hard, softs, Options{})
+	res, err := Solve(context.Background(), hard, softs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestRandomAgainstExhaustive(t *testing.T) {
 			softs = append(softs, Soft{Clause: c})
 		}
 		wantCost, feasible := exhaustiveOpt(hard, softs)
-		res, err := Solve(hard, softs, Options{})
+		res, err := Solve(context.Background(), hard, softs, Options{})
 		if !feasible {
 			if err != nil {
 				continue
@@ -159,7 +160,7 @@ func TestRandomAgainstExhaustive(t *testing.T) {
 func TestNoSofts(t *testing.T) {
 	hard := cnf.New(1)
 	hard.AddUnit(1)
-	res, err := Solve(hard, nil, Options{})
+	res, err := Solve(context.Background(), hard, nil, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestManthanFindCandiShape(t *testing.T) {
 		{Clause: cnf.Clause{-5}}, // y2 ↔ 0
 		{Clause: cnf.Clause{-6}}, // y3 ↔ 0
 	}
-	res, err := Solve(hard, softs, Options{})
+	res, err := Solve(context.Background(), hard, softs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,13 +222,13 @@ func TestSolveIncrementalReusesBaseSolver(t *testing.T) {
 			{Clause: cnf.Clause{cnf.MkLit(3, i%3 == 0)}},
 			{Clause: cnf.Clause{cnf.MkLit(4, i%2 == 0)}},
 		}
-		inc, err := SolveIncremental(base, assumps, softs, Options{})
+		inc, err := SolveIncremental(context.Background(), base, assumps, softs, Options{})
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
 		ref := hard.Clone()
 		ref.AddUnit(assumps[0])
-		want, err := Solve(ref, softs, Options{})
+		want, err := Solve(context.Background(), ref, softs, Options{})
 		if err != nil {
 			t.Fatalf("query %d reference: %v", i, err)
 		}
@@ -263,8 +264,8 @@ func TestSolveIncrementalRandomEquivalence(t *testing.T) {
 			for i := range softs {
 				softs[i] = Soft{Clause: cnf.Clause{cnf.MkLit(cnf.Var(1+rng.Intn(nv)), rng.Intn(2) == 0)}}
 			}
-			inc, ierr := SolveIncremental(base, nil, softs, Options{})
-			ref, rerr := Solve(hard, softs, Options{})
+			inc, ierr := SolveIncremental(context.Background(), base, nil, softs, Options{})
+			ref, rerr := Solve(context.Background(), hard, softs, Options{})
 			if (ierr == nil) != (rerr == nil) {
 				t.Fatalf("seed %d query %d: err mismatch %v vs %v", seed, q, ierr, rerr)
 			}

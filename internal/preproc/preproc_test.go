@@ -1,6 +1,7 @@
 package preproc
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -175,7 +176,7 @@ func TestSimplifyPreservesTruthAndReconstructs(t *testing.T) {
 			t.Fatal(serr)
 		}
 		// Solve the simplified instance with the complete engine.
-		eres, eerr := expand.Solve(res.Simplified, expand.Options{})
+		eres, eerr := expand.Solve(context.Background(), res.Simplified, expand.Options{})
 		if errors.Is(eerr, expand.ErrFalse) {
 			if wantTrue {
 				t.Fatalf("trial %d: simplified instance False but original True", trial)

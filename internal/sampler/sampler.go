@@ -10,6 +10,7 @@
 package sampler
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -35,7 +36,7 @@ type Options struct {
 // Sample draws up to n satisfying assignments of f, pairwise distinct on the
 // projection to opts.Vars. It returns fewer when the formula has fewer
 // distinct projected solutions or when budgets run out, and an error when the
-// formula is unsatisfiable.
+// formula is unsatisfiable or ctx ends before any progress-preserving point.
 //
 // One solver is loaded with f and reused across all n draws: each accepted
 // sample adds a blocking clause over the projected variables (so duplicates
@@ -43,9 +44,15 @@ type Options struct {
 // solution space is exhausted), while the solver's single seeded RNG stream
 // keeps branching variables and phases random from draw to draw. The
 // per-draw restart costs a backtrack to level 0, not a formula reload.
-func Sample(f *cnf.Formula, n int, opts Options) ([]cnf.Assignment, error) {
+//
+// Cancellation is prompt: ctx is installed on the solver (polled inside each
+// Solve call) and checked between draws.
+func Sample(ctx context.Context, f *cnf.Formula, n int, opts Options) ([]cnf.Assignment, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	budget := opts.MaxConflictsPerSample
 	if budget == 0 {
@@ -65,11 +72,17 @@ func Sample(f *cnf.Formula, n int, opts Options) ([]cnf.Assignment, error) {
 	s.SetRandomVarFreq(0.6)
 	s.SetRandomPhaseFreq(1.0)
 	s.SetConflictBudget(budget) // budget is per Solve call
+	s.SetContext(ctx)
 	s.AddFormula(f)
 
-	samples := make([]cnf.Assignment, 0, n)
+	// Cap the preallocation: n is a request ceiling, not a promise — callers
+	// may pass huge n to mean "enumerate until canceled".
+	samples := make([]cnf.Assignment, 0, min(n, 4096))
 	misses := 0
 	for len(samples) < n && misses < 3 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sampler: %w", err)
+		}
 		// Adaptive phase bias: bias adaptive vars toward their empirical
 		// frequency once half the requested samples are in (Manthan's
 		// adaptive weighted sampling).
@@ -86,6 +99,10 @@ func Sample(f *cnf.Formula, n int, opts Options) ([]cnf.Assignment, error) {
 			break
 		}
 		if st == sat.Unknown {
+			if err := ctx.Err(); err != nil {
+				// Cancellation, not draw-budget exhaustion: stop immediately.
+				return nil, fmt.Errorf("sampler: %w", err)
+			}
 			// Budget exhausted on this draw; retry — the RNG stream has
 			// advanced, so the next attempt explores differently.
 			misses++
@@ -132,4 +149,3 @@ func primePhases(s *sat.Solver, vars []cnf.Var, freq map[cnf.Var]int, total int,
 		s.PrimePhase(v, rng.Float64() < p)
 	}
 }
-

@@ -1,6 +1,7 @@
 package sampler
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cnf"
@@ -10,7 +11,7 @@ func TestSampleBasic(t *testing.T) {
 	f := cnf.New(4)
 	f.AddClause(1, 2)
 	f.AddClause(-3, 4)
-	samples, err := Sample(f, 10, Options{Seed: 1})
+	samples, err := Sample(context.Background(), f, 10, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestSampleDiversity(t *testing.T) {
 	f := cnf.New(6)
 	f.AddClause(1, -1) // keep vars present
 	vars := []cnf.Var{1, 2, 3, 4, 5, 6}
-	samples, err := Sample(f, 20, Options{Seed: 7, Vars: vars})
+	samples, err := Sample(context.Background(), f, 20, Options{Seed: 7, Vars: vars})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestSampleExhaustsSolutionSpace(t *testing.T) {
 	// x1 ∨ x2 has 3 solutions over vars {1,2}; requesting more stops early.
 	f := cnf.New(2)
 	f.AddClause(1, 2)
-	samples, err := Sample(f, 50, Options{Seed: 3, Vars: []cnf.Var{1, 2}})
+	samples, err := Sample(context.Background(), f, 50, Options{Seed: 3, Vars: []cnf.Var{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestSampleUnsat(t *testing.T) {
 	f := cnf.New(1)
 	f.AddUnit(1)
 	f.AddUnit(-1)
-	if _, err := Sample(f, 5, Options{Seed: 1}); err == nil {
+	if _, err := Sample(context.Background(), f, 5, Options{Seed: 1}); err == nil {
 		t.Fatal("UNSAT formula sampled")
 	}
 }
@@ -79,7 +80,7 @@ func TestSampleUnsat(t *testing.T) {
 func TestSampleZeroRequested(t *testing.T) {
 	f := cnf.New(1)
 	f.AddUnit(1)
-	samples, err := Sample(f, 0, Options{})
+	samples, err := Sample(context.Background(), f, 0, Options{})
 	if err != nil || samples != nil {
 		t.Fatalf("zero request: %v %v", samples, err)
 	}
@@ -90,11 +91,11 @@ func TestSampleDeterministicPerSeed(t *testing.T) {
 	f.AddClause(1, 2, 3)
 	f.AddClause(-2, 4)
 	f.AddClause(-4, 5)
-	a, err := Sample(f, 8, Options{Seed: 42})
+	a, err := Sample(context.Background(), f, 8, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sample(f, 8, Options{Seed: 42})
+	b, err := Sample(context.Background(), f, 8, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestAdaptiveSamplingStillSatisfying(t *testing.T) {
 	f.AddClause(1, 2)
 	f.AddClause(-1, 3)
 	f.AddClause(4, 5, 6)
-	samples, err := Sample(f, 16, Options{
+	samples, err := Sample(context.Background(), f, 16, Options{
 		Seed:         9,
 		AdaptiveVars: []cnf.Var{4, 5, 6},
 	})
@@ -133,7 +134,7 @@ func TestSampleCoversBothPolarities(t *testing.T) {
 	// A free variable should appear with both polarities across samples.
 	f := cnf.New(3)
 	f.AddClause(1, 2, 3)
-	samples, err := Sample(f, 12, Options{Seed: 11, Vars: []cnf.Var{1, 2, 3}})
+	samples, err := Sample(context.Background(), f, 12, Options{Seed: 11, Vars: []cnf.Var{1, 2, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestSampleReturnsAllDistinctWhenAvailable(t *testing.T) {
 	f.AddClause(1, -1)
 	vars := []cnf.Var{1, 2, 3, 4, 5}
 	for seed := int64(0); seed < 5; seed++ {
-		samples, err := Sample(f, 30, Options{Seed: seed, Vars: vars})
+		samples, err := Sample(context.Background(), f, 30, Options{Seed: seed, Vars: vars})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -190,7 +191,7 @@ func TestSampleExhaustsExactSolutionCount(t *testing.T) {
 	// clauses the sampler must enumerate all 3, then stop.
 	f := cnf.New(2)
 	f.AddClause(1, 2)
-	samples, err := Sample(f, 50, Options{Seed: 3, Vars: []cnf.Var{1, 2}})
+	samples, err := Sample(context.Background(), f, 50, Options{Seed: 3, Vars: []cnf.Var{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

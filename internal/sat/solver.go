@@ -63,10 +63,12 @@ package sat
 
 import (
 	"cmp"
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"slices"
-	"time"
 
 	"repro/internal/cnf"
 )
@@ -93,6 +95,38 @@ func (s Status) String() string {
 		return "UNSAT"
 	}
 	return "UNKNOWN"
+}
+
+// StopCause explains why the most recent Solve/SolveAssume call returned
+// Unknown: the per-call conflict budget ran out, the context's deadline
+// expired, or the context was canceled outright. Callers that need to
+// distinguish "give it more budget" from "the caller asked us to stop" read
+// it via StopCause (or Stats.LastStop) after an Unknown result.
+type StopCause int
+
+// Stop causes.
+const (
+	// StopNone: the last Solve call did not stop early.
+	StopNone StopCause = iota
+	// StopConflictBudget: the per-call conflict budget was exhausted.
+	StopConflictBudget
+	// StopDeadline: the solver's context reached its deadline.
+	StopDeadline
+	// StopCanceled: the solver's context was canceled.
+	StopCanceled
+)
+
+// String names the stop cause.
+func (c StopCause) String() string {
+	switch c {
+	case StopConflictBudget:
+		return "conflict-budget"
+	case StopDeadline:
+		return "deadline"
+	case StopCanceled:
+		return "canceled"
+	}
+	return "none"
 }
 
 // internal literal code: variable v (1-based) has codes 2v (positive) and
@@ -210,9 +244,10 @@ type Solver struct {
 	randVarFreq   float64 // probability of a random branching variable
 	randPhaseFreq float64 // probability of a random phase at a decision
 
-	conflictBudget int64 // -1 = unlimited; counted per Solve call
-	budgetStart    int64 // s.conflicts at the start of the current Solve call
-	deadline       time.Time
+	conflictBudget int64           // -1 = unlimited; counted per Solve call
+	budgetStart    int64           // s.conflicts at the start of the current Solve call
+	ctx            context.Context // nil = never interrupted
+	stopCause      StopCause       // why the last Solve returned Unknown
 	checkCnt       int64
 	conflicts      int64
 	propagations   int64
@@ -337,9 +372,43 @@ func (s *Solver) PrimePhase(v cnf.Var, phase bool) {
 // unlimited.
 func (s *Solver) SetConflictBudget(n int64) { s.conflictBudget = n }
 
-// SetDeadline sets a wall-clock deadline for subsequent Solve calls; zero
-// time means no deadline.
-func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+// SetContext installs a context checked during subsequent Solve calls: when
+// it is canceled or its deadline expires, the running Solve returns Unknown
+// promptly and StopCause reports which of the two happened. A nil context
+// (the default) means the solver is never interrupted.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// StopCause reports why the most recent Solve/SolveAssume call returned
+// Unknown (StopNone if it did not stop early).
+func (s *Solver) StopCause() StopCause { return s.stopCause }
+
+// StopCtxErr returns the context error matching the last stop cause —
+// context.Canceled or context.DeadlineExceeded when the solver stopped on
+// its context, nil when it stopped on the conflict budget (or did not stop).
+// Callers wrap it into their own budget/cancellation sentinels so one
+// classification rule serves every oracle consumer.
+func (s *Solver) StopCtxErr() error {
+	switch s.stopCause {
+	case StopCanceled:
+		return context.Canceled
+	case StopDeadline:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// UnknownError builds the error for an Unknown result: the caller's
+// sentinel wrapped with a description, plus the stop's context error when
+// the solver was interrupted rather than out of conflict budget. One
+// classification rule for every oracle consumer that folds deadline and
+// cancellation into a single budget-style sentinel; callers with a separate
+// cancellation sentinel branch on StopCause directly.
+func (s *Solver) UnknownError(sentinel error, what string) error {
+	if cause := s.StopCtxErr(); cause != nil {
+		return fmt.Errorf("%w: %s interrupted: %w", sentinel, what, cause)
+	}
+	return fmt.Errorf("%w: %s (conflict budget)", sentinel, what)
+}
 
 // Stats holds cumulative solver counters.
 type Stats struct {
@@ -347,12 +416,13 @@ type Stats struct {
 	Propagations int64
 	Decisions    int64
 	Restarts     int64
-	LearntLits   int64 // total literals in learnt clauses
-	ArenaWords   int   // current arena length (uint32 words)
-	ArenaWasted  int   // dead words awaiting compaction
-	ArenaGCs     int64 // arena compactions performed
-	LiveGroups   int   // clause groups added and not yet released
-	GroupsFreed  int64 // clause groups released over the solver's lifetime
+	LearntLits   int64     // total literals in learnt clauses
+	ArenaWords   int       // current arena length (uint32 words)
+	ArenaWasted  int       // dead words awaiting compaction
+	ArenaGCs     int64     // arena compactions performed
+	LiveGroups   int       // clause groups added and not yet released
+	GroupsFreed  int64     // clause groups released over the solver's lifetime
+	LastStop     StopCause // why the last Solve returned Unknown (StopNone otherwise)
 }
 
 // Stats reports cumulative solver statistics.
@@ -368,6 +438,7 @@ func (s *Solver) Stats() Stats {
 		ArenaGCs:     s.arenaGCs,
 		LiveGroups:   len(s.standing),
 		GroupsFreed:  s.groupsFreed,
+		LastStop:     s.stopCause,
 	}
 }
 
@@ -1119,7 +1190,7 @@ func (s *Solver) search(nofConflicts int64) Status {
 			s.cancelUntil(s.assumptionLevel())
 			return Unknown
 		}
-		if s.budgetExhausted() {
+		if s.stopRequested(false) {
 			return Unknown
 		}
 		if s.maxLearnts > 0 && float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
@@ -1167,19 +1238,41 @@ func (s *Solver) conflictBudgetSpent() bool {
 	return s.conflictBudget >= 0 && s.conflicts-s.budgetStart >= s.conflictBudget
 }
 
-// outOfBudget checks the conflict budget and the wall-clock deadline
-// (unconditionally; use budgetExhausted in the search hot path, which
-// samples the clock).
-func (s *Solver) outOfBudget() bool {
-	return s.conflictBudgetSpent() || (!s.deadline.IsZero() && time.Now().After(s.deadline))
-}
+// ctxPollMask samples the context once per 256 poll calls in the search hot
+// path; at typical CDCL iteration rates this bounds the cancellation latency
+// to well under a millisecond while keeping ctx.Err out of the inner loop.
+const ctxPollMask = 255
 
-func (s *Solver) budgetExhausted() bool {
+// stopRequested is the single budget/cancellation poll shared by every stop
+// point: it checks the per-call conflict budget unconditionally and the
+// context at a sampled cadence (every stop point used to roll its own
+// cadence; now they all go through here). force bypasses the sampling — used
+// at restart boundaries, where the check is off the hot path — and records
+// the cause of the stop for StopCause.
+func (s *Solver) stopRequested(force bool) bool {
 	if s.conflictBudgetSpent() {
+		s.stopCause = StopConflictBudget
 		return true
 	}
-	s.checkCnt++
-	return !s.deadline.IsZero() && s.checkCnt&1023 == 0 && time.Now().After(s.deadline)
+	if s.ctx == nil {
+		return false
+	}
+	if !force {
+		s.checkCnt++
+		if s.checkCnt&ctxPollMask != 0 {
+			return false
+		}
+	}
+	err := s.ctx.Err()
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.stopCause = StopDeadline
+	} else {
+		s.stopCause = StopCanceled
+	}
+	return true
 }
 
 // luby computes the Luby restart sequence value for 0-based index x
@@ -1285,6 +1378,7 @@ func (s *Solver) Solve() Status { return s.SolveAssume(nil) }
 func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	s.cancelUntil(0)
 	s.conflict = s.conflict[:0]
+	s.stopCause = StopNone
 	if !s.ok {
 		return Unsat
 	}
@@ -1312,7 +1406,7 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	s.budgetStart = s.conflicts
 	var status Status = Unknown
 	for restart := int64(1); status == Unknown; restart++ {
-		if s.outOfBudget() {
+		if s.stopRequested(true) {
 			break
 		}
 		budget := luby(restart-1) * 100
@@ -1320,7 +1414,7 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 		if status == Unknown {
 			s.restarts++
 			// distinguish restart from budget exhaustion
-			if s.outOfBudget() {
+			if s.stopRequested(true) {
 				break
 			}
 		}

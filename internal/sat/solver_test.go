@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -332,9 +333,8 @@ func TestBlockModelEnumeration(t *testing.T) {
 	}
 }
 
-func TestConflictBudgetReturnsUnknown(t *testing.T) {
-	// A hard pigeonhole instance with a tiny budget must return Unknown.
-	n := 8
+// pigeonhole builds PHP(n+1, n): n+1 pigeons into n holes — hard UNSAT.
+func pigeonhole(n int) *cnf.Formula {
 	f := cnf.New(0)
 	varAt := make([][]cnf.Var, n+1)
 	for p := 0; p <= n; p++ {
@@ -357,41 +357,31 @@ func TestConflictBudgetReturnsUnknown(t *testing.T) {
 			}
 		}
 	}
+	return f
+}
+
+func TestConflictBudgetReturnsUnknown(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget must return Unknown.
 	s := New()
-	s.AddFormula(f)
+	s.AddFormula(pigeonhole(8))
 	s.SetConflictBudget(10)
 	if st := s.Solve(); st != Unknown {
 		t.Fatalf("got %v, want Unknown under tiny budget", st)
 	}
+	if got := s.StopCause(); got != StopConflictBudget {
+		t.Fatalf("StopCause = %v, want %v", got, StopConflictBudget)
+	}
+	if got := s.Stats().LastStop; got != StopConflictBudget {
+		t.Fatalf("Stats().LastStop = %v, want %v", got, StopConflictBudget)
+	}
 }
 
-func TestDeadline(t *testing.T) {
-	n := 10
-	f := cnf.New(0)
-	varAt := make([][]cnf.Var, n+1)
-	for p := 0; p <= n; p++ {
-		varAt[p] = make([]cnf.Var, n)
-		for h := 0; h < n; h++ {
-			varAt[p][h] = f.NewVar()
-		}
-	}
-	for p := 0; p <= n; p++ {
-		c := make([]cnf.Lit, n)
-		for h := 0; h < n; h++ {
-			c[h] = cnf.PosLit(varAt[p][h])
-		}
-		f.AddClause(c...)
-	}
-	for h := 0; h < n; h++ {
-		for p1 := 0; p1 <= n; p1++ {
-			for p2 := p1 + 1; p2 <= n; p2++ {
-				f.AddClause(cnf.NegLit(varAt[p1][h]), cnf.NegLit(varAt[p2][h]))
-			}
-		}
-	}
+func TestContextDeadline(t *testing.T) {
 	s := New()
-	s.AddFormula(f)
-	s.SetDeadline(time.Now().Add(50 * time.Millisecond))
+	s.AddFormula(pigeonhole(10))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.SetContext(ctx)
 	start := time.Now()
 	st := s.Solve()
 	if st == Sat {
@@ -399,6 +389,48 @@ func TestDeadline(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+	if st == Unknown {
+		if got := s.StopCause(); got != StopDeadline {
+			t.Fatalf("StopCause = %v, want %v", got, StopDeadline)
+		}
+	}
+}
+
+func TestContextCancelPrompt(t *testing.T) {
+	s := New()
+	s.AddFormula(pigeonhole(10))
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetContext(ctx)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st := s.Solve()
+	elapsed := time.Since(start)
+	if st == Sat {
+		t.Fatal("PHP(11,10) cannot be SAT")
+	}
+	if st == Unknown {
+		if got := s.StopCause(); got != StopCanceled {
+			t.Fatalf("StopCause = %v, want %v", got, StopCanceled)
+		}
+		// The sampled ctx poll fires every 256 search steps — a few
+		// microseconds of work — so the return should trail the cancel by far
+		// less than the slack allowed here.
+		if elapsed > 20*time.Millisecond+100*time.Millisecond {
+			t.Fatalf("cancellation not prompt: Solve ran %v", elapsed)
+		}
+	}
+	// A solved call afterwards must clear the cause.
+	s2 := New()
+	s2.AddClause(cnf.PosLit(cnf.Var(1)))
+	if st := s2.Solve(); st != Sat {
+		t.Fatalf("trivial solve: %v", st)
+	}
+	if got := s2.StopCause(); got != StopNone {
+		t.Fatalf("StopCause after Sat = %v, want %v", got, StopNone)
 	}
 }
 
