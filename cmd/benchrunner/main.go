@@ -11,12 +11,20 @@
 //
 // Usage:
 //
-//	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-j 0] [-out bench/results]
+//	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-j 0] [-pp-workers 1]
+//	            [-engines expand,pedant,manthan3] [-out bench/results]
 //	            [-fig 6|7|8|9|10|all] [-table 1]
 //
 // -j sets the number of parallel engine-run workers (0 = NumCPU); the worker
-// count is reported in the run header. CSV data land in -out; ASCII
-// renderings go to stdout.
+// count is reported in the run header. -pp-workers raises each engine's
+// internal preprocessing worker pool (default 1, keeping per-engine
+// durations like-for-like under the parallel suite runner). -engines
+// overrides the competitor set with comma-separated backend specs — plain
+// registry names, seed-pinned variants ("manthan3@7"), or portfolios
+// ("portfolio:expand+cegar+manthan3") — each reported like any other
+// engine. CSV data land in -out (results_raw.csv carries one per-phase
+// column per observed phase, preserved by -replay); ASCII renderings go to
+// stdout.
 package main
 
 import (
@@ -28,8 +36,10 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/bench"
 	"repro/internal/gen"
 )
@@ -45,8 +55,25 @@ func run() int {
 	outDir := flag.String("out", "bench-results", "output directory for CSV data")
 	fig := flag.String("fig", "all", "which figure to emit: 6,7,8,9,10,all")
 	jobs := flag.Int("j", 0, "parallel engine-run workers (0 = NumCPU)")
+	ppWorkers := flag.Int("pp-workers", 1, "per-engine preprocessing workers (manthan3-family engines)")
+	enginesFlag := flag.String("engines", "", "comma-separated engine specs to race (default: the canonical set; accepts name@seed and portfolio:a+b+c)")
 	replay := flag.String("replay", "", "regenerate reports from a previous results_raw.csv instead of re-running")
 	flag.Parse()
+
+	var engines []string
+	if *enginesFlag != "" {
+		for _, spec := range strings.Split(*enginesFlag, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			if _, err := backend.Resolve(spec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			engines = append(engines, spec)
+		}
+	}
 
 	var results []bench.RunResult
 	if *replay != "" {
@@ -58,6 +85,9 @@ func run() int {
 		}
 		fmt.Printf("replaying %d results from %s\n\n", len(results), *replay)
 	} else {
+		if engines == nil {
+			engines = bench.Engines
+		}
 		suite := gen.Suite(*seed)
 		if *n < len(suite) {
 			// Take a stratified prefix: preserve family proportions.
@@ -67,13 +97,18 @@ func run() int {
 		if workers <= 0 {
 			workers = runtime.NumCPU()
 		}
-		fmt.Printf("running %d instances × %d engines, timeout %v, %d workers…\n",
-			len(suite), len(bench.Engines), *timeout, workers)
+		fmt.Printf("running %d instances × %d engines (%s), timeout %v, %d workers, %d preproc workers…\n",
+			len(suite), len(engines), strings.Join(engines, ", "), *timeout, workers, *ppWorkers)
 		start := time.Now()
-		results = bench.RunSuite(suite, bench.Options{Timeout: *timeout, Seed: *seed, Workers: workers})
+		results = bench.RunSuite(suite, bench.Options{
+			Timeout: *timeout, Seed: *seed, Workers: workers,
+			Engines: engines, PreprocWorkers: *ppWorkers,
+		})
 		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
-	tab := bench.NewTable(results)
+	// In replay mode without -engines, the report set is derived from the
+	// CSV itself (NewTable collects engines in order of first appearance).
+	tab := bench.NewTable(results, engines...)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -135,7 +170,7 @@ func run() int {
 	breakdown := bench.FamilyBreakdown(results)
 	for _, fam := range bench.SortedFamilies(breakdown) {
 		fmt.Printf("  %-12s", fam)
-		for _, e := range bench.Engines {
+		for _, e := range tab.Engines {
 			fmt.Printf(" %s=%d", e, breakdown[fam][e])
 		}
 		fmt.Println()
@@ -150,14 +185,27 @@ func run() int {
 	return 0
 }
 
+// phaseColPrefix marks the per-phase columns in results_raw.csv: one
+// column "phase:<name>" per phase name observed anywhere in the result
+// set, holding "<seconds>/<oracle calls>" (empty when the row's engine did
+// not execute the phase).
+const phaseColPrefix = "phase:"
+
 // writeResultsCSV emits the raw per-run results. The Detail column is free
 // text (engine error strings); everything goes through encoding/csv so
 // quotes, commas, and newlines in details survive the replay round-trip with
 // readResults — hand-rolled fmt.Fprintf("%q") escaping does Go escaping,
-// which encoding/csv does not undo.
+// which encoding/csv does not undo. Per-phase telemetry rides along in
+// phase:<name> columns (first-appearance order), so -replay regenerates
+// the phase-breakdown table from the same numbers the live run saw.
 func writeResultsCSV(w io.Writer, results []bench.RunResult) error {
+	phaseNames := bench.PhaseNames(results)
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"instance", "family", "engine", "outcome", "seconds", "detail"}); err != nil {
+	header := []string{"instance", "family", "engine", "outcome", "seconds", "detail"}
+	for _, name := range phaseNames {
+		header = append(header, phaseColPrefix+name)
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, r := range results {
@@ -165,12 +213,48 @@ func writeResultsCSV(w io.Writer, results []bench.RunResult) error {
 			r.Instance, r.Family, r.Engine, r.Outcome.String(),
 			strconv.FormatFloat(r.Duration.Seconds(), 'f', 4, 64), r.Detail,
 		}
+		for _, name := range phaseNames {
+			rec = append(rec, formatPhaseCell(r.Phases, name))
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// formatPhaseCell renders one phase's cell as "<seconds>/<calls>", or ""
+// when the row did not execute the phase.
+func formatPhaseCell(phases []backend.PhaseStat, name string) string {
+	for _, p := range phases {
+		if p.Name == name {
+			return strconv.FormatFloat(p.Duration.Seconds(), 'f', 6, 64) +
+				"/" + strconv.FormatInt(p.OracleCalls, 10)
+		}
+	}
+	return ""
+}
+
+// parsePhaseCell is formatPhaseCell's inverse.
+func parsePhaseCell(name, cell string) (backend.PhaseStat, error) {
+	secStr, callStr, ok := strings.Cut(cell, "/")
+	if !ok {
+		return backend.PhaseStat{}, fmt.Errorf("missing '/' in %q", cell)
+	}
+	sec, err := strconv.ParseFloat(secStr, 64)
+	if err != nil {
+		return backend.PhaseStat{}, err
+	}
+	calls, err := strconv.ParseInt(callStr, 10, 64)
+	if err != nil {
+		return backend.PhaseStat{}, err
+	}
+	return backend.PhaseStat{
+		Name:        name,
+		Duration:    time.Duration(sec * float64(time.Second)),
+		OracleCalls: calls,
+	}, nil
 }
 
 // readResultsCSV parses a results_raw.csv written by a previous run.
@@ -196,9 +280,19 @@ func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
 		"incomplete":  bench.GaveUp,
 		"failed":      bench.Failed,
 	}
-	known := make(map[string]bool, len(bench.Engines))
-	for _, e := range bench.Engines {
-		known[e] = true
+	// Phase columns are discovered from the header, so replays of CSVs
+	// written before (or after) a phase-vocabulary change keep working.
+	type phaseCol struct {
+		idx  int
+		name string
+	}
+	var phaseCols []phaseCol
+	if len(rows) > 0 {
+		for idx, col := range rows[0] {
+			if name, ok := strings.CutPrefix(col, phaseColPrefix); ok {
+				phaseCols = append(phaseCols, phaseCol{idx: idx, name: name})
+			}
+		}
 	}
 	unknown := map[string]bool{}
 	var out []bench.RunResult
@@ -206,12 +300,13 @@ func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
 		if i == 0 || len(row) < 5 {
 			continue // header / malformed
 		}
-		if !known[row[2]] && !unknown[row[2]] {
-			// Loud, not fatal: stale names (e.g. pre-rename "hqs-expand")
-			// would otherwise replay as silent zeros in every report.
+		if _, err := backend.Resolve(row[2]); err != nil && !unknown[row[2]] {
+			// Loud, not fatal: the report set is derived from the CSV, so
+			// stale names (e.g. pre-rename "hqs-expand") still render — but
+			// flag that no current backend answers to the spec.
 			unknown[row[2]] = true
-			fmt.Fprintf(os.Stderr, "warning: %s: engine %q is not in the report set %v; its rows will not appear in tables/figures\n",
-				path, row[2], bench.Engines)
+			fmt.Fprintf(os.Stderr, "warning: %s: engine %q does not resolve to a current backend spec; its rows replay as recorded\n",
+				path, row[2])
 		}
 		secs, err := strconv.ParseFloat(row[4], 64)
 		if err != nil {
@@ -230,6 +325,17 @@ func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
 		}
 		if len(row) > 5 {
 			rr.Detail = row[5]
+		}
+		for _, pc := range phaseCols {
+			if pc.idx >= len(row) || row[pc.idx] == "" {
+				continue
+			}
+			ps, err := parsePhaseCell(pc.name, row[pc.idx])
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d: bad phase cell %q for %q: %v",
+					path, i+1, row[pc.idx], pc.name, err)
+			}
+			rr.Phases = append(rr.Phases, ps)
 		}
 		out = append(out, rr)
 	}

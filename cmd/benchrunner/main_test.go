@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/bench"
 )
 
@@ -40,6 +41,15 @@ func TestResultsCSVRoundTripHostileDetails(t *testing.T) {
 			Detail:   d,
 		}
 	}
+	// Rows that synthesized carry phase telemetry; the others carry none —
+	// the round-trip must preserve both shapes.
+	in[0].Phases = []backend.PhaseStat{
+		{Name: "preprocess", Duration: 1234 * time.Microsecond, OracleCalls: 17},
+		{Name: "verify-repair", Duration: 98 * time.Millisecond, OracleCalls: 3},
+	}
+	in[6].Phases = []backend.PhaseStat{
+		{Name: "solve", Duration: 2 * time.Second, OracleCalls: 1},
+	}
 	var buf bytes.Buffer
 	if err := writeResultsCSV(&buf, in); err != nil {
 		t.Fatalf("writeResultsCSV: %v", err)
@@ -62,5 +72,65 @@ func TestResultsCSVRoundTripHostileDetails(t *testing.T) {
 		if d := got[i].Duration - in[i].Duration; d < -time.Millisecond || d > time.Millisecond {
 			t.Fatalf("row %d duration drifted: got %v want %v", i, got[i].Duration, in[i].Duration)
 		}
+		if len(got[i].Phases) != len(in[i].Phases) {
+			t.Fatalf("row %d phase count: got %d want %d", i, len(got[i].Phases), len(in[i].Phases))
+		}
+		for j, p := range in[i].Phases {
+			g := got[i].Phases[j]
+			if g.Name != p.Name || g.OracleCalls != p.OracleCalls {
+				t.Fatalf("row %d phase %d corrupted: got %+v want %+v", i, j, g, p)
+			}
+			if d := g.Duration - p.Duration; d < -time.Microsecond || d > time.Microsecond {
+				t.Fatalf("row %d phase %d duration drifted: got %v want %v", i, j, g.Duration, p.Duration)
+			}
+		}
+	}
+	// Re-writing the replayed results must reproduce the CSV byte for byte —
+	// the stability -replay relies on.
+	var buf2 bytes.Buffer
+	if err := writeResultsCSV(&buf2, got); err != nil {
+		t.Fatalf("writeResultsCSV (second pass): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("CSV not stable across replay:\n--- first ---\n%s\n--- second ---\n%s", buf.String(), buf2.String())
+	}
+}
+
+// TestResultsCSVRoundTripHostilePhases: phase names land in CSV header
+// cells and "<seconds>/<calls>" cells; names containing commas, quotes, or
+// the cell separator itself must survive the replay round-trip, and
+// malformed phase cells must fail loudly rather than replay as zeros.
+func TestResultsCSVRoundTripHostilePhases(t *testing.T) {
+	hostile := []backend.PhaseStat{
+		{Name: `comma, phase`, Duration: time.Millisecond, OracleCalls: 2},
+		{Name: `quoted "phase"`, Duration: 2 * time.Millisecond, OracleCalls: 0},
+		{Name: `slash/phase`, Duration: 3 * time.Millisecond, OracleCalls: 9},
+		{Name: "phase:prefixed", Duration: 4 * time.Millisecond, OracleCalls: 1},
+	}
+	in := []bench.RunResult{{
+		Instance: "inst", Family: "fam", Engine: "manthan3",
+		Outcome: bench.Synthesized, Duration: time.Second, Phases: hostile,
+	}}
+	var buf bytes.Buffer
+	if err := writeResultsCSV(&buf, in); err != nil {
+		t.Fatalf("writeResultsCSV: %v", err)
+	}
+	got, err := readResults(bytes.NewReader(buf.Bytes()), "buf")
+	if err != nil {
+		t.Fatalf("readResults: %v", err)
+	}
+	if len(got) != 1 || len(got[0].Phases) != len(hostile) {
+		t.Fatalf("round-trip shape: %+v", got)
+	}
+	for j, p := range hostile {
+		g := got[0].Phases[j]
+		if g.Name != p.Name || g.OracleCalls != p.OracleCalls {
+			t.Fatalf("phase %d corrupted: got %+v want %+v", j, g, p)
+		}
+	}
+
+	corrupt := strings.Replace(buf.String(), "0.001000/2", "not-a-cell", 1)
+	if _, err := readResults(strings.NewReader(corrupt), "buf"); err == nil {
+		t.Fatal("malformed phase cell replayed without error")
 	}
 }

@@ -7,15 +7,20 @@
 //
 //	manthan3 [-engine manthan3|expand|expand-iter|pedant|cegar]
 //	         [-portfolio manthan3,expand,pedant] [-timeout 60s] [-j 0]
-//	         [-seed 1] [-verify] [-pre] [-verilog out.v]
+//	         [-pp-workers 0] [-seed 1] [-verify] [-pre] [-verilog out.v]
 //	         [-v] [-q] instance.dqdimacs
 //
 // -timeout bounds the whole synthesis through a context threaded into every
 // engine's SAT search loops, so expiry interrupts a run promptly.
-// -portfolio races the named backends under one context: the first
-// definitive answer (functions or a False proof) wins and the losers are
-// canceled; it overrides -engine. -j bounds engine-internal parallelism
-// (currently the manthan3 learn phase; 0 = NumCPU).
+// -engine accepts any backend spec: a registry name, a seed-pinned variant
+// ("manthan3@7"), or a portfolio ("portfolio:expand+cegar+manthan3").
+// -portfolio races the named backends (comma-separated specs) under one
+// context: the first definitive answer (functions or a False proof) wins
+// and the losers are canceled; it overrides -engine. -j bounds
+// engine-internal parallelism (the manthan3 learn phase; 0 = NumCPU) and
+// -pp-workers its preprocessing worker pool (0 = NumCPU). On success the
+// engine's per-phase telemetry is printed as `c stats: phases: …` —
+// name, wall-clock duration, and oracle calls per executed phase.
 //
 // On True instances, the synthesized functions are printed one per line as
 // `y<var> := <expression>`; the exit status is 0. False instances report
@@ -50,11 +55,12 @@ func main() {
 }
 
 func run() int {
-	engine := flag.String("engine", "manthan3", "synthesis engine: "+strings.Join(backend.Names(), ", "))
-	portfolio := flag.String("portfolio", "", "race a comma-separated list of engines, first definitive answer wins (overrides -engine)")
+	engine := flag.String("engine", "manthan3", "synthesis engine spec (also name@seed, portfolio:a+b+c): "+strings.Join(backend.Names(), ", "))
+	portfolio := flag.String("portfolio", "", "race a comma-separated list of engine specs, first definitive answer wins (overrides -engine)")
 	timeout := flag.Duration("timeout", 60*time.Second, "synthesis timeout (enforced via context cancellation)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("j", 0, "engine-internal worker count (0 = NumCPU)")
+	ppWorkers := flag.Int("pp-workers", 0, "preprocessing worker count (manthan3 engine; 0 = NumCPU)")
 	verify := flag.Bool("verify", true, "independently verify the synthesized vector")
 	quiet := flag.Bool("q", false, "suppress function printing; report status only")
 	verilog := flag.String("verilog", "", "also write the functions as a structural Verilog module to this file")
@@ -70,8 +76,8 @@ func run() int {
 	var be backend.Backend
 	if *portfolio != "" {
 		var members []backend.Backend
-		for _, name := range strings.Split(*portfolio, ",") {
-			b, err := backend.Get(strings.TrimSpace(name))
+		for _, spec := range strings.Split(*portfolio, ",") {
+			b, err := backend.Resolve(strings.TrimSpace(spec))
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				return 1
@@ -80,7 +86,7 @@ func run() int {
 		}
 		be = backend.Portfolio(members...)
 	} else {
-		b, err := backend.Get(*engine)
+		b, err := backend.Resolve(*engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -125,7 +131,7 @@ func run() int {
 		in = prep.Simplified
 	}
 
-	bopts := backend.Options{Seed: *seed, Workers: *workers}
+	bopts := backend.Options{Seed: *seed, Workers: *workers, PreprocWorkers: *ppWorkers}
 	if *verbose {
 		bopts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "c trace: "+format+"\n", args...)
@@ -148,6 +154,15 @@ func run() int {
 	vec := res.Vector
 	if res.Stats != "" {
 		fmt.Printf("c stats: %s\n", res.Stats)
+	}
+	if len(res.Phases) > 0 {
+		// Phase breakdown: where the winning engine spent its time and its
+		// oracle calls, phase by phase in execution order.
+		parts := make([]string, len(res.Phases))
+		for i, p := range res.Phases {
+			parts[i] = fmt.Sprintf("%s %.3fs/%d", p.Name, p.Duration.Seconds(), p.OracleCalls)
+		}
+		fmt.Printf("c stats: phases: %s\n", strings.Join(parts, ", "))
 	}
 
 	if prep != nil {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
@@ -61,9 +62,14 @@ func main() {
 	}
 
 	fmt.Println("distributed safety controller: c1 sees {s1,s2}, c2 sees {s2,s3}")
-	res, err := core.Synthesize(context.Background(), in, core.Options{Seed: 7})
+	// PreprocWorkers: 2 runs the two controllers' constant/unate/definedness
+	// checks concurrently; the result is bit-identical to a serial run.
+	res, err := core.Synthesize(context.Background(), in, core.Options{Seed: 7, PreprocWorkers: 2})
 	if err != nil {
 		log.Fatalf("synthesis: %v", err)
+	}
+	for _, p := range res.Stats.Phases {
+		fmt.Printf("  phase %-13s %v (%d oracle calls)\n", p.Name, p.Duration.Round(time.Microsecond), p.OracleCalls)
 	}
 	vr, err := dqbf.VerifyVector(in, res.Vector, -1)
 	if err != nil || !vr.Valid {

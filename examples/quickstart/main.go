@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"time"
 
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
@@ -65,4 +66,8 @@ func main() {
 	fmt.Printf("independent verification: valid=%t\n", vr.Valid)
 	fmt.Printf("engine stats: %d samples, %d verify calls, %d repair iterations\n",
 		res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations)
+	fmt.Println("phase breakdown (name duration/oracle calls):")
+	for _, p := range res.Stats.Phases {
+		fmt.Printf("  %-13s %8v  %d oracle calls\n", p.Name, p.Duration.Round(time.Microsecond), p.OracleCalls)
+	}
 }

@@ -183,6 +183,51 @@ func TestBackendsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestAllBackendsReportPhaseTelemetry pins the phase-telemetry contract on
+// every registered backend (and the portfolio of all of them): a successful
+// Synthesize returns at least one PhaseStat, every reported phase has a
+// non-zero duration, and at least one phase accounts for oracle calls.
+// The instance is Skolem (full dependency sets) so even cegar's fragment
+// covers it.
+func TestAllBackendsReportPhaseTelemetry(t *testing.T) {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddExist(3, []cnf.Var{1, 2})
+	// y ↔ (x1 ∨ x2).
+	in.Matrix.AddClause(-3, 1, 2)
+	in.Matrix.AddClause(3, -1)
+	in.Matrix.AddClause(3, -2)
+
+	specs := append([]string{}, backend.Names()...)
+	specs = append(specs, "portfolio:"+strings.Join(backend.Names(), "+"))
+	for _, spec := range specs {
+		b, err := backend.Resolve(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		res, err := b.Synthesize(ctx, in, backend.Options{Seed: 1})
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(res.Phases) == 0 {
+			t.Fatalf("%s: no phase telemetry", spec)
+		}
+		oracle := int64(0)
+		for _, p := range res.Phases {
+			if p.Duration <= 0 {
+				t.Fatalf("%s: phase %s has non-positive duration %v", spec, p.Name, p.Duration)
+			}
+			oracle += p.OracleCalls
+		}
+		if oracle == 0 {
+			t.Fatalf("%s: no phase accounts for any oracle call: %+v", spec, res.Phases)
+		}
+	}
+}
+
 // TestPortfolioEndToEnd races the three paper engines on real instances:
 // the portfolio must return a valid vector (or a correct False proof) and
 // must never be wrong, whichever member wins.

@@ -88,6 +88,10 @@ type Options struct {
 	// Workers bounds engine-internal parallelism where an engine has any
 	// (currently the manthan3 learn phase); 0 means NumCPU.
 	Workers int
+	// PreprocWorkers bounds the manthan3 preprocessing worker pool (the
+	// per-existential constant/unate/definedness oracle queries); 0 means
+	// NumCPU. Results are bit-identical for every worker count.
+	PreprocWorkers int
 	// Logf, when non-nil, receives progress trace lines from engines that
 	// support tracing; nil disables tracing.
 	Logf func(format string, args ...any)
@@ -99,6 +103,11 @@ type Result struct {
 	Vector *dqbf.FuncVector
 	// Stats is a one-line, engine-specific statistics summary for display.
 	Stats string
+	// Phases is the run's per-phase telemetry in execution order. Every
+	// registered backend fills it on success (the phase-telemetry contract:
+	// one entry per executed phase, non-zero durations, canonical names —
+	// see the Phase* constants); the portfolio reports the winner's phases.
+	Phases []PhaseStat
 }
 
 // Backend is one registered Henkin-function synthesis engine.

@@ -81,6 +81,8 @@ func (p *portfolio) Synthesize(ctx context.Context, in *dqbf.Instance, opts Opti
 	if winner.err != nil {
 		return nil, fmt.Errorf("%s: %w", p.members[winner.idx].Name(), winner.err)
 	}
+	// The copy carries the winner's Phases, so a portfolio reports per-phase
+	// telemetry exactly like the engine that actually answered.
 	res := *winner.res
 	res.Stats = fmt.Sprintf("winner=%s; %s", p.members[winner.idx].Name(), winner.res.Stats)
 	return &res, nil

@@ -1,0 +1,87 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dqbf"
+)
+
+// Resolve parses an engine spec and returns the matching Backend. Three
+// forms are accepted:
+//
+//   - "name" — a plain registry lookup (backend.Get).
+//   - "name@seed" — the registered backend with its seed pinned to the
+//     given integer, overriding Options.Seed per run. The pinned backend's
+//     Name() is the full spec, so the same engine can join a portfolio (or
+//     a benchmark report) several times under distinct seeds and remain
+//     distinguishable.
+//   - "portfolio:a+b+c" — a Portfolio racing the "+"-separated member
+//     specs; members may themselves carry "@seed" pins (nested portfolios
+//     are rejected).
+//
+// Every front end (cmd/manthan3 -engine/-portfolio, cmd/benchrunner
+// -engines, internal/bench) resolves engine names through this one parser,
+// so the spec grammar is uniform across the repository.
+func Resolve(spec string) (Backend, error) {
+	spec = strings.TrimSpace(spec)
+	if rest, ok := strings.CutPrefix(spec, "portfolio:"); ok {
+		parts := strings.Split(rest, "+")
+		members := make([]Backend, 0, len(parts))
+		for _, part := range parts {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				return nil, fmt.Errorf("backend: empty member in portfolio spec %q", spec)
+			}
+			if strings.HasPrefix(part, "portfolio:") {
+				return nil, fmt.Errorf("backend: nested portfolio in spec %q", spec)
+			}
+			m, err := Resolve(part)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, m)
+		}
+		return Portfolio(members...), nil
+	}
+	if name, seedStr, ok := strings.Cut(spec, "@"); ok {
+		seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("backend: bad seed in spec %q: %v", spec, err)
+		}
+		b, err := Get(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		return &seeded{base: b, seed: seed}, nil
+	}
+	return Get(spec)
+}
+
+// seeded pins a backend's seed, racing-friendly: a portfolio of
+// "manthan3@1" and "manthan3@2" runs the same engine twice with different
+// sampler seeds, and the winner's Name()/Stats identify which seed won.
+type seeded struct {
+	base Backend
+	seed int64
+}
+
+// Name is the full spec, e.g. "manthan3@42".
+func (s *seeded) Name() string { return fmt.Sprintf("%s@%d", s.base.Name(), s.seed) }
+
+func (s *seeded) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	opts.Seed = s.seed
+	res, err := s.base.Synthesize(ctx, in, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := *res
+	if out.Stats == "" {
+		out.Stats = fmt.Sprintf("seed=%d", s.seed)
+	} else {
+		out.Stats = fmt.Sprintf("seed=%d; %s", s.seed, out.Stats)
+	}
+	return &out, nil
+}

@@ -1,0 +1,90 @@
+package backend
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dqbf"
+)
+
+// seedEcho registers a backend that reports the seed it was handed, for
+// pinning the @seed override path.
+func registerSeedEcho(t *testing.T, name string) {
+	t.Helper()
+	Register(NewFunc(name, func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+		return &Result{
+			Stats:  "ran",
+			Phases: []PhaseStat{{Name: "solve", Duration: time.Millisecond, OracleCalls: int64(opts.Seed)}},
+		}, nil
+	}))
+}
+
+func TestResolvePlainAndSeeded(t *testing.T) {
+	registerSeedEcho(t, "spec-echo")
+	b, err := Resolve("spec-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "spec-echo" {
+		t.Fatalf("Name: %q", b.Name())
+	}
+
+	s, err := Resolve("spec-echo@42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "spec-echo@42" {
+		t.Fatalf("seeded Name: %q", s.Name())
+	}
+	res, err := s.Synthesize(context.Background(), dqbf.NewInstance(), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pin must override the caller's seed, and the stats must report it.
+	if res.Phases[0].OracleCalls != 42 {
+		t.Fatalf("seed not pinned: engine saw seed %d", res.Phases[0].OracleCalls)
+	}
+	if !strings.HasPrefix(res.Stats, "seed=42") {
+		t.Fatalf("stats missing seed: %q", res.Stats)
+	}
+}
+
+func TestResolvePortfolioSpec(t *testing.T) {
+	registerSeedEcho(t, "spec-port-a")
+	registerSeedEcho(t, "spec-port-b")
+	p, err := Resolve("portfolio:spec-port-a+spec-port-b@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Name(); got != "portfolio(spec-port-a+spec-port-b@3)" {
+		t.Fatalf("Name: %q", got)
+	}
+	res, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Stats, "winner=spec-port-") {
+		t.Fatalf("stats missing winner: %q", res.Stats)
+	}
+	// The winner's phase telemetry must ride along unchanged.
+	if len(res.Phases) != 1 || res.Phases[0].Name != "solve" {
+		t.Fatalf("portfolio dropped the winner's phases: %+v", res.Phases)
+	}
+}
+
+func TestResolveRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"no-such-engine-xyz",
+		"no-such-engine-xyz@3",
+		"manthan3@notanumber",
+		"portfolio:",
+		"portfolio:manthan3+",
+		"portfolio:portfolio:manthan3",
+	} {
+		if _, err := Resolve(spec); err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
@@ -58,6 +59,10 @@ type Stats struct {
 	Iterations  int
 	Moves       int // collected (region, witness) pairs
 	SynthesisNs int64
+	// Phases is the per-phase telemetry (refine → extract) in the shared
+	// backend vocabulary: refine covers the whole CEGAR loop (abstraction
+	// and completion oracle calls), extract the decision-list conversion.
+	Phases []backend.PhaseStat
 }
 
 // Result is a successful synthesis.
@@ -108,6 +113,21 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 	}
 	var moves []move
 	stats := Stats{}
+	rec := backend.NewPhaseRecorder()
+	rec.Begin(backend.PhaseRefine)
+	// finish closes the refine phase (attributing the two persistent
+	// solvers' oracle calls to it), converts the collected witnesses on the
+	// extract phase, and assembles the Result — shared by the two success
+	// exits of the loop.
+	finish := func(betas []cnf.Assignment) *Result {
+		rec.AddOracle(abs.Stats().Solves + phi.Stats().Solves)
+		rec.Begin(backend.PhaseExtract)
+		vec := buildDecisionList(in, betas)
+		stats.Moves = len(moves)
+		stats.SynthesisNs = time.Since(start).Nanoseconds()
+		stats.Phases = rec.Phases()
+		return &Result{Vector: vec, Stats: stats}
+	}
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if ctx.Err() != nil {
@@ -121,10 +141,7 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 			for i, m := range moves {
 				betas[i] = m.beta
 			}
-			vec := buildDecisionList(in, betas)
-			stats.Moves = len(moves)
-			stats.SynthesisNs = time.Since(start).Nanoseconds()
-			return &Result{Vector: vec, Stats: stats}, nil
+			return finish(betas), nil
 		case sat.Unknown:
 			return nil, abs.UnknownError(ErrBudget, "abstraction SAT call")
 		}
@@ -180,10 +197,7 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		}
 		if len(sels) == 0 {
 			// β satisfies ϕ for every X: single constant strategy wins.
-			vec := buildDecisionList(in, []cnf.Assignment{beta})
-			stats.Moves = len(moves)
-			stats.SynthesisNs = time.Since(start).Nanoseconds()
-			return &Result{Vector: vec, Stats: stats}, nil
+			return finish([]cnf.Assignment{beta}), nil
 		}
 		if !abs.AddClause(sels...) {
 			// Abstraction became UNSAT at level 0: covered on the next loop.

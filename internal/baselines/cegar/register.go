@@ -22,6 +22,7 @@ func init() {
 				Vector: res.Vector,
 				Stats: fmt.Sprintf("%d iterations, %d strategy moves",
 					res.Stats.Iterations, res.Stats.Moves),
+				Phases: res.Stats.Phases,
 			}, nil
 		}))
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/sat"
@@ -54,6 +55,9 @@ type Stats struct {
 	ClausesOut  int // instantiated clauses after dropping satisfied ones
 	SATConfl    int64
 	SynthesisNs int64
+	// Phases is the per-phase telemetry (expand → solve → extract) in the
+	// shared backend vocabulary.
+	Phases []backend.PhaseStat
 }
 
 // Result is a successful synthesis.
@@ -107,6 +111,8 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 	}
 
 	stats := Stats{TableCells: cells}
+	rec := backend.NewPhaseRecorder()
+	rec.Begin(backend.PhaseExpand)
 	seenClause := make(map[string]bool)
 	for beta := 0; beta < 1<<uint(nX); beta++ {
 		if beta&1023 == 0 && ctx.Err() != nil {
@@ -154,13 +160,16 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 	}
 	stats.ClausesOut = len(out.Clauses)
 
+	rec.Begin(backend.PhaseSolve)
 	s := sat.New()
 	s.AddFormula(out)
 	if opts.SATConflictBudget > 0 {
 		s.SetConflictBudget(opts.SATConflictBudget)
 	}
 	s.SetContext(ctx)
-	switch st := s.Solve(); st {
+	st := s.Solve()
+	rec.AddOracle(s.Stats().Solves)
+	switch st {
 	case sat.Unsat:
 		return nil, ErrFalse
 	case sat.Unknown:
@@ -169,6 +178,7 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 	m := s.Model()
 	stats.SATConfl = s.Stats().Conflicts
 
+	rec.Begin(backend.PhaseExtract)
 	fv := dqbf.NewFuncVector(nil)
 	for _, y := range in.Exist {
 		deps := in.DepSet(y)
@@ -184,5 +194,6 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		fv.Funcs[y] = f
 	}
 	stats.SynthesisNs = time.Since(start).Nanoseconds()
+	stats.Phases = rec.Phases()
 	return &Result{Vector: fv, Stats: stats}, nil
 }

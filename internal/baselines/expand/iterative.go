@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/sat"
@@ -43,6 +44,8 @@ func SolveIterative(ctx context.Context, in *dqbf.Instance, opts Options) (*Resu
 	cur := in
 	var maps []*dqbf.ExpandMap
 	stats := Stats{}
+	rec := backend.NewPhaseRecorder()
+	rec.Begin(backend.PhaseExpand)
 	for len(cur.Univ) > 0 {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("%w: expansion interrupted: %w", ErrBudget, ctx.Err())
@@ -69,13 +72,16 @@ func SolveIterative(ctx context.Context, in *dqbf.Instance, opts Options) (*Resu
 	stats.ClausesOut = len(cur.Matrix.Clauses)
 
 	// Propositional endgame: every remaining variable is existential.
+	rec.Begin(backend.PhaseSolve)
 	s := sat.New()
 	s.AddFormula(cur.Matrix)
 	if opts.SATConflictBudget > 0 {
 		s.SetConflictBudget(opts.SATConflictBudget)
 	}
 	s.SetContext(ctx)
-	switch st := s.Solve(); st {
+	st := s.Solve()
+	rec.AddOracle(s.Stats().Solves)
+	switch st {
 	case sat.Unsat:
 		return nil, ErrFalse
 	case sat.Unknown:
@@ -85,6 +91,7 @@ func SolveIterative(ctx context.Context, in *dqbf.Instance, opts Options) (*Resu
 	stats.SATConfl = s.Stats().Conflicts
 
 	// Constants for the fully-expanded existentials, then fold back.
+	rec.Begin(backend.PhaseExtract)
 	fv := dqbf.NewFuncVector(nil)
 	for _, y := range cur.Exist {
 		fv.Funcs[y] = fv.B.Const(m.Get(y) == cnf.True)
@@ -93,6 +100,7 @@ func SolveIterative(ctx context.Context, in *dqbf.Instance, opts Options) (*Resu
 		fv = dqbf.RecoverExpansion(maps[i], fv)
 	}
 	stats.SynthesisNs = time.Since(start).Nanoseconds()
+	stats.Phases = rec.Phases()
 	return &Result{Vector: fv, Stats: stats}, nil
 }
 

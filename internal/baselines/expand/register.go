@@ -22,6 +22,7 @@ func init() {
 				Vector: res.Vector,
 				Stats: fmt.Sprintf("%d rows, %d table cells, %d instantiated clauses",
 					res.Stats.Rows, res.Stats.TableCells, res.Stats.ClausesOut),
+				Phases: res.Stats.Phases,
 			}, nil
 		}))
 	backend.Register(backend.NewFunc("expand-iter",
@@ -34,6 +35,7 @@ func init() {
 				Vector: res.Vector,
 				Stats: fmt.Sprintf("%d elimination steps, %d final existential copies",
 					res.Stats.Rows, res.Stats.TableCells),
+				Phases: res.Stats.Phases,
 			}, nil
 		}))
 }

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
@@ -70,6 +71,11 @@ type Stats struct {
 	InstClauses int
 	VerifyCalls int
 	SynthesisNs int64
+	// Phases is the per-phase telemetry (define → refine) in the shared
+	// backend vocabulary: define is the Padoa definition pass, refine the
+	// counterexample-guided arbiter loop (including its verification
+	// calls and the final table read-back).
+	Phases []backend.PhaseStat
 }
 
 // Result is a successful synthesis.
@@ -148,12 +154,16 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		e.xPos[x] = i
 	}
 
+	rec := backend.NewPhaseRecorder()
 	if !opts.SkipDefinitionCheck {
+		rec.Begin(backend.PhaseDefine)
 		if err := e.countDefined(); err != nil {
 			return nil, err
 		}
+		rec.AddOracle(int64(len(in.Exist))) // one Padoa query per existential
 	}
 
+	rec.Begin(backend.PhaseRefine)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("%w: interrupted: %w", ErrBudget, ctx.Err())
@@ -170,6 +180,9 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		if valid {
 			e.stats.ArbiterVars = len(e.cells)
 			e.stats.SynthesisNs = time.Since(start).Nanoseconds()
+			// Arbiter solves plus the one-shot verification solvers.
+			rec.AddOracle(e.arb.Stats().Solves + int64(e.stats.VerifyCalls))
+			e.stats.Phases = rec.Phases()
 			return &Result{Vector: fv, Stats: e.stats}, nil
 		}
 		if err := e.instantiate(cex); err != nil {

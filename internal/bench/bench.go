@@ -41,7 +41,11 @@ const (
 	EnginePedant   = "pedant"
 )
 
-// Engines lists all competitors in canonical order.
+// Engines lists the paper's three competitors in canonical order — the
+// default report set. Any backend spec accepted by backend.Resolve is a
+// valid engine here too: plain registry names, seed-pinned variants
+// ("manthan3@7"), and portfolios ("portfolio:expand+cegar+manthan3"), so a
+// portfolio races as a measured competitor like any single engine.
 var Engines = []string{EngineExpand, EnginePedant, EngineManthan3}
 
 // Outcome classifies one engine run on one instance.
@@ -85,6 +89,9 @@ type RunResult struct {
 	Outcome  Outcome
 	Duration time.Duration
 	Detail   string
+	// Phases is the backend's per-phase telemetry for successful runs
+	// (empty when the engine failed before producing a result).
+	Phases []backend.PhaseStat
 }
 
 // Options configures a suite run.
@@ -96,34 +103,61 @@ type Options struct {
 	Seed int64
 	// Workers for parallel execution (default NumCPU).
 	Workers int
+	// Engines lists the competitor specs to run (see backend.Resolve for
+	// the grammar); empty means the canonical Engines set.
+	Engines []string
+	// PreprocWorkers bounds each engine's internal preprocessing pool.
+	// Default 1: RunSuite already saturates the CPUs with concurrent engine
+	// runs, so per-engine durations stay like-for-like (see RunEngine).
+	PreprocWorkers int
 	// Verify re-checks every synthesized vector with an independent SAT
 	// call (default true via VerifyBudget>0 semantics; disable by setting
 	// SkipVerify).
 	SkipVerify bool
 }
 
-// RunEngine executes a single registered backend on an instance under a
-// per-run timeout context.
+// engines returns the competitor specs, defaulting to the canonical set.
+func (o Options) engines() []string {
+	if len(o.Engines) > 0 {
+		return o.Engines
+	}
+	return Engines
+}
+
+// RunEngine executes a single engine spec (resolved through
+// backend.Resolve, so seed-pinned and portfolio specs race like plain
+// engines) on an instance under a per-run timeout context.
 func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
-	b, err := backend.Get(engine)
+	b, err := backend.Resolve(engine)
 	if err != nil {
 		return RunResult{Engine: engine, Outcome: Failed, Detail: err.Error()}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	ppWorkers := opts.PreprocWorkers
+	if ppWorkers <= 0 {
+		ppWorkers = 1
+	}
 	start := time.Now()
 	// Workers: 1 keeps the measurement like-for-like: RunSuite already
 	// saturates the CPUs with concurrent engine runs, and the serial
 	// baselines have no intra-engine parallelism to match — a manthan3 run
 	// fanning out NumCPU learn goroutines would both oversubscribe the
 	// machine and skew the per-engine Durations behind the paper figures.
-	res, err := b.Synthesize(ctx, in, backend.Options{Seed: opts.Seed, Workers: 1})
+	// PreprocWorkers defaults to 1 for the same reason; benchrunner's
+	// -pp-workers raises it deliberately.
+	res, err := b.Synthesize(ctx, in, backend.Options{
+		Seed: opts.Seed, Workers: 1, PreprocWorkers: ppWorkers,
+	})
 	dur := time.Since(start)
 	out := RunResult{Engine: engine, Duration: dur}
+	if res != nil {
+		out.Phases = res.Phases
+	}
 	switch {
 	case err == nil:
 		if !opts.SkipVerify {
@@ -151,8 +185,10 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 	return out
 }
 
-// RunSuite runs every engine over every instance in parallel.
+// RunSuite runs every engine of opts.Engines (default: the canonical
+// Engines set) over every instance in parallel.
 func RunSuite(suite []gen.Named, opts Options) []RunResult {
+	engines := opts.engines()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -162,7 +198,7 @@ func RunSuite(suite []gen.Named, opts Options) []RunResult {
 		engine string
 	}
 	jobs := make(chan job)
-	results := make([]RunResult, 0, len(suite)*len(Engines))
+	results := make([]RunResult, 0, len(suite)*len(engines))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -180,7 +216,7 @@ func RunSuite(suite []gen.Named, opts Options) []RunResult {
 		}()
 	}
 	for _, inst := range suite {
-		for _, e := range Engines {
+		for _, e := range engines {
 			jobs <- job{inst, e}
 		}
 	}
@@ -198,17 +234,30 @@ func RunSuite(suite []gen.Named, opts Options) []RunResult {
 // Table collects per-instance outcomes keyed by engine.
 type Table struct {
 	Instances []string
-	ByEngine  map[string]map[string]RunResult // engine → instance → result
+	// Engines is the report set — the competitors whose rows the summary,
+	// unique/fastest counts, and "VBS of everything" series range over.
+	Engines  []string
+	ByEngine map[string]map[string]RunResult // engine → instance → result
 }
 
-// NewTable indexes run results.
-func NewTable(results []RunResult) *Table {
-	t := &Table{ByEngine: make(map[string]map[string]RunResult)}
+// NewTable indexes run results. The optional engines list fixes the report
+// set (and its display order); when omitted it is derived from the results
+// themselves in order of first appearance.
+func NewTable(results []RunResult, engines ...string) *Table {
+	t := &Table{Engines: engines, ByEngine: make(map[string]map[string]RunResult)}
 	seen := make(map[string]bool)
+	seenEngine := make(map[string]bool, len(engines))
+	for _, e := range engines {
+		seenEngine[e] = true
+	}
 	for _, r := range results {
 		if !seen[r.Instance] {
 			seen[r.Instance] = true
 			t.Instances = append(t.Instances, r.Instance)
+		}
+		if !seenEngine[r.Engine] {
+			seenEngine[r.Engine] = true
+			t.Engines = append(t.Engines, r.Engine)
 		}
 		m := t.ByEngine[r.Engine]
 		if m == nil {
@@ -275,7 +324,7 @@ func (t *Table) UniqueCount(engine string) int {
 			continue
 		}
 		others := 0
-		for _, e := range Engines {
+		for _, e := range t.Engines {
 			if e == engine {
 				continue
 			}
@@ -299,7 +348,7 @@ func (t *Table) FastestCount(engine string) int {
 		if !ok {
 			continue
 		}
-		vbs, _ := t.VBSTime(inst, Engines)
+		vbs, _ := t.VBSTime(inst, t.Engines)
 		if d <= vbs {
 			n++
 		}

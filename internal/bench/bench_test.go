@@ -40,6 +40,57 @@ func TestRunEngineUnknownEngine(t *testing.T) {
 	}
 }
 
+// TestRunEngineRecordsPhases: a synthesized run carries the backend's
+// per-phase telemetry, including for portfolio and seed-pinned specs —
+// the data behind the per-phase CSV columns and the report's breakdown.
+func TestRunEngineRecordsPhases(t *testing.T) {
+	inst := gen.Generate(gen.FamilyRandom, 0, 42)
+	for _, spec := range []string{EngineExpand, "manthan3@3", "portfolio:expand+manthan3"} {
+		r := RunEngine(spec, inst.DQBF, Options{Timeout: 10 * time.Second, Seed: 1})
+		if r.Outcome != Synthesized {
+			t.Fatalf("%s: outcome %v (%s)", spec, r.Outcome, r.Detail)
+		}
+		if r.Engine != spec {
+			t.Fatalf("engine label %q, want the spec %q", r.Engine, spec)
+		}
+		if len(r.Phases) == 0 {
+			t.Fatalf("%s: synthesized run has no phases", spec)
+		}
+		for _, p := range r.Phases {
+			if p.Duration <= 0 {
+				t.Fatalf("%s: phase %s has non-positive duration", spec, p.Name)
+			}
+		}
+	}
+}
+
+// TestTableDerivesEngines: without an explicit report set, NewTable
+// collects the engines from the results in first-appearance order, so
+// replayed CSVs with non-canonical competitor sets still report fully.
+func TestTableDerivesEngines(t *testing.T) {
+	results := []RunResult{
+		{Instance: "a", Engine: "pedant", Outcome: Synthesized, Duration: time.Second},
+		{Instance: "a", Engine: "portfolio:expand+cegar", Outcome: Synthesized, Duration: time.Second / 2},
+		{Instance: "b", Engine: "pedant", Outcome: TimedOut, Duration: time.Second},
+	}
+	tab := NewTable(results)
+	want := []string{"pedant", "portfolio:expand+cegar"}
+	if len(tab.Engines) != len(want) || tab.Engines[0] != want[0] || tab.Engines[1] != want[1] {
+		t.Fatalf("derived engines %v, want %v", tab.Engines, want)
+	}
+	if n := tab.VBSSolvedCount(tab.Engines); n != 1 {
+		t.Fatalf("VBS over derived engines: %d, want 1", n)
+	}
+	// An explicit report set pins order and keeps engines with no rows.
+	tab = NewTable(results, "expand", "pedant")
+	if len(tab.Engines) != 3 || tab.Engines[0] != "expand" {
+		t.Fatalf("explicit engines %v", tab.Engines)
+	}
+	if tab.SolvedCount("expand") != 0 {
+		t.Fatal("engine with no rows must count zero solved")
+	}
+}
+
 func TestRunSuiteAndTable(t *testing.T) {
 	suite := miniSuite()
 	results := RunSuite(suite, Options{Timeout: 3 * time.Second, Workers: 4, Seed: 9})

@@ -31,9 +31,20 @@ func TestWriteExperimentsMD(t *testing.T) {
 		"## Figure 10",
 		"Per-family synthesized counts",
 		"paper | measured",
+		// The engine count and names derive from the actual report set
+		// (first-appearance order over the sorted results).
+		"4 instances × 3 engines (expand, manthan3, pedant)",
+		"## Phase breakdown",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("report missing %q\n---\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "× 3 engines, per-instance") {
+		t.Fatal("report still hard-codes the engine count")
+	}
+	// At least one engine must contribute real phase telemetry to the table.
+	if !strings.Contains(out, "| engine |") {
+		t.Fatalf("phase breakdown table missing\n---\n%s", out)
 	}
 }

@@ -1,1 +1,54 @@
+// Package core implements Manthan3, the data-driven Henkin function
+// synthesizer of "Synthesis with Explicit Dependencies" (DATE 2023).
+//
+// # Phase pipeline
+//
+// Given a DQBF ∀X ∃^{H1}y1 … ∃^{Hm}ym . ϕ(X,Y), Synthesize drives an
+// explicit, ordered pipeline of phases over the Engine's shared state —
+// the same decomposition the paper's evaluation (§6) uses to report where
+// time goes:
+//
+//	preprocess    constant/unate detection and Padoa unique-definedness
+//	              marking, one independent oracle-query chain per
+//	              existential, run on a worker pool (Options.PreprocWorkers)
+//	              over an oracle.Pool of ϕ-loaded solvers;
+//	sample        constrained sampling of ϕ for the training set Σ;
+//	learn         per-existential decision trees respecting the Henkin
+//	              dependencies (Algorithm 2), speculatively parallel
+//	              (Options.LearnWorkers);
+//	verify-repair the counterexample-guided loop (Algorithms 1 and 3):
+//	              verify the candidate vector, localize faults with MaxSAT,
+//	              repair with UNSAT-core-guided strengthening/weakening.
+//
+// Each executed phase reports a backend.PhaseStat — name, wall-clock
+// duration, SAT/MaxSAT oracle calls — in Stats.Phases, in execution order.
+// The parallel phases are deterministic: for a fixed seed the fixed set,
+// the synthesized constants, and the final functions are bit-identical for
+// every PreprocWorkers/LearnWorkers count, because workers only compute
+// and all merging happens serially in declaration order.
+//
+// # Persistent oracles
+//
+// Every SAT-flavoured oracle in the verify–repair loop is incremental and
+// lives for the whole synthesis run:
+//
+//   - phiSolver holds ϕ and answers all assumption queries (counterexample
+//     extension, the Gk repair queries with their UNSAT cores).
+//   - The preprocessing phase checks out ϕ-loaded solvers from an
+//     oracle.Pool sized to its worker count, so a thousand per-existential
+//     queries cost at most PreprocWorkers formula loads
+//     (Stats.PreprocSolversBuilt).
+//   - verifySolver holds ¬ϕ(X,Y′) permanently, the Tseitin definitions of
+//     every candidate-DAG node encoded exactly once through a persistent
+//     node → literal cache, and per candidate a tiny releasable clause
+//     group tying Y′y to its function's root literal (sat.AddClauseGroup).
+//     A repair round releases and re-encodes only the candidates that
+//     changed.
+//   - FindCandi's MaxSAT localization runs through maxsat.Incremental
+//     against a solver that loads ϕ once.
+//   - The sampler draws all training assignments from one solver, blocking
+//     each projected sample instead of rebuilding.
+//
+// Stats.VerifySolversBuilt and Stats.CandidateReencodes expose the
+// persistence invariants; BenchmarkVerifyRepair tracks the win.
 package core

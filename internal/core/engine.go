@@ -1,43 +1,3 @@
-// Package core implements Manthan3, the data-driven Henkin function
-// synthesizer of "Synthesis with Explicit Dependencies" (DATE 2023).
-//
-// Given a DQBF ∀X ∃^{H1}y1 … ∃^{Hm}ym . ϕ(X,Y), the engine:
-//
-//  1. samples satisfying assignments of ϕ (constrained sampling),
-//  2. learns a candidate function per existential with a decision tree whose
-//     feature set respects the Henkin dependencies (Algorithm 2),
-//  3. verifies the candidate vector with a SAT oracle on
-//     E(X,Y′) = ¬ϕ(X,Y′) ∧ (Y′ ↔ f), and
-//  4. on counterexamples, localizes faulty candidates with MaxSAT and repairs
-//     them with UnsatCore-guided strengthening/weakening (Algorithm 3),
-//
-// until verification succeeds, the instance is proved False, or the repair
-// loop is stuck (the paper's documented incompleteness).
-//
-// # Persistent oracles
-//
-// Every SAT-flavoured oracle in the verify–repair loop is incremental and
-// lives for the whole synthesis run:
-//
-//   - phiSolver holds ϕ and answers all assumption queries (preprocessing,
-//     counterexample extension, the Gk repair queries with their UNSAT
-//     cores).
-//   - verifySolver holds ¬ϕ(X,Y′) permanently, the Tseitin definitions of
-//     every candidate-DAG node encoded exactly once through a persistent
-//     node → literal cache, and per candidate a tiny releasable clause group
-//     tying Y′y to its function's root literal (sat.AddClauseGroup). A
-//     repair round releases and re-encodes only the candidates that
-//     changed — a steady-state iteration performs no solver construction
-//     and no re-encode of E(X,Y′).
-//   - FindCandi's MaxSAT localization runs through maxsat.Incremental
-//     against a solver that loads ϕ once; the per-counterexample machinery
-//     (relaxation clauses, cardinality counter) lives in clause groups and
-//     recycled variables.
-//   - The sampler draws all training assignments from one solver, blocking
-//     each projected sample instead of rebuilding.
-//
-// Stats.VerifySolversBuilt and Stats.CandidateReencodes expose the
-// persistence invariants; BenchmarkVerifyRepair tracks the win.
 package core
 
 import (
@@ -46,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/backend"
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
@@ -84,8 +45,19 @@ type Options struct {
 	SATConflictBudget int64
 	// LearnWorkers bounds the decision-tree learning worker pool (0 =
 	// NumCPU). The learned candidates are bit-identical for every worker
-	// count; see learnCandidates.
+	// count; see learnPhase.
 	LearnWorkers int
+	// PreprocWorkers bounds the preprocessing worker pool (0 = NumCPU): the
+	// per-existential constant/unate/definedness query chains run
+	// concurrently over an oracle.Pool of ϕ-loaded solvers and merge in
+	// declaration order, so the fixed set and synthesized constants are
+	// bit-identical for every worker count; see preprocess. Caveat: each
+	// query's SAT/UNSAT answer is a fact, but which pooled solver (with
+	// which learnt-clause warmth) serves a query is scheduling-dependent,
+	// so an instance whose preprocessing needs close to SATConflictBudget
+	// conflicts may flip between succeeding and ErrBudget across worker
+	// counts — never between different results.
+	PreprocWorkers int
 
 	// DisableMaxSATLocalization removes the FindCandi MaxSAT step and
 	// instead marks every mismatching candidate for repair (ablation abl1).
@@ -147,6 +119,16 @@ type Stats struct {
 	// the persistent verification solver after repairs (the initial encoding
 	// of each candidate is not counted).
 	CandidateReencodes int
+	// PreprocSolversBuilt counts ϕ-loaded solvers constructed by the
+	// preprocessing oracle pool; it never exceeds the preprocessing worker
+	// count regardless of how many queries the phase issues.
+	PreprocSolversBuilt int
+	// OracleCalls totals the SAT/MaxSAT solver calls of the whole run.
+	OracleCalls int64
+	// Phases reports per-phase telemetry (name, wall-clock duration, oracle
+	// calls) in execution order: preprocess → sample → learn →
+	// verify-repair, with disabled phases omitted.
+	Phases []backend.PhaseStat
 }
 
 // Result is a successful synthesis outcome.
@@ -192,9 +174,31 @@ type Engine struct {
 
 	// Persistent FindCandi oracle: ϕ stays loaded; per-counterexample MaxSAT
 	// machinery lives in clause groups released after each query.
-	candi *maxsat.Incremental
+	candi       *maxsat.Incremental
+	candiSolver *sat.Solver // candi's base solver, for oracle accounting
+
+	samples []cnf.Assignment // training set Σ, produced by the sample phase
+
+	// extraOracle counts solver calls outside the persistent solvers: fresh
+	// per-check solvers (tautology/unate/Padoa), pooled preprocessing
+	// queries (merged from workers), and the sampler's draws.
+	extraOracle int64
 
 	stats Stats
+}
+
+// oracleCount totals every SAT/MaxSAT solver call issued so far: the
+// persistent solvers report their own lifetime Solve counts, everything
+// else is accumulated in extraOracle. Phase boundaries snapshot it to
+// attribute calls to phases.
+func (e *Engine) oracleCount() int64 {
+	n := e.extraOracle
+	for _, s := range []*sat.Solver{e.phiSolver, e.verifySolver, e.candiSolver} {
+		if s != nil {
+			n += s.Stats().Solves
+		}
+	}
+	return n
 }
 
 // Synthesize runs Manthan3 on the instance. ctx cancels the run promptly:
@@ -227,14 +231,23 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 	e.phiSolver = e.newSolver()
 	e.phiSolver.AddFormula(in.Matrix)
 
-	// Trivial cases: no existentials — valid iff ϕ is a tautology.
+	// Trivial cases: no existentials — valid iff ϕ is a tautology. The one
+	// oracle call is reported as a verify-repair phase so even this path
+	// honors the phase-telemetry contract (every success fills Phases).
 	if len(in.Exist) == 0 {
+		rec := backend.NewPhaseRecorder()
+		rec.Begin(backend.PhaseVerifyRepair)
 		neg := cnf.New(in.Matrix.NumVars)
 		in.Matrix.NegationInto(neg)
 		s := e.newSolver()
 		s.AddFormula(neg)
-		switch s.Solve() {
+		e.extraOracle++
+		st := s.Solve()
+		rec.AddOracle(1)
+		switch st {
 		case sat.Unsat:
+			e.stats.Phases = rec.Phases()
+			e.stats.OracleCalls = e.oracleCount()
 			return &Result{Vector: dqbf.NewFuncVector(e.b), Stats: e.stats}, nil
 		case sat.Sat:
 			return nil, ErrFalse
@@ -253,55 +266,39 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 		return nil, e.oracleUnknown(e.phiSolver, "initial satisfiability check")
 	}
 
-	if !opts.DisablePreprocess {
-		if err := e.preprocess(); err != nil {
-			return nil, err
-		}
-		e.tracef("preprocess: %d constants, %d unates, %d uniquely defined",
-			e.stats.ConstantsDetected, e.stats.UnatesDetected, e.stats.UniqueDefined)
+	// The synthesis pipeline: an ordered slice of named phases over the
+	// Engine's shared state. Each executed phase is timed and its oracle
+	// calls attributed by snapshotting oracleCount at the boundaries; the
+	// resulting PhaseStats land in Stats.Phases in execution order.
+	pipeline := []struct {
+		name string
+		skip bool
+		run  func() error
+	}{
+		{backend.PhasePreprocess, opts.DisablePreprocess, e.preprocess},
+		{backend.PhaseSample, false, e.samplePhase},
+		{backend.PhaseLearn, false, e.learnPhase},
+		{backend.PhaseVerifyRepair, false, e.verifyRepair},
 	}
-
-	if err := e.learnCandidates(); err != nil {
-		return nil, err
-	}
-	e.findOrder()
-	e.tracef("learned %d candidates from %d samples; order %v",
-		len(e.funcs), e.stats.Samples, e.order)
-
-	// Verify-repair loop (Algorithm 1, lines 9-18).
-	for iter := 0; ; iter++ {
-		if iter >= e.opts.MaxRepairIterations {
-			return nil, fmt.Errorf("%w: %d repair iterations", ErrBudget, iter)
+	rec := backend.NewPhaseRecorder()
+	for _, p := range pipeline {
+		if p.skip {
+			continue
 		}
 		if err := e.interrupted(); err != nil {
 			return nil, err
 		}
-		cex, status, err := e.verify()
+		rec.Begin(p.name)
+		before := e.oracleCount()
+		err := p.run()
+		rec.AddOracle(e.oracleCount() - before)
+		rec.Finish()
 		if err != nil {
 			return nil, err
-		}
-		if status == sat.Unsat {
-			break // f is a Henkin vector
-		}
-		// Extend δ[X] to a model of ϕ; UNSAT means the instance is False.
-		sigma, ok, err := e.extendCounterexample(cex)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, ErrFalse
-		}
-		e.stats.RepairIterations++
-		progressed, err := e.repair(sigma)
-		if err != nil {
-			return nil, err
-		}
-		e.tracef("repair iteration %d: %d candidates repaired so far",
-			e.stats.RepairIterations, e.stats.CandidatesRepaired)
-		if !progressed {
-			return nil, ErrIncomplete
 		}
 	}
+	e.stats.Phases = rec.Phases()
+	e.stats.OracleCalls = e.oracleCount()
 
 	vec, err := e.substitute()
 	if err != nil {
@@ -309,6 +306,44 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 	}
 	e.stats.LearnedNodes = e.b.Size()
 	return &Result{Vector: vec, Stats: e.stats}, nil
+}
+
+// verifyRepair is the verify-repair phase: the counterexample-guided loop
+// of Algorithm 1, lines 9-18.
+func (e *Engine) verifyRepair() error {
+	for iter := 0; ; iter++ {
+		if iter >= e.opts.MaxRepairIterations {
+			return fmt.Errorf("%w: %d repair iterations", ErrBudget, iter)
+		}
+		if err := e.interrupted(); err != nil {
+			return err
+		}
+		cex, status, err := e.verify()
+		if err != nil {
+			return err
+		}
+		if status == sat.Unsat {
+			return nil // f is a Henkin vector
+		}
+		// Extend δ[X] to a model of ϕ; UNSAT means the instance is False.
+		sigma, ok, err := e.extendCounterexample(cex)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrFalse
+		}
+		e.stats.RepairIterations++
+		progressed, err := e.repair(sigma)
+		if err != nil {
+			return err
+		}
+		e.tracef("repair iteration %d: %d candidates repaired so far",
+			e.stats.RepairIterations, e.stats.CandidatesRepaired)
+		if !progressed {
+			return ErrIncomplete
+		}
+	}
 }
 
 // interrupted maps the engine context's state onto the sentinel errors:

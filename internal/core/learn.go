@@ -11,8 +11,21 @@ import (
 	"repro/internal/sampler"
 )
 
-// learnCandidates implements the data-generation and candidate-learning
-// phases (Algorithm 1 lines 1-7 and Algorithm 2).
+// samplePhase is the data-generation phase (Algorithm 1 lines 1-2): it
+// draws the training set Σ via constrained sampling of ϕ and parks it on
+// the engine for the learn phase.
+func (e *Engine) samplePhase() error {
+	samples, err := e.drawSamples()
+	if err != nil {
+		return err
+	}
+	e.samples = samples
+	e.stats.Samples = len(samples)
+	return nil
+}
+
+// learnPhase is the candidate-learning phase (Algorithm 1 lines 3-7 and
+// Algorithm 2) over the sample phase's Σ.
 //
 // Decision-tree learning is the expensive part and, given the samples and a
 // snapshot of the dependency matrix, each existential's tree is independent
@@ -25,12 +38,8 @@ import (
 // current matrix (Stats.LearnConflicts counts these). Because the parallel
 // phase depends only on the snapshot and the merge only on declaration
 // order, the resulting candidates are bit-identical for every worker count.
-func (e *Engine) learnCandidates() error {
-	samples, err := e.drawSamples()
-	if err != nil {
-		return err
-	}
-	e.stats.Samples = len(samples)
+func (e *Engine) learnPhase() error {
+	samples := e.samples
 
 	// Lines 3-5: dependency constraints from strict subset relations — if
 	// Hj ⊂ Hi then yi may depend on yj, so preemptively record yi ∈ d_j,
@@ -66,6 +75,10 @@ func (e *Engine) learnCandidates() error {
 			return err
 		}
 	}
+	e.samples = nil // Σ is dead after learning; free it before verify-repair
+	e.findOrder()
+	e.tracef("learned %d candidates from %d samples; order %v",
+		len(e.funcs), e.stats.Samples, e.order)
 	return nil
 }
 
@@ -78,11 +91,14 @@ func (e *Engine) drawSamples() ([]cnf.Assignment, error) {
 	if e.opts.DisableAdaptiveSampling {
 		adaptive = nil
 	}
+	var sst sampler.Stats
 	samples, err := sampler.Sample(e.ctx, e.in.Matrix, e.opts.NumSamples, sampler.Options{
 		Seed:         e.opts.Seed,
 		Vars:         vars,
 		AdaptiveVars: adaptive,
+		Stats:        &sst,
 	})
+	e.extraOracle += sst.Solves
 	if err != nil {
 		if cerr := e.interrupted(); cerr != nil {
 			return nil, cerr

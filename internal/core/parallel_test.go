@@ -70,26 +70,31 @@ func plantedChainInstance(seed int64, nX, nY int) *dqbf.Instance {
 	return in
 }
 
-// outcomeFingerprint renders a synthesis outcome as a comparable string:
-// the full certificate on success (bit-identical functions ⇒ identical
-// certificates) plus the stats that the learn phase influences, or the
-// error text on failure.
-func outcomeFingerprint(t *testing.T, in *dqbf.Instance, workers int) string {
+// outcomeFingerprint renders a synthesis outcome under the given Options as
+// a comparable string: the full certificate on success (bit-identical
+// functions ⇒ identical certificates) plus every stat the parallel phases
+// influence — including the preprocessing verdicts, total oracle calls, and
+// the per-phase call counts — or the error text on failure.
+func outcomeFingerprint(t *testing.T, in *dqbf.Instance, opts Options) string {
 	t.Helper()
-	res, err := Synthesize(context.Background(), in, Options{Seed: 7, LearnWorkers: workers})
+	res, err := Synthesize(context.Background(), in, opts)
 	if err != nil {
 		if !errors.Is(err, ErrIncomplete) && !errors.Is(err, ErrBudget) {
-			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+			t.Fatalf("opts=%+v: unexpected error %v", opts, err)
 		}
 		return "error: " + err.Error()
 	}
 	var sb strings.Builder
 	if err := dqbf.WriteCertificate(&sb, res.Vector); err != nil {
-		t.Fatalf("workers=%d: certificate: %v", workers, err)
+		t.Fatalf("opts=%+v: certificate: %v", opts, err)
 	}
-	fmt.Fprintf(&sb, "stats: samples=%d verify=%d repairs=%d learnConflicts=%d\n",
+	fmt.Fprintf(&sb, "stats: samples=%d verify=%d repairs=%d learnConflicts=%d constants=%d unates=%d defined=%d oracle=%d\n",
 		res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.CandidatesRepaired,
-		res.Stats.LearnConflicts)
+		res.Stats.LearnConflicts, res.Stats.ConstantsDetected, res.Stats.UnatesDetected,
+		res.Stats.UniqueDefined, res.Stats.OracleCalls)
+	for _, p := range res.Stats.Phases {
+		fmt.Fprintf(&sb, "phase %s: %d oracle calls\n", p.Name, p.OracleCalls)
+	}
 	return sb.String()
 }
 
@@ -105,13 +110,135 @@ func TestParallelLearnDeterministic(t *testing.T) {
 	}
 	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
 	for name, in := range instances {
-		want := outcomeFingerprint(t, in, workerCounts[0])
+		want := outcomeFingerprint(t, in, Options{Seed: 7, LearnWorkers: workerCounts[0]})
 		for _, w := range workerCounts[1:] {
-			if got := outcomeFingerprint(t, in, w); got != want {
+			if got := outcomeFingerprint(t, in, Options{Seed: 7, LearnWorkers: w}); got != want {
 				t.Fatalf("%s: workers=%d diverges from workers=%d:\n--- want ---\n%s\n--- got ---\n%s",
 					name, w, workerCounts[0], want, got)
 			}
 		}
+	}
+}
+
+// preprocHeavyInstance builds a True instance whose existentials exercise
+// every preprocessing verdict: a semantic constant (both polarities occur
+// but ϕ ∧ y1 is UNSAT), a syntactic unate, a semantic unate (equal
+// cofactors), a uniquely-defined variable, and ordinary learnable
+// functions.
+func preprocHeavyInstance() *dqbf.Instance {
+	in := dqbf.NewInstance()
+	in.AddUniv(1) // x1
+	in.AddUniv(2) // x2
+	allX := []cnf.Var{1, 2}
+	y1, y2, y3, y4, y5 := cnf.Var(3), cnf.Var(4), cnf.Var(5), cnf.Var(6), cnf.Var(7)
+	for _, y := range []cnf.Var{y1, y2, y3, y4, y5} {
+		in.AddExist(y, allX)
+	}
+	// y1: semantic constant 0 — (¬y1∨x1) ∧ (¬y1∨¬x1) force it false while
+	// (y1∨y2) gives it a positive occurrence (and makes y2 syntactically
+	// positive-unate: y2 never occurs negated).
+	in.Matrix.AddClause(-3, 1)
+	in.Matrix.AddClause(-3, -1)
+	in.Matrix.AddClause(3, 4)
+	// y3 ↔ x1: uniquely defined, neither constant nor unate.
+	in.Matrix.AddClause(-5, 1)
+	in.Matrix.AddClause(5, -1)
+	// y4: semantic positive unate with both polarities occurring — setting
+	// y4 drops (y4∨x1) and leaves (¬y4∨y2), which the forced y2=1
+	// satisfies, so ϕ[y4:=0] ∧ ¬ϕ[y4:=1] is UNSAT while neither constant
+	// check fires.
+	in.Matrix.AddClause(6, 1)
+	in.Matrix.AddClause(-6, 4)
+	// y5 ↔ (x1 ∨ x2): a function the learn phase must actually learn.
+	in.Matrix.AddClause(-7, 1, 2)
+	in.Matrix.AddClause(7, -1)
+	in.Matrix.AddClause(7, -2)
+	return in
+}
+
+// TestParallelPreprocessDeterministic asserts the headline property of the
+// parallel preprocessing phase: for a fixed seed, the fixed set, the
+// synthesized constants, the preprocessing statistics, and the final
+// functions are bit-identical for every PreprocWorkers count.
+func TestParallelPreprocessDeterministic(t *testing.T) {
+	// Sanity-check the crafted instance actually exercises the semantic
+	// preprocessing paths (otherwise the determinism claim is vacuous).
+	res, err := Synthesize(context.Background(), preprocHeavyInstance(), Options{Seed: 7, PreprocWorkers: 1})
+	if err != nil {
+		t.Fatalf("preprocHeavyInstance does not synthesize: %v", err)
+	}
+	if res.Stats.ConstantsDetected == 0 || res.Stats.UnatesDetected == 0 || res.Stats.UniqueDefined == 0 {
+		t.Fatalf("preprocHeavyInstance misses a preprocessing path: %+v", res.Stats)
+	}
+	if res.Stats.PreprocSolversBuilt != 1 {
+		t.Fatalf("PreprocWorkers=1 built %d pooled solvers, want 1", res.Stats.PreprocSolversBuilt)
+	}
+
+	instances := map[string]*dqbf.Instance{
+		"preproc-heavy": preprocHeavyInstance(),
+		"paper":         paperExample(),
+		"chain":         plantedChainInstance(3, 4, 5),
+	}
+	workerCounts := []int{1, 2, 3, runtime.NumCPU()}
+	for name, in := range instances {
+		want := outcomeFingerprint(t, in, Options{Seed: 7, PreprocWorkers: workerCounts[0]})
+		for _, w := range workerCounts[1:] {
+			if got := outcomeFingerprint(t, in, Options{Seed: 7, PreprocWorkers: w}); got != want {
+				t.Fatalf("%s: pp-workers=%d diverges from pp-workers=%d:\n--- want ---\n%s\n--- got ---\n%s",
+					name, w, workerCounts[0], want, got)
+			}
+		}
+	}
+}
+
+// TestPhaseTelemetry pins the phase-telemetry contract on the engine
+// itself: the four pipeline phases appear in order, every duration is
+// non-zero, and the oracle-heavy phases report calls.
+func TestPhaseTelemetry(t *testing.T) {
+	res, err := Synthesize(context.Background(), paperExample(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, p := range res.Stats.Phases {
+		names = append(names, p.Name)
+		if p.Duration <= 0 {
+			t.Fatalf("phase %s has non-positive duration %v", p.Name, p.Duration)
+		}
+	}
+	want := "preprocess,sample,learn,verify-repair"
+	if got := strings.Join(names, ","); got != want {
+		t.Fatalf("phases %q, want %q", got, want)
+	}
+	if res.Stats.Phases[0].OracleCalls == 0 || res.Stats.Phases[1].OracleCalls == 0 {
+		t.Fatalf("oracle-heavy phases report zero calls: %+v", res.Stats.Phases)
+	}
+	if res.Stats.OracleCalls == 0 {
+		t.Fatal("Stats.OracleCalls is zero")
+	}
+
+	// Disabled preprocessing drops the phase instead of reporting zeros.
+	res, err = Synthesize(context.Background(), paperExample(), Options{Seed: 1, DisablePreprocess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Stats.Phases {
+		if p.Name == "preprocess" {
+			t.Fatal("disabled preprocess phase still reported")
+		}
+	}
+
+	// The zero-existential tautology fast path must honor the contract too.
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.Matrix.AddClause(1, -1)
+	res, err = Synthesize(context.Background(), in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Phases) == 0 || res.Stats.Phases[0].Duration <= 0 ||
+		res.Stats.Phases[0].OracleCalls == 0 || res.Stats.OracleCalls == 0 {
+		t.Fatalf("tautology fast path breaks the phase contract: %+v", res.Stats)
 	}
 }
 

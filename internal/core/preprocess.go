@@ -1,13 +1,18 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/cnf"
+	"repro/internal/oracle"
 	"repro/internal/sat"
 )
 
-// preprocess performs the semantic preprocessing inherited from the Manthan
-// lineage: constant detection, unate detection, and Padoa unique-definedness
-// marking.
+// The preprocess phase performs the semantic preprocessing inherited from
+// the Manthan lineage: constant detection, unate detection, and Padoa
+// unique-definedness marking.
 //
 //   - Constant: if ϕ ∧ yi is UNSAT then fi = 0; if ϕ ∧ ¬yi is UNSAT, fi = 1.
 //   - Positive unate: if ϕ[yi:=0] ∧ ¬ϕ[yi:=1] is UNSAT then setting yi to 1
@@ -21,6 +26,36 @@ import (
 //     itself (defined variables converge quickly because every sample agrees
 //     with the unique definition) and uses the check for statistics and to
 //     prioritize learning fidelity.
+//
+// The query chain of one existential is independent of every other's, so
+// the chains run on a worker pool (Options.PreprocWorkers): constant checks
+// borrow ϕ-loaded solvers from an oracle.Pool sized to the worker count
+// (built once, checked out per query), unate/Padoa checks encode their own
+// per-check formulas in fresh solvers. Workers only compute; the results
+// are merged — setFunc, the fixed set, the stats counters — strictly in
+// declaration order, so the outcome is bit-identical for every worker
+// count (TestParallelPreprocessDeterministic).
+
+// preprocKind classifies the outcome of one existential's check chain.
+type preprocKind int
+
+const (
+	preprocNone       preprocKind = iota
+	preprocConstFalse             // ϕ ∧ y UNSAT → f = 0
+	preprocConstTrue              // ϕ ∧ ¬y UNSAT → f = 1
+	preprocUnateTrue              // positive unate → f = 1
+	preprocUnateFalse             // negative unate → f = 0
+)
+
+// preprocResult is one worker's verdict for one existential.
+type preprocResult struct {
+	kind    preprocKind
+	defined bool  // Padoa: uniquely defined by its dependency set
+	oracle  int64 // solver calls issued for this chain
+	err     error
+}
+
+// preprocess runs the preprocess phase; see the comment above.
 func (e *Engine) preprocess() error {
 	// Syntactic unate fast path: a y that never occurs negated in the CNF is
 	// positive unate (flipping it to 1 can only satisfy more clauses), and
@@ -48,70 +83,159 @@ func (e *Engine) preprocess() error {
 			e.stats.UnatesDetected++
 		}
 	}
+
+	todo := make([]cnf.Var, 0, len(e.in.Exist))
 	for _, y := range e.in.Exist {
-		if e.fixed[y] {
-			continue
-		}
-		if err := e.interrupted(); err != nil {
-			return err
-		}
-		// Constant checks on the persistent ϕ solver.
-		st := e.phiSolver.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
-		if st == sat.Unknown {
-			return e.oracleUnknown(e.phiSolver, "preprocessing")
-		}
-		if st == sat.Unsat {
-			e.setFunc(y, e.b.False())
-			e.fixed[y] = true
-			e.stats.ConstantsDetected++
-			continue
-		}
-		st = e.phiSolver.SolveAssume([]cnf.Lit{cnf.NegLit(y)})
-		if st == sat.Unknown {
-			return e.oracleUnknown(e.phiSolver, "preprocessing")
-		}
-		if st == sat.Unsat {
-			e.setFunc(y, e.b.True())
-			e.fixed[y] = true
-			e.stats.ConstantsDetected++
-			continue
-		}
-		// Unate checks.
-		pos, err := e.isUnate(y, true)
-		if err != nil {
-			return err
-		}
-		if pos {
-			e.setFunc(y, e.b.True())
-			e.fixed[y] = true
-			e.stats.UnatesDetected++
-			continue
-		}
-		neg, err := e.isUnate(y, false)
-		if err != nil {
-			return err
-		}
-		if neg {
-			e.setFunc(y, e.b.False())
-			e.fixed[y] = true
-			e.stats.UnatesDetected++
-			continue
+		if !e.fixed[y] {
+			todo = append(todo, y)
 		}
 	}
-	// Unique-definedness statistics (bounded effort; skipped for fixed).
-	for _, y := range e.in.Exist {
-		if e.fixed[y] {
-			continue
+	if len(todo) == 0 {
+		return nil
+	}
+
+	workers := e.opts.PreprocWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	pool := oracle.NewPool(workers, func() *sat.Solver {
+		s := e.newSolver()
+		s.AddFormula(e.in.Matrix)
+		return s
+	})
+	results := make([]preprocResult, len(todo))
+	if workers <= 1 {
+		for i, y := range todo {
+			if err := e.interrupted(); err != nil {
+				return err
+			}
+			results[i] = e.preprocessOne(y, pool)
 		}
-		def, err := e.isUniquelyDefined(y)
-		if err != nil {
-			return err
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(todo) {
+						return
+					}
+					if err := e.ctx.Err(); err != nil {
+						results[i] = preprocResult{err: err}
+						return
+					}
+					results[i] = e.preprocessOne(todo[i], pool)
+				}
+			}()
 		}
-		if def {
+		wg.Wait()
+	}
+	e.stats.PreprocSolversBuilt = pool.Built()
+
+	// Deterministic merge in declaration order: all engine mutation happens
+	// here, serially. Indices are claimed in increasing order, so any
+	// unprocessed suffix left by a canceled run sits behind an errored slot
+	// and is never merged.
+	for i, y := range todo {
+		r := results[i]
+		e.extraOracle += r.oracle
+		if r.err != nil {
+			if cerr := e.interrupted(); cerr != nil {
+				return cerr
+			}
+			return r.err
+		}
+		switch r.kind {
+		case preprocConstFalse:
+			e.setFunc(y, e.b.False())
+			e.fixed[y] = true
+			e.stats.ConstantsDetected++
+		case preprocConstTrue:
+			e.setFunc(y, e.b.True())
+			e.fixed[y] = true
+			e.stats.ConstantsDetected++
+		case preprocUnateTrue:
+			e.setFunc(y, e.b.True())
+			e.fixed[y] = true
+			e.stats.UnatesDetected++
+		case preprocUnateFalse:
+			e.setFunc(y, e.b.False())
+			e.fixed[y] = true
+			e.stats.UnatesDetected++
+		}
+		if r.defined {
 			e.stats.UniqueDefined++
 		}
 	}
+	e.tracef("preprocess: %d constants, %d unates, %d uniquely defined (%d workers, %d pooled solvers)",
+		e.stats.ConstantsDetected, e.stats.UnatesDetected, e.stats.UniqueDefined,
+		workers, e.stats.PreprocSolversBuilt)
 	return nil
+}
+
+// preprocessOne runs one existential's full check chain — constant, unate,
+// Padoa — reading the engine strictly read-only (safe from worker
+// goroutines); all mutation is deferred to the merge. The pooled solver is
+// held only for the two constant queries so other workers' checkouts
+// interleave with the fresh-solver checks.
+func (e *Engine) preprocessOne(y cnf.Var, pool *oracle.Pool) preprocResult {
+	r := preprocResult{}
+	s := pool.Get()
+	st := s.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
+	r.oracle++
+	if st == sat.Unknown {
+		r.err = e.oracleUnknown(s, "preprocessing")
+		pool.Put(s)
+		return r
+	}
+	if st == sat.Unsat {
+		pool.Put(s)
+		r.kind = preprocConstFalse
+		return r
+	}
+	st = s.SolveAssume([]cnf.Lit{cnf.NegLit(y)})
+	r.oracle++
+	if st == sat.Unknown {
+		r.err = e.oracleUnknown(s, "preprocessing")
+		pool.Put(s)
+		return r
+	}
+	pool.Put(s)
+	if st == sat.Unsat {
+		r.kind = preprocConstTrue
+		return r
+	}
+	// Unate checks (fresh per-check solvers over the cofactor formulas).
+	pos, err := e.isUnate(y, true)
+	r.oracle++
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if pos {
+		r.kind = preprocUnateTrue
+		return r
+	}
+	neg, err := e.isUnate(y, false)
+	r.oracle++
+	if err != nil {
+		r.err = err
+		return r
+	}
+	if neg {
+		r.kind = preprocUnateFalse
+		return r
+	}
+	// Unique-definedness statistics (bounded effort; only for unfixed).
+	r.defined, r.err = e.isUniquelyDefined(y)
+	r.oracle++
+	return r
 }
 
 // cofactor returns ϕ with y fixed to val: clauses satisfied by the fixed
@@ -138,6 +262,7 @@ func cofactor(f *cnf.Formula, y cnf.Var, val bool) *cnf.Formula {
 
 // isUnate checks semantic unateness of y in ϕ: positive unate when
 // ϕ[y:=0] ∧ ¬ϕ[y:=1] is UNSAT; negative unate with the cofactors swapped.
+// Read-only on the engine, safe from worker goroutines.
 func (e *Engine) isUnate(y cnf.Var, positive bool) (bool, error) {
 	low, high := false, true
 	if !positive {
@@ -161,7 +286,8 @@ func (e *Engine) isUnate(y cnf.Var, positive bool) (bool, error) {
 
 // isUniquelyDefined applies Padoa's theorem: y is uniquely defined by its
 // dependency set H in ϕ iff ϕ(X,Y) ∧ ϕ(X̂,Ŷ) ∧ (H ↔ Ĥ) ∧ y ∧ ¬ŷ is UNSAT,
-// where the hatted copy renames every variable outside H.
+// where the hatted copy renames every variable outside H. Read-only on the
+// engine, safe from worker goroutines.
 func (e *Engine) isUniquelyDefined(y cnf.Var) (bool, error) {
 	f := e.in.Matrix.Clone()
 	deps := e.in.DepSet(y)

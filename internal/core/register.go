@@ -15,19 +15,21 @@ func init() {
 	backend.Register(backend.NewFunc("manthan3",
 		func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
 			res, err := Synthesize(ctx, in, Options{
-				Seed:         opts.Seed,
-				LearnWorkers: opts.Workers,
-				Logf:         opts.Logf,
+				Seed:           opts.Seed,
+				LearnWorkers:   opts.Workers,
+				PreprocWorkers: opts.PreprocWorkers,
+				Logf:           opts.Logf,
 			})
 			if err != nil {
 				return nil, backendErr(err)
 			}
 			return &backend.Result{
 				Vector: res.Vector,
-				Stats: fmt.Sprintf("%d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined",
+				Stats: fmt.Sprintf("%d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined, %d oracle calls",
 					res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations,
 					res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
-					res.Stats.UnatesDetected, res.Stats.UniqueDefined),
+					res.Stats.UnatesDetected, res.Stats.UniqueDefined, res.Stats.OracleCalls),
+				Phases: res.Stats.Phases,
 			}, nil
 		}))
 }

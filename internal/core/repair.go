@@ -171,6 +171,7 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 		s := e.newSolver()
 		s.AddFormula(e.in.Matrix)
 		e.candi = maxsat.NewIncremental(s)
+		e.candiSolver = s // oracleCount reads its lifetime Solve counter
 	}
 	assumps := make([]cnf.Lit, 0, len(e.in.Univ))
 	for _, x := range e.in.Univ {

@@ -1,0 +1,98 @@
+// Package oracle provides a checkout pool of identically-built SAT solvers.
+//
+// A sat.Solver is fast but strictly single-goroutine: loading a formula is
+// the expensive part, and a loaded solver answers many incremental
+// assumption queries cheaply. When a phase has per-item queries that are
+// independent — the manthan3 preprocessing phase issues per-existential
+// constant/unate/definedness checks against the same ϕ — the natural shape
+// is a fixed pool of ϕ-loaded solvers, each built once and then checked out
+// by whichever worker needs an oracle next.
+//
+// Pool builds solvers lazily through the constructor it is given: the first
+// Size checkouts each construct one solver, later checkouts reuse returned
+// ones. Since every pooled solver is built by the same constructor, answers
+// are semantically interchangeable — which solver a worker draws never
+// affects results, only the learnt-clause warmth it happens to inherit.
+package oracle
+
+import (
+	"sync"
+
+	"repro/internal/sat"
+)
+
+// Pool is a fixed-capacity checkout pool of SAT solvers sharing one
+// constructor. Get blocks while all built solvers are checked out and the
+// build quota is exhausted; Put returns a solver for reuse. The zero value
+// is not usable; use NewPool.
+type Pool struct {
+	build func() *sat.Solver
+
+	mu      sync.Mutex
+	idle    []*sat.Solver
+	built   int
+	size    int
+	waiting chan struct{} // closed-and-replaced broadcast on Put
+}
+
+// NewPool returns a pool that owns up to size solvers, each produced by
+// build on first demand. size is clamped to at least 1. build must return a
+// fully loaded, ready-to-solve solver; it may be called from any goroutine
+// that calls Get, but never concurrently with itself for the same slot
+// being constructed twice — each of the size slots is built exactly once.
+func NewPool(size int, build func() *sat.Solver) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{build: build, size: size, waiting: make(chan struct{})}
+}
+
+// Get checks out a solver: an idle one when available, a freshly built one
+// while fewer than Size have been constructed, and otherwise it blocks
+// until a Put. Callers must return the solver with Put (typically
+// deferred).
+func (p *Pool) Get() *sat.Solver {
+	for {
+		p.mu.Lock()
+		if n := len(p.idle); n > 0 {
+			s := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			return s
+		}
+		if p.built < p.size {
+			p.built++
+			p.mu.Unlock()
+			// Build outside the lock: other workers keep checking out idle
+			// solvers (or building their own slot) while this one loads.
+			return p.build()
+		}
+		wait := p.waiting
+		p.mu.Unlock()
+		<-wait
+	}
+}
+
+// Put returns a checked-out solver to the pool and wakes blocked Gets.
+func (p *Pool) Put(s *sat.Solver) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	p.idle = append(p.idle, s)
+	close(p.waiting)
+	p.waiting = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// Size returns the pool's capacity.
+func (p *Pool) Size() int { return p.size }
+
+// Built returns how many solvers have been constructed so far; it never
+// exceeds Size, which is the pool's whole point — a thousand queries cost
+// at most Size formula loads.
+func (p *Pool) Built() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.built
+}

@@ -31,6 +31,15 @@ type Options struct {
 	AdaptiveVars []cnf.Var
 	// MaxConflictsPerSample bounds solver effort per sample; 0 means 20000.
 	MaxConflictsPerSample int64
+	// Stats, when non-nil, receives sampling telemetry (callers feed it
+	// into their per-phase oracle accounting).
+	Stats *Stats
+}
+
+// Stats reports the oracle work one Sample call performed.
+type Stats struct {
+	// Solves counts SAT-solver calls, including budget-exhausted misses.
+	Solves int64
 }
 
 // Sample draws up to n satisfying assignments of f, pairwise distinct on the
@@ -90,6 +99,9 @@ func Sample(ctx context.Context, f *cnf.Formula, n int, opts Options) ([]cnf.Ass
 			primePhases(s, opts.AdaptiveVars, freq, len(samples), rng)
 		}
 
+		if opts.Stats != nil {
+			opts.Stats.Solves++
+		}
 		st := s.Solve()
 		if st == sat.Unsat {
 			// All projected solutions enumerated (or f unsatisfiable).

@@ -249,6 +249,7 @@ type Solver struct {
 	ctx            context.Context // nil = never interrupted
 	stopCause      StopCause       // why the last Solve returned Unknown
 	checkCnt       int64
+	solves         int64
 	conflicts      int64
 	propagations   int64
 	decisions      int64
@@ -412,6 +413,7 @@ func (s *Solver) UnknownError(sentinel error, what string) error {
 
 // Stats holds cumulative solver counters.
 type Stats struct {
+	Solves       int64 // Solve/SolveAssume calls over the solver's lifetime
 	Conflicts    int64
 	Propagations int64
 	Decisions    int64
@@ -428,6 +430,7 @@ type Stats struct {
 // Stats reports cumulative solver statistics.
 func (s *Solver) Stats() Stats {
 	return Stats{
+		Solves:       s.solves,
 		Conflicts:    s.conflicts,
 		Propagations: s.propagations,
 		Decisions:    s.decisions,
@@ -1376,6 +1379,7 @@ func (s *Solver) Solve() Status { return s.SolveAssume(nil) }
 // On Unsat, Core returns the subset of assumptions responsible. On Sat, Model
 // returns the satisfying assignment.
 func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
+	s.solves++
 	s.cancelUntil(0)
 	s.conflict = s.conflict[:0]
 	s.stopCause = StopNone
