@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// -bench-out: run the repository's performance-tracked micro-benchmarks and
+// persist median results as JSON, so the perf trajectory across PRs lives
+// in versioned files (BENCH_<n>.json) instead of commit-message prose.
+// Medians are taken per metric over -bench-count runs; a count of 1 with
+// -bench-time 1x doubles as the tier-1 smoke that keeps this path and the
+// benchmarks themselves from bit-rotting.
+
+// benchPackages are the benchmark suites the perf trajectory tracks: the
+// SAT core's micro-benchmarks and the synthesis engine's end-to-end ones.
+var benchPackages = []string{"./internal/sat", "./internal/core"}
+
+// benchResult is one benchmark's median metrics.
+type benchResult struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// benchReport is the JSON document -bench-out writes.
+type benchReport struct {
+	Schema    string        `json:"schema"`
+	Go        string        `json:"go"`
+	Count     int           `json:"count"`
+	Benchtime string        `json:"benchtime"`
+	Results   []benchResult `json:"results"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName[-P]  <iters>  <ns> ns/op  [<bytes> B/op  <allocs> allocs/op]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// runMicroBenchmarks executes every benchmark of benchPackages count times
+// with the given benchtime (through the go tool, so it must run from the
+// module root — where the tier-1 verify command runs it) and writes median
+// metrics to outPath.
+func runMicroBenchmarks(outPath string, count int, benchtime string) error {
+	if count < 1 {
+		count = 1
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		return fmt.Errorf("bench-out needs the go tool on PATH: %w", err)
+	}
+	type samples struct {
+		ns, bytes, allocs []float64
+	}
+	order := []string{} // "pkg name" keys in first-appearance order
+	byKey := map[string]*samples{}
+	for _, pkg := range benchPackages {
+		args := []string{"test", pkg, "-run=NONE", "-bench=.", "-benchmem",
+			"-benchtime=" + benchtime, "-count=" + strconv.Itoa(count)}
+		out, err := exec.Command(goTool, args...).CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			key := pkg + " " + m[1]
+			s, ok := byKey[key]
+			if !ok {
+				s = &samples{}
+				byKey[key] = s
+				order = append(order, key)
+			}
+			ns, _ := strconv.ParseFloat(m[2], 64)
+			s.ns = append(s.ns, ns)
+			if m[3] != "" {
+				b, _ := strconv.ParseFloat(m[3], 64)
+				a, _ := strconv.ParseFloat(m[4], 64)
+				s.bytes = append(s.bytes, b)
+				s.allocs = append(s.allocs, a)
+			}
+		}
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("bench-out: no benchmark results parsed")
+	}
+	report := benchReport{
+		Schema:    "bench-medians/v1",
+		Go:        runtime.Version(),
+		Count:     count,
+		Benchtime: benchtime,
+	}
+	for _, key := range order {
+		pkg, name, _ := strings.Cut(key, " ")
+		s := byKey[key]
+		report.Results = append(report.Results, benchResult{
+			Package:     pkg,
+			Name:        name,
+			Runs:        len(s.ns),
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+		})
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench medians (%d runs × %s) for %d benchmarks written to %s\n",
+		count, benchtime, len(report.Results), outPath)
+	return nil
+}
+
+// median returns the median of xs (0 when empty). Even lengths average the
+// two middle values.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -12,19 +12,27 @@
 // Usage:
 //
 //	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-j 0] [-pp-workers 1]
-//	            [-engines expand,pedant,manthan3] [-out bench/results]
-//	            [-fig 6|7|8|9|10|all] [-table 1]
+//	            [-engines expand,pedant,manthan3] [-sat-profile luby]
+//	            [-out bench/results] [-fig 6|7|8|9|10|all] [-table 1]
+//	benchrunner -bench-out BENCH_5.json [-bench-count 3] [-bench-time 2s]
 //
 // -j sets the number of parallel engine-run workers (0 = NumCPU); the worker
 // count is reported in the run header. -pp-workers raises each engine's
 // internal preprocessing worker pool (default 1, keeping per-engine
-// durations like-for-like under the parallel suite runner). -engines
-// overrides the competitor set with comma-separated backend specs — plain
-// registry names, seed-pinned variants ("manthan3@7"), or portfolios
-// ("portfolio:expand+cegar+manthan3") — each reported like any other
-// engine. CSV data land in -out (results_raw.csv carries one per-phase
-// column per observed phase, preserved by -replay); ASCII renderings go to
-// stdout.
+// durations like-for-like under the parallel suite runner; it also feeds
+// the pedant Padoa pass). -engines overrides the competitor set with
+// comma-separated backend specs — plain registry names, seed-pinned
+// variants ("manthan3@7"), or portfolios ("portfolio:expand+cegar+manthan3")
+// — each reported like any other engine. -sat-profile selects the SAT
+// search profile every engine builds its solvers with (sat.ProfileOptions).
+// CSV data land in -out (results_raw.csv carries one per-phase column per
+// observed phase, preserved by -replay); ASCII renderings go to stdout.
+//
+// -bench-out switches to perf-trajectory mode: run the internal/sat and
+// internal/core micro-benchmarks -bench-count times each and write median
+// ns/op, B/op, and allocs/op as JSON (the committed BENCH_<n>.json files),
+// then exit. The tier-1 verify runs it with -bench-count 1 -bench-time 1x
+// as a smoke test.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/bench"
 	"repro/internal/gen"
+	"repro/internal/sat"
 )
 
 func main() {
@@ -57,8 +66,24 @@ func run() int {
 	jobs := flag.Int("j", 0, "parallel engine-run workers (0 = NumCPU)")
 	ppWorkers := flag.Int("pp-workers", 1, "per-engine preprocessing workers (manthan3-family engines)")
 	enginesFlag := flag.String("engines", "", "comma-separated engine specs to race (default: the canonical set; accepts name@seed and portfolio:a+b+c)")
+	satProfile := flag.String("sat-profile", "", "SAT search profile for every engine-internal solver: "+strings.Join(sat.Profiles(), ", ")+" (empty = default)")
 	replay := flag.String("replay", "", "regenerate reports from a previous results_raw.csv instead of re-running")
+	benchOut := flag.String("bench-out", "", "run the internal/sat and internal/core micro-benchmarks and write median results as JSON to this file, then exit")
+	benchCount := flag.Int("bench-count", 3, "benchmark repetitions per micro-benchmark for -bench-out (medians are reported)")
+	benchTime := flag.String("bench-time", "1s", "benchtime per micro-benchmark run for -bench-out (accepts Nx iteration counts)")
 	flag.Parse()
+
+	if *benchOut != "" {
+		if err := runMicroBenchmarks(*benchOut, *benchCount, *benchTime); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if _, err := sat.ProfileOptions(*satProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
 
 	var engines []string
 	if *enginesFlag != "" {
@@ -97,12 +122,17 @@ func run() int {
 		if workers <= 0 {
 			workers = runtime.NumCPU()
 		}
-		fmt.Printf("running %d instances × %d engines (%s), timeout %v, %d workers, %d preproc workers…\n",
-			len(suite), len(engines), strings.Join(engines, ", "), *timeout, workers, *ppWorkers)
+		profileName := *satProfile
+		if profileName == "" {
+			profileName = "default"
+		}
+		fmt.Printf("running %d instances × %d engines (%s), timeout %v, %d workers, %d preproc workers, sat profile %s…\n",
+			len(suite), len(engines), strings.Join(engines, ", "), *timeout, workers, *ppWorkers, profileName)
 		start := time.Now()
 		results = bench.RunSuite(suite, bench.Options{
 			Timeout: *timeout, Seed: *seed, Workers: workers,
 			Engines: engines, PreprocWorkers: *ppWorkers,
+			SATProfile: *satProfile,
 		})
 		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}

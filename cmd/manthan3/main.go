@@ -7,8 +7,8 @@
 //
 //	manthan3 [-engine manthan3|expand|expand-iter|pedant|cegar]
 //	         [-portfolio manthan3,expand,pedant] [-timeout 60s] [-j 0]
-//	         [-pp-workers 0] [-seed 1] [-verify] [-pre] [-verilog out.v]
-//	         [-v] [-q] instance.dqdimacs
+//	         [-pp-workers 0] [-sat-profile luby] [-seed 1] [-verify] [-pre]
+//	         [-verilog out.v] [-v] [-q] instance.dqdimacs
 //
 // -timeout bounds the whole synthesis through a context threaded into every
 // engine's SAT search loops, so expiry interrupts a run promptly.
@@ -18,7 +18,11 @@
 // context: the first definitive answer (functions or a False proof) wins
 // and the losers are canceled; it overrides -engine. -j bounds
 // engine-internal parallelism (the manthan3 learn phase; 0 = NumCPU) and
-// -pp-workers its preprocessing worker pool (0 = NumCPU). On success the
+// -pp-workers its preprocessing worker pool (0 = NumCPU; the same flag
+// drives the pedant Padoa pass). -sat-profile selects the SAT search
+// profile — restart policy, learnt-tier cuts, minimization — every
+// engine-internal solver is built with (see sat.ProfileOptions; empty
+// means the tuned default). On success the
 // engine's per-phase telemetry is printed as `c stats: phases: …` —
 // name, wall-clock duration, and oracle calls per executed phase.
 //
@@ -41,6 +45,7 @@ import (
 	"repro/internal/boolfunc"
 	"repro/internal/dqbf"
 	"repro/internal/preproc"
+	"repro/internal/sat"
 
 	// Engine registrations: each engine package registers itself with the
 	// backend registry in its init.
@@ -60,7 +65,8 @@ func run() int {
 	timeout := flag.Duration("timeout", 60*time.Second, "synthesis timeout (enforced via context cancellation)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("j", 0, "engine-internal worker count (0 = NumCPU)")
-	ppWorkers := flag.Int("pp-workers", 0, "preprocessing worker count (manthan3 engine; 0 = NumCPU)")
+	ppWorkers := flag.Int("pp-workers", 0, "preprocessing worker count (manthan3 preprocess / pedant Padoa pass; 0 = NumCPU)")
+	satProfile := flag.String("sat-profile", "", "SAT search profile for every engine-internal solver: "+strings.Join(sat.Profiles(), ", ")+" (empty = default)")
 	verify := flag.Bool("verify", true, "independently verify the synthesized vector")
 	quiet := flag.Bool("q", false, "suppress function printing; report status only")
 	verilog := flag.String("verilog", "", "also write the functions as a structural Verilog module to this file")
@@ -70,6 +76,11 @@ func run() int {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: manthan3 [flags] instance.dqdimacs")
 		flag.PrintDefaults()
+		return 1
+	}
+	// Fail fast on a bad profile name, before parsing and preprocessing.
+	if _, err := sat.ProfileOptions(*satProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 
@@ -131,7 +142,7 @@ func run() int {
 		in = prep.Simplified
 	}
 
-	bopts := backend.Options{Seed: *seed, Workers: *workers, PreprocWorkers: *ppWorkers}
+	bopts := backend.Options{Seed: *seed, Workers: *workers, PreprocWorkers: *ppWorkers, SATProfile: *satProfile}
 	if *verbose {
 		bopts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "c trace: "+format+"\n", args...)

@@ -92,6 +92,11 @@ type Options struct {
 	// per-existential constant/unate/definedness oracle queries); 0 means
 	// NumCPU. Results are bit-identical for every worker count.
 	PreprocWorkers int
+	// SATProfile names the SAT-solver search profile every engine-internal
+	// solver is built with (sat.ProfileOptions): "" or "default" for the
+	// tuned adaptive default, "luby", "incremental", or "longrun". Engines
+	// reject unknown names.
+	SATProfile string
 	// Logf, when non-nil, receives progress trace lines from engines that
 	// support tracing; nil disables tracing.
 	Logf func(format string, args ...any)

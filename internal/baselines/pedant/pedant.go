@@ -9,7 +9,9 @@
 // guided instantiation loop:
 //
 //  1. Detect uniquely-defined existentials with Padoa's theorem (statistics
-//     and early convergence; the arbiter loop handles their cells too).
+//     and early convergence; the arbiter loop handles their cells too). The
+//     per-existential checks run on a worker pool over an oracle.Pool of
+//     incremental doubled-ϕ solvers; see define.go.
 //  2. Maintain an incremental SAT instance over arbiter variables. Each
 //     verification counterexample β (an assignment of X where the current
 //     tables fail) instantiates every matrix clause under β, with
@@ -61,6 +63,16 @@ type Options struct {
 	SATConflictBudget int64
 	// SkipDefinitionCheck disables the Padoa pass.
 	SkipDefinitionCheck bool
+	// DefineWorkers bounds the Padoa pass's worker pool (0 = NumCPU): the
+	// per-existential definedness queries run concurrently over an
+	// oracle.Pool of doubled-ϕ-loaded solvers and merge in declaration
+	// order, so Stats.DefinedVars is bit-identical for every worker count.
+	DefineWorkers int
+	// SATProfile names the sat search profile of every solver this run
+	// builds — arbiter, verification, extension, and the Padoa pool
+	// (sat.ProfileOptions; "" means the tuned default). Solve rejects
+	// unknown names.
+	SATProfile string
 }
 
 // Stats reports work performed.
@@ -92,10 +104,11 @@ type cellKey struct {
 }
 
 type engine struct {
-	ctx   context.Context
-	in    *dqbf.Instance
-	opts  Options
-	stats Stats
+	ctx     context.Context
+	in      *dqbf.Instance
+	opts    Options
+	satOpts sat.Options // resolved from Options.SATProfile
+	stats   Stats
 
 	arb     *sat.Solver         // incremental arbiter instance
 	arbForm *cnf.Formula        // mirror of variables for allocation
@@ -125,6 +138,10 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 	if opts.SATConflictBudget == 0 {
 		opts.SATConflictBudget = 500000
 	}
+	satOpts, err := sat.ProfileOptions(opts.SATProfile)
+	if err != nil {
+		return nil, fmt.Errorf("pedant: %w", err)
+	}
 	for _, y := range in.Exist {
 		// Arbiter cells are allocated lazily per counterexample, so large
 		// dependency sets are fine as long as few cells are touched; only
@@ -138,11 +155,12 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		ctx:     ctx,
 		in:      in,
 		opts:    opts,
-		arb:     sat.New(),
+		satOpts: satOpts,
+		arb:     sat.NewWith(satOpts),
 		arbForm: cnf.New(0),
 		cells:   make(map[cellKey]cnf.Var),
 		touched: make(map[cnf.Var][]int),
-		phi:     sat.New(),
+		phi:     sat.NewWith(satOpts),
 		xPos:    make(map[cnf.Var]int, len(in.Univ)),
 	}
 	e.arb.SetConflictBudget(opts.SATConflictBudget)
@@ -193,48 +211,6 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		}
 	}
 	return nil, fmt.Errorf("%w: %d iterations", ErrBudget, opts.MaxIterations)
-}
-
-// countDefined runs the Padoa check per existential for statistics.
-func (e *engine) countDefined() error {
-	for _, y := range e.in.Exist {
-		f := e.in.Matrix.Clone()
-		deps := e.in.DepSet(y)
-		inDeps := make(map[cnf.Var]bool, len(deps))
-		for _, d := range deps {
-			inDeps[d] = true
-		}
-		rename := make(map[cnf.Var]cnf.Var)
-		for v := cnf.Var(1); int(v) <= e.in.Matrix.NumVars; v++ {
-			if !inDeps[v] {
-				rename[v] = f.NewVar()
-			}
-		}
-		for _, c := range e.in.Matrix.Clauses {
-			nc := make([]cnf.Lit, len(c))
-			for i, l := range c {
-				if nv, ok := rename[l.Var()]; ok {
-					nc[i] = cnf.MkLit(nv, l.IsPos())
-				} else {
-					nc[i] = l
-				}
-			}
-			f.AddClause(nc...)
-		}
-		f.AddUnit(cnf.PosLit(y))
-		f.AddUnit(cnf.NegLit(rename[y]))
-		s := sat.New()
-		s.SetConflictBudget(e.opts.SATConflictBudget)
-		s.SetContext(e.ctx)
-		s.AddFormula(f)
-		switch s.Solve() {
-		case sat.Unsat:
-			e.stats.DefinedVars++
-		case sat.Unknown:
-			return s.UnknownError(ErrBudget, "definition check")
-		}
-	}
-	return nil
 }
 
 // cellVar returns (allocating on demand) the arbiter variable for y's row.
@@ -341,7 +317,7 @@ func (e *engine) verify(fv *dqbf.FuncVector) (cnf.Assignment, bool, error) {
 		out := boolfunc.ToCNF(fv.Funcs[y], dst, boolfunc.CNFOptions{})
 		dst.AddEquivLit(cnf.PosLit(y), out)
 	}
-	s := sat.New()
+	s := sat.NewWith(e.satOpts)
 	s.SetConflictBudget(e.opts.SATConflictBudget)
 	s.SetContext(e.ctx)
 	s.AddFormula(dst)

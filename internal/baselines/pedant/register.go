@@ -13,7 +13,7 @@ import (
 func init() {
 	backend.Register(backend.NewFunc("pedant",
 		func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
-			res, err := Solve(ctx, in, Options{})
+			res, err := Solve(ctx, in, Options{DefineWorkers: opts.PreprocWorkers, SATProfile: opts.SATProfile})
 			if err != nil {
 				return nil, backendErr(err)
 			}

@@ -114,6 +114,9 @@ type Options struct {
 	// call (default true via VerifyBudget>0 semantics; disable by setting
 	// SkipVerify).
 	SkipVerify bool
+	// SATProfile names the sat search profile every engine builds its
+	// solvers with ("" = the tuned default; see sat.ProfileOptions).
+	SATProfile string
 }
 
 // engines returns the competitor specs, defaulting to the canonical set.
@@ -152,6 +155,7 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 	// -pp-workers raises it deliberately.
 	res, err := b.Synthesize(ctx, in, backend.Options{
 		Seed: opts.Seed, Workers: 1, PreprocWorkers: ppWorkers,
+		SATProfile: opts.SATProfile,
 	})
 	dur := time.Since(start)
 	out := RunResult{Engine: engine, Duration: dur}

@@ -43,6 +43,12 @@ type Options struct {
 	MaxRepairIterations int
 	// SATConflictBudget bounds each SAT oracle call (default 500000).
 	SATConflictBudget int64
+	// SATProfile names the sat search profile every oracle of this run is
+	// built with — the persistent ϕ/verify/MaxSAT solvers, the preprocessing
+	// oracle pool, the per-check solvers, and the sampler
+	// (sat.ProfileOptions resolves it; "" means the tuned default).
+	// Synthesize rejects unknown names.
+	SATProfile string
 	// LearnWorkers bounds the decision-tree learning worker pool (0 =
 	// NumCPU). The learned candidates are bit-identical for every worker
 	// count; see learnPhase.
@@ -142,10 +148,11 @@ type Result struct {
 
 // Engine carries the state of one synthesis run.
 type Engine struct {
-	ctx  context.Context
-	in   *dqbf.Instance
-	opts Options
-	b    *boolfunc.Builder
+	ctx     context.Context
+	in      *dqbf.Instance
+	opts    Options
+	satOpts sat.Options // resolved from Options.SATProfile; used by every oracle
+	b       *boolfunc.Builder
 
 	funcs map[cnf.Var]*boolfunc.Node // current candidates (may reference Y)
 	fixed map[cnf.Var]bool           // set by preprocessing; never repaired
@@ -213,11 +220,16 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	satOpts, err := sat.ProfileOptions(opts.SATProfile)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	e := &Engine{
-		ctx:   ctx,
-		in:    in,
-		opts:  opts,
-		b:     boolfunc.NewBuilder(),
+		ctx:     ctx,
+		in:      in,
+		opts:    opts,
+		satOpts: satOpts,
+		b:       boolfunc.NewBuilder(),
 		funcs: make(map[cnf.Var]*boolfunc.Node),
 		fixed: make(map[cnf.Var]bool),
 		deps:  make(map[cnf.Var]map[cnf.Var]bool),
@@ -378,7 +390,7 @@ func (e *Engine) oracleUnknown(s *sat.Solver, what string) error {
 }
 
 func (e *Engine) newSolver() *sat.Solver {
-	s := sat.New()
+	s := sat.NewWith(e.satOpts)
 	s.SetConflictBudget(e.opts.SATConflictBudget)
 	s.SetContext(e.ctx)
 	return s

@@ -97,6 +97,7 @@ func (e *Engine) drawSamples() ([]cnf.Assignment, error) {
 		Vars:         vars,
 		AdaptiveVars: adaptive,
 		Stats:        &sst,
+		SAT:          e.satOpts,
 	})
 	e.extraOracle += sst.Solves
 	if err != nil {

@@ -18,6 +18,7 @@ func init() {
 				Seed:           opts.Seed,
 				LearnWorkers:   opts.Workers,
 				PreprocWorkers: opts.PreprocWorkers,
+				SATProfile:     opts.SATProfile,
 				Logf:           opts.Logf,
 			})
 			if err != nil {

@@ -4,9 +4,11 @@
 // the expensive part, and a loaded solver answers many incremental
 // assumption queries cheaply. When a phase has per-item queries that are
 // independent — the manthan3 preprocessing phase issues per-existential
-// constant/unate/definedness checks against the same ϕ — the natural shape
-// is a fixed pool of ϕ-loaded solvers, each built once and then checked out
-// by whichever worker needs an oracle next.
+// constant/unate/definedness checks against the same ϕ, and the pedant
+// Padoa pass issues per-existential definedness queries against one
+// doubled ϕ with equality selectors — the natural shape is a fixed pool of
+// loaded solvers, each built once and then checked out by whichever worker
+// needs an oracle next.
 //
 // Pool builds solvers lazily through the constructor it is given: the first
 // Size checkouts each construct one solver, later checkouts reuse returned

@@ -16,19 +16,17 @@ func TestReduceDBKeepsReasonClauses(t *testing.T) {
 	s := New()
 	s.EnsureVars(20)
 
-	// A learnt clause with the lowest possible activity: prime deletion bait.
-	reasonCla := s.allocClause([]lit{mkLit(1, false), mkLit(2, false), mkLit(3, false)}, true)
-	s.learnts = append(s.learnts, reasonCla)
-	s.attach(reasonCla)
+	// A learnt clause with the lowest possible activity and local-tier glue:
+	// prime deletion bait.
+	reasonCla := s.addLearnt([]lit{mkLit(1, false), mkLit(2, false), mkLit(3, false)}, 10)
 	s.claSetActivity(reasonCla, 0)
 
-	// Junk learnt clauses (size 3, unlocked, higher activity) so reduceDB has
-	// a lower half to drop that should contain only reasonCla by activity.
+	// Junk learnt clauses (size 3, unlocked, higher activity, same local-tier
+	// glue) so reduceDB has a lower half to drop that should contain only
+	// reasonCla by activity.
 	for i := 0; i < 10; i++ {
 		v := 4 + i
-		c := s.allocClause([]lit{mkLit(v, false), mkLit(v+1, true), mkLit(19, false)}, true)
-		s.learnts = append(s.learnts, c)
-		s.attach(c)
+		c := s.addLearnt([]lit{mkLit(v, false), mkLit(v+1, true), mkLit(19, false)}, 10)
 		s.claSetActivity(c, float32(i+1))
 	}
 
@@ -49,10 +47,12 @@ func TestReduceDBKeepsReasonClauses(t *testing.T) {
 		t.Fatalf("reason clause corrupted: first literal %v, want %v", got, mkLit(1, false))
 	}
 	found := false
-	for _, c := range s.learnts {
-		if c == r {
-			found = true
-			break
+	for _, tier := range [][]cref{s.learntsCore, s.learntsMid, s.learntsLocal} {
+		for _, c := range tier {
+			if c == r {
+				found = true
+				break
+			}
 		}
 	}
 	if !found {

@@ -1,0 +1,151 @@
+package sat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RestartMode selects the restart policy of the CDCL search.
+type RestartMode int
+
+// Restart policies.
+const (
+	// RestartAdaptive (the default) restarts when the exponential moving
+	// average of recent conflict-clause LBDs drifts above the long-run
+	// average — the search is producing worse clauses than usual, so a
+	// restart is cheap — and postpones a pending restart while the trail is
+	// much deeper than its running average (the search is plausibly closing
+	// in on a model). Both signals are functions of conflict counts only, so
+	// the policy is deterministic.
+	RestartAdaptive RestartMode = iota
+	// RestartLuby restarts on the classic Luby sequence scaled by
+	// Options.LubyUnit conflicts, restarting the sequence on every Solve
+	// call. Predictable and robust; the right choice for very short
+	// incremental queries where the adaptive averages have no time to settle.
+	RestartLuby
+)
+
+// String names the restart mode.
+func (m RestartMode) String() string {
+	if m == RestartLuby {
+		return "luby"
+	}
+	return "adaptive"
+}
+
+// CcMinMode selects how aggressively conflict clauses are minimized.
+type CcMinMode int
+
+// Conflict-clause minimization modes.
+const (
+	// CcMinRecursive (the default) removes every literal whose negation is
+	// implied by the remaining clause literals through any depth of
+	// reason-clause resolution (MiniSat's deep minimization), bounded by
+	// Options.MinimizeBudget.
+	CcMinRecursive CcMinMode = iota
+	// CcMinLocal removes only literals whose own reason clause is subsumed
+	// by the remaining literals (one resolution step).
+	CcMinLocal
+	// CcMinNone keeps the first-UIP clause as analyzed.
+	CcMinNone
+)
+
+// Options tunes the search heuristics of a Solver. The zero value selects
+// the package defaults (adaptive restarts, recursive minimization, LBD tier
+// cuts 3/6); named presets for common workloads are available through
+// ProfileOptions.
+type Options struct {
+	// Restart selects the restart policy (default RestartAdaptive).
+	Restart RestartMode
+	// CcMin selects conflict-clause minimization (default CcMinRecursive).
+	CcMin CcMinMode
+	// LubyUnit scales the Luby restart sequence in conflicts (default 100).
+	// Only used by RestartLuby.
+	LubyUnit int64
+	// RestartMinConflicts is the minimum number of conflicts between two
+	// adaptive restarts (default 50). Only used by RestartAdaptive.
+	RestartMinConflicts int64
+	// CoreLBD is the glue cut of the core tier: learnt clauses whose LBD is
+	// ≤ CoreLBD are kept forever (default 3).
+	CoreLBD int
+	// MidLBD is the glue cut of the mid tier: learnt clauses whose LBD is in
+	// (CoreLBD, MidLBD] are kept while they keep participating in conflicts
+	// and demoted to the local tier when stale (default 6). Clamped up to
+	// CoreLBD.
+	MidLBD int
+	// MinimizeBudget bounds recursive conflict-clause minimization: the
+	// number of reason-clause expansions allowed per conflict (default
+	// 4096). Exhaustion keeps the remaining literals — always sound.
+	MinimizeBudget int
+}
+
+// withDefaults fills zero fields with the package defaults.
+func (o Options) withDefaults() Options {
+	if o.LubyUnit == 0 {
+		o.LubyUnit = 100
+	}
+	if o.RestartMinConflicts == 0 {
+		o.RestartMinConflicts = 50
+	}
+	if o.CoreLBD == 0 {
+		o.CoreLBD = 3
+	}
+	if o.MidLBD == 0 {
+		o.MidLBD = 6
+	}
+	if o.MidLBD < o.CoreLBD {
+		o.MidLBD = o.CoreLBD
+	}
+	if o.MinimizeBudget == 0 {
+		o.MinimizeBudget = 4096
+	}
+	return o
+}
+
+// Profile names accepted by ProfileOptions.
+const (
+	// ProfileDefault is the tuned default: adaptive restarts, recursive
+	// minimization, tier cuts 3/6. "adaptive" and "" are aliases.
+	ProfileDefault = "default"
+	// ProfileLuby keeps the three-tier database and recursive minimization
+	// but restarts on the classic Luby schedule.
+	ProfileLuby = "luby"
+	// ProfileIncremental targets long-lived solvers answering many short
+	// assumption queries (oracle pools, the repair loop's per-query groups):
+	// Luby restarts (short queries never settle the adaptive averages) and
+	// wider tier cuts so learnt state survives across queries.
+	ProfileIncremental = "incremental"
+	// ProfileLongRun targets long single solves (the persistent verify
+	// solver): the adaptive default with a larger minimization budget.
+	ProfileLongRun = "longrun"
+)
+
+// profileTable maps profile names to their option presets.
+func profileTable() map[string]Options {
+	return map[string]Options{
+		ProfileDefault:     {},
+		"adaptive":         {},
+		"":                 {},
+		ProfileLuby:        {Restart: RestartLuby},
+		ProfileIncremental: {Restart: RestartLuby, CoreLBD: 4, MidLBD: 8},
+		ProfileLongRun:     {MinimizeBudget: 16384},
+	}
+}
+
+// Profiles returns the canonical profile names (aliases omitted), sorted for
+// display.
+func Profiles() []string {
+	return []string{ProfileDefault, ProfileIncremental, ProfileLongRun, ProfileLuby}
+}
+
+// ProfileOptions resolves a named search profile to its Options. The empty
+// name and "adaptive" are aliases of ProfileDefault; unknown names report
+// the available set.
+func ProfileOptions(name string) (Options, error) {
+	o, ok := profileTable()[name]
+	if !ok {
+		return Options{}, fmt.Errorf("sat: unknown search profile %q (available: %s)",
+			name, strings.Join(Profiles(), ", "))
+	}
+	return o, nil
+}

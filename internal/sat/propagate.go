@@ -1,0 +1,92 @@
+package sat
+
+// propagate performs unit propagation over the trail; it returns the
+// conflicting clause, or crefUndef if no conflict arises.
+//
+// Convention: watches[q] holds watchers for clauses in which the literal ¬q
+// is watched; i.e. when q becomes true we must visit them. In steady state
+// (warm watch-list capacities) this function performs no heap allocations.
+func (s *Solver) propagate() cref {
+	ar := s.arena
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true
+		s.qhead++
+		s.propagations++
+		falseLit := p.neg()
+		ws := s.watches[p]
+		i, j := 0, 0
+		confl := crefUndef
+	visit:
+		for i < len(ws) {
+			w := ws[i]
+			i++
+			bv := s.litValue(w.blocker)
+			if bv == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			if w.isBin() {
+				// Binary clause: the blocker is the other literal, so the
+				// watch entry alone decides — no arena access.
+				ws[j] = w
+				j++
+				if bv == lFalse {
+					confl = w.cref()
+					s.qhead = len(s.trail)
+					for i < len(ws) {
+						ws[j] = ws[i]
+						i++
+						j++
+					}
+					break
+				}
+				s.uncheckedEnqueue(w.blocker, w.cref())
+				continue
+			}
+			c := w.cref()
+			hdr := ar[c]
+			base := int(c) + 1 + int(hdr&hdrLearnt)<<1
+			size := int(hdr >> hdrSizeShift)
+			// Make sure the false literal is at position 1.
+			if lit(ar[base]) == falseLit {
+				ar[base], ar[base+1] = ar[base+1], ar[base]
+			}
+			first := lit(ar[base])
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[j] = mkWatch(c, first, false)
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < size; k++ {
+				q := lit(ar[base+k])
+				if s.litValue(q) != lFalse {
+					ar[base+1], ar[base+k] = ar[base+k], ar[base+1]
+					s.watches[q.neg()] = append(s.watches[q.neg()], mkWatch(c, first, false))
+					continue visit // watcher moved; do not keep in this list
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = mkWatch(c, first, false)
+			j++
+			if s.litValue(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				// copy remaining watchers
+				for i < len(ws) {
+					ws[j] = ws[i]
+					i++
+					j++
+				}
+				break
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+		if confl != crefUndef {
+			return confl
+		}
+	}
+	return crefUndef
+}

@@ -1,14 +1,27 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT solver
-// in the MiniSat lineage: two-watched-literal propagation, first-UIP conflict
-// analysis with clause minimization, VSIDS branching, phase saving, Luby
-// restarts, learned-clause database reduction, solving under assumptions, and
-// extraction of failed-assumption cores.
+// in the MiniSat/Glucose lineage: two-watched-literal propagation, first-UIP
+// conflict analysis with recursive clause minimization, VSIDS branching,
+// phase saving, glue-aware (LBD) learnt-clause management in a three-tier
+// database, adaptive (LBD moving average) or Luby restarts, solving under
+// assumptions, and extraction of failed-assumption cores.
 //
 // It replaces the PicoSAT/CryptoMiniSat oracles used by the Manthan3 paper.
 // Unsatisfiable cores are reported over assumption literals, which is exactly
 // how Manthan3 consumes cores: the unit clauses of the repair formula Gk are
 // passed as assumptions and the core names the units responsible for
 // infeasibility.
+//
+// # File map
+//
+// The solver is split into focused files:
+//
+//	solver.go     state, public API, arena storage, clause/group installation
+//	propagate.go  two-watched-literal unit propagation
+//	analyze.go    first-UIP conflict analysis, LBD computation, minimization
+//	reduce.go     the three-tier learnt database and top-level simplification
+//	restart.go    Luby and adaptive (EMA + trail-blocking) restart policies
+//	search.go     the CDCL driver loop, decision heuristics, stop conditions
+//	options.go    Options, tuning knobs, and named search profiles
 //
 // # Clause arena
 //
@@ -19,6 +32,8 @@
 //	arena[c]      header: bit 0 = learnt, bit 1 = relocated (GC forwarding),
 //	              bits 2..31 = number of literals
 //	arena[c+1]    float32 activity bits (learnt clauses only)
+//	arena[c+2]    glue metadata (learnt clauses only): bits 0..25 = LBD,
+//	              bits 26..27 = tier, bit 28 = used since the last reduceDB
 //	arena[c+…]    the literals, one lit code per word
 //
 // Literal codes are the usual 2v / 2v+1 encoding (see lit below). Storing
@@ -37,6 +52,20 @@
 // never reads the arena at all: the watch entry alone decides between skip,
 // enqueue, and conflict.
 //
+// # Glue tiers
+//
+// Every learnt clause carries its LBD ("literal block distance", or glue):
+// the number of distinct decision levels among its literals at learning
+// time, recomputed whenever the clause participates in conflict analysis and
+// kept at the minimum observed. Low-glue clauses connect few decision levels
+// and are empirically the ones worth keeping. The learnt database is three
+// tiers keyed on LBD (see reduce.go): a core tier (LBD ≤ Options.CoreLBD)
+// that is never deleted, a mid tier (LBD ≤ Options.MidLBD) whose clauses
+// must keep participating in conflicts to stay (stale ones are demoted), and
+// a local tier that reduceDB aggressively halves by activity. Clause
+// re-tiering happens during reduceDB from the recorded LBD, so an improved
+// clause is promoted and never deleted out of turn.
+//
 // # Reclamation
 //
 // reduceDB and top-level simplification free clauses by accounting their
@@ -54,17 +83,18 @@
 // detaches the group's clauses and frees their words into the arena's wasted
 // account, then fixes s true at the top level: any learnt clause that
 // resolved a group clause contains s positively (s was a falsified
-// assumption when the learnt was derived), so fixing s true permanently
-// satisfies those learnts and the next top-level simplification reclaims
-// them. This makes incremental re-encoding sound: callers swap out one
-// group's clauses without invalidating the solver's remaining learnt state.
-// Core never reports activation literals.
+// assumption when the learnt was derived, and minimization can never drop an
+// assumption literal — its variable has no reason clause), so fixing s true
+// permanently satisfies those learnts and the next top-level simplification
+// reclaims them. This makes incremental re-encoding sound: callers swap out
+// one group's clauses without invalidating the solver's remaining learnt
+// state. Group clauses live outside the learnt tiers and the problem-clause
+// list, so neither reduceDB nor simplifyDB ever frees or demotes them; only
+// ReleaseGroup does. Core never reports activation literals.
 package sat
 
 import (
-	"cmp"
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -166,7 +196,7 @@ const (
 	crefUndef   cref = ^cref(0) // "no clause"
 	reasonUndef      = crefUndef
 
-	hdrLearnt    uint32 = 1 << 0 // clause is learnt (has an activity word)
+	hdrLearnt    uint32 = 1 << 0 // clause is learnt (has activity + meta words)
 	hdrReloc     uint32 = 1 << 1 // clause was moved during compaction
 	hdrSizeShift        = 2
 )
@@ -195,18 +225,24 @@ const (
 	lFalse int8 = -1
 )
 
-// Solver is a CDCL SAT solver. The zero value is not usable; call New.
-// A Solver is not safe for concurrent use.
+// Solver is a CDCL SAT solver. The zero value is not usable; call New or
+// NewWith. A Solver is not safe for concurrent use.
 type Solver struct {
 	numVars int
 	ok      bool // false once a top-level conflict is derived
+	opts    Options
 
 	arena    []uint32 // flat clause store; see the package comment for layout
 	wasted   int      // dead words in arena, eligible for compaction
 	arenaGCs int64    // number of compactions performed
 
 	clauses []cref
-	learnts []cref
+
+	// The three-tier learnt database (see reduce.go): each learnt clause
+	// lives in exactly the list matching the tier bits of its meta word.
+	learntsCore  []cref
+	learntsMid   []cref
+	learntsLocal []cref
 
 	watches [][]watch // indexed by lit code
 
@@ -227,9 +263,16 @@ type Solver struct {
 	claDecay float64
 
 	seen        []bool
-	analyzeSt   []lit // scratch: learnt clause under construction
-	minimizeTmp []lit // scratch: minimization snapshot
-	addTmp      []lit // scratch: AddClause normalization
+	analyzeSt   []lit    // scratch: learnt clause under construction
+	minimizeTmp []lit    // scratch: minimization snapshot of the learnt tail
+	minStack    []lit    // scratch: recursive-minimization DFS stack
+	minMark     []byte   // per var: markImplied/markPoison during minimization
+	minClear    []int32  // vars whose minMark must be reset after analyze
+	minBudget   int      // remaining reason expansions for this conflict
+	addTmp      []lit    // scratch: AddClause normalization
+	demoteTmp   []cref   // scratch: reduceDB demotion buffer
+	lbdStamps   []uint32 // per decision level: last stamp seen (LBD counting)
+	lbdStamp    uint32
 
 	assumptions []lit
 	conflict    []lit // failed assumptions (negated form: lits that must flip)
@@ -249,12 +292,28 @@ type Solver struct {
 	ctx            context.Context // nil = never interrupted
 	stopCause      StopCause       // why the last Solve returned Unknown
 	checkCnt       int64
-	solves         int64
-	conflicts      int64
-	propagations   int64
-	decisions      int64
-	restarts       int64
-	learntLits     int64
+
+	// Restart policy state (restart.go).
+	conflictsSinceRestart int64
+	restartNum            int64 // restarts within the current Solve call (Luby index)
+	emaSeeded             bool
+	emaFastLBD            float64
+	emaSlowLBD            float64
+	emaTrail              float64
+
+	solves          int64
+	conflicts       int64
+	propagations    int64
+	decisions       int64
+	restarts        int64
+	blockedRestarts int64
+	learntLits      int64
+	learntClauses   int64
+	lbdSum          int64
+	minimizedLits   int64
+	reduceDBs       int64
+	promotions      int64
+	demotions       int64
 
 	maxLearnts    float64
 	learntAdjust  float64
@@ -262,12 +321,22 @@ type Solver struct {
 	learntAdjIncr float64
 
 	simpLastTrail int // trail size at the last top-level simplification
+
+	// testOnLearnt, when non-nil, observes every multi-literal learnt clause
+	// right after analysis (before backtracking), with the backtrack level.
+	// Test instrumentation only; nil in production.
+	testOnLearnt func(learnt []lit, btLevel int)
 }
 
-// New returns an empty solver.
-func New() *Solver {
+// New returns an empty solver with the default search profile.
+func New() *Solver { return NewWith(Options{}) }
+
+// NewWith returns an empty solver tuned by opts (zero fields take the
+// package defaults; see Options and ProfileOptions).
+func NewWith(opts Options) *Solver {
 	s := &Solver{
 		ok:             true,
+		opts:           opts.withDefaults(),
 		varInc:         1,
 		varDecay:       0.95,
 		claInc:         1,
@@ -317,6 +386,8 @@ func (s *Solver) EnsureVars(n int) {
 	s.activity = growTo(s.activity, n+1)
 	s.phase = growTo(s.phase, n+1)
 	s.seen = growTo(s.seen, n+1)
+	s.minMark = growTo(s.minMark, n+1)
+	s.lbdStamps = growTo(s.lbdStamps, n+1)
 	old := len(s.reason)
 	s.reason = growTo(s.reason, n+1)
 	for i := old; i < len(s.reason); i++ {
@@ -418,30 +489,64 @@ type Stats struct {
 	Propagations int64
 	Decisions    int64
 	Restarts     int64
-	LearntLits   int64     // total literals in learnt clauses
-	ArenaWords   int       // current arena length (uint32 words)
-	ArenaWasted  int       // dead words awaiting compaction
-	ArenaGCs     int64     // arena compactions performed
-	LiveGroups   int       // clause groups added and not yet released
-	GroupsFreed  int64     // clause groups released over the solver's lifetime
-	LastStop     StopCause // why the last Solve returned Unknown (StopNone otherwise)
+	// BlockedRestarts counts adaptive restarts postponed by trail blocking:
+	// the LBD average said restart, but the trail was much deeper than its
+	// running average, so the search was left to (plausibly) finish.
+	BlockedRestarts int64
+	LearntLits      int64 // total literals in learnt clauses
+	// LearntClauses counts multi-literal learnt clauses allocated into the
+	// tier database (unit learnts are enqueued directly and not counted).
+	LearntClauses int64
+	// LBDSum is the sum of learning-time LBDs over LearntClauses;
+	// LBDSum/LearntClauses is the average glue of the run.
+	LBDSum int64
+	// MinimizedLits counts literals removed from learnt clauses by
+	// conflict-clause minimization (local or recursive).
+	MinimizedLits int64
+	// TierCore/TierMid/TierLocal are the current learnt-tier sizes.
+	TierCore  int
+	TierMid   int
+	TierLocal int
+	// Promotions and Demotions count tier moves performed by reduceDB:
+	// promotions follow an improved LBD, demotions follow mid-tier
+	// staleness.
+	Promotions int64
+	Demotions  int64
+	// ReduceDBs counts learnt-database reductions.
+	ReduceDBs   int64
+	ArenaWords  int       // current arena length (uint32 words)
+	ArenaWasted int       // dead words awaiting compaction
+	ArenaGCs    int64     // arena compactions performed
+	LiveGroups  int       // clause groups added and not yet released
+	GroupsFreed int64     // clause groups released over the solver's lifetime
+	LastStop    StopCause // why the last Solve returned Unknown (StopNone otherwise)
 }
 
 // Stats reports cumulative solver statistics.
 func (s *Solver) Stats() Stats {
 	return Stats{
-		Solves:       s.solves,
-		Conflicts:    s.conflicts,
-		Propagations: s.propagations,
-		Decisions:    s.decisions,
-		Restarts:     s.restarts,
-		LearntLits:   s.learntLits,
-		ArenaWords:   len(s.arena),
-		ArenaWasted:  s.wasted,
-		ArenaGCs:     s.arenaGCs,
-		LiveGroups:   len(s.standing),
-		GroupsFreed:  s.groupsFreed,
-		LastStop:     s.stopCause,
+		Solves:          s.solves,
+		Conflicts:       s.conflicts,
+		Propagations:    s.propagations,
+		Decisions:       s.decisions,
+		Restarts:        s.restarts,
+		BlockedRestarts: s.blockedRestarts,
+		LearntLits:      s.learntLits,
+		LearntClauses:   s.learntClauses,
+		LBDSum:          s.lbdSum,
+		MinimizedLits:   s.minimizedLits,
+		TierCore:        len(s.learntsCore),
+		TierMid:         len(s.learntsMid),
+		TierLocal:       len(s.learntsLocal),
+		Promotions:      s.promotions,
+		Demotions:       s.demotions,
+		ReduceDBs:       s.reduceDBs,
+		ArenaWords:      len(s.arena),
+		ArenaWasted:     s.wasted,
+		ArenaGCs:        s.arenaGCs,
+		LiveGroups:      len(s.standing),
+		GroupsFreed:     s.groupsFreed,
+		LastStop:        s.stopCause,
 	}
 }
 
@@ -452,9 +557,11 @@ func (s *Solver) Stats() Stats {
 // corrupt watch lists. Fail loudly instead (MiniSat's allocator does too).
 const maxArenaWords = int64(1) << 31
 
-// allocClause appends a clause to the arena and returns its cref.
+// allocClause appends a clause to the arena and returns its cref. Learnt
+// clauses get zeroed activity and meta words; the caller tiers them via
+// addLearnt.
 func (s *Solver) allocClause(lits []lit, learnt bool) cref {
-	if int64(len(s.arena))+int64(len(lits))+2 > maxArenaWords {
+	if int64(len(s.arena))+int64(len(lits))+3 > maxArenaWords {
 		panic("sat: clause arena exceeds 2^31 words")
 	}
 	c := cref(len(s.arena))
@@ -464,7 +571,7 @@ func (s *Solver) allocClause(lits []lit, learnt bool) cref {
 	}
 	s.arena = append(s.arena, hdr)
 	if learnt {
-		s.arena = append(s.arena, 0) // activity = 0.0
+		s.arena = append(s.arena, 0, 0) // activity = 0.0, meta = 0
 	}
 	for _, p := range lits {
 		s.arena = append(s.arena, uint32(p))
@@ -480,14 +587,14 @@ func (s *Solver) claSize(c cref) int    { return int(s.arena[c] >> hdrSizeShift)
 // across allocClause or garbageCollect.
 func (s *Solver) claLits(c cref) []uint32 {
 	hdr := s.arena[c]
-	base := int(c) + 1 + int(hdr&hdrLearnt)
+	base := int(c) + 1 + int(hdr&hdrLearnt)<<1
 	return s.arena[base : base+int(hdr>>hdrSizeShift)]
 }
 
 // claWords is the total footprint of clause c in arena words.
 func (s *Solver) claWords(c cref) int {
 	hdr := s.arena[c]
-	return 1 + int(hdr&hdrLearnt) + int(hdr>>hdrSizeShift)
+	return 1 + int(hdr&hdrLearnt)<<1 + int(hdr>>hdrSizeShift)
 }
 
 func (s *Solver) claSetSize(c cref, n int) {
@@ -527,8 +634,8 @@ func (s *Solver) maybeGC() {
 }
 
 // garbageCollect compacts live clauses into a fresh arena and rewrites every
-// cref (watch lists, reason slots, clause lists) through forwarding offsets
-// left in the old arena.
+// cref (watch lists, reason slots, clause lists, tier lists, group lists)
+// through forwarding offsets left in the old arena.
 func (s *Solver) garbageCollect() {
 	to := make([]uint32, 0, len(s.arena)-s.wasted)
 	for qi := range s.watches {
@@ -547,8 +654,10 @@ func (s *Solver) garbageCollect() {
 	for i := range s.clauses {
 		s.clauses[i] = s.relocate(s.clauses[i], &to)
 	}
-	for i := range s.learnts {
-		s.learnts[i] = s.relocate(s.learnts[i], &to)
+	for _, tier := range [][]cref{s.learntsCore, s.learntsMid, s.learntsLocal} {
+		for i := range tier {
+			tier[i] = s.relocate(tier[i], &to)
+		}
 	}
 	for gi := range s.groups {
 		cs := s.groups[gi].crefs
@@ -811,7 +920,16 @@ func (s *Solver) uncheckedEnqueue(p lit, from cref) {
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-func (s *Solver) newDecisionLevel() { s.trailLim = append(s.trailLim, len(s.trail)) }
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+	// Decision levels can exceed the variable count: every already-satisfied
+	// assumption (duplicates included) gets a dummy level. lbdStamps is
+	// indexed by level, so it must cover the deepest level ever created,
+	// not just numVars (EnsureVars sizes it by variables only).
+	if len(s.trailLim) >= len(s.lbdStamps) {
+		s.lbdStamps = growTo(s.lbdStamps, len(s.trailLim)+1)
+	}
+}
 
 func (s *Solver) cancelUntil(lvl int) {
 	if s.decisionLevel() <= lvl {
@@ -832,544 +950,6 @@ func (s *Solver) cancelUntil(lvl int) {
 	if s.qhead > len(s.trail) {
 		s.qhead = len(s.trail)
 	}
-}
-
-// propagate performs unit propagation over the trail; it returns the
-// conflicting clause, or crefUndef if no conflict arises.
-//
-// Convention: watches[q] holds watchers for clauses in which the literal ¬q
-// is watched; i.e. when q becomes true we must visit them. In steady state
-// (warm watch-list capacities) this function performs no heap allocations.
-func (s *Solver) propagate() cref {
-	ar := s.arena
-	for s.qhead < len(s.trail) {
-		p := s.trail[s.qhead] // p is true
-		s.qhead++
-		s.propagations++
-		falseLit := p.neg()
-		ws := s.watches[p]
-		i, j := 0, 0
-		confl := crefUndef
-	visit:
-		for i < len(ws) {
-			w := ws[i]
-			i++
-			bv := s.litValue(w.blocker)
-			if bv == lTrue {
-				ws[j] = w
-				j++
-				continue
-			}
-			if w.isBin() {
-				// Binary clause: the blocker is the other literal, so the
-				// watch entry alone decides — no arena access.
-				ws[j] = w
-				j++
-				if bv == lFalse {
-					confl = w.cref()
-					s.qhead = len(s.trail)
-					for i < len(ws) {
-						ws[j] = ws[i]
-						i++
-						j++
-					}
-					break
-				}
-				s.uncheckedEnqueue(w.blocker, w.cref())
-				continue
-			}
-			c := w.cref()
-			hdr := ar[c]
-			base := int(c) + 1 + int(hdr&hdrLearnt)
-			size := int(hdr >> hdrSizeShift)
-			// Make sure the false literal is at position 1.
-			if lit(ar[base]) == falseLit {
-				ar[base], ar[base+1] = ar[base+1], ar[base]
-			}
-			first := lit(ar[base])
-			if first != w.blocker && s.litValue(first) == lTrue {
-				ws[j] = mkWatch(c, first, false)
-				j++
-				continue
-			}
-			// Look for a new literal to watch.
-			for k := 2; k < size; k++ {
-				q := lit(ar[base+k])
-				if s.litValue(q) != lFalse {
-					ar[base+1], ar[base+k] = ar[base+k], ar[base+1]
-					s.watches[q.neg()] = append(s.watches[q.neg()], mkWatch(c, first, false))
-					continue visit // watcher moved; do not keep in this list
-				}
-			}
-			// Clause is unit or conflicting.
-			ws[j] = mkWatch(c, first, false)
-			j++
-			if s.litValue(first) == lFalse {
-				confl = c
-				s.qhead = len(s.trail)
-				// copy remaining watchers
-				for i < len(ws) {
-					ws[j] = ws[i]
-					i++
-					j++
-				}
-				break
-			}
-			s.uncheckedEnqueue(first, c)
-		}
-		s.watches[p] = ws[:j]
-		if confl != crefUndef {
-			return confl
-		}
-	}
-	return crefUndef
-}
-
-func (s *Solver) bumpVar(v int) {
-	s.activity[v] += s.varInc
-	if s.activity[v] > 1e100 {
-		for i := 1; i <= s.numVars; i++ {
-			s.activity[i] *= 1e-100
-		}
-		s.varInc *= 1e-100
-	}
-	if s.heap.inHeap(v) {
-		s.heap.decrease(v)
-	}
-}
-
-func (s *Solver) bumpClause(c cref) {
-	if !s.claLearnt(c) {
-		return
-	}
-	a := s.claActivity(c) + float32(s.claInc)
-	s.claSetActivity(c, a)
-	if a > 1e20 {
-		for _, l := range s.learnts {
-			s.claSetActivity(l, s.claActivity(l)*1e-20)
-		}
-		s.claInc *= 1e-20
-	}
-}
-
-// analyze performs first-UIP conflict analysis, returning the learnt clause
-// (first literal is the asserting literal) and the backtrack level. The
-// returned slice is scratch storage owned by the solver; callers must copy
-// it (allocClause does) before the next analyze call.
-func (s *Solver) analyze(confl cref) ([]lit, int) {
-	learnt := append(s.analyzeSt[:0], 0) // placeholder for asserting literal
-	pathC := 0
-	var p lit = 0
-	idx := len(s.trail) - 1
-	for {
-		s.bumpClause(confl)
-		for _, u := range s.claLits(confl) {
-			q := lit(u)
-			if q == p {
-				continue
-			}
-			v := q.varIdx()
-			if s.seen[v] || s.level[v] == 0 {
-				continue
-			}
-			s.seen[v] = true
-			s.bumpVar(v)
-			if int(s.level[v]) >= s.decisionLevel() {
-				pathC++
-			} else {
-				learnt = append(learnt, q)
-			}
-		}
-		// Select next literal to expand.
-		for !s.seen[s.trail[idx].varIdx()] {
-			idx--
-		}
-		p = s.trail[idx]
-		idx--
-		v := p.varIdx()
-		s.seen[v] = false
-		pathC--
-		if pathC == 0 {
-			break
-		}
-		confl = s.reason[v]
-	}
-	learnt[0] = p.neg()
-
-	// Simple local minimization: drop literals whose reason is subsumed.
-	// Snapshot the tail first: appends below reuse learnt's backing array.
-	tail := append(s.minimizeTmp[:0], learnt[1:]...)
-	for _, q := range tail {
-		s.seen[q.varIdx()] = true
-	}
-	out := learnt[:1]
-	for _, q := range tail {
-		if !s.litRedundant(q) {
-			out = append(out, q)
-		}
-	}
-	for _, q := range tail {
-		s.seen[q.varIdx()] = false
-	}
-	learnt = out
-	s.analyzeSt = learnt[:0]
-	s.minimizeTmp = tail[:0]
-
-	// Find backtrack level: max level among learnt[1:].
-	btLevel := 0
-	if len(learnt) > 1 {
-		maxI := 1
-		for i := 2; i < len(learnt); i++ {
-			if s.level[learnt[i].varIdx()] > s.level[learnt[maxI].varIdx()] {
-				maxI = i
-			}
-		}
-		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
-		btLevel = int(s.level[learnt[1].varIdx()])
-	}
-	return learnt, btLevel
-}
-
-// litRedundant reports whether q is implied by other seen literals via its
-// reason clause (one-step self-subsumption check).
-func (s *Solver) litRedundant(q lit) bool {
-	r := s.reason[q.varIdx()]
-	if r == reasonUndef {
-		return false
-	}
-	for _, u := range s.claLits(r) {
-		l := lit(u)
-		if l == q.neg() || l == q {
-			continue
-		}
-		v := l.varIdx()
-		if s.level[v] == 0 {
-			continue
-		}
-		if !s.seen[v] {
-			return false
-		}
-	}
-	return true
-}
-
-// analyzeFinal computes the failed-assumption core when assumption p is
-// falsified: the subset of assumptions that together imply ¬p.
-func (s *Solver) analyzeFinal(p lit) {
-	s.conflict = s.conflict[:0]
-	s.conflict = append(s.conflict, p)
-	if s.decisionLevel() == 0 {
-		return
-	}
-	s.seen[p.varIdx()] = true
-	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
-		v := s.trail[i].varIdx()
-		if !s.seen[v] {
-			continue
-		}
-		if s.reason[v] == reasonUndef {
-			if s.level[v] > 0 {
-				s.conflict = append(s.conflict, s.trail[i].neg())
-			}
-		} else {
-			for _, u := range s.claLits(s.reason[v]) {
-				l := lit(u)
-				if l.varIdx() != v && s.level[l.varIdx()] > 0 {
-					s.seen[l.varIdx()] = true
-				}
-			}
-		}
-		s.seen[v] = false
-	}
-	s.seen[p.varIdx()] = false
-}
-
-func (s *Solver) pickBranchLit() lit {
-	v := 0
-	if s.randVarFreq > 0 && s.random().Float64() < s.randVarFreq && !s.heap.empty() {
-		cand := s.heap.data[s.random().Intn(len(s.heap.data))]
-		if s.varValue(cand) == lUndef {
-			v = cand
-		}
-	}
-	for v == 0 {
-		if s.heap.empty() {
-			return 0
-		}
-		cand := s.heap.removeMin()
-		if s.varValue(cand) == lUndef {
-			v = cand
-		}
-	}
-	s.decisions++
-	ph := s.phase[v]
-	if s.randPhaseFreq > 0 && s.random().Float64() < s.randPhaseFreq {
-		ph = s.random().Intn(2) == 0
-	}
-	return mkLit(v, !ph)
-}
-
-// reduceDB halves the learnt-clause database, keeping binary clauses, locked
-// (reason) clauses, and the more active half, then compacts the arena if
-// enough of it died.
-func (s *Solver) reduceDB() {
-	if len(s.learnts) < 2 {
-		return
-	}
-	ls := s.learnts
-	slices.SortFunc(ls, func(a, b cref) int {
-		return cmp.Compare(s.claActivity(a), s.claActivity(b))
-	})
-	lim := len(ls) / 2
-	kept := ls[:0]
-	for i, c := range ls {
-		if s.claSize(c) == 2 || s.isReason(c) || i >= lim {
-			kept = append(kept, c)
-		} else {
-			s.removeClause(c)
-		}
-	}
-	s.learnts = kept
-	s.maybeGC()
-}
-
-// lockedVar returns the variable whose antecedent is c, or -1 if c is not a
-// reason clause. Only the two watched positions can hold the asserting
-// literal: the long-clause path enqueues lits[0], but the binary fast path
-// enqueues the blocker, which may sit at either position since binary
-// propagation never reorders the arena literals. A clause can be the
-// antecedent of at most one assignment at a time.
-func (s *Solver) lockedVar(c cref) int {
-	ls := s.claLits(c)
-	for i := 0; i < len(ls) && i < 2; i++ {
-		v := lit(ls[i]).varIdx()
-		if s.varValue(v) != lUndef && s.reason[v] == c {
-			return v
-		}
-	}
-	return -1
-}
-
-// isReason reports whether c is the antecedent of an assigned variable.
-func (s *Solver) isReason(c cref) bool { return s.lockedVar(c) >= 0 }
-
-// search runs CDCL until a model, a conflict at level 0, the restart limit
-// (nofConflicts, <0 = none), or budget exhaustion.
-func (s *Solver) search(nofConflicts int64) Status {
-	conflictC := int64(0)
-	for {
-		confl := s.propagate()
-		if confl != crefUndef {
-			s.conflicts++
-			conflictC++
-			if s.decisionLevel() == 0 {
-				s.ok = false
-				return Unsat
-			}
-			learnt, btLevel := s.analyze(confl)
-			s.cancelUntil(btLevel)
-			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], reasonUndef)
-			} else {
-				c := s.allocClause(learnt, true)
-				s.learnts = append(s.learnts, c)
-				s.attach(c)
-				s.bumpClause(c)
-				s.uncheckedEnqueue(learnt[0], c)
-			}
-			s.learntLits += int64(len(learnt))
-			s.varInc /= s.varDecay
-			s.claInc /= s.claDecay
-			s.learntAdjCnt--
-			if s.learntAdjCnt <= 0 {
-				s.learntAdjust *= s.learntAdjIncr
-				s.learntAdjCnt = int64(s.learntAdjust)
-				s.maxLearnts *= 1.1
-			}
-			continue
-		}
-		// No conflict.
-		if nofConflicts >= 0 && conflictC >= nofConflicts {
-			s.cancelUntil(s.assumptionLevel())
-			return Unknown
-		}
-		if s.stopRequested(false) {
-			return Unknown
-		}
-		if s.maxLearnts > 0 && float64(len(s.learnts)) >= s.maxLearnts+float64(len(s.trail)) {
-			s.reduceDB()
-		}
-		// Assumptions as pseudo-decisions.
-		next := lit(0)
-		for s.decisionLevel() < len(s.assumptions) {
-			p := s.assumptions[s.decisionLevel()]
-			switch s.litValue(p) {
-			case lTrue:
-				s.newDecisionLevel() // already satisfied; dummy level
-			case lFalse:
-				s.analyzeFinal(p.neg())
-				return Unsat
-			default:
-				next = p
-			}
-			if next != 0 {
-				break
-			}
-		}
-		if next == 0 {
-			next = s.pickBranchLit()
-			if next == 0 {
-				return Sat // all variables assigned
-			}
-		}
-		s.newDecisionLevel()
-		s.uncheckedEnqueue(next, reasonUndef)
-	}
-}
-
-func (s *Solver) assumptionLevel() int {
-	if len(s.assumptions) < s.decisionLevel() {
-		return len(s.assumptions)
-	}
-	return s.decisionLevel()
-}
-
-// conflictBudgetSpent reports whether the per-call conflict budget is used
-// up. The budget counts from budgetStart, not zero — the solver may have
-// been reused across many Solve calls.
-func (s *Solver) conflictBudgetSpent() bool {
-	return s.conflictBudget >= 0 && s.conflicts-s.budgetStart >= s.conflictBudget
-}
-
-// ctxPollMask samples the context once per 256 poll calls in the search hot
-// path; at typical CDCL iteration rates this bounds the cancellation latency
-// to well under a millisecond while keeping ctx.Err out of the inner loop.
-const ctxPollMask = 255
-
-// stopRequested is the single budget/cancellation poll shared by every stop
-// point: it checks the per-call conflict budget unconditionally and the
-// context at a sampled cadence (every stop point used to roll its own
-// cadence; now they all go through here). force bypasses the sampling — used
-// at restart boundaries, where the check is off the hot path — and records
-// the cause of the stop for StopCause.
-func (s *Solver) stopRequested(force bool) bool {
-	if s.conflictBudgetSpent() {
-		s.stopCause = StopConflictBudget
-		return true
-	}
-	if s.ctx == nil {
-		return false
-	}
-	if !force {
-		s.checkCnt++
-		if s.checkCnt&ctxPollMask != 0 {
-			return false
-		}
-	}
-	err := s.ctx.Err()
-	if err == nil {
-		return false
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		s.stopCause = StopDeadline
-	} else {
-		s.stopCause = StopCanceled
-	}
-	return true
-}
-
-// luby computes the Luby restart sequence value for 0-based index x
-// (1, 1, 2, 1, 1, 2, 4, …), following the standard MiniSat formulation.
-func luby(x int64) int64 {
-	size, seq := int64(1), 0
-	for size < x+1 {
-		seq++
-		size = 2*size + 1
-	}
-	for size-1 != x {
-		size = (size - 1) / 2
-		seq--
-		x %= size
-	}
-	return int64(1) << uint(seq)
-}
-
-// simplifyDB removes clauses satisfied at the top level and strips false
-// literals from the remainder — MiniSat's top-level simplification. Must be
-// called at decision level 0.
-func (s *Solver) simplifyDB() {
-	if !s.ok || s.decisionLevel() != 0 || s.qhead < len(s.trail) {
-		return
-	}
-	if len(s.trail) == s.simpLastTrail {
-		return // nothing new fixed since the last pass
-	}
-	s.clauses = s.simplifyList(s.clauses)
-	if s.ok {
-		s.learnts = s.simplifyList(s.learnts)
-	}
-	s.simpLastTrail = len(s.trail)
-	s.maybeGC()
-}
-
-func (s *Solver) simplifyList(cs []cref) []cref {
-	kept := cs[:0]
-	for _, c := range cs {
-		if !s.ok {
-			kept = append(kept, c)
-			continue
-		}
-		ls := s.claLits(c)
-		satisfied := false
-		for _, u := range ls {
-			if s.litValue(lit(u)) == lTrue {
-				satisfied = true
-				break
-			}
-		}
-		if satisfied {
-			s.removeClause(c)
-			continue
-		}
-		hasFalse := false
-		for _, u := range ls {
-			if s.litValue(lit(u)) == lFalse {
-				hasFalse = true
-				break
-			}
-		}
-		if !hasFalse {
-			kept = append(kept, c)
-			continue
-		}
-		// Strip false literals in place (beyond the two watched positions,
-		// any literal may be false at level 0); the tail words become dead.
-		s.detach(c)
-		j := 0
-		for _, u := range ls {
-			if s.litValue(lit(u)) != lFalse {
-				ls[j] = u
-				j++
-			}
-		}
-		s.wasted += len(ls) - j
-		s.claSetSize(c, j)
-		switch j {
-		case 0:
-			s.ok = false
-			s.freeClause(c) // header (+activity) words die too
-		case 1:
-			s.uncheckedEnqueue(lit(ls[0]), reasonUndef)
-			if s.propagate() != crefUndef {
-				s.ok = false
-			}
-			s.freeClause(c) // absorbed into the trail; clause is dead
-		default:
-			s.attach(c)
-			kept = append(kept, c)
-		}
-	}
-	return kept
 }
 
 // Solve determines satisfiability of the clause database.
@@ -1408,21 +988,13 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 		}
 	}
 	s.budgetStart = s.conflicts
-	var status Status = Unknown
-	for restart := int64(1); status == Unknown; restart++ {
-		if s.stopRequested(true) {
-			break
-		}
-		budget := luby(restart-1) * 100
-		status = s.search(budget)
-		if status == Unknown {
-			s.restarts++
-			// distinguish restart from budget exhaustion
-			if s.stopRequested(true) {
-				break
-			}
-		}
+	s.conflictsSinceRestart = 0
+	s.restartNum = 0
+	if s.stopRequested(true) {
+		s.cancelUntil(0)
+		return Unknown
 	}
+	status := s.search()
 	if status == Sat {
 		// keep trail for Model; caller must read before next Solve
 		return Sat
