@@ -13,7 +13,8 @@
 //
 //	benchrunner [-n 563] [-timeout 2s] [-seed 1] [-j 0] [-pp-workers 1]
 //	            [-engines expand,pedant,manthan3] [-sat-profile luby]
-//	            [-out bench/results] [-fig 6|7|8|9|10|all] [-table 1]
+//	            [-faults panic@1,budget@2] [-out bench/results]
+//	            [-fig 6|7|8|9|10|all] [-table 1]
 //	benchrunner -bench-out BENCH_5.json [-bench-count 3] [-bench-time 2s]
 //
 // -j sets the number of parallel engine-run workers (0 = NumCPU); the worker
@@ -23,10 +24,17 @@
 // the pedant Padoa pass). -engines overrides the competitor set with
 // comma-separated backend specs — plain registry names, seed-pinned
 // variants ("manthan3@7"), or portfolios ("portfolio:expand+cegar+manthan3")
-// — each reported like any other engine. -sat-profile selects the SAT
-// search profile every engine builds its solvers with (sat.ProfileOptions).
-// CSV data land in -out (results_raw.csv carries one per-phase column per
-// observed phase, preserved by -replay); ASCII renderings go to stdout.
+// — each reported like any other engine; the resilient dispatch forms
+// ("fallback:a>b" and "retry(k):spec") are valid specs too. -sat-profile
+// selects the SAT search profile every engine builds its solvers with
+// (sat.ProfileOptions). -faults arms a deterministic fault plan
+// (internal/faultinject) freshly per engine run, injecting panics, budget
+// errors, forced unknowns, cancellations, or stalls at chosen invocation
+// indices — the resilience layer must degrade every run to a classified
+// outcome instead of crashing the suite. CSV data land in -out
+// (results_raw.csv carries one per-phase column per observed phase plus a
+// dispatch-telemetry "attempts" column, both preserved by -replay); ASCII
+// renderings go to stdout.
 //
 // -bench-out switches to perf-trajectory mode: run the internal/sat and
 // internal/core micro-benchmarks -bench-count times each and write median
@@ -49,6 +57,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/bench"
+	"repro/internal/faultinject"
 	"repro/internal/gen"
 	"repro/internal/sat"
 )
@@ -67,6 +76,7 @@ func run() int {
 	ppWorkers := flag.Int("pp-workers", 1, "per-engine preprocessing workers (manthan3-family engines)")
 	enginesFlag := flag.String("engines", "", "comma-separated engine specs to race (default: the canonical set; accepts name@seed and portfolio:a+b+c)")
 	satProfile := flag.String("sat-profile", "", "SAT search profile for every engine-internal solver: "+strings.Join(sat.Profiles(), ", ")+" (empty = default)")
+	faults := flag.String("faults", "", "deterministic fault plan injected into every engine run (e.g. \"panic@1,budget@2,stall(5ms)@3\"; see internal/faultinject); a fresh plan is armed per run")
 	replay := flag.String("replay", "", "regenerate reports from a previous results_raw.csv instead of re-running")
 	benchOut := flag.String("bench-out", "", "run the internal/sat and internal/core micro-benchmarks and write median results as JSON to this file, then exit")
 	benchCount := flag.Int("bench-count", 3, "benchmark repetitions per micro-benchmark for -bench-out (medians are reported)")
@@ -83,6 +93,22 @@ func run() int {
 	if _, err := sat.ProfileOptions(*satProfile); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
+	}
+
+	var wrap func(backend.Backend) backend.Backend
+	if *faults != "" {
+		rules, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		faultSeed := *seed
+		// A fresh plan per engine run: every run sees the same deterministic
+		// fault schedule instead of the whole suite sharing one counter.
+		wrap = func(b backend.Backend) backend.Backend {
+			return faultinject.New(faultSeed, rules...).Backend(b)
+		}
+		fmt.Printf("fault injection armed: %s\n", faultinject.New(faultSeed, rules...))
 	}
 
 	var engines []string
@@ -132,7 +158,7 @@ func run() int {
 		results = bench.RunSuite(suite, bench.Options{
 			Timeout: *timeout, Seed: *seed, Workers: workers,
 			Engines: engines, PreprocWorkers: *ppWorkers,
-			SATProfile: *satProfile,
+			SATProfile: *satProfile, WrapBackend: wrap,
 		})
 		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
@@ -231,7 +257,7 @@ const phaseColPrefix = "phase:"
 func writeResultsCSV(w io.Writer, results []bench.RunResult) error {
 	phaseNames := bench.PhaseNames(results)
 	cw := csv.NewWriter(w)
-	header := []string{"instance", "family", "engine", "outcome", "seconds", "detail"}
+	header := []string{"instance", "family", "engine", "outcome", "seconds", "detail", attemptsCol}
 	for _, name := range phaseNames {
 		header = append(header, phaseColPrefix+name)
 	}
@@ -242,6 +268,7 @@ func writeResultsCSV(w io.Writer, results []bench.RunResult) error {
 		rec := []string{
 			r.Instance, r.Family, r.Engine, r.Outcome.String(),
 			strconv.FormatFloat(r.Duration.Seconds(), 'f', 4, 64), r.Detail,
+			formatAttemptsCell(r.Attempts),
 		}
 		for _, name := range phaseNames {
 			rec = append(rec, formatPhaseCell(r.Phases, name))
@@ -252,6 +279,57 @@ func writeResultsCSV(w io.Writer, results []bench.RunResult) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// attemptsCol is the dispatch-telemetry column of results_raw.csv: one
+// space-separated "engine outcome seconds retries" entry per member
+// invocation, ";"-joined (engine specs never contain spaces or
+// semicolons). Discovered from the header like the phase columns, so
+// replays of older CSVs keep working.
+const attemptsCol = "attempts"
+
+// formatAttemptsCell renders the dispatch telemetry of one run; "" for bare
+// engines.
+func formatAttemptsCell(attempts []backend.AttemptStat) string {
+	if len(attempts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attempts))
+	for i, a := range attempts {
+		parts[i] = fmt.Sprintf("%s %s %s %d",
+			a.Engine, a.Outcome,
+			strconv.FormatFloat(a.Duration.Seconds(), 'f', 6, 64), a.Retries)
+	}
+	return strings.Join(parts, ";")
+}
+
+// parseAttemptsCell is formatAttemptsCell's inverse.
+func parseAttemptsCell(cell string) ([]backend.AttemptStat, error) {
+	if cell == "" {
+		return nil, nil
+	}
+	var out []backend.AttemptStat
+	for _, part := range strings.Split(cell, ";") {
+		fields := strings.Fields(part)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("want \"engine outcome seconds retries\", got %q", part)
+		}
+		sec, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, err
+		}
+		retries, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, backend.AttemptStat{
+			Engine:   fields[0],
+			Outcome:  fields[1],
+			Duration: time.Duration(sec * float64(time.Second)),
+			Retries:  retries,
+		})
+	}
+	return out, nil
 }
 
 // formatPhaseCell renders one phase's cell as "<seconds>/<calls>", or ""
@@ -317,10 +395,14 @@ func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
 		name string
 	}
 	var phaseCols []phaseCol
+	attemptsIdx := -1
 	if len(rows) > 0 {
 		for idx, col := range rows[0] {
 			if name, ok := strings.CutPrefix(col, phaseColPrefix); ok {
 				phaseCols = append(phaseCols, phaseCol{idx: idx, name: name})
+			}
+			if col == attemptsCol {
+				attemptsIdx = idx
 			}
 		}
 	}
@@ -355,6 +437,13 @@ func readResults(rd io.Reader, path string) ([]bench.RunResult, error) {
 		}
 		if len(row) > 5 {
 			rr.Detail = row[5]
+		}
+		if attemptsIdx >= 0 && attemptsIdx < len(row) {
+			rr.Attempts, err = parseAttemptsCell(row[attemptsIdx])
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d: bad attempts cell %q: %v",
+					path, i+1, row[attemptsIdx], err)
+			}
 		}
 		for _, pc := range phaseCols {
 			if pc.idx >= len(row) || row[pc.idx] == "" {

@@ -134,3 +134,64 @@ func TestResultsCSVRoundTripHostilePhases(t *testing.T) {
 		t.Fatal("malformed phase cell replayed without error")
 	}
 }
+
+// TestResultsCSVRoundTripAttempts: the dispatch-telemetry "attempts" column
+// must survive the replay round-trip — composed engine specs (with '@', ':',
+// parens) and retry rounds included — and rows without attempts must stay
+// empty. Malformed cells fail loudly.
+func TestResultsCSVRoundTripAttempts(t *testing.T) {
+	attempts := []backend.AttemptStat{
+		{Engine: "retry(2):manthan3", Outcome: "budget", Duration: 125 * time.Millisecond, Retries: 0},
+		{Engine: "manthan3@1", Outcome: "ok", Duration: 250 * time.Millisecond, Retries: 1},
+		{Engine: "portfolio(expand+cegar)", Outcome: "canceled", Duration: time.Millisecond},
+	}
+	in := []bench.RunResult{
+		{
+			Instance: "inst_a", Family: "fam", Engine: "retry(2):manthan3",
+			Outcome: bench.Synthesized, Duration: time.Second, Attempts: attempts,
+		},
+		{
+			Instance: "inst_b", Family: "fam", Engine: "manthan3",
+			Outcome: bench.TimedOut, Duration: 2 * time.Second,
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeResultsCSV(&buf, in); err != nil {
+		t.Fatalf("writeResultsCSV: %v", err)
+	}
+	got, err := readResults(bytes.NewReader(buf.Bytes()), "buf")
+	if err != nil {
+		t.Fatalf("readResults: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("round-trip row count: %d", len(got))
+	}
+	if len(got[0].Attempts) != len(attempts) {
+		t.Fatalf("attempts lost: %+v", got[0].Attempts)
+	}
+	for i, want := range attempts {
+		g := got[0].Attempts[i]
+		if g.Engine != want.Engine || g.Outcome != want.Outcome || g.Retries != want.Retries {
+			t.Fatalf("attempt %d corrupted: got %+v want %+v", i, g, want)
+		}
+		if d := g.Duration - want.Duration; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("attempt %d duration drifted: got %v want %v", i, g.Duration, want.Duration)
+		}
+	}
+	if len(got[1].Attempts) != 0 {
+		t.Fatalf("bare run grew attempts: %+v", got[1].Attempts)
+	}
+	// Stability: re-writing the replayed results reproduces the bytes.
+	var buf2 bytes.Buffer
+	if err := writeResultsCSV(&buf2, got); err != nil {
+		t.Fatalf("writeResultsCSV (second pass): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("CSV not stable across replay:\n--- first ---\n%s\n--- second ---\n%s", buf.String(), buf2.String())
+	}
+
+	corrupt := strings.Replace(buf.String(), "budget", "", 1)
+	if _, err := readResults(strings.NewReader(corrupt), "buf"); err == nil {
+		t.Fatal("malformed attempts cell replayed without error")
+	}
+}

@@ -12,19 +12,27 @@
 //
 // -timeout bounds the whole synthesis through a context threaded into every
 // engine's SAT search loops, so expiry interrupts a run promptly.
-// -engine accepts any backend spec: a registry name, a seed-pinned variant
-// ("manthan3@7"), or a portfolio ("portfolio:expand+cegar+manthan3").
-// -portfolio races the named backends (comma-separated specs) under one
-// context: the first definitive answer (functions or a False proof) wins
-// and the losers are canceled; it overrides -engine. -j bounds
-// engine-internal parallelism (the manthan3 learn phase; 0 = NumCPU) and
-// -pp-workers its preprocessing worker pool (0 = NumCPU; the same flag
-// drives the pedant Padoa pass). -sat-profile selects the SAT search
-// profile — restart policy, learnt-tier cuts, minimization — every
-// engine-internal solver is built with (see sat.ProfileOptions; empty
-// means the tuned default). On success the
-// engine's per-phase telemetry is printed as `c stats: phases: …` —
-// name, wall-clock duration, and oracle calls per executed phase.
+// -engine accepts any backend spec (see internal/backend): a registry name,
+// a seed-pinned variant ("manthan3@7"), a portfolio racing members
+// concurrently ("portfolio:expand+cegar+manthan3"), a fallback chain trying
+// members sequentially and advancing only on non-definitive failure
+// ("fallback:cegar>manthan3"), or a budget-escalating retry loop
+// ("retry(2):manthan3"); retry composes with the others
+// ("retry(1):portfolio:a+b"). Every resolved spec runs under panic
+// isolation — an engine that panics yields a classified internal error
+// (exit 2), never a crash. -portfolio races the named backends
+// (comma-separated specs) under one context: the first definitive answer
+// (functions or a False proof) wins and the losers are canceled; it
+// overrides -engine. -j bounds engine-internal parallelism (the manthan3
+// learn phase; 0 = NumCPU) and -pp-workers its preprocessing worker pool
+// (0 = NumCPU; the same flag drives the pedant Padoa pass). -sat-profile
+// selects the SAT search profile — restart policy, learnt-tier cuts,
+// minimization — every engine-internal solver is built with (see
+// sat.ProfileOptions; empty means the tuned default). On success the
+// engine's per-phase telemetry is printed as `c stats: phases: …` — name,
+// wall-clock duration, and oracle calls per executed phase — and, for
+// composed dispatch (portfolio/fallback/retry), the member invocations as
+// `c stats: attempts: …` with each attempt's outcome class and duration.
 //
 // On True instances, the synthesized functions are printed one per line as
 // `y<var> := <expression>`; the exit status is 0. False instances report
@@ -60,7 +68,7 @@ func main() {
 }
 
 func run() int {
-	engine := flag.String("engine", "manthan3", "synthesis engine spec (also name@seed, portfolio:a+b+c): "+strings.Join(backend.Names(), ", "))
+	engine := flag.String("engine", "manthan3", "synthesis engine spec (also name@seed, portfolio:a+b+c, fallback:a>b, retry(k):spec): "+strings.Join(backend.Names(), ", "))
 	portfolio := flag.String("portfolio", "", "race a comma-separated list of engine specs, first definitive answer wins (overrides -engine)")
 	timeout := flag.Duration("timeout", 60*time.Second, "synthesis timeout (enforced via context cancellation)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -174,6 +182,19 @@ func run() int {
 			parts[i] = fmt.Sprintf("%s %.3fs/%d", p.Name, p.Duration.Seconds(), p.OracleCalls)
 		}
 		fmt.Printf("c stats: phases: %s\n", strings.Join(parts, ", "))
+	}
+	if len(res.Attempts) > 0 {
+		// Dispatch telemetry: every member invocation a portfolio, fallback
+		// chain, or retry loop made on the way to this answer, in
+		// chronological order.
+		parts := make([]string, len(res.Attempts))
+		for i, a := range res.Attempts {
+			parts[i] = fmt.Sprintf("%s %s %.3fs", a.Engine, a.Outcome, a.Duration.Seconds())
+			if a.Retries > 0 {
+				parts[i] += fmt.Sprintf(" (retry %d)", a.Retries)
+			}
+		}
+		fmt.Printf("c stats: attempts: %s\n", strings.Join(parts, ", "))
 	}
 
 	if prep != nil {

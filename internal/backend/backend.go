@@ -1,13 +1,41 @@
 // Package backend defines the pluggable synthesis-backend abstraction shared
-// by every engine entry point in the repository.
+// by every engine entry point in the repository, plus the resilience layer —
+// panic isolation, fallback chains, budget-escalating retries — that keeps
+// one misbehaving engine from taking down a dispatch.
 //
 // A Backend wraps one Henkin-function synthesizer behind a uniform,
 // context-aware interface. Engines register themselves (in their package
 // init) into a process-global registry under a stable name — "manthan3",
 // "expand", "expand-iter", "cegar", "pedant" — and cmd/manthan3,
-// cmd/benchrunner, and internal/bench all dispatch through Get/Names instead
+// cmd/benchrunner, and internal/bench all dispatch through Resolve instead
 // of maintaining their own engine switches. Adding an engine is therefore
 // one Register call; every front end picks it up automatically.
+//
+// # Spec grammar
+//
+// Resolve parses one uniform engine-spec grammar shared by every front end
+// (-engine and -portfolio on cmd/manthan3, -engines on cmd/benchrunner,
+// internal/bench):
+//
+//	name                 plain registry lookup ("manthan3")
+//	name@seed            seed pinned per run ("manthan3@7"); the pinned
+//	                     backend's Name() is the full spec, so one engine can
+//	                     race itself under distinct seeds
+//	portfolio:a+b+c      race the members concurrently; first DEFINITIVE
+//	                     answer (vector or False proof) wins, losers are
+//	                     canceled (see Portfolio)
+//	fallback:a>b>c       try the members sequentially; advance to the next
+//	                     only on a NON-definitive failure, under the
+//	                     remaining context deadline (see Fallback)
+//	retry(k):spec        run spec, re-running up to k extra times on
+//	                     ErrBudget with an escalating conflict budget and a
+//	                     perturbed seed (see Retry)
+//
+// Specs compose: portfolio and fallback members may carry @seed pins or
+// retry(k): prefixes, and retry can wrap a portfolio or fallback chain
+// ("retry(2):fallback:manthan3>pedant"). Portfolios and fallbacks do not
+// nest inside themselves or each other — the flat forms cover the useful
+// shapes and keep failure semantics legible.
 //
 // # Error taxonomy
 //
@@ -15,17 +43,31 @@
 // package's shared ones, so callers classify outcomes with errors.Is without
 // importing any engine:
 //
-//   - ErrFalse: the instance is proved False (a definitive answer, like a
-//     synthesized vector).
-//   - ErrIncomplete: the engine gave up due to a documented incompleteness.
-//   - ErrTooLarge: the instance exceeds the engine's structural size limits.
-//   - ErrUnsupported: the instance shape is outside the engine's fragment
-//     (e.g. cegar on a non-Skolem DQBF).
-//   - ErrBudget: a time/conflict/iteration budget — including the context
-//     deadline — expired.
-//   - ErrCanceled: the caller canceled the context mid-run.
+//	sentinel        meaning                                      definitive?
+//	ErrFalse        the instance is proved False                 yes
+//	ErrIncomplete   documented incompleteness; engine gave up    no
+//	ErrTooLarge     instance exceeds engine size limits          no
+//	ErrUnsupported  instance shape outside the engine fragment   no
+//	ErrBudget       time/conflict/iteration budget expired       no
+//	ErrCanceled     caller canceled the context mid-run          no
+//	ErrInternal     the engine panicked (isolated by recover)    no
 //
-// The original engine error stays in the wrapped chain.
+// "Definitive" outcomes — a synthesized vector or ErrFalse — answer the
+// instance; everything else is a failure to answer, which fallback chains
+// advance past, retries re-attempt (ErrBudget only), and portfolios never
+// let win. The original engine error (and, for ErrInternal, the panic value
+// and stack) stays in the wrapped chain.
+//
+// # Panic isolation
+//
+// Resolve wraps every backend it returns in Protect, and Portfolio,
+// Fallback, and Retry guard each member invocation the same way: a panic
+// inside an engine is recovered and mapped to ErrInternal instead of
+// crashing the process, so a broken engine degrades the dispatch (the
+// portfolio loses a member, the fallback advances) rather than killing it.
+// Engines with internal worker pools additionally recover inside each
+// worker goroutine — a recover at the dispatch boundary cannot catch a
+// panic on another goroutine.
 //
 // # Cancellation
 //
@@ -35,6 +77,14 @@
 // it races k backends under one derived context, returns the first
 // definitive answer, and cancels the losers — see Portfolio for the exact
 // semantics.
+//
+// # Dispatch telemetry
+//
+// Result.Attempts records one AttemptStat per engine invocation the
+// dispatch made — which engine, how it ended (Classify), how long it took,
+// and which retry round it was — so graceful degradation is measured, not
+// assumed: internal/bench carries the attempts into results_raw.csv and the
+// markdown report renders a dispatch-resilience table from them.
 package backend
 
 import (
@@ -56,6 +106,11 @@ var (
 	ErrUnsupported = errors.New("backend: instance shape not supported by this engine")
 	ErrBudget      = errors.New("backend: budget exhausted")
 	ErrCanceled    = errors.New("backend: synthesis canceled")
+	// ErrInternal means the engine panicked; the recover that isolated it
+	// wraps the panic value and goroutine stack into the chain. It is a
+	// non-definitive failure: fallback chains advance past it and portfolios
+	// never let it win.
+	ErrInternal = errors.New("backend: engine internal error (panic)")
 )
 
 // An ErrorClass pairs one engine-specific sentinel error with the shared
@@ -97,10 +152,22 @@ type Options struct {
 	// tuned adaptive default, "luby", "incremental", or "longrun". Engines
 	// reject unknown names.
 	SATProfile string
+	// SATConflictBudget bounds each engine-internal SAT oracle call in
+	// conflicts; 0 means the engine's own default (DefaultSATConflictBudget
+	// for the engines that bound per-call effort). Retry escalates it
+	// between attempts so a budget-limited solve gets genuinely more search
+	// on the re-run, not just another roll of the dice.
+	SATConflictBudget int64
 	// Logf, when non-nil, receives progress trace lines from engines that
 	// support tracing; nil disables tracing.
 	Logf func(format string, args ...any)
 }
+
+// DefaultSATConflictBudget is the per-oracle-call conflict budget the
+// budget-bounded engines (manthan3, cegar, pedant) fall back to when
+// Options.SATConflictBudget is zero. Retry's escalation schedule starts
+// from it.
+const DefaultSATConflictBudget = 500000
 
 // Result is a successful synthesis outcome.
 type Result struct {
@@ -113,6 +180,12 @@ type Result struct {
 	// one entry per executed phase, non-zero durations, canonical names —
 	// see the Phase* constants); the portfolio reports the winner's phases.
 	Phases []PhaseStat
+	// Attempts is the dispatch telemetry: one entry per engine invocation
+	// made on the way to this result, in invocation order — every portfolio
+	// member, every fallback link tried, every retry round. A bare engine
+	// run has none (the dispatch made no resilience decisions). See
+	// AttemptStat.
+	Attempts []AttemptStat
 }
 
 // Backend is one registered Henkin-function synthesis engine.
@@ -150,9 +223,14 @@ var (
 )
 
 // Register makes b available under b.Name(). Engines call it from package
-// init; registering two backends under one name is a programming error and
-// panics.
+// init; registering a nil backend, an empty name, or two backends under one
+// name is a programming error and panics with a message naming the
+// conflict — a silent overwrite would be a latent init-order bug, with the
+// surviving engine decided by package import order.
 func Register(b Backend) {
+	if b == nil {
+		panic("backend: Register(nil)")
+	}
 	regMu.Lock()
 	defer regMu.Unlock()
 	name := b.Name()

@@ -1,0 +1,99 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dqbf"
+)
+
+// Fallback returns a Backend that tries the given backends sequentially:
+// the first member runs first, and the chain advances to the next member
+// only on a NON-definitive failure — budget exhaustion, documented
+// incompleteness, size limits, an unsupported fragment, or an internal
+// panic (isolated via SafeSynthesize). A definitive outcome — a synthesized
+// vector or a False proof (ErrFalse) — ends the chain immediately, as does
+// cancellation of the caller's context (the chain never "falls back" past
+// the caller's own deadline; later members see whatever deadline remains).
+//
+// Compared with Portfolio, a fallback chain spends the whole budget on its
+// preferred member instead of splitting the machine k ways, at the price of
+// serial latency when the early members fail. Use it when the members are
+// ordered by trust or cost — a fast incomplete engine backed by a slower
+// complete one.
+//
+// When no member answers, the merged error lists every member's classified
+// outcome and follows the most actionable class for errors.Is (see
+// mergeOutcomes). The winner's Result carries one AttemptStat per member
+// tried; a chain whose first member succeeds returns that member's Result
+// with only the attempt record added, so a no-failure fallback is
+// observationally the bare engine.
+func Fallback(members ...Backend) Backend {
+	return &fallback{members: members}
+}
+
+type fallback struct {
+	members []Backend
+}
+
+// Name lists the member names, e.g. "fallback(manthan3>pedant)".
+func (f *fallback) Name() string {
+	names := make([]string, len(f.members))
+	for i, b := range f.members {
+		names[i] = b.Name()
+	}
+	return "fallback(" + strings.Join(names, ">") + ")"
+}
+
+func (f *fallback) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	if len(f.members) == 0 {
+		return nil, fmt.Errorf("%w: empty fallback chain", ErrUnsupported)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := make([]AttemptStat, 0, len(f.members))
+	errs := make([]error, 0, len(f.members))
+	names := make([]string, 0, len(f.members))
+	for i, b := range f.members {
+		if err := ctx.Err(); err != nil {
+			// The caller's context is gone; surface the chain's progress so
+			// far rather than charging a fresh member with the cancellation.
+			return nil, fmt.Errorf("%s: %w: %w", f.Name(), ErrCanceled, err)
+		}
+		start := time.Now()
+		res, err := SafeSynthesize(ctx, b, in, opts)
+		attempts = append(attempts, AttemptStat{
+			Engine:   b.Name(),
+			Outcome:  Classify(err),
+			Duration: time.Since(start),
+		})
+		if err == nil {
+			out := *res
+			// Chronological attempt order: earlier members' failures, then
+			// any attempts the winning member made internally (a nested
+			// retry's rounds), then the winner's own record.
+			winner := attempts[len(attempts)-1]
+			merged := append(attempts[:len(attempts)-1:len(attempts)-1], res.Attempts...)
+			out.Attempts = append(merged, winner)
+			if i > 0 {
+				out.Stats = fmt.Sprintf("fallback=%s; %s", b.Name(), res.Stats)
+			}
+			return &out, nil
+		}
+		if errors.Is(err, ErrFalse) {
+			return nil, fmt.Errorf("%s: %w", b.Name(), err)
+		}
+		names = append(names, b.Name())
+		errs = append(errs, err)
+		if errors.Is(err, ErrCanceled) && ctx.Err() != nil {
+			// Our own context died mid-member: advancing would just burn the
+			// remaining members on instant cancellations.
+			return nil, mergeOutcomes("fallback", names, errs)
+		}
+	}
+	return nil, mergeOutcomes("fallback", names, errs)
+}

@@ -2,9 +2,9 @@ package backend
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/dqbf"
 )
@@ -14,14 +14,21 @@ import (
 // DEFINITIVE answer — a synthesized vector or a False proof (ErrFalse) —
 // wins, and the remaining members are canceled through the shared derived
 // context. Non-definitive failures (budget, incompleteness, size limits,
-// unsupported fragment) never win; if no member produces a definitive
-// answer, the merged error reports the most actionable failure class across
-// members (budget first: more time might still help).
+// unsupported fragment, internal panics) never win; if no member produces a
+// definitive answer, the merged error lists every member's classified
+// outcome and follows the most actionable failure class for errors.Is
+// (budget first: more time might still help).
+//
+// Every member runs under panic isolation (SafeSynthesize): a member that
+// panics is recorded as an ErrInternal failure and merely drops out of the
+// race instead of crashing the process.
 //
 // Synthesize returns only after every member has exited, so the caller never
 // observes a racing goroutine; promptness therefore relies on the members'
 // own cancellation latency, which the context threading through the SAT
-// layer keeps in the milliseconds.
+// layer keeps in the milliseconds. The winner's Result carries one
+// AttemptStat per member (in member order) — the losers' outcomes are the
+// cost of the race and belong in the dispatch telemetry.
 //
 // Racing members share the instance; engines treat instances as read-only,
 // which makes that safe.
@@ -56,27 +63,45 @@ func (p *portfolio) Synthesize(ctx context.Context, in *dqbf.Instance, opts Opti
 		idx int
 		res *Result
 		err error
+		dur time.Duration
 	}
 	ch := make(chan outcome, len(p.members))
 	for i, b := range p.members {
 		go func(i int, b Backend) {
-			res, err := b.Synthesize(ctx, in, opts)
-			ch <- outcome{idx: i, res: res, err: err}
+			start := time.Now()
+			// SafeSynthesize: a panicking member must not kill the process —
+			// and a bare panic in a goroutine cannot be recovered anywhere
+			// else.
+			res, err := SafeSynthesize(ctx, b, in, opts)
+			ch <- outcome{idx: i, res: res, err: err, dur: time.Since(start)}
 		}(i, b)
 	}
 
 	errs := make([]error, len(p.members))
+	durs := make([]time.Duration, len(p.members))
 	var winner *outcome
 	for remaining := len(p.members); remaining > 0; remaining-- {
 		o := <-ch
 		errs[o.idx] = o.err
-		if winner == nil && (o.err == nil || errors.Is(o.err, ErrFalse)) {
+		durs[o.idx] = o.dur
+		if winner == nil && definitive(o.err) {
 			winner = &o
 			cancel() // stop the losers; keep draining until all have exited
 		}
 	}
 	if winner == nil {
-		return nil, p.mergeErrors(errs)
+		names := make([]string, len(p.members))
+		for i, b := range p.members {
+			names[i] = b.Name()
+		}
+		return nil, mergeOutcomes("portfolio", names, errs)
+	}
+	// Attempt telemetry in member order: the winner plus every loser's
+	// classified outcome (the losers typically read "canceled" — the cost of
+	// losing the race — but a panicked member shows up as "internal").
+	attempts := make([]AttemptStat, len(p.members))
+	for i, b := range p.members {
+		attempts[i] = AttemptStat{Engine: b.Name(), Outcome: Classify(errs[i]), Duration: durs[i]}
 	}
 	if winner.err != nil {
 		return nil, fmt.Errorf("%s: %w", p.members[winner.idx].Name(), winner.err)
@@ -84,19 +109,7 @@ func (p *portfolio) Synthesize(ctx context.Context, in *dqbf.Instance, opts Opti
 	// The copy carries the winner's Phases, so a portfolio reports per-phase
 	// telemetry exactly like the engine that actually answered.
 	res := *winner.res
+	res.Attempts = append(append([]AttemptStat(nil), winner.res.Attempts...), attempts...)
 	res.Stats = fmt.Sprintf("winner=%s; %s", p.members[winner.idx].Name(), winner.res.Stats)
 	return &res, nil
-}
-
-// mergeErrors picks the failure class to surface when nobody answered,
-// in decreasing order of actionability for the caller.
-func (p *portfolio) mergeErrors(errs []error) error {
-	for _, kind := range []error{ErrBudget, ErrCanceled, ErrIncomplete, ErrTooLarge, ErrUnsupported} {
-		for i, err := range errs {
-			if errors.Is(err, kind) {
-				return fmt.Errorf("portfolio: no definitive answer: %s: %w", p.members[i].Name(), err)
-			}
-		}
-	}
-	return fmt.Errorf("portfolio: no definitive answer: %w", errors.Join(errs...))
 }

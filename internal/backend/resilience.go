@@ -1,0 +1,136 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"repro/internal/dqbf"
+)
+
+// SafeSynthesize invokes b.Synthesize with panic isolation: a panic inside
+// the engine is recovered and returned as an ErrInternal wrapping the panic
+// value, the engine's name, and the goroutine stack, so a broken engine
+// produces a classified failure instead of crashing the process. Portfolio,
+// Fallback, and Retry call their members through it, and Protect wraps a
+// whole Backend in it for direct dispatch.
+func SafeSynthesize(ctx context.Context, b Backend, in *dqbf.Instance, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("%w: engine %q panicked: %v\n%s",
+				ErrInternal, b.Name(), r, debug.Stack())
+		}
+	}()
+	return b.Synthesize(ctx, in, opts)
+}
+
+// Protect returns b with its Synthesize wrapped in SafeSynthesize. Resolve
+// protects every backend it returns, so all front-end dispatch — direct,
+// portfolio, fallback, retry — runs under panic isolation. Protecting an
+// already-protected backend is harmless (the inner recover fires first).
+func Protect(b Backend) Backend {
+	if _, ok := b.(*protected); ok {
+		return b
+	}
+	return &protected{base: b}
+}
+
+type protected struct {
+	base Backend
+}
+
+func (p *protected) Name() string { return p.base.Name() }
+
+func (p *protected) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	return SafeSynthesize(ctx, p.base, in, opts)
+}
+
+// AttemptStat is one entry of the dispatch telemetry: a single engine
+// invocation made by a portfolio, fallback chain, or retry loop, with how
+// it ended. The resilience layer records one per invocation in
+// Result.Attempts so graceful degradation shows up in the benchmark CSV and
+// report instead of being assumed.
+type AttemptStat struct {
+	// Engine is the invoked backend's Name() (a full spec for composed
+	// members, e.g. "manthan3@7").
+	Engine string
+	// Outcome classifies how the invocation ended — see Classify.
+	Outcome string
+	// Duration is the invocation's wall-clock time.
+	Duration time.Duration
+	// Retries is the retry round the invocation belonged to: 0 for a first
+	// try, k for the k-th budget-escalated re-run.
+	Retries int
+}
+
+// Outcome classes reported in AttemptStat.Outcome (see Classify).
+const (
+	OutcomeOK          = "ok"
+	OutcomeFalse       = "false"
+	OutcomeBudget      = "budget"
+	OutcomeCanceled    = "canceled"
+	OutcomeIncomplete  = "incomplete"
+	OutcomeTooLarge    = "too-large"
+	OutcomeUnsupported = "unsupported"
+	OutcomeInternal    = "internal"
+	OutcomeError       = "error"
+)
+
+// Classify names err's place in the shared taxonomy: "ok" for nil,
+// the sentinel's class for taxonomy errors, and "error" for anything
+// unclassified. The strings are stable — they land in results_raw.csv.
+func Classify(err error) string {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, ErrFalse):
+		return OutcomeFalse
+	case errors.Is(err, ErrBudget):
+		return OutcomeBudget
+	case errors.Is(err, ErrCanceled):
+		return OutcomeCanceled
+	case errors.Is(err, ErrIncomplete):
+		return OutcomeIncomplete
+	case errors.Is(err, ErrTooLarge):
+		return OutcomeTooLarge
+	case errors.Is(err, ErrUnsupported):
+		return OutcomeUnsupported
+	case errors.Is(err, ErrInternal):
+		return OutcomeInternal
+	}
+	return OutcomeError
+}
+
+// definitive reports whether an outcome answers the instance: a result
+// (err == nil) or a False proof. Everything else is a failure to answer —
+// fallback chains advance past it and portfolios never let it win.
+func definitive(err error) bool {
+	return err == nil || errors.Is(err, ErrFalse)
+}
+
+// mergeOutcomes builds the all-members-failed error for Portfolio and
+// Fallback: the text lists EVERY member's classified outcome so operators
+// see the full failure picture, while errors.Is classification follows the
+// most actionable class present — budget first (more time might still
+// help), then cancellation, incompleteness, size, fragment, and internal
+// panics last (no knob fixes those).
+func mergeOutcomes(kind string, names []string, errs []error) error {
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s: %s", name, Classify(errs[i]))
+	}
+	summary := strings.Join(parts, "; ")
+	for _, class := range []error{ErrBudget, ErrCanceled, ErrIncomplete, ErrTooLarge, ErrUnsupported, ErrInternal} {
+		for i, err := range errs {
+			if errors.Is(err, class) {
+				return fmt.Errorf("%s: no definitive answer [%s]: %s: %w",
+					kind, summary, names[i], err)
+			}
+		}
+	}
+	return fmt.Errorf("%s: no definitive answer [%s]: %w", kind, summary, errors.Join(errs...))
+}

@@ -1,0 +1,331 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dqbf"
+)
+
+func TestRegisterNilPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Register(nil) did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "Register(nil)") {
+			t.Fatalf("panic message unclear: %v", r)
+		}
+	}()
+	Register(nil)
+}
+
+// panicky returns a Backend that always panics.
+func panicky(name string) Backend {
+	return NewFunc(name, func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+		panic("kaboom: " + name)
+	})
+}
+
+func TestSafeSynthesizeRecoversPanic(t *testing.T) {
+	b := panicky("exploder")
+	_, err := SafeSynthesize(context.Background(), b, dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+	for _, want := range []string{"exploder", "kaboom"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestProtectIsIdempotent(t *testing.T) {
+	b := Protect(fake("test-protect", 0, &Result{}, nil, nil))
+	if Protect(b) != b {
+		t.Fatal("double Protect created a second wrapper")
+	}
+	if b.Name() != "test-protect" {
+		t.Fatalf("Protect changed the name: %q", b.Name())
+	}
+}
+
+func TestPortfolioSurvivesPanickingMember(t *testing.T) {
+	p := Portfolio(panicky("bad"), fake("good", time.Millisecond, &Result{Stats: "ok"}, nil, nil))
+	res, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err != nil {
+		t.Fatalf("portfolio with one panicking member failed: %v", err)
+	}
+	if !strings.HasPrefix(res.Stats, "winner=good") {
+		t.Fatalf("wrong winner: %q", res.Stats)
+	}
+	// The panicked member must appear in the attempt telemetry as internal.
+	found := false
+	for _, a := range res.Attempts {
+		if a.Engine == "bad" && a.Outcome == OutcomeInternal {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("panicked member missing from attempts: %+v", res.Attempts)
+	}
+}
+
+func TestFallbackAdvancesOnNonDefinitiveFailure(t *testing.T) {
+	quitter := fake("quitter", 0, nil, ErrIncomplete, nil)
+	solver := fake("solver", 0, &Result{Stats: "solved"}, nil, nil)
+	f := Fallback(quitter, solver)
+	if got := f.Name(); got != "fallback(quitter>solver)" {
+		t.Fatalf("Name: %q", got)
+	}
+	res, err := f.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err != nil {
+		t.Fatalf("fallback failed: %v", err)
+	}
+	if !strings.HasPrefix(res.Stats, "fallback=solver; ") {
+		t.Fatalf("stats missing fallback prefix: %q", res.Stats)
+	}
+	if len(res.Attempts) != 2 ||
+		res.Attempts[0].Outcome != OutcomeIncomplete || res.Attempts[1].Outcome != OutcomeOK {
+		t.Fatalf("attempts wrong: %+v", res.Attempts)
+	}
+}
+
+func TestFallbackStopsOnDefinitiveFalse(t *testing.T) {
+	falsifier := fake("falsifier", 0, nil, fmt.Errorf("%w: proof", ErrFalse), nil)
+	var ran atomic.Bool
+	next := NewFunc("next", func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+		ran.Store(true)
+		return &Result{}, nil
+	})
+	_, err := Fallback(falsifier, next).Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrFalse) {
+		t.Fatalf("want ErrFalse, got %v", err)
+	}
+	if ran.Load() {
+		t.Fatal("fallback advanced past a definitive False proof")
+	}
+}
+
+func TestFallbackFirstMemberUnmodified(t *testing.T) {
+	// A fallback whose first member answers must be observationally the bare
+	// engine: same Result, no prefixes, no attempt records beyond its own.
+	base := fake("base", 0, &Result{Stats: "base stats"}, nil, nil)
+	res, err := Fallback(base, fake("unused", 0, nil, ErrBudget, nil)).
+		Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != "base stats" {
+		t.Fatalf("first-member success altered stats: %q", res.Stats)
+	}
+}
+
+func TestFallbackAllFailMergesOutcomes(t *testing.T) {
+	f := Fallback(
+		fake("a", 0, nil, ErrIncomplete, nil),
+		fake("b", 0, nil, ErrBudget, nil),
+		panicky("c"),
+	)
+	_, err := f.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err == nil {
+		t.Fatal("all-fail fallback succeeded")
+	}
+	// Every member's classified outcome must be in the text...
+	for _, want := range []string{"a: incomplete", "b: budget", "c: internal"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("merged error missing %q: %v", want, err)
+		}
+	}
+	// ...and the most actionable class (budget) must classify the whole.
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget classification, got %v", err)
+	}
+}
+
+func TestPortfolioAllFailListsEveryOutcome(t *testing.T) {
+	p := Portfolio(
+		fake("left", 0, nil, ErrTooLarge, nil),
+		fake("right", 0, nil, ErrUnsupported, nil),
+	)
+	_, err := p.Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if err == nil {
+		t.Fatal("all-fail portfolio succeeded")
+	}
+	for _, want := range []string{"left: too-large", "right: unsupported"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("merged error missing %q: %v", want, err)
+		}
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge (most actionable present), got %v", err)
+	}
+}
+
+func TestRetryEscalatesOnBudget(t *testing.T) {
+	var calls atomic.Int64
+	var budgets []int64
+	var seeds []int64
+	b := NewFunc("flaky", func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+		n := calls.Add(1)
+		budgets = append(budgets, opts.SATConflictBudget)
+		seeds = append(seeds, opts.Seed)
+		if n < 3 {
+			return nil, fmt.Errorf("%w: try %d", ErrBudget, n)
+		}
+		return &Result{Stats: "finally"}, nil
+	})
+	r := Retry(3, b)
+	if got := r.Name(); got != "retry(3):flaky" {
+		t.Fatalf("Name: %q", got)
+	}
+	res, err := r.Synthesize(context.Background(), dqbf.NewInstance(), Options{Seed: 10})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if !strings.HasPrefix(res.Stats, "retries=2; ") {
+		t.Fatalf("stats missing retries prefix: %q", res.Stats)
+	}
+	// Round 0 unmodified; rounds 1..: 4× budget per round from the default,
+	// seed perturbed by the round number.
+	wantBudgets := []int64{0, DefaultSATConflictBudget << 2, DefaultSATConflictBudget << 4}
+	wantSeeds := []int64{10, 11, 12}
+	for i := range wantBudgets {
+		if budgets[i] != wantBudgets[i] {
+			t.Fatalf("round %d budget: got %d want %d", i, budgets[i], wantBudgets[i])
+		}
+		if seeds[i] != wantSeeds[i] {
+			t.Fatalf("round %d seed: got %d want %d", i, seeds[i], wantSeeds[i])
+		}
+	}
+	if len(res.Attempts) != 3 || res.Attempts[2].Retries != 2 {
+		t.Fatalf("attempts wrong: %+v", res.Attempts)
+	}
+}
+
+func TestRetryDoesNotRetryNonBudget(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"incomplete", ErrIncomplete},
+		{"false", ErrFalse},
+		{"internal", nil}, // panicky: surfaces as ErrInternal
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var calls atomic.Int64
+			var b Backend
+			if tc.err == nil {
+				b = NewFunc("boom", func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+					calls.Add(1)
+					panic("boom")
+				})
+			} else {
+				b = NewFunc("fail", func(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+					calls.Add(1)
+					return nil, tc.err
+				})
+			}
+			_, err := Retry(5, b).Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+			if err == nil {
+				t.Fatal("retry succeeded")
+			}
+			if calls.Load() != 1 {
+				t.Fatalf("non-budget failure was retried: %d calls", calls.Load())
+			}
+		})
+	}
+}
+
+func TestRetryExhaustionClassifiesBudget(t *testing.T) {
+	b := fake("always-budget", 0, nil, ErrBudget, nil)
+	_, err := Retry(2, b).Synthesize(context.Background(), dqbf.NewInstance(), Options{})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("attempt count missing: %v", err)
+	}
+}
+
+func TestRetryStopsOnCancellation(t *testing.T) {
+	var calls atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	b := NewFunc("canceled-budget", func(_ context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+		calls.Add(1)
+		cancel() // the deadline dies mid-run; further rounds are pointless
+		return nil, ErrBudget
+	})
+	_, err := Retry(5, b).Synthesize(ctx, dqbf.NewInstance(), Options{})
+	if err == nil {
+		t.Fatal("retry under canceled context succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("retried after context death: %d calls", calls.Load())
+	}
+}
+
+func TestResolveSpecs(t *testing.T) {
+	Register(fake("test-resolve-a", 0, &Result{}, nil, nil))
+	Register(fake("test-resolve-b", 0, &Result{}, nil, nil))
+	good := map[string]string{
+		"test-resolve-a":                                  "test-resolve-a",
+		"test-resolve-a@7":                                "test-resolve-a@7",
+		"portfolio:test-resolve-a+test-resolve-b":         "portfolio(test-resolve-a+test-resolve-b)",
+		"fallback:test-resolve-a>test-resolve-b":          "fallback(test-resolve-a>test-resolve-b)",
+		"retry(2):test-resolve-a":                         "retry(2):test-resolve-a",
+		"retry(1):fallback:test-resolve-a>test-resolve-b": "retry(1):fallback(test-resolve-a>test-resolve-b)",
+		"fallback:retry(1):test-resolve-a>test-resolve-b": "fallback(retry(1):test-resolve-a>test-resolve-b)",
+		"portfolio:test-resolve-a@1+test-resolve-a@2":     "portfolio(test-resolve-a@1+test-resolve-a@2)",
+	}
+	for spec, wantName := range good {
+		b, err := Resolve(spec)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spec, err)
+		}
+		if b.Name() != wantName {
+			t.Fatalf("Resolve(%q).Name() = %q, want %q", spec, b.Name(), wantName)
+		}
+	}
+	bad := []string{
+		"retry(x):test-resolve-a",
+		"retry(-1):test-resolve-a",
+		"retry(2)test-resolve-a",
+		"retry(1):retry(1):test-resolve-a",
+		"fallback:test-resolve-a>",
+		"fallback:",
+		"portfolio:test-resolve-a+fallback:test-resolve-b",
+		"fallback:portfolio:test-resolve-a+test-resolve-b>test-resolve-a",
+		"test-resolve-a@notanumber",
+		"no-such-engine-xyz",
+	}
+	for _, spec := range bad {
+		if _, err := Resolve(spec); err == nil {
+			t.Fatalf("Resolve(%q) accepted", spec)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := map[string]error{
+		OutcomeOK:          nil,
+		OutcomeFalse:       fmt.Errorf("x: %w", ErrFalse),
+		OutcomeBudget:      ErrBudget,
+		OutcomeCanceled:    ErrCanceled,
+		OutcomeIncomplete:  ErrIncomplete,
+		OutcomeTooLarge:    ErrTooLarge,
+		OutcomeUnsupported: ErrUnsupported,
+		OutcomeInternal:    ErrInternal,
+		OutcomeError:       errors.New("mystery"),
+	}
+	for want, err := range cases {
+		if got := Classify(err); got != want {
+			t.Fatalf("Classify(%v) = %q, want %q", err, got, want)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dqbf"
+)
+
+// retryBackoff is the wall-clock pause before retry round k (1-based):
+// 1ms, 2ms, 4ms, … capped at 100ms. The pause is mostly symbolic on a
+// single machine — the real escalation is the conflict budget — but it
+// yields the CPU between rounds and honors cancellation while waiting.
+func retryBackoff(k int) time.Duration {
+	d := time.Millisecond << (k - 1)
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// Retry returns a Backend that runs base and, when the run fails with
+// ErrBudget, re-runs it up to k more times with an escalating schedule:
+// round i (1-based) quadruples the per-call SAT conflict budget
+// (Options.SATConflictBudget, starting from the caller's value or
+// DefaultSATConflictBudget) and perturbs the seed through the same
+// machinery as a "name@seed" spec pin, so the re-run both searches harder
+// and searches differently. Rounds are separated by a short context-aware
+// backoff.
+//
+// Only ErrBudget triggers a retry: it is the one failure class where more
+// effort is known to help. Definitive outcomes, incompleteness, size and
+// fragment limits, internal panics, and cancellation all end the loop
+// immediately. The first round runs base completely unmodified — same
+// seed, same budget — so with no failures a retry(k) spec is
+// observationally the bare engine (plus one AttemptStat).
+//
+// A context deadline naturally bounds the whole loop: each round sees only
+// the remaining time, and when the context expires the loop stops rather
+// than burning rounds on instant budget errors.
+func Retry(k int, base Backend) Backend {
+	if k < 0 {
+		k = 0
+	}
+	return &retry{base: base, k: k}
+}
+
+type retry struct {
+	base Backend
+	k    int
+}
+
+// Name is the full spec, e.g. "retry(3):manthan3".
+func (r *retry) Name() string { return fmt.Sprintf("retry(%d):%s", r.k, r.base.Name()) }
+
+func (r *retry) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	baseBudget := opts.SATConflictBudget
+	if baseBudget <= 0 {
+		baseBudget = DefaultSATConflictBudget
+	}
+	var attempts []AttemptStat
+	var lastErr error
+	for round := 0; round <= r.k; round++ {
+		b := r.base
+		runOpts := opts
+		if round > 0 {
+			// Escalate: 4× conflict budget per round, perturbed seed via the
+			// @seed pin machinery so the attempt is visible in Name()/Stats.
+			runOpts.SATConflictBudget = baseBudget << (2 * round)
+			b = &seeded{base: r.base, seed: opts.Seed + int64(round)}
+			select {
+			case <-time.After(retryBackoff(round)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%s: %w: %w", r.Name(), ErrCanceled, ctx.Err())
+			}
+		}
+		start := time.Now()
+		res, err := SafeSynthesize(ctx, b, in, runOpts)
+		attempts = append(attempts, AttemptStat{
+			Engine:   b.Name(),
+			Outcome:  Classify(err),
+			Duration: time.Since(start),
+			Retries:  round,
+		})
+		if err == nil {
+			out := *res
+			// Nested attempts (base may itself be a fallback chain) come
+			// before this round's own record, keeping chronological order.
+			this := attempts[len(attempts)-1]
+			merged := append(attempts[:len(attempts)-1:len(attempts)-1], res.Attempts...)
+			out.Attempts = append(merged, this)
+			if round > 0 {
+				out.Stats = fmt.Sprintf("retries=%d; %s", round, res.Stats)
+			}
+			return &out, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrBudget) || errors.Is(err, ErrCanceled) {
+			break
+		}
+		if ctx.Err() != nil {
+			break // deadline gone; further rounds would fail instantly
+		}
+	}
+	return nil, fmt.Errorf("%s: %d attempts: %w", r.Name(), len(attempts), lastErr)
+}

@@ -1,0 +1,141 @@
+// Cancellation soak: this file lives in an external test package so it can
+// pull in the real engines (which import internal/backend for registration —
+// an import cycle from an internal test).
+package backend_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+
+	_ "repro/internal/baselines/cegar"
+	_ "repro/internal/baselines/expand"
+	_ "repro/internal/baselines/pedant"
+	_ "repro/internal/core"
+)
+
+// soakInstance is Example 1 from the paper: True, solved by every engine in
+// milliseconds, so random cancel points land both mid-run and after
+// completion.
+func soakInstance() *dqbf.Instance {
+	in := dqbf.NewInstance()
+	in.AddUniv(1)
+	in.AddUniv(2)
+	in.AddUniv(3)
+	in.AddExist(4, []cnf.Var{1})
+	in.AddExist(5, []cnf.Var{1, 2})
+	in.AddExist(6, []cnf.Var{2, 3})
+	in.Matrix.AddClause(1, 4)
+	in.Matrix.AddClause(-5, 4, -2)
+	in.Matrix.AddClause(5, -4)
+	in.Matrix.AddClause(5, 2)
+	in.Matrix.AddClause(-6, 2, 3)
+	in.Matrix.AddClause(6, -2)
+	in.Matrix.AddClause(6, -3)
+	return in
+}
+
+// TestCancellationSoak races composed dispatch shapes against seeded random
+// cancel points and asserts the two promises the resilience layer makes
+// about cancellation: Synthesize returns promptly once the context dies
+// (the SAT layer polls its context every few hundred conflicts, so latency
+// is in the tens-of-milliseconds regime, not seconds), and no goroutine
+// outlives its run — a portfolio must fully drain its members before
+// returning, whatever instant the cancel landed at.
+func TestCancellationSoak(t *testing.T) {
+	specs := []string{
+		"portfolio:manthan3+expand+cegar",
+		"portfolio:manthan3@1+manthan3@2+pedant",
+		"fallback:pedant>manthan3",
+		"fallback:cegar>expand>manthan3",
+		"retry(1):portfolio:manthan3+expand",
+	}
+	backends := make([]backend.Backend, len(specs))
+	for i, spec := range specs {
+		b, err := backend.Resolve(spec)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spec, err)
+		}
+		backends[i] = b
+	}
+	in := soakInstance()
+
+	// Warm-up: run each shape once to completion so lazily-created runtime
+	// state (registry, solver pools) doesn't read as a "leak" below.
+	for _, b := range backends {
+		if _, err := b.Synthesize(context.Background(), in, backend.Options{Seed: 1}); err != nil {
+			t.Fatalf("warm-up %s: %v", b.Name(), err)
+		}
+	}
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	// The cancel-to-return latency bound. The regime is ~10ms (context polls
+	// inside the SAT search loop); the bound is far looser so a loaded CI
+	// machine doesn't flake the soak.
+	const latencySlack = 500 * time.Millisecond
+	rng := rand.New(rand.NewSource(20230806)) // seeded: failures replay exactly
+
+	for i := 0; i < iters; i++ {
+		b := backends[i%len(backends)]
+		// Cancel points from "immediately" to "after the run finished" (the
+		// paper example solves in a fraction of a millisecond, so this range
+		// lands cancels before, during, and after the real work).
+		delay := time.Duration(rng.Int63n(int64(time.Millisecond)))
+		ctx, cancel := context.WithCancel(context.Background())
+		var canceledAt atomic.Int64
+		timer := time.AfterFunc(delay, func() {
+			canceledAt.Store(time.Now().UnixNano())
+			cancel()
+		})
+
+		res, err := b.Synthesize(ctx, in, backend.Options{Seed: int64(i)})
+		returned := time.Now()
+		timer.Stop()
+		cancel()
+
+		if at := canceledAt.Load(); at != 0 {
+			if lat := returned.Sub(time.Unix(0, at)); lat > latencySlack {
+				t.Fatalf("iter %d (%s): returned %v after cancel (bound %v)",
+					i, b.Name(), lat, latencySlack)
+			}
+		}
+		switch {
+		case err == nil:
+			if res == nil || res.Vector == nil {
+				t.Fatalf("iter %d (%s): nil result without error", i, b.Name())
+			}
+		case backend.Classify(err) == backend.OutcomeError:
+			t.Fatalf("iter %d (%s): unclassified error: %v", i, b.Name(), err)
+		}
+	}
+
+	// Leak check: portfolios promise to drain every member before returning,
+	// so after the soak the goroutine count must settle back to the warm
+	// baseline (small slack for runtime/test-framework helpers).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after soak: %d > baseline %d\n%s", n, baseline, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -9,42 +9,69 @@ import (
 	"repro/internal/dqbf"
 )
 
-// Resolve parses an engine spec and returns the matching Backend. Three
-// forms are accepted:
+// Resolve parses an engine spec and returns the matching Backend, wrapped
+// in Protect so every resolved dispatch runs under panic isolation. The
+// grammar (shared by every front end — see the package comment for the
+// semantics of each form):
 //
-//   - "name" — a plain registry lookup (backend.Get).
+//   - "name" — a plain registry lookup (Get).
 //   - "name@seed" — the registered backend with its seed pinned to the
 //     given integer, overriding Options.Seed per run. The pinned backend's
 //     Name() is the full spec, so the same engine can join a portfolio (or
 //     a benchmark report) several times under distinct seeds and remain
 //     distinguishable.
 //   - "portfolio:a+b+c" — a Portfolio racing the "+"-separated member
-//     specs; members may themselves carry "@seed" pins (nested portfolios
-//     are rejected).
+//     specs concurrently; first definitive answer wins.
+//   - "fallback:a>b>c" — a Fallback chain trying the ">"-separated member
+//     specs sequentially, advancing only on non-definitive failure.
+//   - "retry(k):spec" — a Retry loop re-running spec up to k extra times
+//     on ErrBudget with an escalating conflict budget and perturbed seed.
 //
-// Every front end (cmd/manthan3 -engine/-portfolio, cmd/benchrunner
-// -engines, internal/bench) resolves engine names through this one parser,
-// so the spec grammar is uniform across the repository.
+// Composition rules: portfolio and fallback members may carry "@seed" pins
+// and "retry(k):" prefixes, and retry may wrap any spec including a
+// portfolio or fallback. Portfolios and fallbacks do not nest inside
+// themselves or each other.
 func Resolve(spec string) (Backend, error) {
+	b, err := resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Protect(b), nil
+}
+
+func resolve(spec string) (Backend, error) {
 	spec = strings.TrimSpace(spec)
 	if rest, ok := strings.CutPrefix(spec, "portfolio:"); ok {
-		parts := strings.Split(rest, "+")
-		members := make([]Backend, 0, len(parts))
-		for _, part := range parts {
-			part = strings.TrimSpace(part)
-			if part == "" {
-				return nil, fmt.Errorf("backend: empty member in portfolio spec %q", spec)
-			}
-			if strings.HasPrefix(part, "portfolio:") {
-				return nil, fmt.Errorf("backend: nested portfolio in spec %q", spec)
-			}
-			m, err := Resolve(part)
-			if err != nil {
-				return nil, err
-			}
-			members = append(members, m)
+		members, err := resolveMembers(spec, rest, "+")
+		if err != nil {
+			return nil, err
 		}
 		return Portfolio(members...), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "fallback:"); ok {
+		members, err := resolveMembers(spec, rest, ">")
+		if err != nil {
+			return nil, err
+		}
+		return Fallback(members...), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "retry("); ok {
+		kStr, memberSpec, ok := strings.Cut(rest, "):")
+		if !ok {
+			return nil, fmt.Errorf("backend: bad retry spec %q (want \"retry(k):spec\")", spec)
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(kStr))
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("backend: bad retry count in spec %q (want a non-negative integer)", spec)
+		}
+		if strings.HasPrefix(strings.TrimSpace(memberSpec), "retry(") {
+			return nil, fmt.Errorf("backend: nested retry in spec %q", spec)
+		}
+		m, err := resolve(memberSpec)
+		if err != nil {
+			return nil, err
+		}
+		return Retry(k, m), nil
 	}
 	if name, seedStr, ok := strings.Cut(spec, "@"); ok {
 		seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
@@ -60,9 +87,34 @@ func Resolve(spec string) (Backend, error) {
 	return Get(spec)
 }
 
+// resolveMembers resolves the members of a portfolio or fallback spec.
+// Members may be plain names, "@seed" pins, or "retry(k):" forms; nested
+// portfolios and fallbacks are rejected (engine names never contain ':',
+// so a substring check is exact).
+func resolveMembers(spec, rest, sep string) ([]Backend, error) {
+	parts := strings.Split(rest, sep)
+	members := make([]Backend, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("backend: empty member in spec %q", spec)
+		}
+		if strings.Contains(part, "portfolio:") || strings.Contains(part, "fallback:") {
+			return nil, fmt.Errorf("backend: nested portfolio/fallback in spec %q", spec)
+		}
+		m, err := resolve(part)
+		if err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
 // seeded pins a backend's seed, racing-friendly: a portfolio of
 // "manthan3@1" and "manthan3@2" runs the same engine twice with different
 // sampler seeds, and the winner's Name()/Stats identify which seed won.
+// Retry reuses it to perturb the seed between escalation rounds.
 type seeded struct {
 	base Backend
 	seed int64

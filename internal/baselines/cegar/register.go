@@ -14,7 +14,7 @@ import (
 func init() {
 	backend.Register(backend.NewFunc("cegar",
 		func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
-			res, err := Solve(ctx, in, Options{SATProfile: opts.SATProfile})
+			res, err := Solve(ctx, in, Options{SATProfile: opts.SATProfile, SATConflictBudget: opts.SATConflictBudget})
 			if err != nil {
 				return nil, backendErr(err)
 			}

@@ -3,6 +3,7 @@ package pedant
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -71,7 +72,22 @@ type padoaResult struct {
 	err     error
 }
 
-// isDefined runs one existential's Padoa query on a pooled solver.
+// isDefinedSafe runs isDefined under panic isolation: a recover() on the
+// caller's goroutine cannot catch a panic raised inside a worker goroutine,
+// so each worker converts its own panics into an ErrInternal-classified
+// error that the merge loop surfaces like any other query failure.
+func (e *engine) isDefinedSafe(y cnf.Var, pool *oracle.Pool) (r padoaResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = padoaResult{err: fmt.Errorf("%w: define worker for y%d panicked: %v\n%s", ErrInternal, y, p, debug.Stack())}
+		}
+	}()
+	return e.isDefined(y, pool)
+}
+
+// isDefined runs one existential's Padoa query on a pooled solver, checked
+// out through With so a panicking query evicts the solver instead of
+// recycling it.
 func (e *engine) isDefined(y cnf.Var, pool *oracle.Pool) padoaResult {
 	n := e.in.Matrix.NumVars
 	deps := e.in.DepSet(y)
@@ -80,15 +96,16 @@ func (e *engine) isDefined(y cnf.Var, pool *oracle.Pool) padoaResult {
 		assumps = append(assumps, cnf.PosLit(padoaSel(n, e.xPos[d])))
 	}
 	assumps = append(assumps, cnf.PosLit(y), cnf.NegLit(y+cnf.Var(n)))
-	s := pool.Get()
-	defer pool.Put(s)
-	switch s.SolveAssume(assumps) {
-	case sat.Unsat:
-		return padoaResult{defined: true}
-	case sat.Unknown:
-		return padoaResult{err: s.UnknownError(ErrBudget, "definition check")}
-	}
-	return padoaResult{}
+	var r padoaResult
+	pool.With(func(s *sat.Solver) {
+		switch s.SolveAssume(assumps) {
+		case sat.Unsat:
+			r = padoaResult{defined: true}
+		case sat.Unknown:
+			r = padoaResult{err: s.UnknownError(ErrBudget, "definition check")}
+		}
+	})
+	return r
 }
 
 // countDefined runs the Padoa check per existential for statistics, on a
@@ -113,7 +130,7 @@ func (e *engine) countDefined() error {
 				results[i] = padoaResult{err: fmt.Errorf("%w: interrupted: %w", ErrBudget, err)}
 				break
 			}
-			results[i] = e.isDefined(y, pool)
+			results[i] = e.isDefinedSafe(y, pool)
 		}
 	} else {
 		var next atomic.Int64
@@ -131,7 +148,7 @@ func (e *engine) countDefined() error {
 						results[i] = padoaResult{err: fmt.Errorf("%w: interrupted: %w", ErrBudget, err)}
 						return
 					}
-					results[i] = e.isDefined(exist[i], pool)
+					results[i] = e.isDefinedSafe(exist[i], pool)
 				}
 			}()
 		}

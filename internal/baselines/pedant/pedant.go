@@ -51,6 +51,11 @@ var (
 	ErrBudget = errors.New("pedant: budget exhausted")
 	// ErrTooLarge means a dependency set exceeds the cell limit.
 	ErrTooLarge = errors.New("pedant: dependency sets too large")
+	// ErrInternal means a worker goroutine panicked mid-pass; the panic was
+	// recovered at the worker boundary (a caller-side recover cannot cross
+	// goroutines) and carries the panic value and stack in its message. The
+	// backend adapter maps it to backend.ErrInternal.
+	ErrInternal = errors.New("pedant: internal panic")
 )
 
 // Options configures the synthesizer.

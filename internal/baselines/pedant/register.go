@@ -13,7 +13,11 @@ import (
 func init() {
 	backend.Register(backend.NewFunc("pedant",
 		func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
-			res, err := Solve(ctx, in, Options{DefineWorkers: opts.PreprocWorkers, SATProfile: opts.SATProfile})
+			res, err := Solve(ctx, in, Options{
+				DefineWorkers:     opts.PreprocWorkers,
+				SATProfile:        opts.SATProfile,
+				SATConflictBudget: opts.SATConflictBudget,
+			})
 			if err != nil {
 				return nil, backendErr(err)
 			}
@@ -34,5 +38,6 @@ func backendErr(err error) error {
 		backend.ErrorClass{Engine: ErrTooLarge, Shared: backend.ErrTooLarge},
 		backend.ErrorClass{Engine: context.Canceled, Shared: backend.ErrCanceled},
 		backend.ErrorClass{Engine: ErrBudget, Shared: backend.ErrBudget},
+		backend.ErrorClass{Engine: ErrInternal, Shared: backend.ErrInternal},
 	)
 }

@@ -92,6 +92,12 @@ type RunResult struct {
 	// Phases is the backend's per-phase telemetry for successful runs
 	// (empty when the engine failed before producing a result).
 	Phases []backend.PhaseStat
+	// Attempts is the dispatch-resilience telemetry for successful runs: one
+	// entry per engine invocation a portfolio, fallback chain, or retry loop
+	// made on the way to the answer (empty for a bare engine or a failed
+	// run). It lands in results_raw.csv so graceful degradation is measured,
+	// not assumed.
+	Attempts []backend.AttemptStat
 }
 
 // Options configures a suite run.
@@ -117,6 +123,12 @@ type Options struct {
 	// SATProfile names the sat search profile every engine builds its
 	// solvers with ("" = the tuned default; see sat.ProfileOptions).
 	SATProfile string
+	// WrapBackend, when set, wraps every resolved backend before it runs —
+	// the seam the fault-injection harness (internal/faultinject,
+	// benchrunner's -faults flag) uses to inject dispatch-level faults. The
+	// wrapped backend is re-protected (backend.Protect), so a wrapper that
+	// panics is still contained.
+	WrapBackend func(backend.Backend) backend.Backend
 }
 
 // engines returns the competitor specs, defaulting to the canonical set.
@@ -138,6 +150,11 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 	b, err := backend.Resolve(engine)
 	if err != nil {
 		return RunResult{Engine: engine, Outcome: Failed, Detail: err.Error()}
+	}
+	if opts.WrapBackend != nil {
+		// Re-protect: the wrapper may inject panics, and containment at the
+		// dispatch boundary is exactly what fault runs measure.
+		b = backend.Protect(opts.WrapBackend(b))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -161,6 +178,7 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 	out := RunResult{Engine: engine, Duration: dur}
 	if res != nil {
 		out.Phases = res.Phases
+		out.Attempts = res.Attempts
 	}
 	switch {
 	case err == nil:
@@ -182,6 +200,11 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 		out.Detail = err.Error()
 	case errors.Is(err, backend.ErrBudget), errors.Is(err, backend.ErrCanceled):
 		out.Outcome = TimedOut
+	case errors.Is(err, backend.ErrInternal):
+		// A recovered engine panic: a Failed run with the panic recorded, not
+		// a crashed benchmark process.
+		out.Outcome = Failed
+		out.Detail = err.Error()
 	default:
 		out.Outcome = Failed
 		out.Detail = err.Error()

@@ -28,6 +28,11 @@ var (
 	// wrapped chain also contains context.Canceled, so either sentinel works
 	// with errors.Is.
 	ErrCanceled = errors.New("core: synthesis canceled")
+	// ErrInternal means a worker goroutine panicked mid-phase. The recover
+	// that isolated it (a panic on a worker goroutine cannot be recovered at
+	// the dispatch boundary) wraps the panic value and stack into the chain;
+	// the backend adapter maps it to backend.ErrInternal.
+	ErrInternal = errors.New("core: internal panic")
 )
 
 // Options tunes the engine. The zero value gives usable defaults.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -137,7 +138,7 @@ func (e *Engine) learnTrees(samples []cnf.Assignment, todo []cnf.Var) ([]learned
 			if err := e.interrupted(); err != nil {
 				return nil, err
 			}
-			out[i], errs[i] = e.learnTree(samples, yi)
+			out[i], errs[i] = e.learnTreeSafe(samples, yi)
 		}
 	} else {
 		var next atomic.Int64
@@ -155,7 +156,7 @@ func (e *Engine) learnTrees(samples []cnf.Assignment, todo []cnf.Var) ([]learned
 						errs[i] = err
 						return
 					}
-					out[i], errs[i] = e.learnTree(samples, todo[i])
+					out[i], errs[i] = e.learnTreeSafe(samples, todo[i])
 				}
 			}()
 		}
@@ -170,6 +171,19 @@ func (e *Engine) learnTrees(samples []cnf.Assignment, todo []cnf.Var) ([]learned
 		}
 	}
 	return out, nil
+}
+
+// learnTreeSafe runs learnTree under panic isolation: a recover() on the
+// main goroutine cannot catch a panic raised inside a worker goroutine, so
+// each worker converts its own panics into an ErrInternal-classified error
+// that the merge loop surfaces like any other learning failure.
+func (e *Engine) learnTreeSafe(samples []cnf.Assignment, yi cnf.Var) (lt learnedTree, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: learn worker for y%d panicked: %v\n%s", ErrInternal, yi, p, debug.Stack())
+		}
+	}()
+	return e.learnTree(samples, yi)
 }
 
 // featuresFor computes Algorithm 2's feature set for yi against the CURRENT

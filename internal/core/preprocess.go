@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -112,7 +114,7 @@ func (e *Engine) preprocess() error {
 			if err := e.interrupted(); err != nil {
 				return err
 			}
-			results[i] = e.preprocessOne(y, pool)
+			results[i] = e.preprocessOneSafe(y, pool)
 		}
 	} else {
 		var next atomic.Int64
@@ -130,7 +132,7 @@ func (e *Engine) preprocess() error {
 						results[i] = preprocResult{err: err}
 						return
 					}
-					results[i] = e.preprocessOne(todo[i], pool)
+					results[i] = e.preprocessOneSafe(todo[i], pool)
 				}
 			}()
 		}
@@ -179,36 +181,57 @@ func (e *Engine) preprocess() error {
 	return nil
 }
 
+// preprocessOneSafe runs preprocessOne under panic isolation: a recover()
+// on the main goroutine cannot catch a panic raised inside a worker
+// goroutine, so each worker converts its own panics into an
+// ErrInternal-classified error that the merge loop surfaces like any other
+// preprocessing failure. Pooled-solver checkouts go through oracle.With,
+// which evicts a solver whose query panicked instead of returning it —
+// isolation never recycles a possibly-corrupted solver.
+func (e *Engine) preprocessOneSafe(y cnf.Var, pool *oracle.Pool) (r preprocResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.err = fmt.Errorf("%w: preprocess worker for y%d panicked: %v\n%s", ErrInternal, y, p, debug.Stack())
+		}
+	}()
+	return e.preprocessOne(y, pool)
+}
+
 // preprocessOne runs one existential's full check chain — constant, unate,
 // Padoa — reading the engine strictly read-only (safe from worker
 // goroutines); all mutation is deferred to the merge. The pooled solver is
-// held only for the two constant queries so other workers' checkouts
+// held only for the two constant queries (via With, so a panicking query
+// evicts it instead of poisoning the pool) and other workers' checkouts
 // interleave with the fresh-solver checks.
 func (e *Engine) preprocessOne(y cnf.Var, pool *oracle.Pool) preprocResult {
 	r := preprocResult{}
-	s := pool.Get()
-	st := s.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
-	r.oracle++
-	if st == sat.Unknown {
-		r.err = e.oracleUnknown(s, "preprocessing")
-		pool.Put(s)
-		return r
-	}
-	if st == sat.Unsat {
-		pool.Put(s)
-		r.kind = preprocConstFalse
-		return r
-	}
-	st = s.SolveAssume([]cnf.Lit{cnf.NegLit(y)})
-	r.oracle++
-	if st == sat.Unknown {
-		r.err = e.oracleUnknown(s, "preprocessing")
-		pool.Put(s)
-		return r
-	}
-	pool.Put(s)
-	if st == sat.Unsat {
-		r.kind = preprocConstTrue
+	done := false
+	pool.With(func(s *sat.Solver) {
+		st := s.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
+		r.oracle++
+		if st == sat.Unknown {
+			r.err = e.oracleUnknown(s, "preprocessing")
+			done = true
+			return
+		}
+		if st == sat.Unsat {
+			r.kind = preprocConstFalse
+			done = true
+			return
+		}
+		st = s.SolveAssume([]cnf.Lit{cnf.NegLit(y)})
+		r.oracle++
+		if st == sat.Unknown {
+			r.err = e.oracleUnknown(s, "preprocessing")
+			done = true
+			return
+		}
+		if st == sat.Unsat {
+			r.kind = preprocConstTrue
+			done = true
+		}
+	})
+	if done {
 		return r
 	}
 	// Unate checks (fresh per-check solvers over the cofactor formulas).

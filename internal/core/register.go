@@ -15,11 +15,12 @@ func init() {
 	backend.Register(backend.NewFunc("manthan3",
 		func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
 			res, err := Synthesize(ctx, in, Options{
-				Seed:           opts.Seed,
-				LearnWorkers:   opts.Workers,
-				PreprocWorkers: opts.PreprocWorkers,
-				SATProfile:     opts.SATProfile,
-				Logf:           opts.Logf,
+				Seed:              opts.Seed,
+				LearnWorkers:      opts.Workers,
+				PreprocWorkers:    opts.PreprocWorkers,
+				SATProfile:        opts.SATProfile,
+				SATConflictBudget: opts.SATConflictBudget,
+				Logf:              opts.Logf,
 			})
 			if err != nil {
 				return nil, backendErr(err)
@@ -43,5 +44,6 @@ func backendErr(err error) error {
 		backend.ErrorClass{Engine: ErrIncomplete, Shared: backend.ErrIncomplete},
 		backend.ErrorClass{Engine: ErrCanceled, Shared: backend.ErrCanceled},
 		backend.ErrorClass{Engine: ErrBudget, Shared: backend.ErrBudget},
+		backend.ErrorClass{Engine: ErrInternal, Shared: backend.ErrInternal},
 	)
 }

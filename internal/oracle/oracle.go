@@ -33,6 +33,7 @@ type Pool struct {
 	mu      sync.Mutex
 	idle    []*sat.Solver
 	built   int
+	evicted int
 	size    int
 	waiting chan struct{} // closed-and-replaced broadcast on Put
 }
@@ -87,14 +88,62 @@ func (p *Pool) Put(s *sat.Solver) {
 	p.mu.Unlock()
 }
 
+// Evict discards a checked-out solver instead of returning it: its build
+// slot reopens, so a later Get constructs a fresh replacement. Use it when
+// the checkout ended abnormally — a panic mid-Solve leaves the solver's
+// trail, watches, and arena in an arbitrary intermediate state, and handing
+// that solver to the next worker would poison every answer it gives.
+// Blocked Gets are woken so one of them can claim the reopened slot.
+func (p *Pool) Evict(s *sat.Solver) {
+	if s == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.built > 0 {
+		p.built--
+	}
+	p.evicted++
+	close(p.waiting)
+	p.waiting = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// With checks out a solver, runs fn with it, and returns it to the pool —
+// unless fn panics, in which case the solver is evicted (see Evict) and the
+// panic resumes for the caller's recover. This is the checkout form every
+// worker running under panic isolation should use: a broken query then
+// costs one rebuilt solver, never a poisoned pool.
+func (p *Pool) With(fn func(*sat.Solver)) {
+	s := p.Get()
+	healthy := false
+	defer func() {
+		if healthy {
+			p.Put(s)
+		} else {
+			p.Evict(s)
+		}
+	}()
+	fn(s)
+	healthy = true
+}
+
 // Size returns the pool's capacity.
 func (p *Pool) Size() int { return p.size }
 
-// Built returns how many solvers have been constructed so far; it never
-// exceeds Size, which is the pool's whole point — a thousand queries cost
-// at most Size formula loads.
+// Built returns how many solvers are currently accounted to build slots
+// (constructed minus evicted); it never exceeds Size, which is the pool's
+// whole point — a thousand queries cost at most Size formula loads, plus
+// one rebuild per eviction.
 func (p *Pool) Built() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.built
+}
+
+// Evicted returns how many solvers have been discarded through Evict over
+// the pool's lifetime.
+func (p *Pool) Evicted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evicted
 }

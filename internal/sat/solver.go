@@ -292,6 +292,7 @@ type Solver struct {
 	ctx            context.Context // nil = never interrupted
 	stopCause      StopCause       // why the last Solve returned Unknown
 	checkCnt       int64
+	solveHook      SolveHook       // nil except under fault injection
 
 	// Restart policy state (restart.go).
 	conflictsSinceRestart int64
@@ -453,6 +454,20 @@ func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
 // StopCause reports why the most recent Solve/SolveAssume call returned
 // Unknown (StopNone if it did not stop early).
 func (s *Solver) StopCause() StopCause { return s.stopCause }
+
+// A SolveHook observes — and may hijack — every Solve/SolveAssume call. It
+// runs at the top of the call with the 1-based lifetime solve index.
+// Returning inject=true forces the call to return Unknown with the given
+// StopCause without searching; inject=false lets the solve proceed
+// normally. The hook may also sleep (to simulate a latency stall) or panic
+// (to simulate a broken solver) — the deterministic fault-injection harness
+// (internal/faultinject) uses all three powers. Production code never sets a
+// hook.
+type SolveHook func(solveIndex int64) (cause StopCause, inject bool)
+
+// SetSolveHook installs h as the solver's fault-injection hook; nil (the
+// default) removes it.
+func (s *Solver) SetSolveHook(h SolveHook) { s.solveHook = h }
 
 // StopCtxErr returns the context error matching the last stop cause —
 // context.Canceled or context.DeadlineExceeded when the solver stopped on
@@ -963,6 +978,12 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	s.cancelUntil(0)
 	s.conflict = s.conflict[:0]
 	s.stopCause = StopNone
+	if s.solveHook != nil {
+		if cause, inject := s.solveHook(s.solves); inject {
+			s.stopCause = cause
+			return Unknown
+		}
+	}
 	if !s.ok {
 		return Unsat
 	}
