@@ -55,7 +55,7 @@ func runTable(b *testing.B, n int) *bench.Table {
 	suite := benchSuite(n)
 	var tab *bench.Table
 	for i := 0; i < b.N; i++ {
-		results := bench.RunSuite(suite, bench.Options{Timeout: benchTimeout, Seed: 1})
+		results := bench.RunSuite(context.Background(), suite, bench.Options{Timeout: benchTimeout, Seed: 1})
 		tab = bench.NewTable(results)
 	}
 	return tab

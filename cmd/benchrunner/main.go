@@ -44,6 +44,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -155,7 +156,7 @@ func run() int {
 		fmt.Printf("running %d instances × %d engines (%s), timeout %v, %d workers, %d preproc workers, sat profile %s…\n",
 			len(suite), len(engines), strings.Join(engines, ", "), *timeout, workers, *ppWorkers, profileName)
 		start := time.Now()
-		results = bench.RunSuite(suite, bench.Options{
+		results = bench.RunSuite(context.Background(), suite, bench.Options{
 			Timeout: *timeout, Seed: *seed, Workers: workers,
 			Engines: engines, PreprocWorkers: *ppWorkers,
 			SATProfile: *satProfile, WrapBackend: wrap,

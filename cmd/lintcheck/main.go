@@ -1,0 +1,90 @@
+// Command lintcheck is the project-invariant multichecker: it runs the
+// internal/analysis analyzer suite (errtaxonomy, ctxdiscipline, gorecover,
+// determorder, registerinit) over go-list package patterns and exits
+// non-zero on any diagnostic. It is part of tier-1 verify:
+//
+//	go run ./cmd/lintcheck ./...
+//
+// Flags:
+//
+//	-list            print the analyzers and their contracts, then exit
+//	-fixture DIR     load DIR as a raw source directory instead of a go-list
+//	                 pattern (used by the verify chain to prove lintcheck
+//	                 still fails on the seeded-violation fixture — a linter
+//	                 that silently passes everything is worse than none)
+//
+// Suppressions use `//lint:ignore <analyzer> <reason>` on or directly above
+// the offending line; the reason is mandatory. See internal/analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	fixture := flag.String("fixture", "", "load this directory as raw source instead of go-list patterns")
+	flag.Parse()
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var pkgs []*analysis.Package
+	var err error
+	switch {
+	case *fixture != "":
+		pkgs, err = loadFixtureDir(*fixture)
+	case flag.NArg() == 0:
+		fmt.Fprintln(os.Stderr, "usage: lintcheck [-fixture dir] patterns...")
+		os.Exit(2)
+	default:
+		pkgs, err = analysis.Load(flag.Args()...)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(pkgs, suite)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lintcheck: %d contract violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// loadFixtureDir treats dir itself as one fixture package rooted at its own
+// parent, keeping the directory's name as the import path. The seeded
+// fixture under internal/analysis/testdata declares its scope-triggering
+// import path in a lintcheck.path file so path-gated analyzers fire on it.
+func loadFixtureDir(dir string) ([]*analysis.Package, error) {
+	importPath := "fixture"
+	if b, err := os.ReadFile(dir + "/lintcheck.path"); err == nil {
+		importPath = string(trimNL(b))
+	}
+	loader := analysis.NewFixtureLoader(dir)
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return []*analysis.Package{pkg}, nil
+}
+
+func trimNL(b []byte) []byte {
+	for len(b) > 0 && (b[len(b)-1] == '\n' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers"
+)
+
+// TestSeededFixtureFails is the guard against the linter silently passing
+// everything: the seeded-violation fixture must keep producing diagnostics
+// from every analyzer it seeds (all but registerinit, whose stub-import
+// shape lives in the analysistest fixtures instead). The verify chain runs
+// the same fixture through `lintcheck -fixture` and requires a non-zero
+// exit.
+func TestSeededFixtureFails(t *testing.T) {
+	pkgs, err := loadFixtureDir("../../internal/analysis/testdata/selftest")
+	if err != nil {
+		t.Fatalf("loading seeded fixture: %v", err)
+	}
+	if got := pkgs[0].Path; got != "repro/internal/baselines/selftest" {
+		t.Fatalf("lintcheck.path not honored: fixture import path = %q", got)
+	}
+	diags := analysis.Run(pkgs, analyzers.All())
+	seen := make(map[string]int)
+	for _, d := range diags {
+		seen[d.Analyzer]++
+	}
+	for _, want := range []string{"errtaxonomy", "ctxdiscipline", "gorecover", "determorder"} {
+		if seen[want] == 0 {
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.String())
+			}
+			t.Errorf("seeded fixture produced no %s diagnostic — the analyzer has gone silent\nall diagnostics:\n%s",
+				want, strings.Join(got, "\n"))
+		}
+	}
+}

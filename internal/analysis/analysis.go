@@ -1,0 +1,134 @@
+// Package analysis is the project-invariant static-analyzer suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, diagnostics, an analysistest-style fixture harness)
+// plus five analyzers that turn this repository's runtime contracts into
+// build-time guarantees. cmd/lintcheck is the multichecker front end and is
+// part of tier-1 verify, so a contract violation fails the build the same way
+// a vet error or a data race does.
+//
+// The five analyzers and the contracts they encode:
+//
+//	errtaxonomy    every error constructed inside an engine adapter package
+//	               (internal/baselines/*, internal/core) must wrap — via
+//	               fmt.Errorf with %w — a taxonomy sentinel or an already
+//	               classified error, so backend.Classify never sees a bare
+//	               unclassifiable error escape Synthesize. Package-level
+//	               sentinel declarations (var ErrX = errors.New(...)) are the
+//	               one permitted bare construction.
+//	ctxdiscipline  context.Context parameters come first; context.Background/
+//	               context.TODO are confined to main packages, _test files,
+//	               and the `if ctx == nil { ctx = context.Background() }`
+//	               nil-guard idiom; and every unbounded `for` loop in
+//	               internal/sat, internal/core, and internal/backend must be
+//	               cancellable (a ctx parameter, a ctx-carrying receiver, or
+//	               a ctx-typed expression in the loop's function).
+//	gorecover      every `go func` literal in non-test internal/ code must
+//	               contain a deferred recover() or call a *Safe-suffixed
+//	               wrapper (the panic-isolation contract); `go name(...)` is
+//	               only permitted for *Safe wrappers.
+//	determorder    in packages carrying a //lint:deterministic directive,
+//	               ranging over a map while accumulating into outer state
+//	               (append, concatenation) without a subsequent sort is
+//	               flagged, as are time.Now/time.Since and the global
+//	               math/rand functions — the parallel-phase determinism
+//	               contract (identical results for every worker count).
+//	registerinit   backend.Register may only be called from an init function,
+//	               so the registry is fully populated before main runs and
+//	               duplicate-registration panics surface at process start.
+//
+// # Directives
+//
+// Two comment directives steer the suite:
+//
+//	//lint:deterministic
+//	    Package-level opt-in (conventionally placed in the package's doc
+//	    file) that puts the package under determorder's rules.
+//
+//	//lint:ignore <analyzer> <reason>
+//	    Suppresses the named analyzer's diagnostics on the same line or the
+//	    line directly below the directive. The reason is mandatory: an
+//	    ignore with no reason text does not suppress anything and is itself
+//	    reported as a diagnostic, so every suppression in the tree documents
+//	    why the contract does not apply at that site.
+//
+// Analyzer fixtures with // want annotations live under testdata/src in the
+// analysistest layout (directory path == fixture import path), so analyzers
+// that key on real package paths (repro/internal/baselines/..., the
+// repro/internal/backend registry) are exercised against stub packages with
+// matching import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker, mirroring the
+// golang.org/x/tools/go/analysis shape so the checkers would port to the
+// upstream framework mechanically if the dependency ever became available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph contract statement shown by lintcheck -help.
+	Doc string
+	// Run inspects one package and reports violations via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Package is one loaded, type-checked package: the unit an Analyzer runs
+// over. Loader (go-list mode) and FixtureLoader (testdata mode) both produce
+// it, so analyzers and tests share one code path.
+type Package struct {
+	// Path is the import path. Fixture packages carry the import path their
+	// testdata/src directory encodes, which is how path-gated analyzers are
+	// tested against stub trees.
+	Path string
+	// Name is the package name from the source.
+	Name string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included, in load order.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker fact maps for Files.
+	Info *types.Info
+	// Directives are the package's parsed //lint: directives.
+	Directives Directives
+}
+
+// Pass carries one (Analyzer, Package) pairing through Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	report   func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos. Suppression (//lint:ignore) is
+// applied by the runner, not here, so analyzers stay oblivious to the
+// directive machinery.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported contract violation, resolved to a concrete
+// file position for printing and for //lint:ignore matching.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's Name.
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message is the human-readable finding.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}

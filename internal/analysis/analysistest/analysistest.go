@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against // want annotations, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	x := doBad() // want "regexp matching the diagnostic"
+//
+// Fixtures live under internal/analysis/testdata/src/<import/path>/ — the
+// directory path below src IS the fixture's import path, so stub packages
+// can impersonate real ones (repro/internal/backend) and path-gated
+// analyzers (errtaxonomy, ctxdiscipline's loop rule) can be pointed at
+// matching paths. Multiple want clauses on one line each match one
+// diagnostic; every diagnostic must be wanted and every want must be
+// matched. Suppression directives (//lint:ignore) are honored exactly as in
+// cmd/lintcheck, so suppression behavior is fixture-testable too.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// SrcRoot is the fixture tree root, relative to the analyzer test packages
+// (internal/analysis and internal/analysis/analyzers).
+const SrcRoot = "../testdata/src"
+
+// Run loads each fixture import path from srcRoot, applies analyzer a (with
+// the shared suppression machinery), and reports any mismatch between the
+// produced diagnostics and the fixtures' // want annotations.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	loader := analysis.NewFixtureLoader(srcRoot)
+	for _, path := range importPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		check(t, pkg, analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a}))
+	}
+}
+
+// A want is one expectation parsed from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts every // want clause in the fixture package.
+func parseWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the sequence of quoted regexps after "// want".
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s:%d: want clause must be a sequence of quoted regexps, got %q", pos.Filename, pos.Line, s)
+		}
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s:%d: unterminated want pattern in %q", pos.Filename, pos.Line, s)
+		}
+		pat, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, prefix, err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[len(prefix):])
+	}
+	return out
+}
+
+// check matches diagnostics against wants one-to-one per line.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// CtxDiscipline enforces the cancellation contract:
+//
+//  1. context.Context parameters come first in every declared function.
+//  2. context.Background()/context.TODO() appear only in main packages,
+//     _test files, and the `if ctx == nil { ctx = context.Background() }`
+//     nil-guard idiom every Synthesize entry point uses.
+//  3. In internal/sat, internal/core, and internal/backend — the packages
+//     whose loops run unbounded search — any `for` loop with no condition
+//     must be cancellable: its function takes a ctx, hangs off a
+//     ctx-carrying receiver, or touches a ctx-typed expression.
+var CtxDiscipline = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "enforce ctx-first parameters, confine context.Background/TODO to mains, " +
+		"tests and nil-guards, and require unbounded loops in the solver packages to be cancellable",
+	Run: runCtxDiscipline,
+}
+
+// loopScope lists the packages whose unbounded loops must poll a context.
+var loopScope = map[string]bool{
+	"repro/internal/sat":     true,
+	"repro/internal/core":    true,
+	"repro/internal/backend": true,
+}
+
+func runCtxDiscipline(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	isMain := pass.Pkg.Name == "main"
+	checkLoops := loopScope[pass.Pkg.Path]
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n.Type)
+			case *ast.CallExpr:
+				if isMain {
+					return true
+				}
+				if isCallTo(info, n, "context", "Background") || isCallTo(info, n, "context", "TODO") {
+					if !isNilGuard(info, stack) {
+						pass.Reportf(n.Pos(),
+							"%s outside a main package: thread the caller's ctx instead (the nil-guard idiom `if ctx == nil { ctx = context.Background() }` is exempt)",
+							calleeName(n))
+					}
+				}
+			case *ast.ForStmt:
+				if checkLoops && n.Cond == nil && !loopCancellable(pass, stack) {
+					pass.Reportf(n.Pos(),
+						"unbounded for loop with no context in reach: take a ctx parameter or poll a ctx-carrying receiver so cancellation can interrupt it")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst flags a context.Context parameter in any position but the
+// first.
+func checkCtxFirst(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if tv, ok := pass.Pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) && pos > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// isNilGuard reports whether the Background/TODO call at the top of stack is
+// the RHS of `X = context.Background()` directly guarded by `if X == nil`.
+func isNilGuard(info *types.Info, stack []ast.Node) bool {
+	var assign *ast.AssignStmt
+	var guard *ast.IfStmt
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.AssignStmt:
+			if assign == nil {
+				assign = n
+			}
+		case *ast.IfStmt:
+			guard = n
+		case *ast.FuncLit, *ast.FuncDecl:
+			i = -1
+		}
+		if guard != nil {
+			break
+		}
+	}
+	if assign == nil || guard == nil || len(assign.Lhs) != 1 || assign.Tok != token.ASSIGN {
+		return false
+	}
+	cond, ok := guard.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	lhs := types.ExprString(assign.Lhs[0])
+	x, y := types.ExprString(cond.X), types.ExprString(cond.Y)
+	return (x == lhs && y == "nil") || (y == lhs && x == "nil")
+}
+
+// loopCancellable reports whether the innermost function enclosing the loop
+// at the top of stack has a context within reach: a context.Context
+// parameter, a receiver whose struct type carries a context.Context field,
+// or any ctx-typed expression in its body (e.g. a captured engine's e.ctx).
+func loopCancellable(pass *analysis.Pass, stack []ast.Node) bool {
+	fn := analysis.EnclosingFunc(stack)
+	if fn == nil {
+		return false
+	}
+	info := pass.Pkg.Info
+	if ft := funcType(fn); ft != nil && ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	if decl, ok := fn.(*ast.FuncDecl); ok && decl.Recv != nil && len(decl.Recv.List) > 0 {
+		if tv, ok := info.Types[decl.Recv.List[0].Type]; ok && structHasContextField(tv.Type) {
+			return true
+		}
+	}
+	cancellable := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if cancellable {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if tv, ok := info.Types[e]; ok && isContextType(tv.Type) {
+				cancellable = true
+				return false
+			}
+		}
+		return true
+	})
+	return cancellable
+}
+
+// structHasContextField reports whether t (possibly a pointer to a named
+// struct) directly declares a context.Context field.
+func structHasContextField(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isContextType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestCtxDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.SrcRoot, CtxDiscipline,
+		"ctxfirst",           // parameter position + Background/TODO confinement
+		"mainpkg",            // clean fixture: main packages may mint contexts
+		"repro/internal/sat", // unbounded-loop rule in the solver packages
+	)
+}

@@ -1,0 +1,223 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// DetermOrder enforces the determinism contract in packages that opt in
+// with a //lint:deterministic directive (the parallel-phase packages whose
+// results must be bit-identical for every worker count and every run):
+//
+//   - ranging over a map while accumulating into state declared outside the
+//     loop (append, string concatenation) is flagged unless the accumulator
+//     is sorted in the statements following the loop — map iteration order
+//     would otherwise leak into results;
+//   - time.Now/time.Since are flagged: wall-clock reads belong to telemetry
+//     call sites, which document themselves with
+//     //lint:ignore determorder <reason>;
+//   - the global math/rand functions are flagged: randomness must flow from
+//     a seeded *rand.Rand so runs replay.
+var DetermOrder = &analysis.Analyzer{
+	Name: "determorder",
+	Doc: "in //lint:deterministic packages, flag order-dependent accumulation over map " +
+		"iteration, wall-clock reads, and global math/rand use",
+	Run: runDetermOrder,
+}
+
+// randConstructors are the math/rand functions that build seeded generators
+// rather than consuming the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runDetermOrder(pass *analysis.Pass) error {
+	if !pass.Pkg.Directives.Deterministic {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						checkMapRange(pass, n, stack)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondetCall flags wall-clock reads and global-rand draws.
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	// Methods on a seeded *rand.Rand (or any other receiver) are exactly the
+	// sanctioned shape; only package-level functions are in question.
+	if fn.Signature() != nil && fn.Signature().Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(),
+				"time.%s in a deterministic package: wall-clock reads are telemetry-only — move it out or document the call site with //lint:ignore determorder <reason>",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in a deterministic package: draw from a seeded *rand.Rand so runs replay bit-identically",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags accumulation into outer state inside a range over a
+// map, unless the accumulator is sorted right after the loop.
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	info := pass.Pkg.Info
+	type finding struct {
+		pos  token.Pos
+		obj  types.Object
+		what string
+	}
+	var findings []finding
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			obj := assignedObj(info, lhs)
+			if obj == nil || insideNode(obj.Pos(), rs) {
+				continue
+			}
+			switch {
+			case assign.Tok == token.ASSIGN && i < len(assign.Rhs) && isAppendTo(info, assign.Rhs[i], obj):
+				findings = append(findings, finding{assign.Pos(), obj, "append to " + obj.Name()})
+			case assign.Tok == token.ADD_ASSIGN && isStringType(info, lhs):
+				findings = append(findings, finding{assign.Pos(), obj, "concatenation onto " + obj.Name()})
+			}
+		}
+		return true
+	})
+	for _, f := range findings {
+		if sortedAfter(info, rs, stack, f.obj) {
+			continue
+		}
+		pass.Reportf(f.pos,
+			"%s inside range over a map: iteration order leaks into the result — sort the accumulator afterwards or range over sorted keys", f.what)
+	}
+}
+
+// assignedObj resolves the variable an assignment target refers to.
+func assignedObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// insideNode reports whether pos falls within n's extent.
+func insideNode(pos token.Pos, n ast.Node) bool {
+	return pos >= n.Pos() && pos <= n.End()
+}
+
+// isAppendTo reports whether e is append(obj, ...).
+func isAppendTo(info *types.Info, e ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.Uses[arg] == obj
+}
+
+// isStringType reports whether e has an underlying string type.
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// sortedAfter reports whether some statement after rs in its enclosing block
+// passes obj to a sort/slices function — the "intervening sort" that makes
+// the accumulation order-insensitive again.
+func sortedAfter(info *types.Info, rs *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	var block *ast.BlockStmt
+	for i := len(stack) - 2; i >= 0 && block == nil; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+		}
+	}
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		sorted := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sorted {
+				return !sorted
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+						sorted = true
+					}
+					return !sorted
+				})
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetermOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.SrcRoot, DetermOrder,
+		"determfixture", // flagged fixture: carries //lint:deterministic
+		"plainpkg",      // clean fixture: no directive, no diagnostics
+	)
+}

@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ErrTaxonomy enforces the dispatch error contract on the engine adapter
+// packages (internal/baselines/*, internal/core): every error built inside a
+// function body must be constructed with fmt.Errorf and a %w verb, wrapping
+// either a taxonomy sentinel or an already-classified error, so that nothing
+// escaping Backend.Synthesize defeats backend.Classify. Package-level
+// sentinel declarations (var ErrX = errors.New(...)) are the one permitted
+// bare construction; in-function errors.New and non-wrapping fmt.Errorf are
+// flagged.
+var ErrTaxonomy = &analysis.Analyzer{
+	Name: "errtaxonomy",
+	Doc: "flag bare errors.New / non-%w fmt.Errorf inside engine adapter packages; " +
+		"errors crossing the Synthesize boundary must wrap a taxonomy sentinel",
+	Run: runErrTaxonomy,
+}
+
+// errTaxonomyScope reports whether pkg is an engine adapter package.
+func errTaxonomyScope(path string) bool {
+	return strings.HasPrefix(path, "repro/internal/baselines/") || path == "repro/internal/core"
+}
+
+func runErrTaxonomy(pass *analysis.Pass) error {
+	if !errTaxonomyScope(pass.Pkg.Path) {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Sentinel declarations live at package scope; only in-function
+			// constructions can escape Synthesize.
+			if analysis.EnclosingFunc(stack) == nil {
+				return true
+			}
+			switch {
+			case isCallTo(info, call, "errors", "New"):
+				pass.Reportf(call.Pos(),
+					"errors.New inside an engine adapter: construct with fmt.Errorf(\"%%w: ...\", ErrX) so backend.Classify can place it in the taxonomy")
+			case isCallTo(info, call, "fmt", "Errorf") && len(call.Args) > 0:
+				// A dynamic format string cannot be proven either way; only
+				// literal formats without %w are flagged.
+				if format, ok := stringLit(call.Args[0]); ok && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(),
+						"fmt.Errorf without %%w inside an engine adapter: wrap a taxonomy sentinel or an already-classified error")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestErrTaxonomy(t *testing.T) {
+	analysistest.Run(t, analysistest.SrcRoot, ErrTaxonomy,
+		"repro/internal/baselines/fixture", // flagged fixture: adapter-path package
+		"plainpkg",                         // clean fixture: out of scope, no diagnostics
+	)
+}

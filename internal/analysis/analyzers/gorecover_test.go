@@ -1,0 +1,14 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestGoRecover(t *testing.T) {
+	analysistest.Run(t, analysistest.SrcRoot, GoRecover,
+		"repro/internal/gofix", // flagged fixture: internal/ path
+		"plainpkg",             // clean fixture: outside internal/, no diagnostics
+	)
+}

@@ -1,0 +1,45 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestIgnoreDirective proves an explained //lint:ignore suppresses exactly
+// its analyzer on its own line or the line below (and that a directive for a
+// different analyzer suppresses nothing).
+func TestIgnoreDirective(t *testing.T) {
+	analysistest.Run(t, analysistest.SrcRoot, CtxDiscipline, "ignorefixture")
+}
+
+// TestUnexplainedIgnore proves a reasonless //lint:ignore is itself a
+// diagnostic and suppresses nothing. (Not expressible as a // want
+// annotation: the directive and the finding would share a comment line.)
+func TestUnexplainedIgnore(t *testing.T) {
+	loader := analysis.NewFixtureLoader(analysistest.SrcRoot)
+	pkg, err := loader.Load("unexplained")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{CtxDiscipline})
+	var gotMissingReason, gotUnsuppressed bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "has no reason"):
+			gotMissingReason = true
+		case strings.Contains(d.Message, "TODO outside a main package"):
+			gotUnsuppressed = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotMissingReason {
+		t.Errorf("reasonless //lint:ignore was not reported as a diagnostic; got %v", diags)
+	}
+	if !gotUnsuppressed {
+		t.Errorf("reasonless //lint:ignore suppressed the violation it sat on; got %v", diags)
+	}
+}

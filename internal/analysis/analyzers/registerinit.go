@@ -1,0 +1,43 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// RegisterInit enforces the registry contract: backend.Register may only be
+// called from a package init function. Registration is how every front end
+// discovers engines, and Register panics on duplicates — both properties
+// only hold if the registry is fully and deterministically populated during
+// package initialization, before any dispatch runs. A Register call from
+// ordinary code (or from a function literal, which can escape init and run
+// later) reintroduces registration races and late duplicate panics.
+var RegisterInit = &analysis.Analyzer{
+	Name: "registerinit",
+	Doc:  "backend.Register may only be called from an init function",
+	Run:  runRegisterInit,
+}
+
+func runRegisterInit(pass *analysis.Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isCallTo(info, call, "repro/internal/backend", "Register") {
+				return true
+			}
+			fn := analysis.EnclosingFunc(stack)
+			decl, ok := fn.(*ast.FuncDecl)
+			if !ok || decl.Recv != nil || decl.Name.Name != "init" {
+				pass.Reportf(call.Pos(),
+					"backend.Register outside an init function: engines must register during package initialization so the registry is complete and duplicate panics surface at startup")
+			}
+			return true
+		})
+	}
+	return nil
+}

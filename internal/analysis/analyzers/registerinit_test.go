@@ -1,0 +1,11 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+)
+
+func TestRegisterInit(t *testing.T) {
+	analysistest.Run(t, analysistest.SrcRoot, RegisterInit, "registerfixture")
+}

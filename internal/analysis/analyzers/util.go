@@ -1,0 +1,99 @@
+// Package analyzers holds the five project-invariant analyzers run by
+// cmd/lintcheck. See the parent package's doc for the contract each one
+// encodes; All returns the suite in stable order.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full analyzer suite in the order lintcheck runs it.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ErrTaxonomy,
+		CtxDiscipline,
+		GoRecover,
+		DetermOrder,
+		RegisterInit,
+	}
+}
+
+// calleeFunc resolves a call expression to the package-level function or
+// method object it invokes, or nil for builtins, function values, and
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isCallTo reports whether call invokes the package-level function
+// pkgPath.name.
+func isCallTo(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// calleeName returns the bare name a call is spelled with ("Synthesize" for
+// both Synthesize(...) and b.Synthesize(...)), or "" for indirect calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// stringLit returns the literal value of a string-literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+// isTestFile reports whether the file a position belongs to is a _test.go
+// file. Real loads never include test files, but fixtures may, and the
+// contracts exempt them explicitly.
+func isTestFile(pass *analysis.Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Pkg.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
+// funcType returns the signature node of a function declaration or literal.
+func funcType(fn ast.Node) *ast.FuncType {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}

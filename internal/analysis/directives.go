@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives are the //lint: comment directives found in one package.
+type Directives struct {
+	// Deterministic is true when any file carries //lint:deterministic —
+	// the package-level opt-in to determorder's rules.
+	Deterministic bool
+	// Ignores are all //lint:ignore directives, in file order.
+	Ignores []Ignore
+}
+
+// An Ignore is one //lint:ignore <analyzer> <reason> directive. It
+// suppresses the named analyzer's diagnostics on its own line and on the
+// line directly below it, but only when Reason is non-empty; a reasonless
+// ignore suppresses nothing and is reported as a violation in its own right.
+type Ignore struct {
+	// Analyzer is the target analyzer name (the first directive argument).
+	Analyzer string
+	// Reason is the rest of the directive line; empty means unexplained.
+	Reason string
+	// File and Line locate the directive itself.
+	File string
+	Line int
+	// Pos is the directive comment's position, for reporting unexplained
+	// ignores.
+	Pos token.Pos
+}
+
+// parseDirectives scans every comment in files for //lint: directives.
+// Directive comments must be line comments with no space after the slashes
+// (the same lexical convention as //go: directives).
+func parseDirectives(fset *token.FileSet, files []*ast.File) Directives {
+	var d Directives
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				verb, rest, _ := strings.Cut(text, " ")
+				switch verb {
+				case "deterministic":
+					d.Deterministic = true
+				case "ignore":
+					pos := fset.Position(c.Pos())
+					analyzer, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+					d.Ignores = append(d.Ignores, Ignore{
+						Analyzer: analyzer,
+						Reason:   strings.TrimSpace(reason),
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Pos:      c.Pos(),
+					})
+				}
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,295 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loaders replace golang.org/x/tools/go/packages, which this module does
+// not vendor: package metadata and compiled export data come from
+// `go list -deps -export` (offline; it reads and populates the ordinary
+// build cache), target packages are parsed from source, and imports are
+// resolved through go/importer's gc export-data reader. Only the packages
+// actually analyzed pay source-parsing and type-checking cost; every
+// dependency — stdlib included — is imported from export data.
+
+// listedPkg is the subset of `go list -json` output the loaders consume.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -export -json` over patterns and decodes the
+// package stream.
+func goList(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts an ImportPath→export-file map to the lookup shape
+// go/importer's gc reader wants.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// newInfo allocates the full set of type-checker fact maps.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typecheck parses and checks one package from source. files maps file name
+// to its path on disk; imp resolves every import.
+func typecheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: package %s has no Go files", importPath)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := newInfo()
+	tpkg, _ := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s",
+			importPath, strings.Join(msgs, "\n\t"))
+	}
+	return &Package{
+		Path:       importPath,
+		Name:       files[0].Name.Name,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		Directives: parseDirectives(fset, files),
+	}, nil
+}
+
+// Load resolves go-list patterns (./..., an import path, a directory) into
+// type-checked Packages ready for analysis. Pattern-matched packages are
+// parsed from source; all of their dependencies are imported from compiled
+// export data, so loading the whole module stays fast.
+func Load(patterns ...string) ([]*Package, error) {
+	listed, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %s", strings.Join(patterns, " "))
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var pkgs []*Package
+	for _, t := range targets {
+		filenames := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			filenames[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typecheck(fset, t.ImportPath, filenames, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// A FixtureLoader loads analyzer test fixtures from an analysistest-style
+// source root: testdata/src/<import/path>/*.go. Fixture packages may import
+// other fixture packages (stubs standing in for real repo packages — the
+// directory path under SrcRoot IS the import path, so a stub can impersonate
+// repro/internal/backend) and any stdlib package; stdlib imports resolve
+// through export data exactly like the go-list loader.
+type FixtureLoader struct {
+	// SrcRoot is the fixture tree root (".../testdata/src").
+	SrcRoot string
+
+	fset    *token.FileSet
+	pkgs    map[string]*Package // loaded fixture packages, by import path
+	loading map[string]bool     // cycle detection
+	exports map[string]string   // stdlib export data files
+	gc      types.Importer
+}
+
+// NewFixtureLoader returns a loader rooted at srcRoot.
+func NewFixtureLoader(srcRoot string) *FixtureLoader {
+	l := &FixtureLoader{
+		SrcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		exports: make(map[string]string),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", exportLookup(l.exports))
+	return l
+}
+
+// Import resolves fixture-package imports first, then falls back to export
+// data, making FixtureLoader usable as the type-checker's Importer.
+func (l *FixtureLoader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// dir returns the on-disk directory for a fixture import path, or "" when
+// the path is not part of the fixture tree.
+func (l *FixtureLoader) dir(importPath string) string {
+	dir := filepath.Join(l.SrcRoot, filepath.FromSlash(importPath))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Load parses and type-checks the fixture package at importPath, loading
+// fixture dependencies recursively and fetching export data for any stdlib
+// imports on first use.
+func (l *FixtureLoader) Load(importPath string) (*Package, error) {
+	dir := l.dir(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("analysis: no fixture directory for %q under %s", importPath, l.SrcRoot)
+	}
+	return l.LoadDir(dir, importPath)
+}
+
+// LoadDir is Load for an explicit directory: dir's sources become the
+// package at importPath regardless of where dir sits relative to SrcRoot.
+// cmd/lintcheck's -fixture mode uses it to run the suite over the seeded
+// violation fixture.
+func (l *FixtureLoader) LoadDir(dir, importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: fixture import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(filenames)
+
+	// Pre-scan imports so fixture deps are checked first and stdlib export
+	// data is fetched in one go-list call per load.
+	var std []string
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %v", name, err)
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			if l.dir(path) != "" {
+				if _, err := l.Load(path); err != nil {
+					return nil, err
+				}
+			} else if _, ok := l.exports[path]; !ok {
+				std = append(std, path)
+			}
+		}
+	}
+	if len(std) > 0 {
+		listed, err := goList(std)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	pkg, err := typecheck(l.fset, importPath, filenames, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

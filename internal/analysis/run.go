@@ -1,0 +1,88 @@
+package analysis
+
+import "sort"
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics in (file, line, column, analyzer) order.
+//
+// Suppression happens here, in one place, so every analyzer honors
+// //lint:ignore identically: a diagnostic is dropped when a matching ignore
+// (same file, same analyzer, directive on the diagnostic's line or the line
+// directly above) carries a non-empty reason. A reasonless ignore directive
+// suppresses nothing and is itself reported — the suppression mechanism
+// cannot silently grow undocumented holes.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				// An analyzer that cannot run is a finding, not a silent pass.
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Message:  "analyzer failed: " + err.Error(),
+				})
+			}
+		}
+		for _, ig := range pkg.Directives.Ignores {
+			if ig.Reason == "" {
+				diags = append(diags, Diagnostic{
+					Analyzer: ig.Analyzer,
+					Pos:      pkg.Fset.Position(ig.Pos),
+					Message:  "lint:ignore " + ig.Analyzer + " directive has no reason; explain why the contract does not apply here",
+				})
+			}
+		}
+		diags = suppress(diags, pkg.Directives.Ignores)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppress drops diagnostics matched by an explained ignore directive. The
+// unexplained-ignore diagnostics added above are keyed to the directive's
+// own analyzer and line, so a second reasonless directive cannot suppress
+// the first's report (an ignore only ever suppresses with a reason).
+func suppress(diags []Diagnostic, ignores []Ignore) []Diagnostic {
+	if len(ignores) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	explained := make(map[key]bool, len(ignores))
+	for _, ig := range ignores {
+		if ig.Reason == "" {
+			continue
+		}
+		// The directive covers its own line (trailing comment) and the line
+		// below it (directive on its own line above the flagged statement).
+		explained[key{ig.File, ig.Line, ig.Analyzer}] = true
+		explained[key{ig.File, ig.Line + 1, ig.Analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !explained[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,55 @@
+// Package selftest is the seeded-violation fixture for the verify chain:
+// `go run ./cmd/lintcheck -fixture ./internal/analysis/testdata/selftest`
+// must always exit non-zero. It guards against the linter itself rotting
+// into a silent pass — a lintcheck that stops seeing these violations fails
+// tier-1, exactly like a vet pass that stopped vetting. The lintcheck.path
+// file pins the fixture's import path onto an adapter path so the
+// path-gated analyzers fire; the directive below opts into determorder.
+//
+//lint:deterministic
+package selftest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// errtaxonomy: bare construction inside an adapter-path package.
+func taxonomyBare() error {
+	return errors.New("selftest: bare error")
+}
+
+// errtaxonomy: non-wrapping fmt.Errorf.
+func taxonomyNonWrap(n int) error {
+	return fmt.Errorf("selftest: %d", n)
+}
+
+// ctxdiscipline: Background outside a main package, no nil-guard.
+func ctxBackground() context.Context {
+	return context.Background()
+}
+
+// ctxdiscipline: context.Context not the first parameter.
+func ctxOrder(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}
+
+// gorecover: goroutine with no panic isolation — and determorder: time.Now
+// in a deterministic package.
+func launch(ch chan int64) {
+	go func() {
+		ch <- time.Now().UnixNano()
+	}()
+}
+
+// determorder: map iteration order leaking into a slice.
+func mapOrder(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

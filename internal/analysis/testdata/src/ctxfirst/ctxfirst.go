@@ -1,0 +1,43 @@
+// Package ctxfirst exercises ctxdiscipline's parameter-position and
+// Background/TODO confinement rules in an ordinary non-main package.
+package ctxfirst
+
+import "context"
+
+func bad(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = name
+	_ = ctx
+	return nil
+}
+
+func good(ctx context.Context, name string) error {
+	_ = name
+	return ctx.Err()
+}
+
+type server struct{}
+
+func (s *server) handle(id int, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = id
+	_ = ctx
+}
+
+func bare() context.Context {
+	return context.Background() // want "Background outside a main package"
+}
+
+func todo() context.Context {
+	return context.TODO() // want "TODO outside a main package"
+}
+
+func guarded(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // nil-guard idiom: exempt
+	}
+	return ctx
+}
+
+func defineNotGuard() context.Context {
+	ctx := context.Background() // want "Background outside a main package"
+	return ctx
+}

@@ -1,0 +1,79 @@
+// Package determfixture opts into the determinism contract and exercises
+// every determorder rule.
+//
+//lint:deterministic
+package determfixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func collect(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want "append to out inside range over a map"
+	}
+	return out
+}
+
+func collectSorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // sorted below: order-insensitive again
+	}
+	sort.Strings(out)
+	return out
+}
+
+func concat(m map[int]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want "concatenation onto s inside range over a map"
+	}
+	return s
+}
+
+func count(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation commutes; not flagged
+	}
+	return n
+}
+
+func localAccumulator(m map[int]int) int {
+	total := 0
+	for k := range m {
+		parts := make([]int, 0, 1)
+		parts = append(parts, k) // declared inside the loop; not flagged
+		total += len(parts)
+	}
+	return total
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, v := range xs {
+		out = append(out, v) // slice iteration is ordered; not flagged
+	}
+	return out
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a deterministic package"
+}
+
+func elapsed(start time.Time) int64 {
+	return time.Since(start).Nanoseconds() // want "time.Since in a deterministic package"
+}
+
+func draw() int {
+	return rand.Intn(6) // want "global math/rand.Intn in a deterministic package"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // seeded generator: the sanctioned shape
+	return r.Intn(6)
+}

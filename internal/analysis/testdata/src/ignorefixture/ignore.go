@@ -1,0 +1,24 @@
+// Package ignorefixture proves explained //lint:ignore directives suppress
+// exactly their analyzer on their own line or the line below — and nothing
+// else.
+package ignorefixture
+
+import "context"
+
+func explainedAbove() context.Context {
+	//lint:ignore ctxdiscipline fixture: demonstrates an explained suppression
+	return context.TODO()
+}
+
+func explainedInline() context.Context {
+	return context.Background() //lint:ignore ctxdiscipline fixture: inline suppression with reason
+}
+
+func wrongAnalyzer() context.Context {
+	//lint:ignore gorecover fixture: reason targets a different analyzer
+	return context.TODO() // want "TODO outside a main package"
+}
+
+func unsuppressed() context.Context {
+	return context.TODO() // want "TODO outside a main package"
+}

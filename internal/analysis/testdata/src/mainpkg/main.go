@@ -1,0 +1,14 @@
+// Command mainpkg proves ctxdiscipline exempts main packages from the
+// Background/TODO confinement rule (roots legitimately mint contexts).
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,31 @@
+// Package plainpkg sits outside every analyzer scope gate: bare error
+// construction, map-order accumulation, and goroutines are all unflagged
+// here (no adapter path, no //lint:deterministic directive, not internal/).
+package plainpkg
+
+import (
+	"errors"
+	"fmt"
+)
+
+func bareNew() error {
+	return errors.New("not an adapter package")
+}
+
+func nonWrapping(n int) error {
+	return fmt.Errorf("plain: %d", n)
+}
+
+func collect(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+func launch(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

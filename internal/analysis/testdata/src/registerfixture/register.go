@@ -1,0 +1,24 @@
+// Package registerfixture exercises the registerinit contract against the
+// backend stub.
+package registerfixture
+
+import "repro/internal/backend"
+
+type engine struct{}
+
+func (engine) Name() string { return "fixture-engine" }
+
+func init() {
+	backend.Register(engine{}) // registration from init: the contract
+}
+
+func registerLate() {
+	backend.Register(engine{}) // want "backend.Register outside an init function"
+}
+
+func init() {
+	fn := func() {
+		backend.Register(engine{}) // want "backend.Register outside an init function"
+	}
+	fn()
+}

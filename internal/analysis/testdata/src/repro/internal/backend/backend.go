@@ -1,0 +1,15 @@
+// Package backend is a fixture stub impersonating repro/internal/backend:
+// registerinit keys on the real registry's import path, so fixtures import
+// this stub under the identical path instead of dragging the full backend
+// package (and its dependency tree) into analyzer tests.
+package backend
+
+// Backend mirrors the registry's interface shape.
+type Backend interface {
+	Name() string
+}
+
+// Register mirrors the real registration entry point.
+func Register(b Backend) {
+	_ = b
+}

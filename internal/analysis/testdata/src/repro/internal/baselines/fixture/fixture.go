@@ -1,0 +1,32 @@
+// Package fixture exercises the errtaxonomy contract from inside an engine
+// adapter path (repro/internal/baselines/...).
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is a sentinel: package-level errors.New is the permitted form.
+var ErrBudget = errors.New("fixture: budget exhausted")
+
+func bareNew() error {
+	return errors.New("raw failure") // want "errors.New inside an engine adapter"
+}
+
+func nonWrapping(n int) error {
+	return fmt.Errorf("fixture: %d cells over limit", n) // want "fmt.Errorf without %w inside an engine adapter"
+}
+
+func wrapping(n int) error {
+	return fmt.Errorf("%w: %d cells over limit", ErrBudget, n)
+}
+
+func rewrapping(err error) error {
+	return fmt.Errorf("fixture: %w", err)
+}
+
+func dynamicFormat(format string) error {
+	// A dynamic format string cannot be proven non-wrapping; not flagged.
+	return fmt.Errorf(format, 1)
+}

@@ -1,0 +1,53 @@
+// Package gofix exercises the gorecover panic-isolation contract from an
+// internal/ path.
+package gofix
+
+func work() {}
+
+func workSafe() {}
+
+func SafeWork() {}
+
+func launchBare() {
+	go work() // want "goroutine launched without panic isolation"
+}
+
+func launchSafeSuffix() {
+	go workSafe() // *Safe wrapper: isolated by contract
+}
+
+func launchSafePrefix() {
+	go SafeWork() // Safe* wrapper: isolated by contract
+}
+
+func launchLitBare() {
+	go func() { // want "go func literal without panic isolation"
+		work()
+	}()
+}
+
+func launchLitRecover() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+func launchLitDelegate() {
+	go func() {
+		for i := 0; i < 3; i++ {
+			workSafe() // worker-pool shape: each item runs under a *Safe wrapper
+		}
+	}()
+}
+
+func launchNested() {
+	go func() {
+		defer func() { _ = recover() }()
+		go work() // want "goroutine launched without panic isolation"
+	}()
+}

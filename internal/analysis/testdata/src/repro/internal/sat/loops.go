@@ -1,0 +1,54 @@
+// Package satfix impersonates repro/internal/sat to exercise
+// ctxdiscipline's unbounded-loop rule (it applies only in the solver
+// packages).
+package satfix
+
+import "context"
+
+type solver struct {
+	ctx context.Context
+	n   int
+}
+
+func (s *solver) search() int {
+	for { // receiver carries a ctx field: cancellable
+		if s.n > 10 {
+			return s.n
+		}
+		s.n++
+	}
+}
+
+func run(ctx context.Context) {
+	for { // ctx parameter: cancellable
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func worker(s *solver) {
+	for { // body polls a ctx-typed expression: cancellable
+		if s.ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func spin() int {
+	n := 0
+	for { // want "unbounded for loop with no context in reach"
+		n++
+		if n > 100 {
+			return n
+		}
+	}
+}
+
+func bounded(limit int) int {
+	n := 0
+	for i := 0; i < limit; i++ { // conditioned loops are out of scope
+		n += i
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+// Package unexplained carries a reasonless //lint:ignore directive: the
+// directive must not suppress anything and must itself be reported (checked
+// by TestUnexplainedIgnore, which cannot use // want annotations because the
+// directive and the finding share a comment line).
+package unexplained
+
+import "context"
+
+func f() context.Context {
+	//lint:ignore ctxdiscipline
+	return context.TODO()
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// WalkStack traverses root in depth-first order, calling fn for every node
+// with the full ancestor stack (stack[len(stack)-1] == n). Returning false
+// from fn prunes the subtree below n. The stdlib ast.Inspect offers no
+// ancestor access; several analyzers need it (enclosing function, enclosing
+// if-statement), so this is the one shared walker.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	stack := make([]ast.Node, 0, 32)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if !fn(n, stack) {
+			// Pruned: ast.Inspect skips the f(nil) pop call for a node whose
+			// visit returned false, so pop here to keep the stack balanced.
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost function literal or declaration in
+// stack strictly above the last element, or nil when the node is at package
+// scope (e.g. inside a var initializer).
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}

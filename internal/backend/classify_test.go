@@ -1,0 +1,124 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sentinelTable references every exported Err* sentinel alongside the stable
+// Classify string it must map to. TestClassifyExhaustive walks the table by
+// reflection AND walks the package source for exported Err* declarations, so
+// adding a taxonomy class without extending both this table and Classify is
+// a test failure, not a silent "error" row in results_raw.csv.
+var sentinelTable = struct {
+	ErrFalse       error
+	ErrIncomplete  error
+	ErrTooLarge    error
+	ErrUnsupported error
+	ErrBudget      error
+	ErrCanceled    error
+	ErrInternal    error
+}{
+	ErrFalse, ErrIncomplete, ErrTooLarge, ErrUnsupported, ErrBudget, ErrCanceled, ErrInternal,
+}
+
+var sentinelClasses = map[string]string{
+	"ErrFalse":       OutcomeFalse,
+	"ErrIncomplete":  OutcomeIncomplete,
+	"ErrTooLarge":    OutcomeTooLarge,
+	"ErrUnsupported": OutcomeUnsupported,
+	"ErrBudget":      OutcomeBudget,
+	"ErrCanceled":    OutcomeCanceled,
+	"ErrInternal":    OutcomeInternal,
+}
+
+// sourceSentinels parses the non-test package source and returns the names
+// of every exported package-level Err* variable.
+func sourceSentinels(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing package source: %v", err)
+	}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Err") && ast.IsExported(name.Name) {
+							names = append(names, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// TestClassifyExhaustive pins the taxonomy's classification contract:
+// every exported Err* sentinel in the package source appears in the table,
+// every table entry classifies (wrapped, as adapters produce it) to its
+// distinct stable string, and non-taxonomy errors still fall through to the
+// catch-all class.
+func TestClassifyExhaustive(t *testing.T) {
+	for _, name := range sourceSentinels(t) {
+		if _, ok := sentinelClasses[name]; !ok {
+			t.Errorf("exported sentinel %s has no entry in sentinelTable/sentinelClasses: extend Classify and this test together", name)
+		}
+	}
+
+	tv := reflect.ValueOf(sentinelTable)
+	tt := tv.Type()
+	if tt.NumField() != len(sentinelClasses) {
+		t.Fatalf("sentinelTable has %d fields, sentinelClasses %d entries; keep them in lockstep", tt.NumField(), len(sentinelClasses))
+	}
+	seen := make(map[string]string, tt.NumField())
+	for i := 0; i < tt.NumField(); i++ {
+		name := tt.Field(i).Name
+		sentinel, ok := tv.Field(i).Interface().(error)
+		if !ok || sentinel == nil {
+			t.Fatalf("sentinelTable.%s does not hold an error", name)
+		}
+		want, ok := sentinelClasses[name]
+		if !ok {
+			t.Fatalf("sentinelTable.%s missing from sentinelClasses", name)
+		}
+		// Classify must see through wrapping — adapters always return the
+		// sentinel wrapped with context.
+		got := Classify(fmt.Errorf("engine %q: %w", "x", sentinel))
+		if got != want {
+			t.Errorf("Classify(wrapped %s) = %q, want stable class %q", name, got, want)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("sentinels %s and %s both classify to %q; classes must stay distinct", prev, name, got)
+		}
+		seen[got] = name
+	}
+
+	if got := Classify(nil); got != OutcomeOK {
+		t.Errorf("Classify(nil) = %q, want %q", got, OutcomeOK)
+	}
+	if got := Classify(errors.New("unrelated")); got != OutcomeError {
+		t.Errorf("Classify(non-taxonomy error) = %q, want catch-all %q", got, OutcomeError)
+	}
+}

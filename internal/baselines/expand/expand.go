@@ -197,7 +197,7 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		}
 		f, err := fv.B.FromTruthTable(deps, table)
 		if err != nil {
-			return nil, fmt.Errorf("expand: table for %d: %v", y, err)
+			return nil, fmt.Errorf("expand: table for %d: %w", y, err)
 		}
 		fv.Funcs[y] = f
 	}

@@ -28,6 +28,10 @@
 // the method is complete, certifying (functions verified by construction),
 // and strongest on instances with many defined variables / small dependency
 // sets, complementing both expansion and Manthan3.
+//
+// The package is under the determinism contract — results must be
+// bit-identical across runs and worker counts (see internal/analysis).
+//lint:deterministic
 package pedant
 
 import (
@@ -127,6 +131,7 @@ type engine struct {
 // Cancellation of ctx aborts the counterexample loop and every SAT call
 // promptly with ErrBudget (the ctx error stays in the chain).
 func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error) {
+	//lint:ignore determorder phase-telemetry timestamp (SynthesisNs); never feeds results
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -202,6 +207,7 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 		}
 		if valid {
 			e.stats.ArbiterVars = len(e.cells)
+			//lint:ignore determorder phase-telemetry duration (SynthesisNs); never feeds results
 			e.stats.SynthesisNs = time.Since(start).Nanoseconds()
 			// Arbiter solves plus the one-shot verification solvers.
 			rec.AddOracle(e.arb.Stats().Solves + int64(e.stats.VerifyCalls))
@@ -276,7 +282,7 @@ func (e *engine) instantiate(cex cnf.Assignment) error {
 	if !added {
 		// ϕ is already satisfied under β for any table: the verifier's
 		// counterexample must then be spurious — internal error.
-		return fmt.Errorf("pedant: internal: counterexample added no constraints")
+		return fmt.Errorf("%w: counterexample added no constraints", ErrInternal)
 	}
 	return nil
 }

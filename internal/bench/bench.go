@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -141,8 +142,13 @@ func (o Options) engines() []string {
 
 // RunEngine executes a single engine spec (resolved through
 // backend.Resolve, so seed-pinned and portfolio specs race like plain
-// engines) on an instance under a per-run timeout context.
-func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
+// engines) on an instance under a per-run timeout derived from ctx, so a
+// caller canceling ctx (a benchrunner shard being shut down, a service
+// request going away) interrupts the run promptly.
+func RunEngine(ctx context.Context, engine string, in *dqbf.Instance, opts Options) RunResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = 2 * time.Second
@@ -156,7 +162,7 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 		// dispatch boundary is exactly what fault runs measure.
 		b = backend.Protect(opts.WrapBackend(b))
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	ppWorkers := opts.PreprocWorkers
 	if ppWorkers <= 0 {
@@ -212,9 +218,31 @@ func RunEngine(engine string, in *dqbf.Instance, opts Options) RunResult {
 	return out
 }
 
+// runEngineSafe is RunEngine behind the goroutine panic-isolation contract:
+// RunEngine's own dispatch already contains engine panics, but the suite
+// workers also run verification and bookkeeping, and a panic on a worker
+// goroutine would crash the whole benchmark run. It recovers into a Failed
+// row with the panic recorded instead.
+func runEngineSafe(ctx context.Context, engine string, in *dqbf.Instance, opts Options) (r RunResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = RunResult{
+				Engine:  engine,
+				Outcome: Failed,
+				Detail:  fmt.Sprintf("panic on suite worker: %v\n%s", p, debug.Stack()),
+			}
+		}
+	}()
+	return RunEngine(ctx, engine, in, opts)
+}
+
 // RunSuite runs every engine of opts.Engines (default: the canonical
-// Engines set) over every instance in parallel.
-func RunSuite(suite []gen.Named, opts Options) []RunResult {
+// Engines set) over every instance in parallel, under ctx: cancellation
+// aborts in-flight runs and the remaining queue.
+func RunSuite(ctx context.Context, suite []gen.Named, opts Options) []RunResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	engines := opts.engines()
 	workers := opts.Workers
 	if workers <= 0 {
@@ -233,7 +261,7 @@ func RunSuite(suite []gen.Named, opts Options) []RunResult {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				r := RunEngine(j.engine, j.inst.DQBF, opts)
+				r := runEngineSafe(ctx, j.engine, j.inst.DQBF, opts)
 				r.Instance = j.inst.Name
 				r.Family = string(j.inst.Family)
 				mu.Lock()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func miniSuite() []gen.Named {
 func TestRunEngineAllEnginesOnEasyInstance(t *testing.T) {
 	inst := gen.Generate(gen.FamilyRandom, 0, 42) // h=1 planted
 	for _, e := range Engines {
-		r := RunEngine(e, inst.DQBF, Options{Timeout: 5 * time.Second, Seed: 1})
+		r := RunEngine(context.Background(), e, inst.DQBF, Options{Timeout: 5 * time.Second, Seed: 1})
 		if r.Outcome != Synthesized && r.Outcome != GaveUp && r.Outcome != TimedOut {
 			t.Fatalf("%s: outcome %v (%s)", e, r.Outcome, r.Detail)
 		}
@@ -34,7 +35,7 @@ func TestRunEngineAllEnginesOnEasyInstance(t *testing.T) {
 
 func TestRunEngineUnknownEngine(t *testing.T) {
 	inst := gen.Generate(gen.FamilyRandom, 0, 42)
-	r := RunEngine("nope", inst.DQBF, Options{})
+	r := RunEngine(context.Background(), "nope", inst.DQBF, Options{})
 	if r.Outcome != Failed {
 		t.Fatalf("unknown engine: %v", r.Outcome)
 	}
@@ -46,7 +47,7 @@ func TestRunEngineUnknownEngine(t *testing.T) {
 func TestRunEngineRecordsPhases(t *testing.T) {
 	inst := gen.Generate(gen.FamilyRandom, 0, 42)
 	for _, spec := range []string{EngineExpand, "manthan3@3", "portfolio:expand+manthan3"} {
-		r := RunEngine(spec, inst.DQBF, Options{Timeout: 10 * time.Second, Seed: 1})
+		r := RunEngine(context.Background(), spec, inst.DQBF, Options{Timeout: 10 * time.Second, Seed: 1})
 		if r.Outcome != Synthesized {
 			t.Fatalf("%s: outcome %v (%s)", spec, r.Outcome, r.Detail)
 		}
@@ -93,7 +94,7 @@ func TestTableDerivesEngines(t *testing.T) {
 
 func TestRunSuiteAndTable(t *testing.T) {
 	suite := miniSuite()
-	results := RunSuite(suite, Options{Timeout: 3 * time.Second, Workers: 4, Seed: 9})
+	results := RunSuite(context.Background(), suite, Options{Timeout: 3 * time.Second, Workers: 4, Seed: 9})
 	if len(results) != len(suite)*len(Engines) {
 		t.Fatalf("results: %d, want %d", len(results), len(suite)*len(Engines))
 	}
@@ -149,7 +150,7 @@ func TestRunSuiteAndTable(t *testing.T) {
 
 func TestScatterAndCSV(t *testing.T) {
 	suite := miniSuite()[:6]
-	results := RunSuite(suite, Options{Timeout: 3 * time.Second, Workers: 4})
+	results := RunSuite(context.Background(), suite, Options{Timeout: 3 * time.Second, Workers: 4})
 	tab := NewTable(results)
 	pts := tab.Scatter([]string{EngineExpand, EnginePedant}, EngineManthan3, 3*time.Second)
 	for _, p := range pts {
@@ -176,7 +177,7 @@ func TestScatterAndCSV(t *testing.T) {
 
 func TestASCIIRenderers(t *testing.T) {
 	suite := miniSuite()[:6]
-	results := RunSuite(suite, Options{Timeout: 3 * time.Second, Workers: 4})
+	results := RunSuite(context.Background(), suite, Options{Timeout: 3 * time.Second, Workers: 4})
 	tab := NewTable(results)
 	art := RenderCactusASCII(tab, 3*time.Second, 40, 10)
 	if !strings.Contains(art, "Fig 6") {
@@ -191,7 +192,7 @@ func TestASCIIRenderers(t *testing.T) {
 
 func TestFamilyBreakdown(t *testing.T) {
 	suite := miniSuite()
-	results := RunSuite(suite, Options{Timeout: 3 * time.Second, Workers: 4})
+	results := RunSuite(context.Background(), suite, Options{Timeout: 3 * time.Second, Workers: 4})
 	b := FamilyBreakdown(results)
 	fams := SortedFamilies(b)
 	if len(fams) == 0 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ func TestWriteExperimentsMD(t *testing.T) {
 			suite = append(suite, gen.Generate(fam, i, 55))
 		}
 	}
-	results := RunSuite(suite, Options{Timeout: 2 * time.Second, Workers: 2})
+	results := RunSuite(context.Background(), suite, Options{Timeout: 2 * time.Second, Workers: 2})
 	tab := NewTable(results)
 	var sb strings.Builder
 	if err := WriteExperimentsMD(&sb, tab, results, 2*time.Second); err != nil {

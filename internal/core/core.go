@@ -51,4 +51,8 @@
 //
 // Stats.VerifySolversBuilt and Stats.CandidateReencodes expose the
 // persistence invariants; BenchmarkVerifyRepair tracks the win.
+//
+// The package is under the determinism contract — results must be
+// bit-identical across runs and worker counts (see internal/analysis).
+//lint:deterministic
 package core

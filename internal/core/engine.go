@@ -469,7 +469,7 @@ func (e *Engine) substitute() (*dqbf.FuncVector, error) {
 		fv.Funcs[y] = f
 	}
 	if viol := fv.DependencyViolations(e.in); len(viol) > 0 {
-		return nil, fmt.Errorf("core: internal error: dependency violations after substitution: %v", viol)
+		return nil, fmt.Errorf("%w: dependency violations after substitution: %v", ErrInternal, viol)
 	}
 	return fv, nil
 }
@@ -646,10 +646,12 @@ func (e *Engine) extendCounterexample(delta cnf.Assignment) (*counterexample, bo
 func (e *Engine) recordUse(yi, yk cnf.Var) {
 	targets := []cnf.Var{yk}
 	for t := range e.up[yk] {
+		//lint:ignore determorder targets only feeds commutative set writes below; order never escapes
 		targets = append(targets, t)
 	}
 	newDependents := []cnf.Var{yi}
 	for d := range e.deps[yi] {
+		//lint:ignore determorder newDependents only feeds commutative set writes below; order never escapes
 		newDependents = append(newDependents, d)
 	}
 	for _, t := range targets {

@@ -198,7 +198,7 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 	if res.Status != sat.Sat {
 		// Hard part is ϕ ∧ X↔σ[X], known satisfiable from the extension
 		// check; anything else is an internal inconsistency.
-		return nil, fmt.Errorf("core: FindCandi MaxSAT returned %v", res.Status)
+		return nil, fmt.Errorf("%w: FindCandi MaxSAT returned %v", ErrInternal, res.Status)
 	}
 	out := make([]cnf.Var, 0, len(res.Falsified))
 	for _, idx := range res.Falsified {

@@ -24,6 +24,10 @@
 //
 // cmd/benchrunner exposes dispatch-level plans through its -faults flag
 // (see Parse for the spec grammar).
+//
+// The package is under the determinism contract — results must be
+// bit-identical across runs and worker counts (see internal/analysis).
+//lint:deterministic
 package faultinject
 
 import (

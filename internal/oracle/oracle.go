@@ -15,6 +15,10 @@
 // ones. Since every pooled solver is built by the same constructor, answers
 // are semantically interchangeable — which solver a worker draws never
 // affects results, only the learnt-clause warmth it happens to inherit.
+//
+// The package is under the determinism contract — results must be
+// bit-identical across runs and worker counts (see internal/analysis).
+//lint:deterministic
 package oracle
 
 import (

@@ -91,6 +91,10 @@
 // state. Group clauses live outside the learnt tiers and the problem-clause
 // list, so neither reduceDB nor simplifyDB ever frees or demotes them; only
 // ReleaseGroup does. Core never reports activation literals.
+//
+// The package is under the determinism contract — results must be
+// bit-identical across runs and worker counts (see internal/analysis).
+//lint:deterministic
 package sat
 
 import (

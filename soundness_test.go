@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func TestNoEngineRefutesPlantedTrueInstances(t *testing.T) {
 				continue
 			}
 			for _, engine := range bench.Engines {
-				r := bench.RunEngine(engine, inst.DQBF, bench.Options{
+				r := bench.RunEngine(context.Background(), engine, inst.DQBF, bench.Options{
 					Timeout: 800 * time.Millisecond,
 					Seed:    int64(i),
 				})
@@ -43,7 +44,7 @@ func TestSweepOutcomesAccountedFor(t *testing.T) {
 		gen.Generate(gen.FamilyRandom, 0, 99),
 		gen.Generate(gen.FamilySAT2DQBF, 1, 99),
 	}
-	results := bench.RunSuite(suite, bench.Options{Timeout: time.Second, Workers: 2})
+	results := bench.RunSuite(context.Background(), suite, bench.Options{Timeout: time.Second, Workers: 2})
 	for _, r := range results {
 		if r.Outcome < bench.Synthesized || r.Outcome > bench.Failed {
 			t.Errorf("%s/%s: undefined outcome %d", r.Instance, r.Engine, r.Outcome)
