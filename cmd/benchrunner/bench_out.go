@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"sort"
@@ -124,7 +125,85 @@ func runMicroBenchmarks(outPath string, count int, benchtime string) error {
 	}
 	fmt.Printf("bench medians (%d runs × %s) for %d benchmarks written to %s\n",
 		count, benchtime, len(report.Results), outPath)
+	printBenchDelta(&report, outPath)
 	return nil
+}
+
+// benchFile matches the committed per-PR median files (BENCH_<n>.json).
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// printBenchDelta compares the fresh report against the newest committed
+// BENCH_<n>.json in the working directory and prints the per-benchmark
+// percentage change for each metric, flagging regressions above 10%. The
+// delta is advisory — machines differ — but it surfaces accidental perf
+// regressions at the moment the new medians are generated rather than in
+// review. Missing baseline files or unparseable content just skip the
+// report; generating medians must never fail on comparison problems.
+// The freshly written outPath is excluded so a regeneration of the newest
+// BENCH_<n>.json still compares against its predecessor.
+func printBenchDelta(cur *benchReport, outPath string) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		return
+	}
+	self := filepath.Base(filepath.Clean(outPath))
+	bestN, bestName := -1, ""
+	for _, e := range entries {
+		if e.Name() == self {
+			continue
+		}
+		m := benchFile.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n > bestN {
+			bestN, bestName = n, e.Name()
+		}
+	}
+	if bestN < 0 {
+		return
+	}
+	data, err := os.ReadFile(bestName)
+	if err != nil {
+		return
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return
+	}
+	baseline := map[string]benchResult{}
+	for _, r := range base.Results {
+		baseline[r.Package+" "+r.Name] = r
+	}
+	fmt.Printf("\ndelta vs %s:\n", bestName)
+	regressions := 0
+	pct := func(old, new float64) string {
+		if old == 0 {
+			return "  n/a"
+		}
+		return fmt.Sprintf("%+6.1f%%", 100*(new-old)/old)
+	}
+	for _, r := range cur.Results {
+		b, ok := baseline[r.Package+" "+r.Name]
+		if !ok {
+			fmt.Printf("  %-45s (new benchmark, no baseline)\n", r.Name)
+			continue
+		}
+		flag := ""
+		for _, m := range [][2]float64{{b.NsPerOp, r.NsPerOp}, {b.BytesPerOp, r.BytesPerOp}, {b.AllocsPerOp, r.AllocsPerOp}} {
+			if m[0] > 0 && (m[1]-m[0])/m[0] > 0.10 {
+				flag = "  << REGRESSION >10%"
+				regressions++
+				break
+			}
+		}
+		fmt.Printf("  %-45s ns %s   B %s   allocs %s%s\n",
+			r.Name, pct(b.NsPerOp, r.NsPerOp), pct(b.BytesPerOp, r.BytesPerOp),
+			pct(b.AllocsPerOp, r.AllocsPerOp), flag)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d benchmark(s) regressed >10%% against %s\n", regressions, bestName)
+	}
 }
 
 // median returns the median of xs (0 when empty). Even lengths average the

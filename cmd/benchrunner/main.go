@@ -75,6 +75,7 @@ func run() int {
 	fig := flag.String("fig", "all", "which figure to emit: 6,7,8,9,10,all")
 	jobs := flag.Int("j", 0, "parallel engine-run workers (0 = NumCPU)")
 	ppWorkers := flag.Int("pp-workers", 1, "per-engine preprocessing workers (manthan3-family engines)")
+	verifyWorkers := flag.Int("verify-workers", 1, "per-engine repair-phase verification workers (manthan3-family engines; bit-identical results at every setting)")
 	enginesFlag := flag.String("engines", "", "comma-separated engine specs to race (default: the canonical set; accepts name@seed and portfolio:a+b+c)")
 	satProfile := flag.String("sat-profile", "", "SAT search profile for every engine-internal solver: "+strings.Join(sat.Profiles(), ", ")+" (empty = default)")
 	faults := flag.String("faults", "", "deterministic fault plan injected into every engine run (e.g. \"panic@1,budget@2,stall(5ms)@3\"; see internal/faultinject); a fresh plan is armed per run")
@@ -159,7 +160,8 @@ func run() int {
 		results = bench.RunSuite(context.Background(), suite, bench.Options{
 			Timeout: *timeout, Seed: *seed, Workers: workers,
 			Engines: engines, PreprocWorkers: *ppWorkers,
-			SATProfile: *satProfile, WrapBackend: wrap,
+			VerifyWorkers: *verifyWorkers,
+			SATProfile:    *satProfile, WrapBackend: wrap,
 		})
 		fmt.Printf("suite completed in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}

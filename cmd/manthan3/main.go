@@ -74,6 +74,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("j", 0, "engine-internal worker count (0 = NumCPU)")
 	ppWorkers := flag.Int("pp-workers", 0, "preprocessing worker count (manthan3 preprocess / pedant Padoa pass; 0 = NumCPU)")
+	verifyWorkers := flag.Int("verify-workers", 0, "repair-phase candidate-verification worker count (manthan3; results are bit-identical at every setting; 0 = NumCPU)")
 	satProfile := flag.String("sat-profile", "", "SAT search profile for every engine-internal solver: "+strings.Join(sat.Profiles(), ", ")+" (empty = default)")
 	verify := flag.Bool("verify", true, "independently verify the synthesized vector")
 	quiet := flag.Bool("q", false, "suppress function printing; report status only")
@@ -150,7 +151,7 @@ func run() int {
 		in = prep.Simplified
 	}
 
-	bopts := backend.Options{Seed: *seed, Workers: *workers, PreprocWorkers: *ppWorkers, SATProfile: *satProfile}
+	bopts := backend.Options{Seed: *seed, Workers: *workers, PreprocWorkers: *ppWorkers, VerifyWorkers: *verifyWorkers, SATProfile: *satProfile}
 	if *verbose {
 		bopts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "c trace: "+format+"\n", args...)
@@ -231,11 +232,11 @@ func run() int {
 			return 1
 		}
 		defer vf.Close()
-		outs := make(map[string]*boolfunc.Node, len(vec.Funcs))
+		outs := make(map[string]boolfunc.Node, len(vec.Funcs))
 		for y, f := range vec.Funcs {
 			outs[fmt.Sprintf("y%d", y)] = f
 		}
-		if err := boolfunc.WriteVerilog(vf, "henkin", outs, nil); err != nil {
+		if err := vec.B.WriteVerilog(vf, "henkin", outs, nil); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -44,9 +44,9 @@ func main() {
 	law1 := b.And(b.Var(1), b.Var(2))                 // target law for c1
 	esc := b.And(b.Not(b.Var(4)), b.Not(b.Var(1)))    // escape region
 	safe1 := b.Or(b.Not(b.Xor(b.Var(c1), law1)), esc) // (c1 ↔ s1∧s2) ∨ esc
-	safe2 := b.OrN([]*boolfunc.Node{b.Var(c2), b.Not(b.Var(2)), b.Not(b.Var(3))})
+	safe2 := b.OrN([]boolfunc.Node{b.Var(c2), b.Not(b.Var(2)), b.Not(b.Var(3))})
 	safe := b.And(safe1, safe2)
-	out := boolfunc.ToCNF(safe, in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(safe, in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	declared := map[cnf.Var]bool{1: true, 2: true, 3: true, 4: true, c1: true, c2: true}
 	for _, c := range in.Matrix.Clauses {
@@ -79,7 +79,7 @@ func main() {
 	fmt.Println("synthesized control laws:")
 	ys := []cnf.Var{c1, c2}
 	for _, y := range ys {
-		fmt.Printf("  c%d(%v) := %s\n", y-4, in.DepSet(y), boolfunc.String(res.Vector.Funcs[y]))
+		fmt.Printf("  c%d(%v) := %s\n", y-4, in.DepSet(y), res.Vector.B.String(res.Vector.Funcs[y]))
 	}
 
 	// Show the closed-loop behaviour over every plant state.
@@ -91,11 +91,11 @@ func main() {
 		for i := 0; i < 4; i++ {
 			a.SetBool(cnf.Var(i+1), mask&(1<<i) != 0)
 		}
-		v1 := boolfunc.Eval(res.Vector.Funcs[c1], a)
-		v2 := boolfunc.Eval(res.Vector.Funcs[c2], a)
+		v1 := res.Vector.B.Eval(res.Vector.Funcs[c1], a)
+		v2 := res.Vector.B.Eval(res.Vector.Funcs[c2], a)
 		a.SetBool(c1, v1)
 		a.SetBool(c2, v2)
-		safeNow := boolfunc.Eval(safe, a)
+		safeNow := b.Eval(safe, a)
 		row := "  "
 		for i, n := range names {
 			row += fmt.Sprintf("%s=%d ", n, bit(mask, i))

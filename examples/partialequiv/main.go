@@ -43,7 +43,7 @@ func main() {
 	g := b.Or(b.And(b.Var(1), b.Var(2)), b.And(b.Var(3), b.Var(4)))
 	impl := b.Or(b.Var(y), b.And(b.Var(3), b.Var(4)))
 	equal := b.Not(b.Xor(impl, g))
-	out := boolfunc.ToCNF(equal, in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(equal, in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	// Tseitin auxiliaries are functions of everything: declare them
 	// existential over the full universal block.
@@ -97,10 +97,10 @@ func report(in *dqbf.Instance, engine string, vec *dqbf.FuncVector, y cnf.Var) {
 		a := cnf.NewAssignment(int(y))
 		a.SetBool(1, mask&1 != 0)
 		a.SetBool(2, mask&2 != 0)
-		if boolfunc.Eval(vec.Funcs[y], a) != (mask == 3) {
+		if vec.B.Eval(vec.Funcs[y], a) != (mask == 3) {
 			matches = false
 		}
 	}
 	fmt.Printf("  %-14s patch y(x1,x2) := %-30s verified=%t equals x1∧x2=%t\n",
-		engine, boolfunc.String(vec.Funcs[y]), vr.Valid, matches)
+		engine, vec.B.String(vec.Funcs[y]), vr.Valid, matches)
 }

@@ -17,7 +17,6 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/dqbf"
@@ -56,7 +55,7 @@ func main() {
 	sort.Ints(ys)
 	for _, y := range ys {
 		f := res.Vector.Funcs[cnf.Var(y)]
-		fmt.Printf("  y%d(%v) := %s\n", y, in.DepSet(cnf.Var(y)), boolfunc.String(f))
+		fmt.Printf("  y%d(%v) := %s\n", y, in.DepSet(cnf.Var(y)), res.Vector.B.String(f))
 	}
 
 	vr, err := dqbf.VerifyVector(in, res.Vector, -1)

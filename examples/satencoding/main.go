@@ -24,7 +24,6 @@ import (
 
 	"repro/internal/baselines/expand"
 	"repro/internal/baselines/pedant"
-	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 )
@@ -111,7 +110,7 @@ func readAssignment(in *dqbf.Instance, vec *dqbf.FuncVector) []int {
 	empty := cnf.NewAssignment(in.Matrix.NumVars)
 	out := make([]int, 0, len(in.Exist))
 	for _, y := range in.Exist {
-		if boolfunc.Eval(vec.Funcs[y], empty) {
+		if vec.B.Eval(vec.Funcs[y], empty) {
 			out = append(out, 1)
 		} else {
 			out = append(out, 0)

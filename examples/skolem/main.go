@@ -43,12 +43,12 @@ func main() {
 	c0 := b.And(a0, b0)
 	s1 := b.Xor(b.Xor(a1, b1), c0)
 	c1 := b.Or(b.And(a1, b1), b.And(b.Xor(a1, b1), c0))
-	spec := b.AndN([]*boolfunc.Node{
+	spec := b.AndN([]boolfunc.Node{
 		b.Not(b.Xor(b.Var(7), s0)),
 		b.Not(b.Xor(b.Var(6), s1)),
 		b.Not(b.Xor(b.Var(5), c1)),
 	})
-	out := boolfunc.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	declared := map[cnf.Var]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true, 7: true}
 	for _, c := range in.Matrix.Clauses {
@@ -94,13 +94,13 @@ func check(in *dqbf.Instance, engine string, vec *dqbf.FuncVector) {
 			asg.SetBool(4, bv&1 != 0)
 			sum := a + bv
 			got := 0
-			if boolfunc.Eval(vec.Funcs[5], asg) {
+			if vec.B.Eval(vec.Funcs[5], asg) {
 				got |= 4
 			}
-			if boolfunc.Eval(vec.Funcs[6], asg) {
+			if vec.B.Eval(vec.Funcs[6], asg) {
 				got |= 2
 			}
-			if boolfunc.Eval(vec.Funcs[7], asg) {
+			if vec.B.Eval(vec.Funcs[7], asg) {
 				got |= 1
 			}
 			if got != sum {

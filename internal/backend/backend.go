@@ -147,6 +147,11 @@ type Options struct {
 	// per-existential constant/unate/definedness oracle queries); 0 means
 	// NumCPU. Results are bit-identical for every worker count.
 	PreprocWorkers int
+	// VerifyWorkers bounds the manthan3 repair-phase candidate-verification
+	// pool (independent candidates of one repair round probed concurrently
+	// on a fixed-slot solver pool); 0 means NumCPU. Results are
+	// bit-identical for every worker count.
+	VerifyWorkers int
 	// SATProfile names the SAT-solver search profile every engine-internal
 	// solver is built with (sat.ProfileOptions): "" or "default" for the
 	// tuned adaptive default, "luby", "incremental", or "longrun". Engines

@@ -220,7 +220,7 @@ func Solve(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, error
 func buildDecisionList(in *dqbf.Instance, betas []cnf.Assignment) *dqbf.FuncVector {
 	fv := dqbf.NewFuncVector(nil)
 	b := fv.B
-	funcs := make(map[cnf.Var]*boolfunc.Node, len(in.Exist))
+	funcs := make(map[cnf.Var]boolfunc.Node, len(in.Exist))
 	for _, y := range in.Exist {
 		funcs[y] = b.False()
 	}

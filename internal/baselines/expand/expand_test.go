@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 )
@@ -153,7 +152,7 @@ func TestVectorRespectsDependencies(t *testing.T) {
 		t.Fatalf("dependency violations: %v", viol)
 	}
 	// f for y1 (var 4) must only mention x1.
-	sup := boolfunc.Support(res.Vector.Funcs[4])
+	sup := res.Vector.B.Support(res.Vector.Funcs[4])
 	for _, v := range sup {
 		if v != 1 {
 			t.Fatalf("f1 support: %v", sup)
@@ -170,7 +169,7 @@ func TestNoUniversals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Vector.Funcs[1] == nil || !boolfunc.Eval(res.Vector.Funcs[1], cnf.NewAssignment(1)) {
+	if !res.Vector.Funcs[1].Valid() || !res.Vector.B.Eval(res.Vector.Funcs[1], cnf.NewAssignment(1)) {
 		t.Fatal("constant-true function expected")
 	}
 }

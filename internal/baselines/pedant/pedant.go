@@ -325,7 +325,7 @@ func (e *engine) verify(fv *dqbf.FuncVector) (cnf.Assignment, bool, error) {
 	dst := cnf.New(e.in.Matrix.NumVars)
 	e.in.Matrix.NegationInto(dst)
 	for _, y := range e.in.Exist {
-		out := boolfunc.ToCNF(fv.Funcs[y], dst, boolfunc.CNFOptions{})
+		out := fv.B.ToCNF(fv.Funcs[y], dst, boolfunc.CNFOptions{})
 		dst.AddEquivLit(cnf.PosLit(y), out)
 	}
 	s := sat.NewWith(e.satOpts)

@@ -117,6 +117,10 @@ type Options struct {
 	// Default 1: RunSuite already saturates the CPUs with concurrent engine
 	// runs, so per-engine durations stay like-for-like (see RunEngine).
 	PreprocWorkers int
+	// VerifyWorkers bounds each engine's internal repair-phase verification
+	// pool. Default 1, for the same like-for-like reason as PreprocWorkers;
+	// results are bit-identical at every setting.
+	VerifyWorkers int
 	// Verify re-checks every synthesized vector with an independent SAT
 	// call (default true via VerifyBudget>0 semantics; disable by setting
 	// SkipVerify).
@@ -168,17 +172,22 @@ func RunEngine(ctx context.Context, engine string, in *dqbf.Instance, opts Optio
 	if ppWorkers <= 0 {
 		ppWorkers = 1
 	}
+	vWorkers := opts.VerifyWorkers
+	if vWorkers <= 0 {
+		vWorkers = 1
+	}
 	start := time.Now()
 	// Workers: 1 keeps the measurement like-for-like: RunSuite already
 	// saturates the CPUs with concurrent engine runs, and the serial
 	// baselines have no intra-engine parallelism to match — a manthan3 run
 	// fanning out NumCPU learn goroutines would both oversubscribe the
 	// machine and skew the per-engine Durations behind the paper figures.
-	// PreprocWorkers defaults to 1 for the same reason; benchrunner's
-	// -pp-workers raises it deliberately.
+	// PreprocWorkers and VerifyWorkers default to 1 for the same reason;
+	// benchrunner's -pp-workers and -verify-workers raise them deliberately.
 	res, err := b.Synthesize(ctx, in, backend.Options{
 		Seed: opts.Seed, Workers: 1, PreprocWorkers: ppWorkers,
-		SATProfile: opts.SATProfile,
+		VerifyWorkers: vWorkers,
+		SATProfile:    opts.SATProfile,
 	})
 	dur := time.Since(start)
 	out := RunResult{Engine: engine, Duration: dur}

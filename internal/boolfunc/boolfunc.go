@@ -7,6 +7,15 @@
 // Functions are built over named inputs identified by cnf.Var. Structural
 // hashing plus constant folding and local simplification rules keep the DAG
 // compact under the repeated strengthen/weaken rewrites of the repair loop.
+//
+// Nodes live in a contiguous arena owned by the Builder and are addressed by
+// uint32 ids (the exported Node handle): one append-only record slice holds
+// every node with its kid ids inlined, so interning an already-seen
+// expression allocates nothing and building a new one costs only amortized
+// slice growth — the repair loop's strengthen/weaken rewrites run
+// allocation-free against a warm arena. Walkers (Eval, Support, NodeCount,
+// ToCNF) are Builder methods memoized through epoch-stamped side tables
+// instead of per-call maps for the same reason.
 package boolfunc
 
 import (
@@ -22,13 +31,13 @@ type Op uint8
 
 // Node kinds.
 const (
-	OpConst Op = iota // Value field holds the constant
-	OpVar             // Var field holds the input variable
+	OpConst Op = iota // constant payload
+	OpVar             // input-variable payload
 	OpNot
 	OpAnd
 	OpOr
 	OpXor
-	OpIte // Kids[0] ? Kids[1] : Kids[2]
+	OpIte // kid0 ? kid1 : kid2
 )
 
 // String names the op.
@@ -52,74 +61,111 @@ func (o Op) String() string {
 	return "?"
 }
 
-// Node is an immutable function DAG node. Nodes are created through a Builder
-// and must not be modified.
-type Node struct {
-	Op    Op
-	Value bool    // for OpConst
-	Var   cnf.Var // for OpVar
-	Kids  []*Node
-	id    uint64 // unique id within the builder, for hashing and memoization
-}
+// Node is a handle to an immutable function-DAG node: an index into its
+// Builder's node arena. Handles are only meaningful together with the
+// Builder that produced them; equal handles from one builder denote the
+// same function (hash-consing canonicalizes construction). The zero value
+// is None, the null handle.
+type Node uint32
 
-// Builder hash-conses nodes. All nodes combined by a builder's operations
-// must originate from the same builder.
-type Builder struct {
-	nodes  map[nodeKey]*Node
-	nextID uint64
-	tru    *Node
-	fls    *Node
-}
+// None is the null Node handle (no function).
+const None Node = 0
 
-// NewBuilder returns a fresh builder with interned constants.
-func NewBuilder() *Builder {
-	b := &Builder{nodes: make(map[nodeKey]*Node)}
-	b.tru = b.intern(&Node{Op: OpConst, Value: true})
-	b.fls = b.intern(&Node{Op: OpConst, Value: false})
-	return b
+// Valid reports whether the handle denotes a node (is not None).
+func (n Node) Valid() bool { return n != None }
+
+// node is one arena record. Kid ids are inlined (OpIte is the widest node);
+// v doubles as the OpVar payload.
+type node struct {
+	kids [3]Node
+	v    int32 // input variable for OpVar
+	op   Op
+	val  bool // constant value for OpConst
 }
 
 // nodeKey is the comparable interning key: op, payload, and up to three kid
-// ids (OpIte is the widest node). A struct key keeps interning allocation-
-// free on the repair loop's hot strengthen/weaken path.
+// ids. A flat struct key keeps interning allocation-free on the repair
+// loop's hot strengthen/weaken path.
 type nodeKey struct {
 	op         Op
 	value      bool
 	v          cnf.Var
-	k0, k1, k2 uint64
+	k0, k1, k2 Node
 }
 
-func (b *Builder) key(n *Node) nodeKey {
-	k := nodeKey{op: n.Op, value: n.Value, v: n.Var}
-	switch len(n.Kids) {
-	case 3:
-		k.k2 = n.Kids[2].id
-		fallthrough
-	case 2:
-		k.k1 = n.Kids[1].id
-		fallthrough
-	case 1:
-		k.k0 = n.Kids[0].id
+// Builder owns the node arena and hash-conses nodes into it. All nodes
+// combined by a builder's operations must originate from the same builder.
+// A Builder (including its walker methods) must not be used from multiple
+// goroutines concurrently.
+type Builder struct {
+	recs  []node // arena; index 0 is reserved for None
+	index map[nodeKey]Node
+	tru   Node
+	fls   Node
+
+	// Epoch-stamped walker memoization: stamp[n] == epoch marks node n as
+	// visited in the current walk, with its result in the matching memo
+	// table. Bumping the epoch invalidates every entry at once, so repeated
+	// Eval/Support/ToCNF calls reuse the tables without clearing them.
+	epoch    uint32
+	stamp    []uint32
+	evalMemo []bool
+	cnfMemo  Cache // scratch cache for ToCNF calls without a persistent one
+}
+
+// NewBuilder returns a fresh builder with interned constants.
+func NewBuilder() *Builder {
+	b := &Builder{
+		recs:  make([]node, 1, 64), // recs[0] = None sentinel
+		index: make(map[nodeKey]Node),
+		epoch: 1,
 	}
-	return k
+	b.tru = b.intern(node{op: OpConst, val: true})
+	b.fls = b.intern(node{op: OpConst, val: false})
+	return b
 }
 
-func (b *Builder) intern(n *Node) *Node {
-	k := b.key(n)
-	if old, ok := b.nodes[k]; ok {
+func (b *Builder) key(r node) nodeKey {
+	return nodeKey{op: r.op, value: r.val, v: cnf.Var(r.v), k0: r.kids[0], k1: r.kids[1], k2: r.kids[2]}
+}
+
+func (b *Builder) intern(r node) Node {
+	k := b.key(r)
+	if old, ok := b.index[k]; ok {
 		return old
 	}
-	b.nextID++
-	n.id = b.nextID
-	b.nodes[k] = n
+	n := Node(len(b.recs))
+	b.recs = append(b.recs, r)
+	b.index[k] = n
 	return n
 }
 
+// rec returns the arena record of n. None panics (index 0 holds a zero
+// record, which would silently evaluate as constant false otherwise).
+func (b *Builder) rec(n Node) *node {
+	if n == None {
+		panic("boolfunc: use of None handle")
+	}
+	return &b.recs[n]
+}
+
+// Op returns the kind of n.
+func (b *Builder) Op(n Node) Op { return b.rec(n).op }
+
+// ConstValue returns the constant payload of an OpConst node.
+func (b *Builder) ConstValue(n Node) bool { return b.rec(n).val }
+
+// VarOf returns the input variable of an OpVar node.
+func (b *Builder) VarOf(n Node) cnf.Var { return cnf.Var(b.rec(n).v) }
+
+// Kid returns the i-th child of n (valid for i < the op's arity).
+func (b *Builder) Kid(n Node, i int) Node { return b.rec(n).kids[i] }
+
 // Size returns the number of distinct nodes interned so far.
-func (b *Builder) Size() int { return len(b.nodes) }
+func (b *Builder) Size() int { return len(b.recs) - 1 }
 
 // Const returns the constant node for v.
-func (b *Builder) Const(v bool) *Node {
+func (b *Builder) Const(v bool) Node {
 	if v {
 		return b.tru
 	}
@@ -127,18 +173,18 @@ func (b *Builder) Const(v bool) *Node {
 }
 
 // True returns the constant-true node.
-func (b *Builder) True() *Node { return b.tru }
+func (b *Builder) True() Node { return b.tru }
 
 // False returns the constant-false node.
-func (b *Builder) False() *Node { return b.fls }
+func (b *Builder) False() Node { return b.fls }
 
 // Var returns the input node for variable v.
-func (b *Builder) Var(v cnf.Var) *Node {
-	return b.intern(&Node{Op: OpVar, Var: v})
+func (b *Builder) Var(v cnf.Var) Node {
+	return b.intern(node{op: OpVar, v: int32(v)})
 }
 
 // Lit returns the node for a literal: Var(v) or Not(Var(v)).
-func (b *Builder) Lit(l cnf.Lit) *Node {
+func (b *Builder) Lit(l cnf.Lit) Node {
 	n := b.Var(l.Var())
 	if !l.IsPos() {
 		n = b.Not(n)
@@ -147,26 +193,33 @@ func (b *Builder) Lit(l cnf.Lit) *Node {
 }
 
 // Not returns ¬a with local simplification.
-func (b *Builder) Not(a *Node) *Node {
-	switch a.Op {
+func (b *Builder) Not(a Node) Node {
+	ra := b.rec(a)
+	switch ra.op {
 	case OpConst:
-		return b.Const(!a.Value)
+		return b.Const(!ra.val)
 	case OpNot:
-		return a.Kids[0]
+		return ra.kids[0]
 	}
-	return b.intern(&Node{Op: OpNot, Kids: []*Node{a}})
+	return b.intern(node{op: OpNot, kids: [3]Node{a, None, None}})
+}
+
+// isNotOf reports whether m is ¬n (syntactically).
+func (b *Builder) isNotOf(m, n Node) bool {
+	rm := b.rec(m)
+	return rm.op == OpNot && rm.kids[0] == n
 }
 
 // And returns a ∧ b with constant folding and idempotence/complement rules.
-func (b *Builder) And(x, y *Node) *Node {
-	if x.Op == OpConst {
-		if x.Value {
+func (b *Builder) And(x, y Node) Node {
+	if rx := b.rec(x); rx.op == OpConst {
+		if rx.val {
 			return y
 		}
 		return b.fls
 	}
-	if y.Op == OpConst {
-		if y.Value {
+	if ry := b.rec(y); ry.op == OpConst {
+		if ry.val {
 			return x
 		}
 		return b.fls
@@ -174,25 +227,25 @@ func (b *Builder) And(x, y *Node) *Node {
 	if x == y {
 		return x
 	}
-	if (x.Op == OpNot && x.Kids[0] == y) || (y.Op == OpNot && y.Kids[0] == x) {
+	if b.isNotOf(x, y) || b.isNotOf(y, x) {
 		return b.fls
 	}
-	if y.id < x.id { // canonical order for hashing
+	if y < x { // canonical order for hashing (ids are creation-ordered)
 		x, y = y, x
 	}
-	return b.intern(&Node{Op: OpAnd, Kids: []*Node{x, y}})
+	return b.intern(node{op: OpAnd, kids: [3]Node{x, y, None}})
 }
 
 // Or returns a ∨ b with local simplification.
-func (b *Builder) Or(x, y *Node) *Node {
-	if x.Op == OpConst {
-		if x.Value {
+func (b *Builder) Or(x, y Node) Node {
+	if rx := b.rec(x); rx.op == OpConst {
+		if rx.val {
 			return b.tru
 		}
 		return y
 	}
-	if y.Op == OpConst {
-		if y.Value {
+	if ry := b.rec(y); ry.op == OpConst {
+		if ry.val {
 			return b.tru
 		}
 		return x
@@ -200,25 +253,25 @@ func (b *Builder) Or(x, y *Node) *Node {
 	if x == y {
 		return x
 	}
-	if (x.Op == OpNot && x.Kids[0] == y) || (y.Op == OpNot && y.Kids[0] == x) {
+	if b.isNotOf(x, y) || b.isNotOf(y, x) {
 		return b.tru
 	}
-	if y.id < x.id {
+	if y < x {
 		x, y = y, x
 	}
-	return b.intern(&Node{Op: OpOr, Kids: []*Node{x, y}})
+	return b.intern(node{op: OpOr, kids: [3]Node{x, y, None}})
 }
 
 // Xor returns a ⊕ b with local simplification.
-func (b *Builder) Xor(x, y *Node) *Node {
-	if x.Op == OpConst {
-		if x.Value {
+func (b *Builder) Xor(x, y Node) Node {
+	if rx := b.rec(x); rx.op == OpConst {
+		if rx.val {
 			return b.Not(y)
 		}
 		return y
 	}
-	if y.Op == OpConst {
-		if y.Value {
+	if ry := b.rec(y); ry.op == OpConst {
+		if ry.val {
 			return b.Not(x)
 		}
 		return x
@@ -226,19 +279,19 @@ func (b *Builder) Xor(x, y *Node) *Node {
 	if x == y {
 		return b.fls
 	}
-	if (x.Op == OpNot && x.Kids[0] == y) || (y.Op == OpNot && y.Kids[0] == x) {
+	if b.isNotOf(x, y) || b.isNotOf(y, x) {
 		return b.tru
 	}
-	if y.id < x.id {
+	if y < x {
 		x, y = y, x
 	}
-	return b.intern(&Node{Op: OpXor, Kids: []*Node{x, y}})
+	return b.intern(node{op: OpXor, kids: [3]Node{x, y, None}})
 }
 
 // Ite returns c ? t : e with local simplification.
-func (b *Builder) Ite(c, t, e *Node) *Node {
-	if c.Op == OpConst {
-		if c.Value {
+func (b *Builder) Ite(c, t, e Node) Node {
+	if rc := b.rec(c); rc.op == OpConst {
+		if rc.val {
 			return t
 		}
 		return e
@@ -246,30 +299,31 @@ func (b *Builder) Ite(c, t, e *Node) *Node {
 	if t == e {
 		return t
 	}
-	if t.Op == OpConst && e.Op == OpConst {
+	rt, re := b.rec(t), b.rec(e)
+	if rt.op == OpConst && re.op == OpConst {
 		// t=1,e=0 → c ; t=0,e=1 → ¬c
-		if t.Value {
+		if rt.val {
 			return c
 		}
 		return b.Not(c)
 	}
-	if t.Op == OpConst && t.Value {
+	if rt.op == OpConst && rt.val {
 		return b.Or(c, e)
 	}
-	if t.Op == OpConst && !t.Value {
+	if rt.op == OpConst && !rt.val {
 		return b.And(b.Not(c), e)
 	}
-	if e.Op == OpConst && e.Value {
+	if re.op == OpConst && re.val {
 		return b.Or(b.Not(c), t)
 	}
-	if e.Op == OpConst && !e.Value {
+	if re.op == OpConst && !re.val {
 		return b.And(c, t)
 	}
-	return b.intern(&Node{Op: OpIte, Kids: []*Node{c, t, e}})
+	return b.intern(node{op: OpIte, kids: [3]Node{c, t, e}})
 }
 
 // AndN folds And over the list; empty list yields true.
-func (b *Builder) AndN(xs []*Node) *Node {
+func (b *Builder) AndN(xs []Node) Node {
 	out := b.tru
 	for _, x := range xs {
 		out = b.And(out, x)
@@ -278,7 +332,7 @@ func (b *Builder) AndN(xs []*Node) *Node {
 }
 
 // OrN folds Or over the list; empty list yields false.
-func (b *Builder) OrN(xs []*Node) *Node {
+func (b *Builder) OrN(xs []Node) Node {
 	out := b.fls
 	for _, x := range xs {
 		out = b.Or(out, x)
@@ -287,7 +341,7 @@ func (b *Builder) OrN(xs []*Node) *Node {
 }
 
 // Cube returns the conjunction of literals.
-func (b *Builder) Cube(lits []cnf.Lit) *Node {
+func (b *Builder) Cube(lits []cnf.Lit) Node {
 	out := b.tru
 	for _, l := range lits {
 		out = b.And(out, b.Lit(l))
@@ -295,122 +349,193 @@ func (b *Builder) Cube(lits []cnf.Lit) *Node {
 	return out
 }
 
-// Eval evaluates the function under an assignment of its input variables.
-// Unassigned inputs evaluate as false.
-func Eval(n *Node, a cnf.Assignment) bool {
-	memo := make(map[uint64]bool)
-	return evalMemo(n, a, memo)
+// beginWalk starts a new epoch-stamped walk and returns the stamp/memo
+// tables grown to cover the current arena.
+func (b *Builder) beginWalk() {
+	b.epoch++
+	if b.epoch == 0 { // wrapped: stale stamps could collide, reset them
+		for i := range b.stamp {
+			b.stamp[i] = 0
+		}
+		b.epoch = 1
+	}
+	if len(b.stamp) < len(b.recs) {
+		b.stamp = append(b.stamp, make([]uint32, len(b.recs)-len(b.stamp))...)
+	}
 }
 
-func evalMemo(n *Node, a cnf.Assignment, memo map[uint64]bool) bool {
-	if v, ok := memo[n.id]; ok {
-		return v
+// Eval evaluates the function under an assignment of its input variables.
+// Unassigned inputs evaluate as false. The memo table is builder-owned, so
+// repeated evaluation allocates nothing once the tables are warm.
+func (b *Builder) Eval(n Node, a cnf.Assignment) bool {
+	b.beginWalk()
+	if len(b.evalMemo) < len(b.recs) {
+		b.evalMemo = append(b.evalMemo, make([]bool, len(b.recs)-len(b.evalMemo))...)
 	}
+	return b.evalRec(n, a)
+}
+
+func (b *Builder) evalRec(n Node, a cnf.Assignment) bool {
+	if b.stamp[n] == b.epoch {
+		return b.evalMemo[n]
+	}
+	r := &b.recs[n]
 	var out bool
-	switch n.Op {
+	switch r.op {
 	case OpConst:
-		out = n.Value
+		out = r.val
 	case OpVar:
-		out = a.Get(n.Var) == cnf.True
+		out = a.Get(cnf.Var(r.v)) == cnf.True
 	case OpNot:
-		out = !evalMemo(n.Kids[0], a, memo)
+		out = !b.evalRec(r.kids[0], a)
 	case OpAnd:
-		out = evalMemo(n.Kids[0], a, memo) && evalMemo(n.Kids[1], a, memo)
+		out = b.evalRec(r.kids[0], a) && b.evalRec(r.kids[1], a)
 	case OpOr:
-		out = evalMemo(n.Kids[0], a, memo) || evalMemo(n.Kids[1], a, memo)
+		out = b.evalRec(r.kids[0], a) || b.evalRec(r.kids[1], a)
 	case OpXor:
-		out = evalMemo(n.Kids[0], a, memo) != evalMemo(n.Kids[1], a, memo)
+		out = b.evalRec(r.kids[0], a) != b.evalRec(r.kids[1], a)
 	case OpIte:
-		if evalMemo(n.Kids[0], a, memo) {
-			out = evalMemo(n.Kids[1], a, memo)
+		if b.evalRec(r.kids[0], a) {
+			out = b.evalRec(r.kids[1], a)
 		} else {
-			out = evalMemo(n.Kids[2], a, memo)
+			out = b.evalRec(r.kids[2], a)
 		}
 	}
-	memo[n.id] = out
+	b.stamp[n] = b.epoch
+	b.evalMemo[n] = out
 	return out
 }
 
 // Support returns the sorted set of input variables the function depends on
 // syntactically.
-func Support(n *Node) []cnf.Var {
-	seen := make(map[uint64]bool)
-	vars := make(map[cnf.Var]bool)
-	var walk func(*Node)
-	walk = func(m *Node) {
-		if seen[m.id] {
-			return
-		}
-		seen[m.id] = true
-		if m.Op == OpVar {
-			vars[m.Var] = true
-		}
-		for _, k := range m.Kids {
-			walk(k)
-		}
-	}
-	walk(n)
-	out := make([]cnf.Var, 0, len(vars))
-	for v := range vars {
-		out = append(out, v)
-	}
+func (b *Builder) Support(n Node) []cnf.Var {
+	out := b.AppendSupport(nil, n)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// NodeCount returns the number of distinct DAG nodes reachable from n.
-func NodeCount(n *Node) int {
-	seen := make(map[uint64]bool)
-	var walk func(*Node)
-	walk = func(m *Node) {
-		if seen[m.id] {
-			return
-		}
-		seen[m.id] = true
-		for _, k := range m.Kids {
-			walk(k)
-		}
+// AppendSupport appends the input variables reachable from n to dst and
+// returns the extended slice, in deterministic DFS discovery order (NOT
+// sorted). Each variable appears once. The zero-allocation form of Support
+// for hot paths that own a reusable buffer and don't need sorted output.
+func (b *Builder) AppendSupport(dst []cnf.Var, n Node) []cnf.Var {
+	b.beginWalk()
+	return b.supportRec(dst, n)
+}
+
+func (b *Builder) supportRec(dst []cnf.Var, n Node) []cnf.Var {
+	if b.stamp[n] == b.epoch {
+		return dst
 	}
-	walk(n)
-	return len(seen)
+	b.stamp[n] = b.epoch
+	r := &b.recs[n]
+	if r.op == OpVar {
+		return append(dst, cnf.Var(r.v))
+	}
+	for _, k := range r.kids {
+		if k == None {
+			break
+		}
+		dst = b.supportRec(dst, k)
+	}
+	return dst
+}
+
+// NodeCount returns the number of distinct DAG nodes reachable from n.
+func (b *Builder) NodeCount(n Node) int {
+	b.beginWalk()
+	return b.countRec(n)
+}
+
+func (b *Builder) countRec(n Node) int {
+	if b.stamp[n] == b.epoch {
+		return 0
+	}
+	b.stamp[n] = b.epoch
+	total := 1
+	r := &b.recs[n]
+	for _, k := range r.kids {
+		if k == None {
+			break
+		}
+		total += b.countRec(k)
+	}
+	return total
 }
 
 // Substitute returns n with every occurrence of the variables in subst
 // replaced by the corresponding function. Substitution is simultaneous, not
 // sequential. The result is built in builder b (which must own n and the
 // replacement nodes).
-func (b *Builder) Substitute(n *Node, subst map[cnf.Var]*Node) *Node {
-	memo := make(map[uint64]*Node)
-	var walk func(*Node) *Node
-	walk = func(m *Node) *Node {
-		if r, ok := memo[m.id]; ok {
+func (b *Builder) Substitute(n Node, subst map[cnf.Var]Node) Node {
+	memo := make(map[Node]Node)
+	var walk func(Node) Node
+	walk = func(m Node) Node {
+		if r, ok := memo[m]; ok {
 			return r
 		}
-		var out *Node
-		switch m.Op {
+		rm := b.rec(m)
+		var out Node
+		switch rm.op {
 		case OpConst:
 			out = m
 		case OpVar:
-			if r, ok := subst[m.Var]; ok {
+			if r, ok := subst[cnf.Var(rm.v)]; ok {
 				out = r
 			} else {
 				out = m
 			}
 		case OpNot:
-			out = b.Not(walk(m.Kids[0]))
+			out = b.Not(walk(rm.kids[0]))
 		case OpAnd:
-			out = b.And(walk(m.Kids[0]), walk(m.Kids[1]))
+			out = b.And(walk(rm.kids[0]), walk(rm.kids[1]))
 		case OpOr:
-			out = b.Or(walk(m.Kids[0]), walk(m.Kids[1]))
+			out = b.Or(walk(rm.kids[0]), walk(rm.kids[1]))
 		case OpXor:
-			out = b.Xor(walk(m.Kids[0]), walk(m.Kids[1]))
+			out = b.Xor(walk(rm.kids[0]), walk(rm.kids[1]))
 		case OpIte:
-			out = b.Ite(walk(m.Kids[0]), walk(m.Kids[1]), walk(m.Kids[2]))
+			out = b.Ite(walk(rm.kids[0]), walk(rm.kids[1]), walk(rm.kids[2]))
 		}
-		memo[m.id] = out
+		// rm may be stale after the recursive walks grew the arena; it is not
+		// used past this point.
+		memo[m] = out
 		return out
 	}
 	return walk(n)
+}
+
+// Cache persists node → output-literal memoization across ToCNF calls: a
+// flat table indexed by node id (cnf.Lit's zero value marks absent entries,
+// which is sound because no valid literal is 0). Nodes already present are
+// not re-encoded — no clauses added — so incremental callers pay only for
+// the DAG delta. All calls sharing a cache must target the same variable
+// space and use the same VarFor mapping, and the previously added clauses
+// must still be live.
+type Cache struct {
+	lits []cnf.Lit
+}
+
+func (c *Cache) get(n Node) cnf.Lit {
+	if int(n) < len(c.lits) {
+		return c.lits[n]
+	}
+	return 0
+}
+
+func (c *Cache) set(n Node, l cnf.Lit) {
+	if int(n) >= len(c.lits) {
+		grown := make([]cnf.Lit, int(n)+1+len(c.lits)/2)
+		copy(grown, c.lits)
+		c.lits = grown
+	}
+	c.lits[n] = l
+}
+
+// Reset forgets every cached encoding but keeps the table's capacity.
+func (c *Cache) Reset() {
+	for i := range c.lits {
+		c.lits[i] = 0
+	}
 }
 
 // CNFOptions configures Tseitin encoding.
@@ -418,107 +543,113 @@ type CNFOptions struct {
 	// VarFor maps function inputs to CNF variables in the target formula.
 	// Nil means identity (input v is CNF variable v).
 	VarFor func(cnf.Var) cnf.Var
-	// Cache, when non-nil, persists node → output-literal memoization across
-	// ToCNF calls: nodes already present are not re-encoded (no clauses
-	// added), so incremental callers pay only for the DAG delta. All calls
-	// sharing a cache must target the same variable space and use the same
-	// VarFor mapping, and the previously added clauses must still be live.
-	Cache map[uint64]cnf.Lit
+	// Cache, when non-nil, persists memoization across ToCNF calls (see
+	// Cache). Nil uses a builder-owned scratch table valid for this call
+	// only.
+	Cache *Cache
 }
 
 // ToCNF Tseitin-encodes the function into dst, returning a literal out such
 // that dst's added clauses assert out ↔ n over the mapped input variables.
 // Fresh auxiliary variables are allocated from dst.
-func ToCNF(n *Node, dst *cnf.Formula, opt CNFOptions) cnf.Lit {
-	mapVar := opt.VarFor
-	if mapVar == nil {
-		mapVar = func(v cnf.Var) cnf.Var { return v }
-	}
+func (b *Builder) ToCNF(n Node, dst *cnf.Formula, opt CNFOptions) cnf.Lit {
 	memo := opt.Cache
 	if memo == nil {
-		memo = make(map[uint64]cnf.Lit)
-	}
-	var walk func(*Node) cnf.Lit
-	walk = func(m *Node) cnf.Lit {
-		if l, ok := memo[m.id]; ok {
-			return l
+		memo = &b.cnfMemo
+		memo.Reset()
+		if len(memo.lits) < len(b.recs) {
+			memo.lits = append(memo.lits, make([]cnf.Lit, len(b.recs)-len(memo.lits))...)
 		}
-		var out cnf.Lit
-		switch m.Op {
-		case OpConst:
-			v := dst.NewVar()
-			out = cnf.PosLit(v)
-			if m.Value {
-				dst.AddUnit(out)
-			} else {
-				dst.AddUnit(out.Neg())
-			}
-		case OpVar:
-			out = cnf.PosLit(mapVar(m.Var))
-		case OpNot:
-			out = walk(m.Kids[0]).Neg()
-		case OpAnd:
-			a, b2 := walk(m.Kids[0]), walk(m.Kids[1])
-			out = cnf.PosLit(dst.NewVar())
-			dst.AddAnd(out, a, b2)
-		case OpOr:
-			a, b2 := walk(m.Kids[0]), walk(m.Kids[1])
-			out = cnf.PosLit(dst.NewVar())
-			dst.AddOr(out, a, b2)
-		case OpXor:
-			a, b2 := walk(m.Kids[0]), walk(m.Kids[1])
-			out = cnf.PosLit(dst.NewVar())
-			dst.AddXor(out, a, b2)
-		case OpIte:
-			c, tl, el := walk(m.Kids[0]), walk(m.Kids[1]), walk(m.Kids[2])
-			out = cnf.PosLit(dst.NewVar())
-			// out ↔ (c→t) ∧ (¬c→e)
-			dst.AddClause(out.Neg(), c.Neg(), tl)
-			dst.AddClause(out.Neg(), c, el)
-			dst.AddClause(out, c.Neg(), tl.Neg())
-			dst.AddClause(out, c, el.Neg())
-		}
-		memo[m.id] = out
-		return out
 	}
-	return walk(n)
+	return b.toCNFRec(n, dst, opt.VarFor, memo)
+}
+
+func (b *Builder) toCNFRec(m Node, dst *cnf.Formula, varFor func(cnf.Var) cnf.Var, memo *Cache) cnf.Lit {
+	if l := memo.get(m); l != 0 {
+		return l
+	}
+	r := &b.recs[m]
+	var out cnf.Lit
+	switch r.op {
+	case OpConst:
+		v := dst.NewVar()
+		out = cnf.PosLit(v)
+		if r.val {
+			dst.AddUnit(out)
+		} else {
+			dst.AddUnit(out.Neg())
+		}
+	case OpVar:
+		mv := cnf.Var(r.v)
+		if varFor != nil {
+			mv = varFor(mv)
+		}
+		out = cnf.PosLit(mv)
+	case OpNot:
+		out = b.toCNFRec(r.kids[0], dst, varFor, memo).Neg()
+	case OpAnd:
+		a, b2 := b.toCNFRec(r.kids[0], dst, varFor, memo), b.toCNFRec(r.kids[1], dst, varFor, memo)
+		out = cnf.PosLit(dst.NewVar())
+		dst.AddAnd(out, a, b2)
+	case OpOr:
+		a, b2 := b.toCNFRec(r.kids[0], dst, varFor, memo), b.toCNFRec(r.kids[1], dst, varFor, memo)
+		out = cnf.PosLit(dst.NewVar())
+		dst.AddOr(out, a, b2)
+	case OpXor:
+		a, b2 := b.toCNFRec(r.kids[0], dst, varFor, memo), b.toCNFRec(r.kids[1], dst, varFor, memo)
+		out = cnf.PosLit(dst.NewVar())
+		dst.AddXor(out, a, b2)
+	case OpIte:
+		c := b.toCNFRec(r.kids[0], dst, varFor, memo)
+		tl := b.toCNFRec(r.kids[1], dst, varFor, memo)
+		el := b.toCNFRec(r.kids[2], dst, varFor, memo)
+		out = cnf.PosLit(dst.NewVar())
+		// out ↔ (c→t) ∧ (¬c→e)
+		dst.AddClause(out.Neg(), c.Neg(), tl)
+		dst.AddClause(out.Neg(), c, el)
+		dst.AddClause(out, c.Neg(), tl.Neg())
+		dst.AddClause(out, c, el.Neg())
+	}
+	memo.set(m, out)
+	return out
 }
 
 // String renders the function as a readable infix expression with variables
 // shown as v<N>.
-func String(n *Node) string {
+func (b *Builder) String(n Node) string {
 	var sb strings.Builder
-	writeExpr(n, &sb)
+	b.writeExpr(n, &sb)
 	return sb.String()
 }
 
-func writeExpr(n *Node, sb *strings.Builder) {
-	switch n.Op {
+func (b *Builder) writeExpr(n Node, sb *strings.Builder) {
+	r := b.rec(n)
+	switch r.op {
 	case OpConst:
-		if n.Value {
+		if r.val {
 			sb.WriteString("1")
 		} else {
 			sb.WriteString("0")
 		}
 	case OpVar:
-		fmt.Fprintf(sb, "v%d", n.Var)
+		fmt.Fprintf(sb, "v%d", r.v)
 	case OpNot:
 		sb.WriteString("~")
-		writeExpr(n.Kids[0], sb)
+		b.writeExpr(r.kids[0], sb)
 	case OpAnd, OpOr, OpXor:
-		op := map[Op]string{OpAnd: " & ", OpOr: " | ", OpXor: " ^ "}[n.Op]
+		op := map[Op]string{OpAnd: " & ", OpOr: " | ", OpXor: " ^ "}[r.op]
 		sb.WriteString("(")
-		writeExpr(n.Kids[0], sb)
+		b.writeExpr(r.kids[0], sb)
 		sb.WriteString(op)
-		writeExpr(n.Kids[1], sb)
+		b.writeExpr(r.kids[1], sb)
 		sb.WriteString(")")
 	case OpIte:
 		sb.WriteString("ite(")
-		writeExpr(n.Kids[0], sb)
+		b.writeExpr(r.kids[0], sb)
 		sb.WriteString(", ")
-		writeExpr(n.Kids[1], sb)
+		b.writeExpr(r.kids[1], sb)
 		sb.WriteString(", ")
-		writeExpr(n.Kids[2], sb)
+		b.writeExpr(r.kids[2], sb)
 		sb.WriteString(")")
 	}
 }
@@ -527,12 +658,12 @@ func writeExpr(n *Node, sb *strings.Builder) {
 // of length 2^len(inputs); bit i of the table is the output for the input
 // assignment whose bit j gives the value of inputs[j]. A small Shannon-
 // expansion construction with hash-consing keeps common subfunctions shared.
-func (b *Builder) FromTruthTable(inputs []cnf.Var, table []bool) (*Node, error) {
+func (b *Builder) FromTruthTable(inputs []cnf.Var, table []bool) (Node, error) {
 	if len(table) != 1<<uint(len(inputs)) {
-		return nil, fmt.Errorf("boolfunc: table length %d does not match %d inputs", len(table), len(inputs))
+		return None, fmt.Errorf("boolfunc: table length %d does not match %d inputs", len(table), len(inputs))
 	}
-	var build func(level int, offset int) *Node
-	build = func(level, offset int) *Node {
+	var build func(level int, offset int) Node
+	build = func(level, offset int) Node {
 		if level == len(inputs) {
 			return b.Const(table[offset])
 		}

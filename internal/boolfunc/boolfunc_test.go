@@ -30,8 +30,8 @@ func TestLocalSimplification(t *testing.T) {
 	x, y := b.Var(1), b.Var(2)
 	cases := []struct {
 		name string
-		got  *Node
-		want *Node
+		got  Node
+		want Node
 	}{
 		{"not not", b.Not(b.Not(x)), x},
 		{"and true", b.And(x, b.True()), x},
@@ -53,7 +53,7 @@ func TestLocalSimplification(t *testing.T) {
 	}
 	for _, c := range cases {
 		if c.got != c.want {
-			t.Errorf("%s: got %s want %s", c.name, String(c.got), String(c.want))
+			t.Errorf("%s: got %s want %s", c.name, b.String(c.got), b.String(c.want))
 		}
 	}
 }
@@ -83,14 +83,14 @@ func TestEvalBasic(t *testing.T) {
 		a.SetBool(2, yv)
 		a.SetBool(3, zv)
 		want := (xv && yv) || !zv
-		if got := Eval(f, a); got != want {
+		if got := b.Eval(f, a); got != want {
 			t.Fatalf("mask %d: got %v want %v", mask, got, want)
 		}
 	}
 }
 
 // randomNode builds a random function over vars 1..nVars.
-func randomNode(b *Builder, rng *rand.Rand, nVars, depth int) *Node {
+func randomNode(b *Builder, rng *rand.Rand, nVars, depth int) Node {
 	if depth == 0 || rng.Intn(4) == 0 {
 		switch rng.Intn(3) {
 		case 0:
@@ -121,7 +121,7 @@ func TestToCNFMatchesEval(t *testing.T) {
 		nVars := 1 + rng.Intn(5)
 		f := randomNode(b, rng, nVars, 4)
 		dst := cnf.New(nVars)
-		out := ToCNF(f, dst, CNFOptions{})
+		out := b.ToCNF(f, dst, CNFOptions{})
 		// For every assignment of the original vars, SAT-extend and compare.
 		for mask := 0; mask < 1<<nVars; mask++ {
 			s := sat.New()
@@ -133,14 +133,14 @@ func TestToCNFMatchesEval(t *testing.T) {
 				a.SetBool(cnf.Var(v), bit)
 				assumps = append(assumps, cnf.MkLit(cnf.Var(v), bit))
 			}
-			want := Eval(f, a)
+			want := b.Eval(f, a)
 			// out must be forced to the eval value.
 			st := s.SolveAssume(append(assumps, out))
 			if want && st != sat.Sat {
 				t.Fatalf("trial %d mask %d: out should be satisfiable-true", trial, mask)
 			}
 			if !want && st != sat.Unsat {
-				t.Fatalf("trial %d mask %d: out should be forced false (got %v) f=%s", trial, mask, st, String(f))
+				t.Fatalf("trial %d mask %d: out should be forced false (got %v) f=%s", trial, mask, st, b.String(f))
 			}
 		}
 	}
@@ -150,7 +150,7 @@ func TestToCNFVarMapping(t *testing.T) {
 	b := NewBuilder()
 	f := b.And(b.Var(1), b.Var(2))
 	dst := cnf.New(10)
-	out := ToCNF(f, dst, CNFOptions{VarFor: func(v cnf.Var) cnf.Var { return v + 5 }})
+	out := b.ToCNF(f, dst, CNFOptions{VarFor: func(v cnf.Var) cnf.Var { return v + 5 }})
 	s := sat.New()
 	s.AddFormula(dst)
 	if st := s.SolveAssume([]cnf.Lit{out, -6}); st != sat.Unsat {
@@ -166,9 +166,9 @@ func TestSubstitute(t *testing.T) {
 	x, y, z := b.Var(1), b.Var(2), b.Var(3)
 	f := b.Or(x, b.And(y, z))
 	// y := ¬x, z := x — result: x ∨ (¬x ∧ x) = x
-	g := b.Substitute(f, map[cnf.Var]*Node{2: b.Not(x), 3: x})
+	g := b.Substitute(f, map[cnf.Var]Node{2: b.Not(x), 3: x})
 	if g != x {
-		t.Fatalf("substitution result: %s, want v1", String(g))
+		t.Fatalf("substitution result: %s, want v1", b.String(g))
 	}
 }
 
@@ -177,15 +177,15 @@ func TestSubstituteSimultaneous(t *testing.T) {
 	x, y := b.Var(1), b.Var(2)
 	f := b.Xor(x, y)
 	// Swap x and y simultaneously: f is symmetric so unchanged.
-	g := b.Substitute(f, map[cnf.Var]*Node{1: y, 2: x})
+	g := b.Substitute(f, map[cnf.Var]Node{1: y, 2: x})
 	if g != f {
-		t.Fatalf("simultaneous swap changed xor: %s", String(g))
+		t.Fatalf("simultaneous swap changed xor: %s", b.String(g))
 	}
 	// x := y, y := x applied to x∧¬y should give y∧¬x, not y∧¬y.
-	h := b.Substitute(b.And(x, b.Not(y)), map[cnf.Var]*Node{1: y, 2: x})
+	h := b.Substitute(b.And(x, b.Not(y)), map[cnf.Var]Node{1: y, 2: x})
 	want := b.And(y, b.Not(x))
 	if h != want {
-		t.Fatalf("simultaneous subst broken: %s want %s", String(h), String(want))
+		t.Fatalf("simultaneous subst broken: %s want %s", b.String(h), b.String(want))
 	}
 }
 
@@ -198,7 +198,7 @@ func TestSubstituteProperty(t *testing.T) {
 		f := randomNode(b, rng, n, 4)
 		repl := randomNode(b, rng, n, 3)
 		target := cnf.Var(1 + rng.Intn(n))
-		g := b.Substitute(f, map[cnf.Var]*Node{target: repl})
+		g := b.Substitute(f, map[cnf.Var]Node{target: repl})
 		for mask := 0; mask < 1<<n; mask++ {
 			a := cnf.NewAssignment(n)
 			for v := 1; v <= n; v++ {
@@ -206,8 +206,8 @@ func TestSubstituteProperty(t *testing.T) {
 			}
 			// Eval g directly vs eval f with target set to repl's value.
 			a2 := a.Clone()
-			a2.SetBool(target, Eval(repl, a))
-			if Eval(g, a) != Eval(f, a2) {
+			a2.SetBool(target, b.Eval(repl, a))
+			if b.Eval(g, a) != b.Eval(f, a2) {
 				return false
 			}
 		}
@@ -221,11 +221,11 @@ func TestSubstituteProperty(t *testing.T) {
 func TestSupport(t *testing.T) {
 	b := NewBuilder()
 	f := b.Or(b.Var(3), b.And(b.Var(1), b.Not(b.Var(3))))
-	sup := Support(f)
+	sup := b.Support(f)
 	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
 		t.Fatalf("support: %v", sup)
 	}
-	if len(Support(b.True())) != 0 {
+	if len(b.Support(b.True())) != 0 {
 		t.Fatal("constant has nonempty support")
 	}
 }
@@ -237,10 +237,10 @@ func TestNodeCountSharing(t *testing.T) {
 	f := b.Or(shared, b.Not(shared))
 	// Or(a, ¬a) simplifies to true.
 	if f != b.True() {
-		t.Fatalf("complement law missed: %s", String(f))
+		t.Fatalf("complement law missed: %s", b.String(f))
 	}
 	g := b.Xor(shared, b.Or(shared, x))
-	if NodeCount(g) >= NodeCount(shared)+NodeCount(b.Or(shared, x))+1 {
+	if b.NodeCount(g) >= b.NodeCount(shared)+b.NodeCount(b.Or(shared, x))+1 {
 		t.Fatal("no sharing in DAG")
 	}
 }
@@ -252,11 +252,11 @@ func TestCube(t *testing.T) {
 	a.SetBool(1, true)
 	a.SetBool(2, false)
 	a.SetBool(3, true)
-	if !Eval(f, a) {
+	if !b.Eval(f, a) {
 		t.Fatal("cube not satisfied by its own literals")
 	}
 	a.SetBool(2, true)
-	if Eval(f, a) {
+	if b.Eval(f, a) {
 		t.Fatal("cube satisfied by wrong assignment")
 	}
 	if b.Cube(nil) != b.True() {
@@ -287,8 +287,8 @@ func TestFromTruthTable(t *testing.T) {
 		for j := 0; j < 3; j++ {
 			a.SetBool(inputs[j], row&(1<<j) != 0)
 		}
-		if Eval(f, a) != table[row] {
-			t.Fatalf("row %d: got %v want %v", row, Eval(f, a), table[row])
+		if b.Eval(f, a) != table[row] {
+			t.Fatalf("row %d: got %v want %v", row, b.Eval(f, a), table[row])
 		}
 	}
 	if _, err := b.FromTruthTable(inputs, make([]bool, 7)); err == nil {
@@ -319,7 +319,7 @@ func TestFromTruthTableProperty(t *testing.T) {
 			for j := 0; j < n; j++ {
 				a.SetBool(inputs[j], row&(1<<j) != 0)
 			}
-			if Eval(f, a) != table[row] {
+			if b.Eval(f, a) != table[row] {
 				return false
 			}
 		}
@@ -333,11 +333,11 @@ func TestFromTruthTableProperty(t *testing.T) {
 func TestStringRendering(t *testing.T) {
 	b := NewBuilder()
 	f := b.And(b.Var(1), b.Not(b.Var(2)))
-	s := String(f)
+	s := b.String(f)
 	if s != "(v1 & ~v2)" && s != "(~v2 & v1)" {
 		t.Fatalf("unexpected rendering: %s", s)
 	}
-	if String(b.True()) != "1" || String(b.False()) != "0" {
+	if b.String(b.True()) != "1" || b.String(b.False()) != "0" {
 		t.Fatal("constant rendering broken")
 	}
 }

@@ -18,15 +18,15 @@ import (
 //	atom  := '0' | '1' | v<N> | ite(expr, expr, expr) | '(' expr ')'
 //
 // Whitespace is ignored. Operator precedence is ~ > & > ^ > |.
-func Parse(b *Builder, s string) (*Node, error) {
+func Parse(b *Builder, s string) (Node, error) {
 	p := &parser{b: b, in: s}
 	n, err := p.parseOr()
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	p.skipSpace()
 	if p.pos != len(p.in) {
-		return nil, fmt.Errorf("boolfunc: trailing input at offset %d: %q", p.pos, p.in[p.pos:])
+		return None, fmt.Errorf("boolfunc: trailing input at offset %d: %q", p.pos, p.in[p.pos:])
 	}
 	return n, nil
 }
@@ -51,76 +51,76 @@ func (p *parser) peek() byte {
 	return p.in[p.pos]
 }
 
-func (p *parser) parseOr() (*Node, error) {
+func (p *parser) parseOr() (Node, error) {
 	n, err := p.parseXor()
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	for p.peek() == '|' {
 		p.pos++
 		m, err := p.parseXor()
 		if err != nil {
-			return nil, err
+			return None, err
 		}
 		n = p.b.Or(n, m)
 	}
 	return n, nil
 }
 
-func (p *parser) parseXor() (*Node, error) {
+func (p *parser) parseXor() (Node, error) {
 	n, err := p.parseAnd()
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	for p.peek() == '^' {
 		p.pos++
 		m, err := p.parseAnd()
 		if err != nil {
-			return nil, err
+			return None, err
 		}
 		n = p.b.Xor(n, m)
 	}
 	return n, nil
 }
 
-func (p *parser) parseAnd() (*Node, error) {
+func (p *parser) parseAnd() (Node, error) {
 	n, err := p.parseUnary()
 	if err != nil {
-		return nil, err
+		return None, err
 	}
 	for p.peek() == '&' {
 		p.pos++
 		m, err := p.parseUnary()
 		if err != nil {
-			return nil, err
+			return None, err
 		}
 		n = p.b.And(n, m)
 	}
 	return n, nil
 }
 
-func (p *parser) parseUnary() (*Node, error) {
+func (p *parser) parseUnary() (Node, error) {
 	if p.peek() == '~' {
 		p.pos++
 		n, err := p.parseUnary()
 		if err != nil {
-			return nil, err
+			return None, err
 		}
 		return p.b.Not(n), nil
 	}
 	return p.parseAtom()
 }
 
-func (p *parser) parseAtom() (*Node, error) {
+func (p *parser) parseAtom() (Node, error) {
 	switch c := p.peek(); {
 	case c == '(':
 		p.pos++
 		n, err := p.parseOr()
 		if err != nil {
-			return nil, err
+			return None, err
 		}
 		if p.peek() != ')' {
-			return nil, fmt.Errorf("boolfunc: missing ')' at offset %d", p.pos)
+			return None, fmt.Errorf("boolfunc: missing ')' at offset %d", p.pos)
 		}
 		p.pos++
 		return n, nil
@@ -137,24 +137,24 @@ func (p *parser) parseAtom() (*Node, error) {
 			p.pos++
 		}
 		if start == p.pos {
-			return nil, fmt.Errorf("boolfunc: expected variable number at offset %d", p.pos)
+			return None, fmt.Errorf("boolfunc: expected variable number at offset %d", p.pos)
 		}
 		v, err := strconv.Atoi(p.in[start:p.pos])
 		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("boolfunc: bad variable %q", p.in[start-1:p.pos])
+			return None, fmt.Errorf("boolfunc: bad variable %q", p.in[start-1:p.pos])
 		}
 		return p.b.Var(cnf.Var(v)), nil
 	case c == 'i' && strings.HasPrefix(p.in[p.pos:], "ite"):
 		p.pos += 3
 		if p.peek() != '(' {
-			return nil, fmt.Errorf("boolfunc: expected '(' after ite at offset %d", p.pos)
+			return None, fmt.Errorf("boolfunc: expected '(' after ite at offset %d", p.pos)
 		}
 		p.pos++
-		args := make([]*Node, 0, 3)
+		args := make([]Node, 0, 3)
 		for i := 0; i < 3; i++ {
 			n, err := p.parseOr()
 			if err != nil {
-				return nil, err
+				return None, err
 			}
 			args = append(args, n)
 			want := byte(',')
@@ -162,14 +162,14 @@ func (p *parser) parseAtom() (*Node, error) {
 				want = ')'
 			}
 			if p.peek() != want {
-				return nil, fmt.Errorf("boolfunc: expected %q in ite at offset %d", want, p.pos)
+				return None, fmt.Errorf("boolfunc: expected %q in ite at offset %d", want, p.pos)
 			}
 			p.pos++
 		}
 		return p.b.Ite(args[0], args[1], args[2]), nil
 	case c == 0:
-		return nil, fmt.Errorf("boolfunc: unexpected end of input")
+		return None, fmt.Errorf("boolfunc: unexpected end of input")
 	default:
-		return nil, fmt.Errorf("boolfunc: unexpected %q at offset %d", c, p.pos)
+		return None, fmt.Errorf("boolfunc: unexpected %q at offset %d", c, p.pos)
 	}
 }

@@ -10,7 +10,7 @@ import (
 
 func TestParseBasics(t *testing.T) {
 	b := NewBuilder()
-	cases := map[string]*Node{
+	cases := map[string]Node{
 		"0":              b.False(),
 		"1":              b.True(),
 		"v3":             b.Var(3),
@@ -28,7 +28,7 @@ func TestParseBasics(t *testing.T) {
 			t.Fatalf("%q: %v", in, err)
 		}
 		if got != want {
-			t.Fatalf("%q: got %s want %s", in, String(got), String(want))
+			t.Fatalf("%q: got %s want %s", in, b.String(got), b.String(want))
 		}
 	}
 }
@@ -42,7 +42,7 @@ func TestParsePrecedence(t *testing.T) {
 	}
 	want := b.Or(b.Var(1), b.Xor(b.Var(2), b.And(b.Var(3), b.Not(b.Var(4)))))
 	if got != want {
-		t.Fatalf("precedence: got %s want %s", String(got), String(want))
+		t.Fatalf("precedence: got %s want %s", b.String(got), b.String(want))
 	}
 }
 
@@ -65,7 +65,7 @@ func TestParseStringRoundTrip(t *testing.T) {
 		b := NewBuilder()
 		n := 1 + rng.Intn(5)
 		f := randomNode(b, rng, n, 5)
-		g, err := Parse(b, String(f))
+		g, err := Parse(b, b.String(f))
 		if err != nil {
 			return false
 		}
@@ -81,7 +81,7 @@ func TestParseStringRoundTrip(t *testing.T) {
 			for v := 1; v <= n; v++ {
 				a.SetBool(cnf.Var(v), mask&(1<<uint(v-1)) != 0)
 			}
-			if Eval(f, a) != Eval(g, a) {
+			if b.Eval(f, a) != b.Eval(g, a) {
 				return false
 			}
 		}

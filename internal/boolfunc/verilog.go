@@ -10,12 +10,12 @@ import (
 )
 
 // WriteVerilog emits a synthesizable structural Verilog module computing the
-// given output functions. Inputs are the union of the functions' supports,
-// named by nameOf (default `x<N>`); each output is named by its map key.
-// Shared DAG nodes become shared wires, so the emitted netlist preserves the
-// sharing of the function DAG — the natural interchange format for the
-// ECO/patch-function use case the paper targets.
-func WriteVerilog(w io.Writer, module string, outputs map[string]*Node, nameOf func(cnf.Var) string) error {
+// given output functions (nodes owned by b). Inputs are the union of the
+// functions' supports, named by nameOf (default `x<N>`); each output is
+// named by its map key. Shared DAG nodes become shared wires, so the emitted
+// netlist preserves the sharing of the function DAG — the natural
+// interchange format for the ECO/patch-function use case the paper targets.
+func (b *Builder) WriteVerilog(w io.Writer, module string, outputs map[string]Node, nameOf func(cnf.Var) string) error {
 	if nameOf == nil {
 		nameOf = func(v cnf.Var) string { return fmt.Sprintf("x%d", v) }
 	}
@@ -26,7 +26,7 @@ func WriteVerilog(w io.Writer, module string, outputs map[string]*Node, nameOf f
 	outNames := make([]string, 0, len(outputs))
 	for name, f := range outputs {
 		outNames = append(outNames, name)
-		for _, v := range Support(f) {
+		for _, v := range b.Support(f) {
 			inputSet[v] = true
 		}
 	}
@@ -59,43 +59,44 @@ func WriteVerilog(w io.Writer, module string, outputs map[string]*Node, nameOf f
 	}
 
 	// Emit one wire per internal DAG node, in dependency order.
-	wireOf := make(map[uint64]string)
+	wireOf := make(map[Node]string)
 	next := 0
-	var emit func(n *Node) string
-	emit = func(n *Node) string {
-		if s, ok := wireOf[n.id]; ok {
+	var emit func(n Node) string
+	emit = func(n Node) string {
+		if s, ok := wireOf[n]; ok {
 			return s
 		}
+		r := b.rec(n)
 		var expr, wire string
-		switch n.Op {
+		switch r.op {
 		case OpConst:
-			if n.Value {
+			if r.val {
 				wire = "1'b1"
 			} else {
 				wire = "1'b0"
 			}
-			wireOf[n.id] = wire
+			wireOf[n] = wire
 			return wire
 		case OpVar:
-			wire = nameOf(n.Var)
-			wireOf[n.id] = wire
+			wire = nameOf(cnf.Var(r.v))
+			wireOf[n] = wire
 			return wire
 		case OpNot:
-			expr = "~" + emit(n.Kids[0])
+			expr = "~" + emit(r.kids[0])
 		case OpAnd:
-			expr = emit(n.Kids[0]) + " & " + emit(n.Kids[1])
+			expr = emit(r.kids[0]) + " & " + emit(r.kids[1])
 		case OpOr:
-			expr = emit(n.Kids[0]) + " | " + emit(n.Kids[1])
+			expr = emit(r.kids[0]) + " | " + emit(r.kids[1])
 		case OpXor:
-			expr = emit(n.Kids[0]) + " ^ " + emit(n.Kids[1])
+			expr = emit(r.kids[0]) + " ^ " + emit(r.kids[1])
 		case OpIte:
-			expr = emit(n.Kids[0]) + " ? " + emit(n.Kids[1]) + " : " + emit(n.Kids[2])
+			expr = emit(r.kids[0]) + " ? " + emit(r.kids[1]) + " : " + emit(r.kids[2])
 		}
 		wire = fmt.Sprintf("n%d", next)
 		next++
 		fmt.Fprintf(bw, "  wire %s;\n", wire)
 		fmt.Fprintf(bw, "  assign %s = %s;\n", wire, expr)
-		wireOf[n.id] = wire
+		wireOf[n] = wire
 		return wire
 	}
 	for _, name := range outNames {

@@ -11,7 +11,7 @@ func TestWriteVerilogBasic(t *testing.T) {
 	b := NewBuilder()
 	f := b.Or(b.And(b.Var(1), b.Var(2)), b.Not(b.Var(3)))
 	var sb strings.Builder
-	err := WriteVerilog(&sb, "patch", map[string]*Node{"y": f}, nil)
+	err := b.WriteVerilog(&sb, "patch", map[string]Node{"y": f}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestWriteVerilogSharing(t *testing.T) {
 	f := b.Xor(shared, b.Var(3))
 	g := b.Or(shared, b.Var(4))
 	var sb strings.Builder
-	if err := WriteVerilog(&sb, "m", map[string]*Node{"f": f, "g": g}, nil); err != nil {
+	if err := b.WriteVerilog(&sb, "m", map[string]Node{"f": f, "g": g}, nil); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -52,7 +52,7 @@ func TestWriteVerilogSharing(t *testing.T) {
 func TestWriteVerilogConstantsAndNames(t *testing.T) {
 	b := NewBuilder()
 	var sb strings.Builder
-	err := WriteVerilog(&sb, "m", map[string]*Node{
+	err := b.WriteVerilog(&sb, "m", map[string]Node{
 		"t": b.True(),
 		"i": b.Ite(b.Var(7), b.Var(8), b.False()),
 	}, func(v cnf.Var) string {

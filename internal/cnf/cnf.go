@@ -195,6 +195,13 @@ type Formula struct {
 	NumVars int
 	// Clauses is the clause database.
 	Clauses []Clause
+
+	// arena is the tail of the current literal chunk backing clause storage.
+	// Clauses carved from it have their capacity pinned to their length, so a
+	// caller appending to a stored clause forces a copy instead of clobbering
+	// a neighbour. Chunks grow geometrically and are never reclaimed before
+	// the formula itself.
+	arena []Lit
 }
 
 // New returns an empty formula reserving variables 1..numVars.
@@ -217,17 +224,43 @@ func (f *Formula) NewVars(n int) []Var {
 	return out
 }
 
-// AddClause appends a clause built from the given literals, growing NumVars
-// as needed. The literal slice is copied.
-func (f *Formula) AddClause(lits ...Lit) {
-	c := make(Clause, len(lits))
-	copy(c, lits)
+// alloc carves a clause of length n out of the literal arena, starting a
+// fresh chunk when the current one cannot hold it.
+func (f *Formula) alloc(n int) Clause {
+	if cap(f.arena)-len(f.arena) < n {
+		sz := cap(f.arena) * 2
+		if sz < 64 {
+			sz = 64
+		}
+		if sz > 4096 {
+			sz = 4096
+		}
+		if sz < n {
+			sz = n
+		}
+		f.arena = make([]Lit, 0, sz)
+	}
+	i := len(f.arena)
+	f.arena = f.arena[:i+n]
+	return Clause(f.arena[i : i+n : i+n])
+}
+
+// commit records an arena-backed clause, growing NumVars to cover it.
+func (f *Formula) commit(c Clause) {
 	for _, l := range c {
 		if int(l.Var()) > f.NumVars {
 			f.NumVars = int(l.Var())
 		}
 	}
 	f.Clauses = append(f.Clauses, c)
+}
+
+// AddClause appends a clause built from the given literals, growing NumVars
+// as needed. The literal slice is copied.
+func (f *Formula) AddClause(lits ...Lit) {
+	c := f.alloc(len(lits))
+	copy(c, lits)
+	f.commit(c)
 }
 
 // AddUnit appends the unit clause {l}.
@@ -268,13 +301,15 @@ func (f *Formula) AddAndN(z Lit, in []Lit) {
 		f.AddUnit(z)
 		return
 	}
-	big := make(Clause, 0, len(in)+1)
-	big = append(big, z)
 	for _, l := range in {
 		f.AddClause(z.Neg(), l)
-		big = append(big, l.Neg())
 	}
-	f.AddClause(big...)
+	big := f.alloc(len(in) + 1)
+	big[0] = z
+	for i, l := range in {
+		big[i+1] = l.Neg()
+	}
+	f.commit(big)
 }
 
 // AddOrN adds clauses asserting z ↔ (l1 ∨ … ∨ ln). With no inputs, z is
@@ -284,13 +319,15 @@ func (f *Formula) AddOrN(z Lit, in []Lit) {
 		f.AddUnit(z.Neg())
 		return
 	}
-	big := make(Clause, 0, len(in)+1)
-	big = append(big, z.Neg())
 	for _, l := range in {
 		f.AddClause(z, l.Neg())
-		big = append(big, l)
 	}
-	f.AddClause(big...)
+	big := f.alloc(len(in) + 1)
+	big[0] = z.Neg()
+	for i, l := range in {
+		big[i+1] = l
+	}
+	f.commit(big)
 }
 
 // Clone returns a deep copy of the formula.
@@ -346,19 +383,18 @@ func (f *Formula) Vars() []Var {
 // formula E(X,Y′) = ¬ϕ(X,Y′) ∧ (Y′ ↔ f).
 func (f *Formula) NegationInto(dst *Formula) []Lit {
 	sels := make([]Lit, 0, len(f.Clauses))
+	var neg []Lit
 	for _, c := range f.Clauses {
 		s := PosLit(dst.NewVar())
 		// s ↔ ∧ ¬l for l in c
-		neg := make([]Lit, len(c))
-		for i, l := range c {
-			neg[i] = l.Neg()
+		neg = neg[:0]
+		for _, l := range c {
+			neg = append(neg, l.Neg())
 		}
 		dst.AddAndN(s, neg)
 		sels = append(sels, s)
 	}
-	big := make(Clause, len(sels))
-	copy(big, sels)
-	dst.AddClause(big...)
+	dst.AddClause(sels...)
 	return sels
 }
 

@@ -31,7 +31,7 @@ func parityInstance(k int) *dqbf.Instance {
 		parity = b.Xor(parity, b.Var(cnf.Var(i)))
 	}
 	spec := b.Not(b.Xor(b.Var(y), parity))
-	out := boolfunc.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	// Tseitin auxiliaries become existentials with full dependencies.
 	declared := make(map[cnf.Var]bool)

@@ -11,7 +11,12 @@
 //	preprocess    constant/unate detection and Padoa unique-definedness
 //	              marking, one independent oracle-query chain per
 //	              existential, run on a worker pool (Options.PreprocWorkers)
-//	              over an oracle.Pool of ϕ-loaded solvers;
+//	              over shared incremental oracles: an oracle.Pool of
+//	              ϕ-loaded solvers for the constant checks, plus one
+//	              selector-guarded two-copy encoding each for the unate
+//	              (ϕ ∧ ¬ϕ with primed existentials) and Padoa (doubled ϕ)
+//	              checks, so per-existential queries are assumption calls
+//	              instead of fresh formula constructions;
 //	sample        constrained sampling of ϕ for the training set Σ;
 //	learn         per-existential decision trees respecting the Henkin
 //	              dependencies (Algorithm 2), speculatively parallel
@@ -24,8 +29,15 @@
 // duration, SAT/MaxSAT oracle calls — in Stats.Phases, in execution order.
 // The parallel phases are deterministic: for a fixed seed the fixed set,
 // the synthesized constants, and the final functions are bit-identical for
-// every PreprocWorkers/LearnWorkers count, because workers only compute
-// and all merging happens serially in declaration order.
+// every PreprocWorkers/LearnWorkers/VerifyWorkers count, because workers
+// only compute and all merging happens serially in declaration order. The
+// repair phase additionally batches the Gk probes of provably independent
+// queue members (no member may appear in a later member's Ŷ) over a
+// fixed-slot solver pool: probe i of a batch always runs on slot i mod
+// repairSlots, per-slot probes stay in index order, and VerifyWorkers only
+// throttles how many slots drain concurrently — so every solver's query
+// history, and with it every UNSAT core and model, is a function of the
+// query stream alone, not of scheduling (see repair.go).
 //
 // # Persistent oracles
 //
@@ -49,8 +61,18 @@
 //   - The sampler draws all training assignments from one solver, blocking
 //     each projected sample instead of rebuilding.
 //
+//   - Batched repair probes run on a fixed-size oracle.SlotPool of
+//     ϕ-loaded solvers (Stats.RepairSolversBuilt), lazily built on the
+//     first multi-member batch.
+//
+// The verify–repair loop itself is allocation-free in steady state: repair
+// rounds run entirely on engine-owned scratch (assumption/queue/core/soft
+// buffers, the counterexample σ, the evaluation assignment), candidate
+// DAGs live in the boolfunc arena, and clause transfer into the verify
+// solver goes through bulk watch-list reservation (sat.AddClauses).
 // Stats.VerifySolversBuilt and Stats.CandidateReencodes expose the
-// persistence invariants; BenchmarkVerifyRepair tracks the win.
+// persistence invariants; BenchmarkVerifyRepair tracks the win and
+// TestVerifyRepairAllocBudget pins the allocation budget.
 //
 // The package is under the determinism contract — results must be
 // bit-identical across runs and worker counts (see internal/analysis).

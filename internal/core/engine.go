@@ -11,6 +11,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/maxsat"
+	"repro/internal/oracle"
 	"repro/internal/sat"
 )
 
@@ -69,6 +70,15 @@ type Options struct {
 	// conflicts may flip between succeeding and ErrBudget across worker
 	// counts — never between different results.
 	PreprocWorkers int
+	// VerifyWorkers bounds the batched repair-verification worker pool (0 =
+	// NumCPU). When the repair queue holds a run of independent candidates
+	// (no earlier member of the run appears in a later member's Ŷ set),
+	// their Gk queries fan out over a fixed-slot solver pool. The slot a
+	// query runs on and the per-slot query order depend only on queue
+	// position — never on scheduling — so the cores and models the queries
+	// produce, and therefore every repair, counterexample, and synthesized
+	// function, are bit-identical for every worker count; see repair.
+	VerifyWorkers int
 
 	// DisableMaxSATLocalization removes the FindCandi MaxSAT step and
 	// instead marks every mismatching candidate for repair (ablation abl1).
@@ -134,6 +144,14 @@ type Stats struct {
 	// preprocessing oracle pool; it never exceeds the preprocessing worker
 	// count regardless of how many queries the phase issues.
 	PreprocSolversBuilt int
+	// VerifyBatches counts multi-candidate repair batches whose Gk queries
+	// ran on the fixed-slot solver pool instead of the serial ϕ-solver;
+	// BatchedProbes totals the queries so batched.
+	VerifyBatches int
+	BatchedProbes int
+	// RepairSolversBuilt counts ϕ-loaded solvers constructed (including
+	// rebuilt after a panic eviction) by the batched-verification slot pool.
+	RepairSolversBuilt int
 	// OracleCalls totals the SAT/MaxSAT solver calls of the whole run.
 	OracleCalls int64
 	// Phases reports per-phase telemetry (name, wall-clock duration, oracle
@@ -159,8 +177,8 @@ type Engine struct {
 	satOpts sat.Options // resolved from Options.SATProfile; used by every oracle
 	b       *boolfunc.Builder
 
-	funcs map[cnf.Var]*boolfunc.Node // current candidates (may reference Y)
-	fixed map[cnf.Var]bool           // set by preprocessing; never repaired
+	funcs map[cnf.Var]boolfunc.Node // current candidates (may reference Y)
+	fixed map[cnf.Var]bool          // set by preprocessing; never repaired
 	deps  map[cnf.Var]map[cnf.Var]bool
 	// deps[y] is the paper's d_y: the set of Y variables that depend on y,
 	// maintained transitively closed (if yi's candidate references yk, then
@@ -181,8 +199,36 @@ type Engine struct {
 	verifyEnc    *cnf.Formula            // scratch formula, also the solver's variable allocator
 	prime        map[cnf.Var]cnf.Var     // Y → Y′
 	groupOf      map[cnf.Var]sat.GroupID // live equivalence group per existential
-	encCache     map[uint64]cnf.Lit      // persistent Tseitin memo: DAG node → literal
-	dirty        map[cnf.Var]bool        // candidates changed since last encode
+	encCache     boolfunc.Cache          // persistent Tseitin memo: DAG node id → literal
+	mapVar       func(cnf.Var) cnf.Var   // Y → Y′ renaming for ToCNF, built once
+	grpBuf       [2][]cnf.Lit            // scratch for the 2-clause equivalence group
+	grpCls       [2]cnf.Clause
+	dirty        map[cnf.Var]bool // candidates changed since last encode
+
+	// Batched repair verification (see repair.go): a fixed-slot pool of
+	// ϕ-loaded solvers, the probe array reused across batches, and the
+	// per-slot probe index lists.
+	repairPool *oracle.SlotPool
+	probes     []repairProbe
+	slotIdxs   [repairSlots][]int
+
+	// Engine-owned verify-repair scratch, reused across rounds so the hot
+	// loop stops allocating: the repackaged verify model, the persistent
+	// counterexample σ buffers, and the repair/FindCandi working sets
+	// (sparse []bool sets are cleared by walking the same lists that set
+	// them).
+	delta      cnf.Assignment // verify()'s repackaged model
+	cex        counterexample // σ: filled per round by extendCounterexample
+	scrAssumps []cnf.Lit
+	scrQueue   []cnf.Var // repair queue backing; grows with blame appends
+	scrInQueue []bool    // indexed by var: queue membership
+	scrMark    []bool    // indexed by var: Ŷ / batch membership scratch
+	scrCore    []cnf.Lit
+	scrSupport []cnf.Var
+	scrEval    cnf.Assignment // evalAtSigma's σ[X] ∪ σ[Y] view
+	scrSofts   []maxsat.Soft
+	scrSoftVar []cnf.Var
+	scrSoftLit []cnf.Lit // flat backing for the unit soft clauses
 
 	// Persistent FindCandi oracle: ϕ stays loaded; per-counterexample MaxSAT
 	// machinery lives in clause groups released after each query.
@@ -235,7 +281,7 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 		opts:    opts,
 		satOpts: satOpts,
 		b:       boolfunc.NewBuilder(),
-		funcs: make(map[cnf.Var]*boolfunc.Node),
+		funcs: make(map[cnf.Var]boolfunc.Node),
 		fixed: make(map[cnf.Var]bool),
 		deps:  make(map[cnf.Var]map[cnf.Var]bool),
 		dirty: make(map[cnf.Var]bool),
@@ -450,14 +496,15 @@ func (e *Engine) findOrder() {
 // Henkin dependencies (Algorithm 1, line 19), then validates compliance.
 func (e *Engine) substitute() (*dqbf.FuncVector, error) {
 	fv := dqbf.NewFuncVector(e.b)
-	final := make(map[cnf.Var]*boolfunc.Node, len(e.order))
+	final := make(map[cnf.Var]boolfunc.Node, len(e.order))
 	// Functions may reference Y variables that appear later in Order;
 	// process in reverse so referenced functions are finalized first.
 	for i := len(e.order) - 1; i >= 0; i-- {
 		y := e.order[i]
 		f := e.funcs[y]
-		subst := make(map[cnf.Var]*boolfunc.Node)
-		for _, v := range boolfunc.Support(f) {
+		subst := make(map[cnf.Var]boolfunc.Node)
+		e.scrSupport = e.b.AppendSupport(e.scrSupport[:0], f)
+		for _, v := range e.scrSupport {
 			if g, ok := final[v]; ok {
 				subst[v] = g
 			}
@@ -477,7 +524,7 @@ func (e *Engine) substitute() (*dqbf.FuncVector, error) {
 // setFunc installs f as y's candidate and marks its verification clause
 // group stale. Every candidate mutation after learning must go through here
 // so the persistent verify solver re-encodes exactly the changed candidates.
-func (e *Engine) setFunc(y cnf.Var, f *boolfunc.Node) {
+func (e *Engine) setFunc(y cnf.Var, f boolfunc.Node) {
 	if e.funcs[y] == f {
 		return
 	}
@@ -497,13 +544,14 @@ func (e *Engine) buildVerifySolver() {
 	}
 	// ¬ϕ(X,Y′): rename Y in the matrix to Y′, then add negation selectors.
 	renamed := cnf.New(ef.NumVars)
+	var nc []cnf.Lit
 	for _, c := range e.in.Matrix.Clauses {
-		nc := make([]cnf.Lit, len(c))
-		for i, l := range c {
+		nc = nc[:0]
+		for _, l := range c {
 			if p, ok := e.prime[l.Var()]; ok {
-				nc[i] = cnf.MkLit(p, l.IsPos())
+				nc = append(nc, cnf.MkLit(p, l.IsPos()))
 			} else {
-				nc[i] = l
+				nc = append(nc, l)
 			}
 		}
 		renamed.AddClause(nc...)
@@ -521,7 +569,13 @@ func (e *Engine) buildVerifySolver() {
 	e.verifyEnc = ef
 
 	e.groupOf = make(map[cnf.Var]sat.GroupID, len(e.in.Exist))
-	e.encCache = make(map[uint64]cnf.Lit)
+	e.encCache.Reset()
+	e.mapVar = func(v cnf.Var) cnf.Var {
+		if p, ok := e.prime[v]; ok {
+			return p
+		}
+		return v
+	}
 	for _, y := range e.in.Exist {
 		e.groupOf[y] = e.encodeCandidate(y)
 	}
@@ -542,20 +596,15 @@ func (e *Engine) buildVerifySolver() {
 func (e *Engine) encodeCandidate(y cnf.Var) sat.GroupID {
 	ef := e.verifyEnc
 	ef.Clauses = ef.Clauses[:0]
-	mapVar := func(v cnf.Var) cnf.Var {
-		if p, ok := e.prime[v]; ok {
-			return p
-		}
-		return v
-	}
-	out := boolfunc.ToCNF(e.funcs[y], ef, boolfunc.CNFOptions{VarFor: mapVar, Cache: e.encCache})
+	out := e.b.ToCNF(e.funcs[y], ef, boolfunc.CNFOptions{VarFor: e.mapVar, Cache: &e.encCache})
 	e.verifySolver.EnsureVars(ef.NumVars)
-	for _, c := range ef.Clauses {
-		e.verifySolver.AddClause(c...)
-	}
+	e.verifySolver.AddClauses(ef.Clauses)
 	ef.Clauses = ef.Clauses[:0]
 	p := cnf.PosLit(e.prime[y])
-	gid := e.verifySolver.AddClauseGroup([]cnf.Clause{{p.Neg(), out}, {p, out.Neg()}})
+	e.grpBuf[0] = append(e.grpBuf[0][:0], p.Neg(), out)
+	e.grpBuf[1] = append(e.grpBuf[1][:0], p, out.Neg())
+	e.grpCls[0], e.grpCls[1] = cnf.Clause(e.grpBuf[0]), cnf.Clause(e.grpBuf[1])
+	gid := e.verifySolver.AddClauseGroup(e.grpCls[:])
 	// The group's activation variable was allocated from the solver's space;
 	// sync the formula's counter so future Tseitin variables don't collide.
 	ef.NumVars = e.verifySolver.NumVars()
@@ -586,17 +635,20 @@ func (e *Engine) verify() (model cnf.Assignment, status sat.Status, err error) {
 	case sat.Unsat:
 		return nil, sat.Unsat, nil
 	case sat.Sat:
-		m := e.verifySolver.Model()
 		// Repackage: report X over original vars and candidate outputs on
-		// the ORIGINAL Y variable indices of a fresh "primed view".
-		out := cnf.NewAssignment(e.in.Matrix.NumVars)
+		// the ORIGINAL Y variable indices, read straight off the solver into
+		// the engine-owned buffer (every position a reader touches is
+		// rewritten here, so stale entries from earlier rounds are inert).
+		if e.delta == nil {
+			e.delta = cnf.NewAssignment(e.in.Matrix.NumVars)
+		}
 		for _, x := range e.in.Univ {
-			out.Set(x, m.Get(x))
+			e.delta.Set(x, e.verifySolver.ModelValue(x))
 		}
 		for _, y := range e.in.Exist {
-			out.Set(y, m.Get(e.prime[y]))
+			e.delta.Set(y, e.verifySolver.ModelValue(e.prime[y]))
 		}
-		return out, sat.Sat, nil
+		return e.delta, sat.Sat, nil
 	default:
 		return nil, sat.Unknown, e.oracleUnknown(e.verifySolver, "verification SAT call")
 	}
@@ -613,25 +665,30 @@ type counterexample struct {
 // extendCounterexample checks ϕ(X,Y) ∧ (X ↔ δ[X]); UNSAT proves the instance
 // False (ok=false). On SAT it assembles σ = π[X] + π[Y] + δ[Y′].
 func (e *Engine) extendCounterexample(delta cnf.Assignment) (*counterexample, bool, error) {
-	assumps := make([]cnf.Lit, 0, len(e.in.Univ))
+	assumps := e.scrAssumps[:0]
 	for _, x := range e.in.Univ {
 		assumps = append(assumps, cnf.MkLit(x, delta.Get(x) == cnf.True))
 	}
+	e.scrAssumps = assumps
 	switch st := e.phiSolver.SolveAssume(assumps); st {
 	case sat.Unsat:
 		return nil, false, nil
 	case sat.Sat:
-		pi := e.phiSolver.Model()
-		cx := &counterexample{
-			x:      cnf.NewAssignment(e.in.Matrix.NumVars),
-			y:      cnf.NewAssignment(e.in.Matrix.NumVars),
-			yPrime: cnf.NewAssignment(e.in.Matrix.NumVars),
+		// σ lives in engine-owned buffers reused across rounds: readers only
+		// touch the Univ positions of x and the Exist positions of y/yPrime,
+		// all rewritten below.
+		cx := &e.cex
+		if cx.x == nil {
+			n := e.in.Matrix.NumVars
+			cx.x = cnf.NewAssignment(n)
+			cx.y = cnf.NewAssignment(n)
+			cx.yPrime = cnf.NewAssignment(n)
 		}
 		for _, x := range e.in.Univ {
 			cx.x.Set(x, delta.Get(x))
 		}
 		for _, y := range e.in.Exist {
-			cx.y.Set(y, pi.Get(y))
+			cx.y.Set(y, e.phiSolver.ModelValue(y))
 			cx.yPrime.Set(y, delta.Get(y))
 		}
 		return cx, true, nil

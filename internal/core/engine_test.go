@@ -60,7 +60,7 @@ func TestPaperExample1(t *testing.T) {
 		a.SetBool(2, mask&1 != 0)
 		a.SetBool(3, mask&2 != 0)
 		want := mask != 0
-		if boolfunc.Eval(f3, a) != want {
+		if res.Vector.B.Eval(f3, a) != want {
 			t.Fatalf("f3 is not x2∨x3 at mask %d", mask)
 		}
 	}
@@ -178,7 +178,7 @@ func TestConstantDetection(t *testing.T) {
 		t.Fatalf("preprocessing hits: %+v, want exactly 1", res.Stats)
 	}
 	if res.Vector.Funcs[2] != res.Vector.B.True() {
-		t.Fatalf("f should be constant true, got %s", boolfunc.String(res.Vector.Funcs[2]))
+		t.Fatalf("f should be constant true, got %s", res.Vector.B.String(res.Vector.Funcs[2]))
 	}
 }
 
@@ -232,7 +232,7 @@ func TestUniqueDefinedStat(t *testing.T) {
 		a := cnf.NewAssignment(3)
 		a.SetBool(1, mask&1 != 0)
 		a.SetBool(2, mask&2 != 0)
-		if boolfunc.Eval(f, a) != (mask == 3) {
+		if res.Vector.B.Eval(f, a) != (mask == 3) {
 			t.Fatalf("f ≠ x1∧x2 at mask %d", mask)
 		}
 	}
@@ -255,7 +255,7 @@ func TestSkolemSpecialCase(t *testing.T) {
 		a := cnf.NewAssignment(3)
 		a.SetBool(1, mask&1 != 0)
 		a.SetBool(2, mask&2 != 0)
-		if boolfunc.Eval(f, a) != ((mask&1 != 0) != (mask&2 != 0)) {
+		if res.Vector.B.Eval(f, a) != ((mask&1 != 0) != (mask&2 != 0)) {
 			t.Fatalf("f ≠ xor at mask %d", mask)
 		}
 	}
@@ -333,7 +333,7 @@ func TestRandomPlantedInstances(t *testing.T) {
 		}
 		nY := 1 + rng.Intn(3)
 		b := boolfunc.NewBuilder()
-		planted := make(map[cnf.Var]*boolfunc.Node)
+		planted := make(map[cnf.Var]boolfunc.Node)
 		for j := 0; j < nY; j++ {
 			y := cnf.Var(nX + j + 1)
 			var deps []cnf.Var
@@ -358,7 +358,7 @@ func TestRandomPlantedInstances(t *testing.T) {
 		}
 		// ϕ := ⋀ (y ↔ f(X)) — encode on the instance's variable space.
 		for y, f := range planted {
-			out := boolfunc.ToCNF(f, in.Matrix, boolfunc.CNFOptions{})
+			out := b.ToCNF(f, in.Matrix, boolfunc.CNFOptions{})
 			in.Matrix.AddEquivLit(cnf.PosLit(y), out)
 		}
 		// Tseitin aux variables become extra existentials depending on all X
@@ -413,12 +413,12 @@ func TestEqualDepChainsNoCycles(t *testing.T) {
 	c0 := b.And(a0, b0)
 	s1 := b.Xor(b.Xor(a1, b1), c0)
 	c1 := b.Or(b.And(a1, b1), b.And(b.Xor(a1, b1), c0))
-	spec := b.AndN([]*boolfunc.Node{
+	spec := b.AndN([]boolfunc.Node{
 		b.Not(b.Xor(b.Var(7), s0)),
 		b.Not(b.Xor(b.Var(6), s1)),
 		b.Not(b.Xor(b.Var(5), c1)),
 	})
-	out := boolfunc.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(spec, in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	declared := map[cnf.Var]bool{1: true, 2: true, 3: true, 4: true, 5: true, 6: true, 7: true}
 	for _, c := range in.Matrix.Clauses {

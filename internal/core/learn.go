@@ -218,14 +218,19 @@ func (e *Engine) learnTree(samples []cnf.Assignment, yi cnf.Var) (learnedTree, e
 		}
 		return learnedTree{constVal: pos*2 >= len(samples)}, nil
 	}
-	ds := &dtree.Dataset{Features: featset}
-	for _, s := range samples {
-		row := make([]bool, len(featset))
+	ds := &dtree.Dataset{
+		Features: featset,
+		Rows:     make([][]bool, len(samples)),
+		Labels:   make([]bool, len(samples)),
+	}
+	flat := make([]bool, len(samples)*len(featset))
+	for si, s := range samples {
+		row := flat[si*len(featset) : (si+1)*len(featset) : (si+1)*len(featset)]
 		for k, v := range featset {
 			row[k] = s.Get(v) == cnf.True
 		}
-		ds.Rows = append(ds.Rows, row)
-		ds.Labels = append(ds.Labels, s.Get(yi) == cnf.True)
+		ds.Rows[si] = row
+		ds.Labels[si] = s.Get(yi) == cnf.True
 	}
 	tree, err := dtree.Learn(ds, dtree.Options{MaxDepth: e.opts.TreeMaxDepth})
 	if err != nil {

@@ -29,7 +29,7 @@ func plantedChainInstance(seed int64, nX, nY int) *dqbf.Instance {
 	}
 	allX := append([]cnf.Var(nil), in.Univ...)
 	b := boolfunc.NewBuilder()
-	planted := make(map[cnf.Var]*boolfunc.Node, nY)
+	planted := make(map[cnf.Var]boolfunc.Node, nY)
 	for j := 0; j < nY; j++ {
 		y := cnf.Var(nX + j + 1)
 		in.AddExist(y, allX)
@@ -48,7 +48,7 @@ func plantedChainInstance(seed int64, nX, nY int) *dqbf.Instance {
 	}
 	for j := 0; j < nY; j++ {
 		y := cnf.Var(nX + j + 1)
-		out := boolfunc.ToCNF(planted[y], in.Matrix, boolfunc.CNFOptions{})
+		out := b.ToCNF(planted[y], in.Matrix, boolfunc.CNFOptions{})
 		in.Matrix.AddEquivLit(cnf.PosLit(y), out)
 	}
 	// Tseitin auxiliaries become existentials with full dependencies.

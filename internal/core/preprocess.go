@@ -32,11 +32,15 @@ import (
 // The query chain of one existential is independent of every other's, so
 // the chains run on a worker pool (Options.PreprocWorkers): constant checks
 // borrow ϕ-loaded solvers from an oracle.Pool sized to the worker count
-// (built once, checked out per query), unate/Padoa checks encode their own
-// per-check formulas in fresh solvers. Workers only compute; the results
-// are merged — setFunc, the fixed set, the stats counters — strictly in
-// declaration order, so the outcome is bit-identical for every worker
-// count (TestParallelPreprocessDeterministic).
+// (built once, checked out per query), and the unate/Padoa checks borrow
+// from two more pools loaded with shared assumption-driven check formulas —
+// ϕ(X,Y) ∧ ¬ϕ(X,Y″) with per-existential equality selectors for unateness,
+// ϕ(X,Y) ∧ ϕ(X̂,Ŷ) with per-variable equality selectors for Padoa — built
+// once per run instead of re-encoding cofactors and renamed copies into a
+// fresh solver per check. Workers only compute; the results are merged —
+// setFunc, the fixed set, the stats counters — strictly in declaration
+// order, so the outcome is bit-identical for every worker count
+// (TestParallelPreprocessDeterministic).
 
 // preprocKind classifies the outcome of one existential's check chain.
 type preprocKind int
@@ -103,11 +107,15 @@ func (e *Engine) preprocess() error {
 	if workers > len(todo) {
 		workers = len(todo)
 	}
-	pool := oracle.NewPool(workers, func() *sat.Solver {
-		s := e.newSolver()
-		s.AddFormula(e.in.Matrix)
-		return s
-	})
+	pool := &preprocOracles{
+		consts: oracle.NewPool(workers, func() *sat.Solver {
+			s := e.newSolver()
+			s.AddFormula(e.in.Matrix)
+			return s
+		}),
+		unate: e.buildUnateOracle(workers),
+		padoa: e.buildPadoaOracle(workers),
+	}
 	results := make([]preprocResult, len(todo))
 	if workers <= 1 {
 		for i, y := range todo {
@@ -138,7 +146,7 @@ func (e *Engine) preprocess() error {
 		}
 		wg.Wait()
 	}
-	e.stats.PreprocSolversBuilt = pool.Built()
+	e.stats.PreprocSolversBuilt = pool.consts.Built()
 
 	// Deterministic merge in declaration order: all engine mutation happens
 	// here, serially. Indices are claimed in increasing order, so any
@@ -181,6 +189,16 @@ func (e *Engine) preprocess() error {
 	return nil
 }
 
+// preprocOracles bundles the three preprocessing solver pools handed to the
+// workers: ϕ-loaded solvers for the constant checks plus the shared
+// unate/Padoa check oracles. Every pool is sized to the worker count, so
+// concurrent checkouts never block on each other.
+type preprocOracles struct {
+	consts *oracle.Pool
+	unate  *unateOracle
+	padoa  *padoaOracle
+}
+
 // preprocessOneSafe runs preprocessOne under panic isolation: a recover()
 // on the main goroutine cannot catch a panic raised inside a worker
 // goroutine, so each worker converts its own panics into an
@@ -188,7 +206,7 @@ func (e *Engine) preprocess() error {
 // preprocessing failure. Pooled-solver checkouts go through oracle.With,
 // which evicts a solver whose query panicked instead of returning it —
 // isolation never recycles a possibly-corrupted solver.
-func (e *Engine) preprocessOneSafe(y cnf.Var, pool *oracle.Pool) (r preprocResult) {
+func (e *Engine) preprocessOneSafe(y cnf.Var, pool *preprocOracles) (r preprocResult) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.err = fmt.Errorf("%w: preprocess worker for y%d panicked: %v\n%s", ErrInternal, y, p, debug.Stack())
@@ -199,14 +217,14 @@ func (e *Engine) preprocessOneSafe(y cnf.Var, pool *oracle.Pool) (r preprocResul
 
 // preprocessOne runs one existential's full check chain — constant, unate,
 // Padoa — reading the engine strictly read-only (safe from worker
-// goroutines); all mutation is deferred to the merge. The pooled solver is
-// held only for the two constant queries (via With, so a panicking query
-// evicts it instead of poisoning the pool) and other workers' checkouts
-// interleave with the fresh-solver checks.
-func (e *Engine) preprocessOne(y cnf.Var, pool *oracle.Pool) preprocResult {
+// goroutines); all mutation is deferred to the merge. Each pooled solver is
+// held only for its own queries (via With, so a panicking query evicts it
+// instead of poisoning the pool) and other workers' checkouts interleave
+// freely.
+func (e *Engine) preprocessOne(y cnf.Var, pool *preprocOracles) preprocResult {
 	r := preprocResult{}
 	done := false
-	pool.With(func(s *sat.Solver) {
+	pool.consts.With(func(s *sat.Solver) {
 		st := s.SolveAssume([]cnf.Lit{cnf.PosLit(y)})
 		r.oracle++
 		if st == sat.Unknown {
@@ -234,8 +252,8 @@ func (e *Engine) preprocessOne(y cnf.Var, pool *oracle.Pool) preprocResult {
 	if done {
 		return r
 	}
-	// Unate checks (fresh per-check solvers over the cofactor formulas).
-	pos, err := e.isUnate(y, true)
+	// Unate checks (assumption queries on the shared check formula).
+	pos, err := e.isUnate(pool.unate, y, true)
 	r.oracle++
 	if err != nil {
 		r.err = err
@@ -245,7 +263,7 @@ func (e *Engine) preprocessOne(y cnf.Var, pool *oracle.Pool) preprocResult {
 		r.kind = preprocUnateTrue
 		return r
 	}
-	neg, err := e.isUnate(y, false)
+	neg, err := e.isUnate(pool.unate, y, false)
 	r.oracle++
 	if err != nil {
 		r.err = err
@@ -256,96 +274,165 @@ func (e *Engine) preprocessOne(y cnf.Var, pool *oracle.Pool) preprocResult {
 		return r
 	}
 	// Unique-definedness statistics (bounded effort; only for unfixed).
-	r.defined, r.err = e.isUniquelyDefined(y)
+	r.defined, r.err = e.isUniquelyDefined(pool.padoa, y)
 	r.oracle++
 	return r
 }
 
-// cofactor returns ϕ with y fixed to val: clauses satisfied by the fixed
-// literal are dropped and the falsified literal is removed elsewhere.
-func cofactor(f *cnf.Formula, y cnf.Var, val bool) *cnf.Formula {
-	out := cnf.New(f.NumVars)
-	satLit := cnf.MkLit(y, val)
-	for _, c := range f.Clauses {
-		if c.Has(satLit) {
-			continue
-		}
-		nc := make([]cnf.Lit, 0, len(c))
-		for _, l := range c {
-			if l.Var() == y {
-				continue
-			}
-			nc = append(nc, l)
-		}
-		out.AddClause(nc...)
+// unateOracle is the shared machinery of every semantic unate check: one
+// formula ϕ(X,Y) ∧ ¬ϕ(X,Y″) — Y″ a primed copy of the existentials, X
+// shared — with a per-existential equality selector t_y → (y ↔ y″). It is
+// built once per run and loaded into pooled solvers; a single check is then
+// a pure assumption query, where the old implementation re-encoded two
+// cofactors plus a Tseitin negation into a fresh solver per check.
+type unateOracle struct {
+	prime map[cnf.Var]cnf.Var // y → y″
+	sel   map[cnf.Var]cnf.Var // y → t_y
+	pool  *oracle.Pool
+}
+
+// buildUnateOracle constructs the shared unate check formula and its solver
+// pool (sized to the preprocessing worker count; solvers build lazily on
+// first checkout).
+func (e *Engine) buildUnateOracle(workers int) *unateOracle {
+	f := cnf.New(e.in.Matrix.NumVars)
+	for _, c := range e.in.Matrix.Clauses {
+		f.AddClause(c...)
 	}
-	out.NumVars = f.NumVars
-	return out
+	u := &unateOracle{
+		prime: make(map[cnf.Var]cnf.Var, len(e.in.Exist)),
+		sel:   make(map[cnf.Var]cnf.Var, len(e.in.Exist)),
+	}
+	for _, y := range e.in.Exist {
+		u.prime[y] = f.NewVar()
+	}
+	// ¬ϕ(X,Y″): rename existentials in the matrix to Y″, then negate.
+	renamed := cnf.New(f.NumVars)
+	nc := make([]cnf.Lit, 0, 8)
+	for _, c := range e.in.Matrix.Clauses {
+		nc = nc[:0]
+		for _, l := range c {
+			if p, ok := u.prime[l.Var()]; ok {
+				nc = append(nc, cnf.MkLit(p, l.IsPos()))
+			} else {
+				nc = append(nc, l)
+			}
+		}
+		renamed.AddClause(nc...)
+	}
+	renamed.NumVars = f.NumVars
+	renamed.NegationInto(f)
+	for _, y := range e.in.Exist {
+		t := f.NewVar()
+		u.sel[y] = t
+		f.AddClause(cnf.NegLit(t), cnf.NegLit(y), cnf.PosLit(u.prime[y]))
+		f.AddClause(cnf.NegLit(t), cnf.PosLit(y), cnf.NegLit(u.prime[y]))
+	}
+	u.pool = oracle.NewPool(workers, func() *sat.Solver {
+		s := e.newSolver()
+		s.AddFormula(f)
+		return s
+	})
+	return u
 }
 
 // isUnate checks semantic unateness of y in ϕ: positive unate when
 // ϕ[y:=0] ∧ ¬ϕ[y:=1] is UNSAT; negative unate with the cofactors swapped.
-// Read-only on the engine, safe from worker goroutines.
-func (e *Engine) isUnate(y cnf.Var, positive bool) (bool, error) {
-	low, high := false, true
-	if !positive {
-		low, high = true, false
-	}
-	check := cofactor(e.in.Matrix, y, low)
-	neg := cofactor(e.in.Matrix, y, high)
-	neg.NumVars = check.NumVars
-	neg.NegationInto(check)
-	s := e.newSolver()
-	s.AddFormula(check)
-	switch st := s.Solve(); st {
-	case sat.Unsat:
-		return true, nil
-	case sat.Sat:
-		return false, nil
-	default:
-		return false, e.oracleUnknown(s, "unate check")
-	}
-}
-
-// isUniquelyDefined applies Padoa's theorem: y is uniquely defined by its
-// dependency set H in ϕ iff ϕ(X,Y) ∧ ϕ(X̂,Ŷ) ∧ (H ↔ Ĥ) ∧ y ∧ ¬ŷ is UNSAT,
-// where the hatted copy renames every variable outside H. Read-only on the
-// engine, safe from worker goroutines.
-func (e *Engine) isUniquelyDefined(y cnf.Var) (bool, error) {
-	f := e.in.Matrix.Clone()
-	deps := e.in.DepSet(y)
-	inDeps := make(map[cnf.Var]bool, len(deps))
-	for _, d := range deps {
-		inDeps[d] = true
-	}
-	// Rename all variables except the shared dependency set.
-	rename := make(map[cnf.Var]cnf.Var)
-	for v := cnf.Var(1); int(v) <= e.in.Matrix.NumVars; v++ {
-		if !inDeps[v] {
-			rename[v] = f.NewVar()
+// On the shared formula the cofactors become assumptions — equality
+// selectors tie every OTHER existential to its primed copy, and y itself is
+// split (y fixed low in the positive copy, y″ fixed high in the negated
+// one). Read-only on the engine, safe from worker goroutines.
+func (e *Engine) isUnate(u *unateOracle, y cnf.Var, positive bool) (bool, error) {
+	assumps := make([]cnf.Lit, 0, len(e.in.Exist)+1)
+	for _, yj := range e.in.Exist {
+		if yj != y {
+			assumps = append(assumps, cnf.PosLit(u.sel[yj]))
 		}
 	}
+	assumps = append(assumps, cnf.MkLit(y, !positive), cnf.MkLit(u.prime[y], positive))
+	var unate bool
+	var err error
+	u.pool.With(func(s *sat.Solver) {
+		switch st := s.SolveAssume(assumps); st {
+		case sat.Unsat:
+			unate = true
+		case sat.Sat:
+			unate = false
+		default:
+			err = e.oracleUnknown(s, "unate check")
+		}
+	})
+	return unate, err
+}
+
+// padoaOracle is the shared machinery of every Padoa unique-definedness
+// check: one formula ϕ(X,Y) ∧ ϕ(X̂,Ŷ) — the hatted copy renames EVERY
+// variable — with a per-variable equality selector s_v → (v ↔ v̂). A check
+// for y assumes the selectors of y's dependency set plus y ∧ ¬ŷ, which is
+// exactly ϕ ∧ ϕ̂ ∧ (H ↔ Ĥ) ∧ y ∧ ¬ŷ without cloning and re-renaming the
+// matrix per check.
+type padoaOracle struct {
+	hat  []cnf.Var // 1..NumVars → v̂
+	sel  []cnf.Var // 1..NumVars → s_v
+	pool *oracle.Pool
+}
+
+// buildPadoaOracle constructs the shared Padoa check formula and its solver
+// pool (sized to the preprocessing worker count; solvers build lazily on
+// first checkout).
+func (e *Engine) buildPadoaOracle(workers int) *padoaOracle {
+	n := e.in.Matrix.NumVars
+	f := cnf.New(n)
 	for _, c := range e.in.Matrix.Clauses {
-		nc := make([]cnf.Lit, len(c))
-		for i, l := range c {
-			if nv, ok := rename[l.Var()]; ok {
-				nc[i] = cnf.MkLit(nv, l.IsPos())
-			} else {
-				nc[i] = l
-			}
+		f.AddClause(c...)
+	}
+	p := &padoaOracle{hat: make([]cnf.Var, n+1), sel: make([]cnf.Var, n+1)}
+	for v := 1; v <= n; v++ {
+		p.hat[v] = f.NewVar()
+	}
+	nc := make([]cnf.Lit, 0, 8)
+	for _, c := range e.in.Matrix.Clauses {
+		nc = nc[:0]
+		for _, l := range c {
+			nc = append(nc, cnf.MkLit(p.hat[l.Var()], l.IsPos()))
 		}
 		f.AddClause(nc...)
 	}
-	f.AddUnit(cnf.PosLit(y))
-	f.AddUnit(cnf.NegLit(rename[y]))
-	s := e.newSolver()
-	s.AddFormula(f)
-	switch st := s.Solve(); st {
-	case sat.Unsat:
-		return true, nil
-	case sat.Sat:
-		return false, nil
-	default:
-		return false, e.oracleUnknown(s, "Padoa check")
+	for v := 1; v <= n; v++ {
+		s := f.NewVar()
+		p.sel[v] = s
+		f.AddClause(cnf.NegLit(s), cnf.NegLit(cnf.Var(v)), cnf.PosLit(p.hat[v]))
+		f.AddClause(cnf.NegLit(s), cnf.PosLit(cnf.Var(v)), cnf.NegLit(p.hat[v]))
 	}
+	p.pool = oracle.NewPool(workers, func() *sat.Solver {
+		s := e.newSolver()
+		s.AddFormula(f)
+		return s
+	})
+	return p
+}
+
+// isUniquelyDefined applies Padoa's theorem: y is uniquely defined by its
+// dependency set H in ϕ iff ϕ(X,Y) ∧ ϕ(X̂,Ŷ) ∧ (H ↔ Ĥ) ∧ y ∧ ¬ŷ is UNSAT.
+// Read-only on the engine, safe from worker goroutines.
+func (e *Engine) isUniquelyDefined(p *padoaOracle, y cnf.Var) (bool, error) {
+	deps := e.in.DepSet(y)
+	assumps := make([]cnf.Lit, 0, len(deps)+2)
+	for _, d := range deps {
+		assumps = append(assumps, cnf.PosLit(p.sel[d]))
+	}
+	assumps = append(assumps, cnf.PosLit(y), cnf.NegLit(p.hat[y]))
+	var defined bool
+	var err error
+	p.pool.With(func(s *sat.Solver) {
+		switch st := s.SolveAssume(assumps); st {
+		case sat.Unsat:
+			defined = true
+		case sat.Sat:
+			defined = false
+		default:
+			err = e.oracleUnknown(s, "Padoa check")
+		}
+	})
+	return defined, err
 }

@@ -18,6 +18,7 @@ func init() {
 				Seed:              opts.Seed,
 				LearnWorkers:      opts.Workers,
 				PreprocWorkers:    opts.PreprocWorkers,
+				VerifyWorkers:     opts.VerifyWorkers,
 				SATProfile:        opts.SATProfile,
 				SATConflictBudget: opts.SATConflictBudget,
 				Logf:              opts.Logf,

@@ -2,65 +2,304 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/maxsat"
+	"repro/internal/oracle"
 	"repro/internal/sat"
 )
+
+// repairSlots fixes the size of the batched-verification solver pool. It is
+// a constant rather than a function of Options.VerifyWorkers on purpose:
+// probe i of a batch always runs on slot i mod repairSlots, and each slot
+// executes its probes sequentially in probe-index order, so every slot
+// solver sees a query sequence determined by the queue alone. UNSAT cores
+// and models — unlike plain SAT/UNSAT facts — are artifacts of solver
+// history, so this binding is what makes the repairs bit-identical across
+// scheduling and worker counts; VerifyWorkers only throttles how many slots
+// run at once.
+const repairSlots = 4
+
+// repairProbe is one Gk query of a repair batch: inputs (yk, assumps, Ŷ)
+// are prepared serially at batch construction, outputs (status plus UNSAT
+// core or model values) are filled on a solver, and the serial merge
+// consumes them in queue order. All slices are engine-owned buffers reused
+// across batches.
+type repairProbe struct {
+	yk      cnf.Var
+	assumps []cnf.Lit
+	yHat    []cnf.Var
+	status  sat.Status
+	core    []cnf.Lit   // Unsat: failed assumptions (AppendCore)
+	rho     []cnf.Value // Sat: model values of e.in.Exist, declaration order
+	err     error
+}
 
 // repair is Algorithm 3 (RepairHkF): given the counterexample σ, localize
 // faulty candidates with a MaxSAT query and repair each with an
 // UnsatCore-guided strengthening or weakening. It reports whether any
 // candidate changed (no change ⇒ the incompleteness case).
+//
+// The queue is consumed in maximal batches of consecutive, non-fixed,
+// pairwise-independent candidates (see buildProbes for the independence
+// criterion). A singleton batch — the common case when candidates are
+// entangled through their Ŷ sets — solves on the warm persistent ϕ-solver
+// exactly as the serial algorithm always has; a multi-candidate batch fans
+// its probes out over the fixed-slot pool. Either way mergeProbes then
+// replays the answers strictly in queue order, performing all engine
+// mutation (repairs, blame appends, the line-18 σ[yk] realignment)
+// serially, so the batched loop is observationally a serial loop.
 func (e *Engine) repair(sigma *counterexample) (bool, error) {
 	ind, err := e.findCandi(sigma)
 	if err != nil {
 		return false, err
 	}
 	repairedAny := false
-	inQueue := make(map[cnf.Var]bool, len(ind))
-	for _, y := range ind {
-		inQueue[y] = true
+	if e.scrInQueue == nil {
+		e.scrInQueue = make([]bool, e.in.Matrix.NumVars+1)
+		e.scrMark = make([]bool, e.in.Matrix.NumVars+1)
 	}
-	for qi := 0; qi < len(ind); qi++ {
-		yk := ind[qi]
-		if e.fixed[yk] {
-			continue // preprocessed constants are semantically safe as-is
+	for _, y := range ind {
+		e.scrInQueue[y] = true
+	}
+	defer func() {
+		// Sparse-clear queue membership and park the (possibly regrown)
+		// queue backing for the next round.
+		for _, y := range ind {
+			e.scrInQueue[y] = false
 		}
-		// Ŷ: variables with Hj ⊆ Hk appearing after yk in Order (line 6).
-		var yHat []cnf.Var
-		if !e.opts.DisableYHat {
-			for _, yj := range e.in.Exist {
-				if yj == yk {
-					continue
-				}
-				if e.in.SubsetDeps(yj, yk) && e.orderIdx[yj] > e.orderIdx[yk] {
-					yHat = append(yHat, yj)
+		e.scrQueue = ind[:0]
+	}()
+	for qi := 0; qi < len(ind); {
+		if e.fixed[ind[qi]] {
+			qi++ // preprocessed constants are semantically safe as-is
+			continue
+		}
+		n := e.buildProbes(sigma, ind, qi)
+		if n == 1 {
+			e.runProbe(e.phiSolver, &e.probes[0])
+		} else {
+			e.runBatch(n)
+			e.stats.VerifyBatches++
+			e.stats.BatchedProbes += n
+		}
+		if err := e.mergeProbes(sigma, &ind, n, &repairedAny); err != nil {
+			return false, err
+		}
+		qi += n
+	}
+	return repairedAny, nil
+}
+
+// appendYHat appends Ŷ for yk (Algorithm 3 line 6): variables yj with
+// Hj ⊆ Hk appearing after yk in Order. The set depends only on the static
+// dependency sets and the fixed Order, never on repair state.
+func (e *Engine) appendYHat(dst []cnf.Var, yk cnf.Var) []cnf.Var {
+	if e.opts.DisableYHat {
+		return dst
+	}
+	for _, yj := range e.in.Exist {
+		if yj == yk {
+			continue
+		}
+		if e.in.SubsetDeps(yj, yk) && e.orderIdx[yj] > e.orderIdx[yk] {
+			dst = append(dst, yj)
+		}
+	}
+	return dst
+}
+
+// buildProbes prepares probes for the maximal batch of consecutive
+// non-fixed queue entries starting at qi that are independent of every
+// earlier batch member, and returns the batch size (≥ 1). Member b is
+// independent when no earlier member a appears in Ŷ(b): a's repair only
+// feeds back into later Gk queries through the line-18 rewrite of σ[y_a],
+// and b's Gk reads σ[Y] exactly on Ŷ(b) (σ[X] and σ[Y′] are fixed for the
+// whole round). The check is one-directional because the merge replays
+// answers in queue order — b's repair happening "before" a's probe is the
+// serial order anyway. Each probe's Gk assumptions (yk ↔ σ[y′k], Hk ↔
+// σ[Hk], Ŷ ↔ σ[Ŷ]) are snapshotted here, so later σ rewrites cannot leak
+// into already-built probes.
+func (e *Engine) buildProbes(sigma *counterexample, ind []cnf.Var, qi int) int {
+	n := 0
+	for qj := qi; qj < len(ind); qj++ {
+		yk := ind[qj]
+		if qj > qi && e.fixed[yk] {
+			break
+		}
+		if n == len(e.probes) {
+			e.probes = append(e.probes, repairProbe{})
+		}
+		p := &e.probes[n]
+		p.yHat = e.appendYHat(p.yHat[:0], yk)
+		if qj > qi {
+			dependent := false
+			for _, yj := range p.yHat {
+				if e.scrMark[yj] { // an earlier batch member
+					dependent = true
+					break
 				}
 			}
+			if dependent {
+				break
+			}
 		}
-		// Gk = (yk ↔ σ[y′k]) ∧ ϕ ∧ (Hk ↔ σ[Hk]) ∧ (Ŷ ↔ σ[Ŷ]), with the unit
-		// constraints passed as assumptions so the UNSAT core names them.
-		assumps := make([]cnf.Lit, 0, 1+len(e.in.DepSet(yk))+len(yHat))
-		assumps = append(assumps, cnf.MkLit(yk, sigma.yPrime.Get(yk) == cnf.True))
+		p.yk = yk
+		p.status = sat.Unknown
+		p.err = nil
+		p.assumps = p.assumps[:0]
+		p.assumps = append(p.assumps, cnf.MkLit(yk, sigma.yPrime.Get(yk) == cnf.True))
 		for _, x := range e.in.DepSet(yk) {
-			assumps = append(assumps, cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
+			p.assumps = append(p.assumps, cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
 		}
-		for _, yj := range yHat {
-			assumps = append(assumps, cnf.MkLit(yj, sigma.y.Get(yj) == cnf.True))
+		for _, yj := range p.yHat {
+			p.assumps = append(p.assumps, cnf.MkLit(yj, sigma.y.Get(yj) == cnf.True))
 		}
-		st := e.phiSolver.SolveAssume(assumps)
-		switch st {
+		e.scrMark[yk] = true
+		n++
+	}
+	for i := 0; i < n; i++ {
+		e.scrMark[e.probes[i].yk] = false
+	}
+	return n
+}
+
+// runProbe decides one Gk query on s and records the repair-relevant
+// artifacts: the failed-assumption core on Unsat, the existential model
+// values on Sat, a classified error on Unknown.
+func (e *Engine) runProbe(s *sat.Solver, p *repairProbe) {
+	switch st := s.SolveAssume(p.assumps); st {
+	case sat.Unsat:
+		p.status = sat.Unsat
+		p.core = s.AppendCore(p.core[:0])
+	case sat.Sat:
+		p.status = sat.Sat
+		p.rho = p.rho[:0]
+		for _, yt := range e.in.Exist {
+			p.rho = append(p.rho, s.ModelValue(yt))
+		}
+	default:
+		p.status = sat.Unknown
+		p.err = e.oracleUnknown(s, "repair SAT call")
+	}
+}
+
+// runBatch executes probes [0, n) on the fixed-slot pool: probe i belongs
+// to slot i mod repairSlots, workers claim whole slots off an atomic
+// counter and run each slot's probes sequentially in index order. Worker
+// count (VerifyWorkers, default NumCPU) therefore affects only how many
+// slots solve concurrently, never which solver answers which query.
+func (e *Engine) runBatch(n int) {
+	if e.repairPool == nil {
+		e.repairPool = oracle.NewSlotPool(repairSlots, func(int) *sat.Solver {
+			s := e.newSolver()
+			s.AddFormula(e.in.Matrix)
+			return s
+		})
+	}
+	for s := range e.slotIdxs {
+		e.slotIdxs[s] = e.slotIdxs[s][:0]
+	}
+	for i := 0; i < n; i++ {
+		s := i % repairSlots
+		e.slotIdxs[s] = append(e.slotIdxs[s], i)
+	}
+	active := n
+	if active > repairSlots {
+		active = repairSlots
+	}
+	workers := e.opts.VerifyWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > active {
+		workers = active
+	}
+	if workers <= 1 {
+		for s := 0; s < active; s++ {
+			e.probeSlotSafe(s)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					s := int(next.Add(1)) - 1
+					if s >= active {
+						return
+					}
+					if err := e.ctx.Err(); err != nil {
+						for _, i := range e.slotIdxs[s] {
+							e.probes[i].status = sat.Unknown
+							e.probes[i].err = err
+						}
+						return
+					}
+					e.probeSlotSafe(s)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	e.extraOracle += int64(n)
+	e.stats.RepairSolversBuilt = e.repairPool.Built() + e.repairPool.Evicted()
+}
+
+// probeSlotSafe runs one slot's probes in index order under panic
+// isolation: a recover() on the main goroutine cannot catch a panic raised
+// inside a worker goroutine, so the worker converts its own panic into
+// ErrInternal-classified probe errors that the merge surfaces like any
+// other oracle failure. The pool's With evicts the slot solver on panic so
+// a possibly-corrupted solver is never recycled; cancellation is handled
+// inside the Solve calls themselves (the slot solvers carry the engine
+// context), which turn it into Unknown probes.
+func (e *Engine) probeSlotSafe(slot int) {
+	idxs := e.slotIdxs[slot]
+	done := 0
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("%w: repair probe worker panicked: %v\n%s", ErrInternal, p, debug.Stack())
+			for _, i := range idxs[done:] {
+				e.probes[i].status = sat.Unknown
+				e.probes[i].err = err
+			}
+		}
+	}()
+	e.repairPool.With(slot, func(s *sat.Solver) {
+		for _, i := range idxs[done:] {
+			e.runProbe(s, &e.probes[i])
+			done++
+		}
+	})
+}
+
+// mergeProbes replays probes [0, n) strictly in queue order, applying the
+// serial algorithm's per-candidate step to each answer: core-guided
+// strengthening/weakening on Unsat (lines 11-13), blame on Sat (lines
+// 15-17), and the line-18 realignment of σ[yk] with the (possibly just
+// repaired) candidate's output. All engine mutation of the repair loop
+// happens here, on the calling goroutine.
+func (e *Engine) mergeProbes(sigma *counterexample, ind *[]cnf.Var, n int, repairedAny *bool) error {
+	for pi := 0; pi < n; pi++ {
+		p := &e.probes[pi]
+		yk := p.yk
+		switch p.status {
 		case sat.Unsat:
-			// Line 11-13: repair from the UNSAT core.
+			// Lines 11-13: repair from the UNSAT core.
 			e.stats.CoreCalls++
-			core := e.phiSolver.Core()
-			beta := e.buildBeta(core, yk, sigma)
-			if beta == nil {
+			beta := e.buildBeta(p.core, yk, sigma)
+			if !beta.Valid() {
 				// Core contains only yk itself: the dependencies alone force
 				// the flip; repair with the constant flip on this point is
-				// impossible without literals — treat as no progress for yk.
+				// impossible without literals — no progress for yk.
 				break
 			}
 			old := e.funcs[yk]
@@ -70,11 +309,12 @@ func (e *Engine) repair(sigma *counterexample) (bool, error) {
 				e.setFunc(yk, e.b.Or(old, beta)) // weaken
 			}
 			if e.funcs[yk] != old {
-				repairedAny = true
+				*repairedAny = true
 				e.stats.CandidatesRepaired++
 			}
 			// Dependency bookkeeping: β may introduce Ŷ variables into fk.
-			for _, v := range boolfunc.Support(beta) {
+			e.scrSupport = e.b.AppendSupport(e.scrSupport[:0], beta)
+			for _, v := range e.scrSupport {
 				if e.in.IsExist(v) {
 					e.recordUse(yk, v)
 				}
@@ -82,22 +322,29 @@ func (e *Engine) repair(sigma *counterexample) (bool, error) {
 		case sat.Sat:
 			// Lines 15-17: blame other candidates whose output disagrees
 			// with the model ρ of Gk.
-			rho := e.phiSolver.Model()
-			yHatSet := make(map[cnf.Var]bool, len(yHat))
-			for _, yj := range yHat {
-				yHatSet[yj] = true
+			for _, yj := range p.yHat {
+				e.scrMark[yj] = true
 			}
-			for _, yt := range e.in.Exist {
-				if yt == yk || yHatSet[yt] || inQueue[yt] {
+			for ti, yt := range e.in.Exist {
+				if yt == yk || e.scrMark[yt] || e.scrInQueue[yt] {
 					continue
 				}
-				if (rho.Get(yt) == cnf.True) != (sigma.yPrime.Get(yt) == cnf.True) {
-					ind = append(ind, yt)
-					inQueue[yt] = true
+				if (p.rho[ti] == cnf.True) != (sigma.yPrime.Get(yt) == cnf.True) {
+					*ind = append(*ind, yt)
+					e.scrInQueue[yt] = true
 				}
 			}
+			for _, yj := range p.yHat {
+				e.scrMark[yj] = false
+			}
 		default:
-			return false, e.oracleUnknown(e.phiSolver, "repair SAT call")
+			if cerr := e.interrupted(); cerr != nil {
+				return cerr
+			}
+			if p.err != nil {
+				return p.err
+			}
+			return fmt.Errorf("%w: repair probe for y%d returned Unknown", ErrBudget, yk)
 		}
 		// Line 18: align σ[yk] with the candidate's output at σ. The output
 		// must be recomputed from the CURRENT function: on the UNSAT branch
@@ -106,26 +353,31 @@ func (e *Engine) repair(sigma *counterexample) (bool, error) {
 		// queued candidates read σ[yk] through their Ŷ assumptions.
 		sigma.y.Set(yk, cnf.BoolValue(e.evalAtSigma(e.funcs[yk], sigma)))
 	}
-	return repairedAny, nil
+	return nil
 }
 
 // evalAtSigma evaluates f on the assignment σ = σ[X] ∪ σ[Y] (candidate
 // functions may reference Ŷ variables besides their Henkin dependencies).
-func (e *Engine) evalAtSigma(f *boolfunc.Node, sigma *counterexample) bool {
-	a := cnf.NewAssignment(e.in.Matrix.NumVars)
+// The assignment view lives in an engine-owned buffer; f's support is a
+// subset of Univ ∪ Exist, all rewritten here.
+func (e *Engine) evalAtSigma(f boolfunc.Node, sigma *counterexample) bool {
+	if e.scrEval == nil {
+		e.scrEval = cnf.NewAssignment(e.in.Matrix.NumVars)
+	}
+	a := e.scrEval
 	for _, x := range e.in.Univ {
 		a.Set(x, sigma.x.Get(x))
 	}
 	for _, y := range e.in.Exist {
 		a.Set(y, sigma.y.Get(y))
 	}
-	return boolfunc.Eval(f, a)
+	return e.b.Eval(f, a)
 }
 
 // buildBeta constructs the repair formula β = ⋀_{l ∈ core, l ≠ yk-unit}
 // ite(σ[l]=1, l, ¬l) over the failed assumption variables (line 12). It
-// returns nil when the core mentions no variable other than yk.
-func (e *Engine) buildBeta(core []cnf.Lit, yk cnf.Var, sigma *counterexample) *boolfunc.Node {
+// returns None when the core mentions no variable other than yk.
+func (e *Engine) buildBeta(core []cnf.Lit, yk cnf.Var, sigma *counterexample) boolfunc.Node {
 	beta := e.b.True()
 	nonTrivial := false
 	for _, l := range core {
@@ -143,7 +395,7 @@ func (e *Engine) buildBeta(core []cnf.Lit, yk cnf.Var, sigma *counterexample) *b
 		nonTrivial = true
 	}
 	if !nonTrivial {
-		return nil
+		return boolfunc.None
 	}
 	return beta
 }
@@ -152,10 +404,11 @@ func (e *Engine) buildBeta(core []cnf.Lit, yk cnf.Var, sigma *counterexample) *b
 // ϕ ∧ (X ↔ σ[X]) and soft (Y ↔ σ[Y′]); candidates whose soft constraint is
 // falsified in the optimal model need repair. With MaxSAT localization
 // disabled (ablation), every candidate whose output differs from the genuine
-// completion π[Y] is selected.
+// completion π[Y] is selected. The returned queue aliases engine-owned
+// scratch, valid until the next findCandi call.
 func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 	if e.opts.DisableMaxSATLocalization {
-		var out []cnf.Var
+		out := e.scrQueue[:0]
 		for _, y := range e.in.Exist {
 			if sigma.y.Get(y) != sigma.yPrime.Get(y) {
 				out = append(out, y)
@@ -173,18 +426,23 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 		e.candi = maxsat.NewIncremental(s)
 		e.candiSolver = s // oracleCount reads its lifetime Solve counter
 	}
-	assumps := make([]cnf.Lit, 0, len(e.in.Univ))
+	assumps := e.scrAssumps[:0]
 	for _, x := range e.in.Univ {
 		assumps = append(assumps, cnf.MkLit(x, sigma.x.Get(x) == cnf.True))
 	}
-	softs := make([]maxsat.Soft, 0, len(e.in.Exist))
-	softVar := make([]cnf.Var, 0, len(e.in.Exist))
-	for _, y := range e.in.Exist {
-		softs = append(softs, maxsat.Soft{
-			Clause: cnf.Clause{cnf.MkLit(y, sigma.yPrime.Get(y) == cnf.True)},
-		})
+	e.scrAssumps = assumps
+	if cap(e.scrSoftLit) < len(e.in.Exist) {
+		e.scrSoftLit = make([]cnf.Lit, len(e.in.Exist))
+	}
+	lits := e.scrSoftLit[:len(e.in.Exist)]
+	softs := e.scrSofts[:0]
+	softVar := e.scrSoftVar[:0]
+	for i, y := range e.in.Exist {
+		lits[i] = cnf.MkLit(y, sigma.yPrime.Get(y) == cnf.True)
+		softs = append(softs, maxsat.Soft{Clause: cnf.Clause(lits[i : i+1 : i+1])})
 		softVar = append(softVar, y)
 	}
+	e.scrSofts, e.scrSoftVar = softs, softVar
 	res, err := e.candi.Solve(e.ctx, assumps, softs, maxsat.Options{
 		ConflictBudget: e.opts.SATConflictBudget,
 	})
@@ -200,7 +458,7 @@ func (e *Engine) findCandi(sigma *counterexample) ([]cnf.Var, error) {
 		// check; anything else is an internal inconsistency.
 		return nil, fmt.Errorf("%w: FindCandi MaxSAT returned %v", ErrInternal, res.Status)
 	}
-	out := make([]cnf.Var, 0, len(res.Falsified))
+	out := e.scrQueue[:0]
 	for _, idx := range res.Falsified {
 		out = append(out, softVar[idx])
 	}

@@ -35,7 +35,7 @@ func TestRepairAlignsSigmaWithRepairedOutput(t *testing.T) {
 		in:    in,
 		opts:  Options{}.withDefaults(),
 		b:     boolfunc.NewBuilder(),
-		funcs: make(map[cnf.Var]*boolfunc.Node),
+		funcs: make(map[cnf.Var]boolfunc.Node),
 		fixed: make(map[cnf.Var]bool),
 		deps:  map[cnf.Var]map[cnf.Var]bool{2: {}, 3: {}},
 		up:    map[cnf.Var]map[cnf.Var]bool{2: {}, 3: {}},
@@ -82,7 +82,7 @@ func TestRepairAlignsSigmaWithRepairedOutput(t *testing.T) {
 	a.Set(1, cnf.True)
 	a.Set(2, sigma.y.Get(2))
 	a.Set(3, sigma.y.Get(3))
-	if boolfunc.Eval(e.funcs[2], a) {
+	if e.b.Eval(e.funcs[2], a) {
 		t.Fatal("fa was not strengthened at the counterexample point")
 	}
 	if sigma.y.Get(2) != cnf.False {

@@ -23,7 +23,7 @@ func WriteCertificate(w io.Writer, fv *FuncVector) error {
 	}
 	sort.Ints(ys)
 	for _, y := range ys {
-		if _, err := fmt.Fprintf(bw, "v y%d := %s\n", y, boolfunc.String(fv.Funcs[cnf.Var(y)])); err != nil {
+		if _, err := fmt.Fprintf(bw, "v y%d := %s\n", y, fv.B.String(fv.Funcs[cnf.Var(y)])); err != nil {
 			return err
 		}
 	}

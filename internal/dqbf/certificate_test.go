@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 )
 
@@ -32,7 +31,7 @@ func TestCertificateRoundTrip(t *testing.T) {
 			a.SetBool(cnf.Var(v), mask&(1<<(v-1)) != 0)
 		}
 		for y := cnf.Var(4); y <= 6; y++ {
-			if boolfunc.Eval(fv.Funcs[y], a) != boolfunc.Eval(got.Funcs[y], a) {
+			if fv.B.Eval(fv.Funcs[y], a) != got.B.Eval(got.Funcs[y], a) {
 				t.Fatalf("function y%d differs at mask %d", y, mask)
 			}
 		}

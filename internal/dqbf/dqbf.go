@@ -214,7 +214,7 @@ type FuncVector struct {
 	B *boolfunc.Builder
 	// Funcs maps each existential variable to its function over X (and,
 	// before final substitution, possibly over other Y variables).
-	Funcs map[cnf.Var]*boolfunc.Node
+	Funcs map[cnf.Var]boolfunc.Node
 }
 
 // NewFuncVector returns an empty vector backed by builder b (a fresh builder
@@ -223,7 +223,7 @@ func NewFuncVector(b *boolfunc.Builder) *FuncVector {
 	if b == nil {
 		b = boolfunc.NewBuilder()
 	}
-	return &FuncVector{B: b, Funcs: make(map[cnf.Var]*boolfunc.Node)}
+	return &FuncVector{B: b, Funcs: make(map[cnf.Var]boolfunc.Node)}
 }
 
 // DependencyViolations lists, per existential, any variables in the syntactic
@@ -231,8 +231,10 @@ func NewFuncVector(b *boolfunc.Builder) *FuncVector {
 // empty result means the vector is dependency-compliant.
 func (fv *FuncVector) DependencyViolations(in *Instance) map[cnf.Var][]cnf.Var {
 	out := make(map[cnf.Var][]cnf.Var)
+	var buf []cnf.Var
 	for y, f := range fv.Funcs {
-		for _, v := range boolfunc.Support(f) {
+		buf = fv.B.AppendSupport(buf[:0], f)
+		for _, v := range buf {
 			if !in.DepContains(y, v) {
 				out[y] = append(out[y], v)
 			}
@@ -274,7 +276,7 @@ func VerifyVector(in *Instance, fv *FuncVector, budgetConflicts int64) (VerifyRe
 	dst := cnf.New(in.Matrix.NumVars)
 	in.Matrix.NegationInto(dst)
 	for _, y := range in.Exist {
-		out := boolfunc.ToCNF(fv.Funcs[y], dst, boolfunc.CNFOptions{})
+		out := fv.B.ToCNF(fv.Funcs[y], dst, boolfunc.CNFOptions{})
 		dst.AddEquivLit(cnf.PosLit(y), out)
 	}
 	s := sat.New()
@@ -372,7 +374,7 @@ func CheckVectorExhaustively(in *Instance, fv *FuncVector) bool {
 			a.SetBool(x, mask&(1<<uint(k)) != 0)
 		}
 		for _, y := range in.Exist {
-			a.SetBool(y, boolfunc.Eval(fv.Funcs[y], a))
+			a.SetBool(y, fv.B.Eval(fv.Funcs[y], a))
 		}
 		if !in.Matrix.Eval(a) {
 			return false

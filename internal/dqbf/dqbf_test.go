@@ -361,7 +361,7 @@ func TestRandomVectorAgreement(t *testing.T) {
 		fv := NewFuncVector(nil)
 		for _, y := range in.Exist {
 			deps := in.Deps[y]
-			var f *boolfunc.Node = fv.B.Const(rng.Intn(2) == 0)
+			var f boolfunc.Node = fv.B.Const(rng.Intn(2) == 0)
 			for _, d := range deps {
 				switch rng.Intn(3) {
 				case 0:
@@ -391,7 +391,7 @@ func TestRandomVectorAgreement(t *testing.T) {
 				a.Set(x, cx.Get(x))
 			}
 			for _, y := range in.Exist {
-				a.SetBool(y, boolfunc.Eval(fv.Funcs[y], a))
+				a.SetBool(y, fv.B.Eval(fv.Funcs[y], a))
 			}
 			if in.Matrix.Eval(a) {
 				t.Fatalf("trial %d: counterexample does not falsify ϕ under f", trial)

@@ -85,7 +85,8 @@ func Learn(d *Dataset, opts Options) (*Tree, error) {
 		idx[i] = i
 	}
 	used := make([]bool, len(d.Features))
-	root := build(d, idx, used, opts.MaxDepth, minSplit)
+	scratch := make([]int, len(d.Rows))
+	root := build(d, idx, scratch, used, opts.MaxDepth, minSplit)
 	fi := make(map[cnf.Var]int, len(d.Features))
 	for i, f := range d.Features {
 		fi[f] = i
@@ -93,7 +94,7 @@ func Learn(d *Dataset, opts Options) (*Tree, error) {
 	return &Tree{Root: root, Features: append([]cnf.Var(nil), d.Features...), featIdx: fi}, nil
 }
 
-func build(d *Dataset, idx []int, used []bool, depthLeft, minSplit int) *Node {
+func build(d *Dataset, idx, scratch []int, used []bool, depthLeft, minSplit int) *Node {
 	pos := 0
 	for _, i := range idx {
 		if d.Labels[i] {
@@ -107,47 +108,61 @@ func build(d *Dataset, idx []int, used []bool, depthLeft, minSplit int) *Node {
 	// Pick the split with minimum weighted Gini. Like CART, a split is taken
 	// whenever the node is impure and some feature separates the rows, even
 	// if the impurity does not strictly decrease at this level (XOR-shaped
-	// targets need that to make progress).
+	// targets need that to make progress). The scan only counts; the winning
+	// feature's partition is materialized once afterwards.
 	bestF := -1
 	bestGini := 2.0
-	bestLo, bestHi := []int(nil), []int(nil)
 	for f := range d.Features {
 		if used[f] {
 			continue
 		}
-		var lo, hi []int
-		loPos, hiPos := 0, 0
+		loN, hiN, loPos, hiPos := 0, 0, 0, 0
 		for _, i := range idx {
 			if d.Rows[i][f] {
-				hi = append(hi, i)
+				hiN++
 				if d.Labels[i] {
 					hiPos++
 				}
 			} else {
-				lo = append(lo, i)
+				loN++
 				if d.Labels[i] {
 					loPos++
 				}
 			}
 		}
-		if len(lo) == 0 || len(hi) == 0 {
+		if loN == 0 || hiN == 0 {
 			continue
 		}
-		g := (float64(len(lo))*giniOf(loPos, len(lo)) + float64(len(hi))*giniOf(hiPos, len(hi))) / float64(len(idx))
+		g := (float64(loN)*giniOf(loPos, loN) + float64(hiN)*giniOf(hiPos, hiN)) / float64(len(idx))
 		if g < bestGini-1e-12 {
-			bestGini, bestF, bestLo, bestHi = g, f, lo, hi
+			bestGini, bestF = g, f
 		}
 	}
 	if bestF < 0 {
 		return &Node{Label: majority}
 	}
+	// Stable in-place partition of idx into [lo | hi]: hi rows are parked in
+	// scratch while lo rows compact to the front, preserving sample order on
+	// both sides (identical subsets to the old append-built slices).
+	nLo := 0
+	nHi := 0
+	for _, i := range idx {
+		if d.Rows[i][bestF] {
+			scratch[nHi] = i
+			nHi++
+		} else {
+			idx[nLo] = i
+			nLo++
+		}
+	}
+	copy(idx[nLo:], scratch[:nHi])
 	used[bestF] = true
 	nextDepth := depthLeft
 	if nextDepth > 0 {
 		nextDepth--
 	}
-	lo := build(d, bestLo, used, nextDepth, minSplit)
-	hi := build(d, bestHi, used, nextDepth, minSplit)
+	lo := build(d, idx[:nLo], scratch, used, nextDepth, minSplit)
+	hi := build(d, idx[nLo:], scratch, used, nextDepth, minSplit)
 	used[bestF] = false
 	return &Node{Feature: d.Features[bestF], Lo: lo, Hi: hi}
 }
@@ -202,9 +217,9 @@ func leaves(n *Node) int {
 // ToFunc converts the tree to a Boolean function in builder b: the
 // disjunction over all root-to-leaf paths ending in a 1-labeled leaf of the
 // conjunction of the literals along the path.
-func (t *Tree) ToFunc(b *boolfunc.Builder) *boolfunc.Node {
-	var walk func(n *Node, path *boolfunc.Node) *boolfunc.Node
-	walk = func(n *Node, path *boolfunc.Node) *boolfunc.Node {
+func (t *Tree) ToFunc(b *boolfunc.Builder) boolfunc.Node {
+	var walk func(n *Node, path boolfunc.Node) boolfunc.Node
+	walk = func(n *Node, path boolfunc.Node) boolfunc.Node {
 		if n.IsLeaf() {
 			if n.Label {
 				return path

@@ -160,7 +160,7 @@ func TestToFuncMatchesPredict(t *testing.T) {
 				row[j] = mask&(1<<j) != 0
 			}
 			a := assignOf(feats, row)
-			if boolfunc.Eval(f, a) != tr.Predict(a) {
+			if b.Eval(f, a) != tr.Predict(a) {
 				return false
 			}
 		}

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/backend"
-	"repro/internal/boolfunc"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/faultinject"
@@ -221,7 +220,7 @@ func truthTable(in *dqbf.Instance, fv *dqbf.FuncVector) string {
 			a.SetBool(x, mask&(1<<i) != 0)
 		}
 		for _, y := range in.Exist {
-			fmt.Fprintf(&sb, "%d:%v ", y, boolfunc.Eval(fv.Funcs[y], a))
+			fmt.Fprintf(&sb, "%d:%v ", y, fv.B.Eval(fv.Funcs[y], a))
 		}
 		sb.WriteByte('\n')
 	}

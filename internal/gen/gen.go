@@ -128,8 +128,8 @@ func famSeed(fam Family) int64 {
 }
 
 // randomCircuit builds a random combinational function over the given inputs.
-func randomCircuit(b *boolfunc.Builder, rng *rand.Rand, inputs []cnf.Var, gates int) *boolfunc.Node {
-	pool := make([]*boolfunc.Node, 0, len(inputs)+gates)
+func randomCircuit(b *boolfunc.Builder, rng *rand.Rand, inputs []cnf.Var, gates int) boolfunc.Node {
+	pool := make([]boolfunc.Node, 0, len(inputs)+gates)
 	for _, v := range inputs {
 		pool = append(pool, b.Var(v))
 	}
@@ -139,7 +139,7 @@ func randomCircuit(b *boolfunc.Builder, rng *rand.Rand, inputs []cnf.Var, gates 
 	for g := 0; g < gates; g++ {
 		x := pool[rng.Intn(len(pool))]
 		y := pool[rng.Intn(len(pool))]
-		var n *boolfunc.Node
+		var n boolfunc.Node
 		switch rng.Intn(4) {
 		case 0:
 			n = b.And(x, y)
@@ -212,7 +212,7 @@ func genEquiv(rng *rand.Rand, h int) *dqbf.Instance {
 	mismatch := b.And(m, b.Xor(b.Var(y), t)) // o ⊕ g
 	// Equivalence requirement o ↔ g reduces to ¬mismatch being valid, so the
 	// matrix is the CNF of ¬mismatch.
-	out := boolfunc.ToCNF(b.Not(mismatch), in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(b.Not(mismatch), in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	declareAux(in)
 	return in
@@ -233,7 +233,7 @@ func genController(rng *rand.Rand, h int) *dqbf.Instance {
 	nC := 1 + h/2 // control bits: 1..3
 	b := boolfunc.NewBuilder()
 	ctrl := make([]cnf.Var, nC)
-	laws := make([]*boolfunc.Node, nC)
+	laws := make([]boolfunc.Node, nC)
 	for j := 0; j < nC; j++ {
 		c := cnf.Var(nS + nD + j + 1)
 		ctrl[j] = c
@@ -256,7 +256,7 @@ func genController(rng *rand.Rand, h int) *dqbf.Instance {
 	}
 	escape := randomCircuit(b, rng, in.Univ, 1+h)
 	safe := b.Or(follow, escape)
-	out := boolfunc.ToCNF(safe, in.Matrix, boolfunc.CNFOptions{})
+	out := b.ToCNF(safe, in.Matrix, boolfunc.CNFOptions{})
 	in.Matrix.AddUnit(out)
 	declareAux(in)
 	return in
@@ -322,7 +322,7 @@ func genRandomPlanted(rng *rand.Rand, h int) *dqbf.Instance {
 	// with later existential indices.
 	type plantedY struct {
 		y cnf.Var
-		f *boolfunc.Node
+		f boolfunc.Node
 	}
 	var plan []plantedY
 	for j := 0; j < nY; j++ {
@@ -338,7 +338,7 @@ func genRandomPlanted(rng *rand.Rand, h int) *dqbf.Instance {
 	}
 	for _, p := range plan {
 		// Half strict definitions, half one-sided freedom.
-		out := boolfunc.ToCNF(p.f, in.Matrix, boolfunc.CNFOptions{})
+		out := b.ToCNF(p.f, in.Matrix, boolfunc.CNFOptions{})
 		if rng.Intn(2) == 0 {
 			in.Matrix.AddEquivLit(cnf.PosLit(p.y), out)
 		} else {

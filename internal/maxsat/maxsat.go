@@ -42,13 +42,16 @@ type Result struct {
 	// Status is Sat when an optimal (or budget-best) model was found, Unsat
 	// when the hard clauses alone are unsatisfiable.
 	Status sat.Status
-	// Model is the best model found.
+	// Model is the best model found. It aliases scratch owned by the
+	// Incremental that produced it and is only valid until that
+	// Incremental's next Solve call; clone it to keep it longer.
 	Model cnf.Assignment
 	// Cost is the number of falsified soft clauses in Model.
 	Cost int
 	// Optimal is true when the search proved Cost minimal.
 	Optimal bool
 	// Falsified lists the indices of soft clauses not satisfied by Model.
+	// Like Model, it is reused scratch, valid until the next Solve.
 	Falsified []int
 }
 
@@ -90,6 +93,18 @@ type Incremental struct {
 	counter      *seqCounter
 	counterGroup sat.GroupID
 	counterN     int // soft count the cached counter covers; 0 = none
+
+	// Per-query scratch, reused across Solve calls so a long FindCandi run
+	// stops allocating: relaxation literals and clauses (relaxLits is the
+	// flat backing the relaxed clauses are sliced from), the assumption
+	// buffer, and the buffers backing Result.Model / Result.Falsified —
+	// which is why those are documented as valid only until the next Solve.
+	relax     []cnf.Lit
+	relaxCls  []cnf.Clause
+	relaxLits []cnf.Lit
+	sa        []cnf.Lit
+	model     cnf.Assignment
+	falsified []int
 }
 
 // NewIncremental wraps a solver already loaded with the hard clauses.
@@ -142,30 +157,44 @@ func (inc *Incremental) Solve(ctx context.Context, assumps []cnf.Lit, softs []So
 	}
 
 	// Relaxation variable per soft clause: soft_i ∨ r_i ; r_i true means the
-	// soft clause may be violated.
-	relax := make([]cnf.Lit, len(softs))
-	relaxCls := make([]cnf.Clause, len(softs))
-	for i, s := range softs {
-		r := cnf.PosLit(inc.allocVar())
-		relax[i] = r
-		cl := make(cnf.Clause, 0, len(s.Clause)+1)
-		cl = append(cl, s.Clause...)
-		cl = append(cl, r)
-		relaxCls[i] = cl
+	// soft clause may be violated. The relaxed clauses are sliced out of one
+	// flat reused backing (sized up front so the subslices stay put).
+	total := 0
+	for _, s := range softs {
+		total += len(s.Clause) + 1
 	}
+	if cap(inc.relaxLits) < total {
+		inc.relaxLits = make([]cnf.Lit, 0, total)
+	}
+	lits := inc.relaxLits[:0]
+	relax := inc.relax[:0]
+	relaxCls := inc.relaxCls[:0]
+	for _, s := range softs {
+		r := cnf.PosLit(inc.allocVar())
+		relax = append(relax, r)
+		start := len(lits)
+		lits = append(lits, s.Clause...)
+		lits = append(lits, r)
+		relaxCls = append(relaxCls, cnf.Clause(lits[start:len(lits):len(lits)]))
+	}
+	inc.relaxLits, inc.relax, inc.relaxCls = lits, relax, relaxCls
 	softGroup := base.AddClauseGroup(relaxCls)
 	defer base.ReleaseGroup(softGroup)
 
 	// First: try all softs satisfied (assume ¬r_i for all i).
-	sa := make([]cnf.Lit, 0, len(assumps)+len(relax)+1)
+	if cap(inc.sa) < len(assumps)+len(relax)+1 {
+		inc.sa = make([]cnf.Lit, 0, len(assumps)+len(relax)+1)
+	}
+	sa := inc.sa[:0]
 	sa = append(sa, assumps...)
 	for _, r := range relax {
 		sa = append(sa, r.Neg())
 	}
+	inc.sa = sa
 	switch base.SolveAssume(sa) {
 	case sat.Sat:
-		m := base.Model()
-		return Result{Status: sat.Sat, Model: m, Cost: 0, Optimal: true}, nil
+		inc.model = base.ModelInto(inc.model)
+		return Result{Status: sat.Sat, Model: inc.model, Cost: 0, Optimal: true}, nil
 	case sat.Unknown:
 		return Result{Status: sat.Unknown}, base.UnknownError(ErrInconclusive, "before first model")
 	}
@@ -178,7 +207,8 @@ func (inc *Incremental) Solve(ctx context.Context, assumps []cnf.Lit, softs []So
 	if st == sat.Unknown {
 		return Result{Status: sat.Unknown}, base.UnknownError(ErrInconclusive, "on hard clauses")
 	}
-	best := base.Model()
+	inc.model = base.ModelInto(inc.model)
+	best := inc.model
 	bestCost := costOf(softs, best)
 
 	// Linear search: add at-most-k over relax vars, decreasing k. The counter
@@ -197,12 +227,17 @@ func (inc *Incremental) Solve(ctx context.Context, assumps []cnf.Lit, softs []So
 		if ctx.Err() != nil {
 			break
 		}
-		// Assume at most bestCost-1 relaxations.
+		// Assume at most bestCost-1 relaxations: outs[k] means ≥ k+1
+		// inputs true, so forbid it.
 		k := bestCost - 1
-		sa = append(append(sa[:0], assumps...), counter.atMost(k)...)
+		sa = append(sa[:0], assumps...)
+		if k < len(counter.outs) {
+			sa = append(sa, counter.outs[k].Neg())
+		}
 		st := base.SolveAssume(sa)
 		if st == sat.Sat {
-			best = base.Model()
+			inc.model = base.ModelInto(inc.model)
+			best = inc.model
 			c := costOf(softs, best)
 			if c >= bestCost {
 				// Should not happen; guard against miscounts.
@@ -220,11 +255,13 @@ func (inc *Incremental) Solve(ctx context.Context, assumps []cnf.Lit, softs []So
 		optimal = true
 	}
 	res := Result{Status: sat.Sat, Model: best, Cost: bestCost, Optimal: optimal}
+	inc.falsified = inc.falsified[:0]
 	for i, s := range softs {
 		if !clauseSat(s.Clause, best) {
-			res.Falsified = append(res.Falsified, i)
+			inc.falsified = append(inc.falsified, i)
 		}
 	}
+	res.Falsified = inc.falsified
 	return res, nil
 }
 
@@ -334,13 +371,4 @@ func newSeqCounter(f *cnf.Formula, lits []cnf.Lit) *seqCounter {
 		prev = cur
 	}
 	return &seqCounter{outs: prev}
-}
-
-// atMost returns assumption literals enforcing "at most k inputs true".
-func (c *seqCounter) atMost(k int) []cnf.Lit {
-	if k >= len(c.outs) {
-		return nil
-	}
-	// outs[k] means ≥ k+1 true; forbid it.
-	return []cnf.Lit{c.outs[k].Neg()}
 }

@@ -1,0 +1,88 @@
+package oracle
+
+import (
+	"sync"
+
+	"repro/internal/sat"
+)
+
+// SlotPool is a fixed array of lazily built SAT solvers addressed by slot
+// index. Where Pool hands out whichever solver is idle — fine when answers
+// are pure SAT/UNSAT facts — SlotPool pins queries to slots, for callers
+// whose answers are solver-history-dependent ARTIFACTS (UNSAT cores,
+// models): routing query i to slot i mod Size with per-slot queries issued
+// sequentially in index order makes every solver's query sequence — and
+// therefore every core and model it produces — a function of the query
+// stream alone, independent of scheduling and worker count. Concurrency
+// only chooses how many slots are active at once, never which solver sees
+// which query.
+//
+// The caller owns the sequencing contract: a given slot must not be used
+// from two goroutines at once (distinct slots may run concurrently), and
+// per-slot query order must be deterministic. The batched candidate
+// verification in internal/core drives each slot from exactly one worker at
+// a time, claiming whole slots off a work list.
+type SlotPool struct {
+	build func(slot int) *sat.Solver
+	slots []*sat.Solver
+
+	mu      sync.Mutex // guards the counters only; slot access is caller-serialized
+	built   int
+	evicted int
+}
+
+// NewSlotPool returns a pool of size lazily built slots. build must return a
+// fully loaded, ready-to-solve solver for the given slot; it runs on the
+// goroutine that first uses the slot. size is clamped to at least 1.
+func NewSlotPool(size int, build func(slot int) *sat.Solver) *SlotPool {
+	if size < 1 {
+		size = 1
+	}
+	return &SlotPool{build: build, slots: make([]*sat.Solver, size)}
+}
+
+// With runs fn with the slot's solver, building it on first use (or after an
+// eviction). If fn panics the solver is discarded — a panic mid-Solve leaves
+// trail and arena in an arbitrary state, and the slot's NEXT query must not
+// see it — and the panic resumes for the caller's recover. The caller must
+// serialize calls on the same slot.
+func (p *SlotPool) With(slot int, fn func(*sat.Solver)) {
+	s := p.slots[slot]
+	if s == nil {
+		s = p.build(slot)
+		p.slots[slot] = s
+		p.mu.Lock()
+		p.built++
+		p.mu.Unlock()
+	}
+	healthy := false
+	defer func() {
+		if !healthy {
+			p.slots[slot] = nil
+			p.mu.Lock()
+			p.built--
+			p.evicted++
+			p.mu.Unlock()
+		}
+	}()
+	fn(s)
+	healthy = true
+}
+
+// Size returns the number of slots.
+func (p *SlotPool) Size() int { return len(p.slots) }
+
+// Built returns how many slot solvers are currently constructed (built minus
+// evicted); it never exceeds Size.
+func (p *SlotPool) Built() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.built
+}
+
+// Evicted returns how many slot solvers have been discarded after a panic.
+func (p *SlotPool) Evicted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evicted
+}

@@ -1,0 +1,138 @@
+package oracle
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// slotPoolBuilder returns a build function loading a tiny satisfiable
+// formula, counting per-slot constructions.
+func slotPoolBuilder(t *testing.T, buildCount *[8]int) func(int) *sat.Solver {
+	return func(slot int) *sat.Solver {
+		buildCount[slot]++
+		f := cnf.New(2)
+		f.AddClause(1, 2)
+		s := sat.New()
+		s.AddFormula(f)
+		return s
+	}
+}
+
+func TestSlotPoolLazyBuildAndCounters(t *testing.T) {
+	var builds [8]int
+	p := NewSlotPool(3, slotPoolBuilder(t, &builds))
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", p.Size())
+	}
+	if p.Built() != 0 {
+		t.Fatalf("Built = %d before any use, want 0", p.Built())
+	}
+	// Use slot 1 twice: exactly one build.
+	for i := 0; i < 2; i++ {
+		p.With(1, func(s *sat.Solver) {
+			if st := s.Solve(); st != sat.Sat {
+				t.Fatalf("Solve = %v, want Sat", st)
+			}
+		})
+	}
+	if builds[1] != 1 || p.Built() != 1 {
+		t.Fatalf("slot 1 built %d times, pool Built = %d; want 1, 1", builds[1], p.Built())
+	}
+	// Slot 0 untouched.
+	if builds[0] != 0 {
+		t.Fatalf("slot 0 built %d times without use", builds[0])
+	}
+}
+
+func TestSlotPoolClampsSize(t *testing.T) {
+	var builds [8]int
+	p := NewSlotPool(0, slotPoolBuilder(t, &builds))
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d after clamping, want 1", p.Size())
+	}
+}
+
+// TestSlotPoolEvictsOnPanic pins the health contract: a panic inside fn
+// discards the slot's solver (its trail/arena state is arbitrary
+// mid-query), re-raises for the caller, and the next use rebuilds.
+func TestSlotPoolEvictsOnPanic(t *testing.T) {
+	var builds [8]int
+	p := NewSlotPool(2, slotPoolBuilder(t, &builds))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of With")
+			}
+		}()
+		p.With(0, func(*sat.Solver) { panic("query exploded") })
+	}()
+	if p.Built() != 0 || p.Evicted() != 1 {
+		t.Fatalf("after panic: Built = %d, Evicted = %d; want 0, 1", p.Built(), p.Evicted())
+	}
+	p.With(0, func(s *sat.Solver) {
+		if st := s.Solve(); st != sat.Sat {
+			t.Fatalf("Solve on rebuilt slot = %v, want Sat", st)
+		}
+	})
+	if builds[0] != 2 || p.Built() != 1 || p.Evicted() != 1 {
+		t.Fatalf("after rebuild: builds[0] = %d, Built = %d, Evicted = %d; want 2, 1, 1",
+			builds[0], p.Built(), p.Evicted())
+	}
+}
+
+// TestSlotPoolConcurrentSlots exercises distinct slots from concurrent
+// goroutines (the allowed concurrency) under -race: counter updates must be
+// synchronized even though slot access itself is caller-serialized.
+func TestSlotPoolConcurrentSlots(t *testing.T) {
+	const slots = 4
+	var builds [8]int
+	var mu sync.Mutex
+	p := NewSlotPool(slots, func(slot int) *sat.Solver {
+		mu.Lock()
+		builds[slot]++
+		mu.Unlock()
+		f := cnf.New(2)
+		f.AddClause(1, 2)
+		s := sat.New()
+		s.AddFormula(f)
+		return s
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, slots)
+	for slot := 0; slot < slots; slot++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[slot] = fmt.Errorf("slot %d panicked: %v", slot, r)
+				}
+			}()
+			for i := 0; i < 10; i++ {
+				p.With(slot, func(s *sat.Solver) {
+					if st := s.Solve(); st != sat.Sat {
+						errs[slot] = fmt.Errorf("slot %d: Solve = %v", slot, st)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Built() != slots {
+		t.Fatalf("Built = %d, want %d", p.Built(), slots)
+	}
+	for slot := 0; slot < slots; slot++ {
+		if builds[slot] != 1 {
+			t.Fatalf("slot %d built %d times, want 1", slot, builds[slot])
+		}
+	}
+}

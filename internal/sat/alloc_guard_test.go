@@ -1,0 +1,35 @@
+package sat
+
+import "testing"
+
+// TestPropagateZeroAlloc pins BenchmarkPropagate's acceptance bar as a
+// plain test: after warm-up, unit propagation must not touch the heap at
+// all. A single stray allocation per propagation pass multiplies across
+// every solver call of a synthesis run, so this guards the hottest loop in
+// the repository against accidental regressions that a benchmark-only bar
+// would catch only when someone reads the numbers.
+func TestPropagateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; guard runs in the non-race pass")
+	}
+	const n = 4000
+	s := New()
+	s.AddFormula(propagationChainFormula(n))
+	start := mkLit(1, false)
+	run := func() {
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(start, reasonUndef)
+		if s.propagate() != crefUndef {
+			t.Fatal("unexpected conflict in propagation chain")
+		}
+		s.cancelUntil(0)
+	}
+	// Warm up watch-list capacities and trail so the measured runs are
+	// steady-state, mirroring the benchmark.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(10, run); avg != 0 {
+		t.Fatalf("propagate allocates %.1f objects per pass, want 0", avg)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package sat
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// guards skip under it because instrumentation allocates on its own.
+const raceEnabled = true

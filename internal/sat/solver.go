@@ -273,7 +273,9 @@ type Solver struct {
 	minMark     []byte   // per var: markImplied/markPoison during minimization
 	minClear    []int32  // vars whose minMark must be reset after analyze
 	minBudget   int      // remaining reason expansions for this conflict
-	addTmp      []lit    // scratch: AddClause normalization
+	addTmp      []lit     // scratch: AddClause normalization
+	groupTmp    []cnf.Lit // scratch: AddClauseGroup clause-plus-selector buffer
+	watchCnt    []int32   // scratch: reserveWatches per-literal counts (all-zero between calls)
 	demoteTmp   []cref   // scratch: reduceDB demotion buffer
 	lbdStamps   []uint32 // per decision level: last stamp seen (LBD counting)
 	lbdStamp    uint32
@@ -282,6 +284,7 @@ type Solver struct {
 	conflict    []lit // failed assumptions (negated form: lits that must flip)
 
 	groups      []clauseGroup
+	crefsFree   [][]cref // recycled cref backings from released groups
 	standing    []lit  // ¬activation for every live group; assumed on each Solve
 	isSel       []bool // per var: true when the var is a group activation var
 	groupsFreed int64
@@ -711,34 +714,87 @@ func (s *Solver) relocate(c cref, to *[]uint32) cref {
 // clause and literal counts so construction performs no incremental growth.
 func (s *Solver) AddFormula(f *cnf.Formula) {
 	s.EnsureVars(f.NumVars)
+	s.AddClauses(f.Clauses)
+}
+
+// AddClauses adds a batch of clauses, growing the variable table as needed.
+// The arena, clause list, and watch lists are pre-sized from the batch's
+// clause and literal counts so bulk loading performs no incremental growth.
+func (s *Solver) AddClauses(clauses []cnf.Clause) {
+	maxv := s.numVars
 	words := 0
-	for _, c := range f.Clauses {
+	for _, c := range clauses {
 		words += len(c) + 1
+		for _, l := range c {
+			if int(l.Var()) > maxv {
+				maxv = int(l.Var())
+			}
+		}
 	}
+	s.EnsureVars(maxv)
 	s.arena = slices.Grow(s.arena, words)
-	s.clauses = slices.Grow(s.clauses, len(f.Clauses))
-	// Reserve watch capacity: each clause of length ≥ 2 watches (almost
-	// always) its first two literals, so count those per literal and grow
-	// each list once.
-	counts := make([]int32, len(s.watches))
-	for _, c := range f.Clauses {
+	s.clauses = slices.Grow(s.clauses, len(clauses))
+	s.reserveWatches(clauses)
+	for _, c := range clauses {
+		s.AddClause(c...)
+	}
+}
+
+// reserveWatches pre-sizes the watch lists touched by a clause batch: each
+// clause of length ≥ 2 watches (almost always) its first two literals.
+// Count those per literal, then carve every still-empty list out of ONE
+// flat backing array — a per-list allocation per nonempty list dominates
+// bulk clause loading otherwise. Each list gets a few slack slots so the
+// first learnt attach or propagate-time watch move does not immediately
+// force it off the shared backing; capacities are pinned so a list
+// overflowing its slot reallocates alone instead of clobbering its
+// neighbour. Lists that already hold watches are left to ordinary append
+// growth.
+func (s *Solver) reserveWatches(clauses []cnf.Clause) {
+	const watchSlack = 8
+	cnt := growTo(s.watchCnt, len(s.watches))
+	s.watchCnt = cnt
+	total := 0
+	for _, c := range clauses {
 		if len(c) < 2 {
 			continue
 		}
-		q0, q1 := toLit(c[0]).neg(), toLit(c[1]).neg()
-		if int(q0) < len(counts) && int(q1) < len(counts) {
-			counts[q0]++
-			counts[q1]++
+		for _, l := range c[:2] {
+			q := toLit(l).neg()
+			if int(q) >= len(cnt) {
+				continue
+			}
+			if cnt[q] == 0 {
+				total += watchSlack + 1
+			} else {
+				total++
+			}
+			cnt[q]++
 		}
 	}
-	for q, n := range counts {
-		if n == 0 {
+	if total == 0 {
+		return
+	}
+	flat := make([]watch, total)
+	off := 0
+	// Second pass carves each touched list once and resets its count, so the
+	// scratch table is all-zero again on return.
+	for _, c := range clauses {
+		if len(c) < 2 {
 			continue
 		}
-		s.watches[q] = slices.Grow(s.watches[q], int(n))
-	}
-	for _, c := range f.Clauses {
-		s.AddClause(c...)
+		for _, l := range c[:2] {
+			q := toLit(l).neg()
+			if int(q) >= len(cnt) || cnt[q] == 0 {
+				continue
+			}
+			if len(s.watches[q]) == 0 && cap(s.watches[q]) == 0 {
+				end := off + int(cnt[q]) + watchSlack
+				s.watches[q] = flat[off:off:end]
+				off = end
+			}
+			cnt[q] = 0
+		}
 	}
 }
 
@@ -845,10 +901,14 @@ func (s *Solver) AddClauseGroup(clauses []cnf.Clause) GroupID {
 
 	id := GroupID(len(s.groups))
 	g := clauseGroup{selVar: selVar}
-	var buf []cnf.Lit
+	if n := len(s.crefsFree); n > 0 {
+		g.crefs = s.crefsFree[n-1]
+		s.crefsFree = s.crefsFree[:n-1]
+	}
 	for _, c := range clauses {
-		buf = append(buf[:0], c...)
+		buf := append(s.groupTmp[:0], c...)
 		buf = append(buf, sel)
+		s.groupTmp = buf[:0] // retain grown capacity for the next clause
 		if cr, _ := s.addClauseCref(buf); cr != crefUndef {
 			g.crefs = append(g.crefs, cr)
 		}
@@ -871,6 +931,9 @@ func (s *Solver) ReleaseGroup(id GroupID) {
 	s.cancelUntil(0)
 	for _, c := range g.crefs {
 		s.removeClause(c)
+	}
+	if cap(g.crefs) > 0 {
+		s.crefsFree = append(s.crefsFree, g.crefs[:0])
 	}
 	g.crefs = nil
 	g.released = true
@@ -1030,8 +1093,17 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 
 // Model returns the satisfying assignment found by the last successful
 // Solve/SolveAssume call. Only meaningful after Sat.
-func (s *Solver) Model() cnf.Assignment {
-	m := cnf.NewAssignment(s.numVars)
+func (s *Solver) Model() cnf.Assignment { return s.ModelInto(nil) }
+
+// ModelInto fills dst with the model of the last successful Solve/SolveAssume
+// call, reusing dst's storage when it is large enough, and returns the
+// (possibly grown) assignment. Only meaningful after Sat.
+func (s *Solver) ModelInto(dst cnf.Assignment) cnf.Assignment {
+	m := dst
+	if cap(m) < s.numVars+1 {
+		m = cnf.NewAssignment(s.numVars)
+	}
+	m = m[:s.numVars+1]
 	for v := 1; v <= s.numVars; v++ {
 		switch s.varValue(v) {
 		case lTrue:
@@ -1046,19 +1118,46 @@ func (s *Solver) Model() cnf.Assignment {
 	return m
 }
 
+// ModelValue returns the value of v in the model found by the last
+// successful Solve/SolveAssume call, without materializing the full
+// assignment the way Model does. Only meaningful after Sat; variables
+// outside the solver's table report Unassigned.
+func (s *Solver) ModelValue(v cnf.Var) cnf.Value {
+	iv := int(v)
+	if iv <= 0 || iv > s.numVars {
+		return cnf.Unassigned
+	}
+	switch s.varValue(iv) {
+	case lTrue:
+		return cnf.True
+	case lFalse:
+		return cnf.False
+	default:
+		// Unconstrained variable: pick saved phase for determinism (the same
+		// completion Model reports).
+		return cnf.BoolValue(s.phase[iv])
+	}
+}
+
 // Core returns the failed assumptions from the last Unsat SolveAssume call:
 // a subset A of the assumptions such that the clause database together with
 // A is unsatisfiable. Group activation literals (standing assumptions) are
 // infrastructure, not caller assumptions, and are filtered out.
 func (s *Solver) Core() []cnf.Lit {
-	out := make([]cnf.Lit, 0, len(s.conflict))
+	return s.AppendCore(make([]cnf.Lit, 0, len(s.conflict)))
+}
+
+// AppendCore appends the failed assumptions of the last Unsat SolveAssume
+// call to dst and returns the extended slice — the zero-allocation form of
+// Core for callers that own a reusable buffer.
+func (s *Solver) AppendCore(dst []cnf.Lit) []cnf.Lit {
 	for _, p := range s.conflict {
 		if v := p.varIdx(); v < len(s.isSel) && s.isSel[v] {
 			continue
 		}
-		out = append(out, fromLit(p).Neg())
+		dst = append(dst, fromLit(p).Neg())
 	}
-	return out
+	return dst
 }
 
 // Okay reports whether the solver is still consistent at level 0 (false once
