@@ -27,7 +27,11 @@
 // — each reported like any other engine; the resilient dispatch forms
 // ("fallback:a>b" and "retry(k):spec") are valid specs too. -sat-profile
 // selects the SAT search profile every engine builds its solvers with
-// (sat.ProfileOptions). -faults arms a deterministic fault plan
+// (sat.ProfileOptions); "parallel" races clause-sharing search threads
+// inside each solver, which breaks run-to-run replay stability of the CSV
+// (answers are unchanged — see the internal/sat determinism note), so the
+// committed BENCH_<n>.json trajectory and replay-compared runs keep the
+// default single-thread profiles. -faults arms a deterministic fault plan
 // (internal/faultinject) freshly per engine run, injecting panics, budget
 // errors, forced unknowns, cancellations, or stalls at chosen invocation
 // indices — the resilience layer must degrade every run to a classified

@@ -27,8 +27,12 @@
 // learn phase; 0 = NumCPU) and -pp-workers its preprocessing worker pool
 // (0 = NumCPU; the same flag drives the pedant Padoa pass). -sat-profile
 // selects the SAT search profile — restart policy, learnt-tier cuts,
-// minimization — every engine-internal solver is built with (see
-// sat.ProfileOptions; empty means the tuned default). On success the
+// minimization, inprocessing schedule — every engine-internal solver is
+// built with (see sat.ProfileOptions; empty means the tuned default). The
+// "parallel" profile turns each solver into a clause-sharing portfolio of
+// NumCPU search threads: answers stay correct, but which model/core is
+// reported is not reproducible run to run, so leave it off when comparing
+// CSV runs bit for bit. On success the
 // engine's per-phase telemetry is printed as `c stats: phases: …` — name,
 // wall-clock duration, and oracle calls per executed phase — and, for
 // composed dispatch (portfolio/fallback/retry), the member invocations as

@@ -154,7 +154,10 @@ type Options struct {
 	VerifyWorkers int
 	// SATProfile names the SAT-solver search profile every engine-internal
 	// solver is built with (sat.ProfileOptions): "" or "default" for the
-	// tuned adaptive default, "luby", "incremental", or "longrun". Engines
+	// tuned adaptive default, "luby", "incremental", "longrun", or
+	// "parallel" (a clause-sharing NumCPU-worker search portfolio per solve;
+	// answers keep their Status but model identity may vary run to run, so
+	// bit-identical pipelines stick to the sequential profiles). Engines
 	// reject unknown names.
 	SATProfile string
 	// SATConflictBudget bounds each engine-internal SAT oracle call in

@@ -158,6 +158,11 @@ type Stats struct {
 	// calls) in execution order: preprocess → sample → learn →
 	// verify-repair, with disabled phases omitted.
 	Phases []backend.PhaseStat
+	// SAT aggregates the lifetime counters of the run's persistent solvers
+	// (the ϕ solver, the verification solver, and FindCandi's base solver):
+	// conflict/propagation totals, learnt-tier sizes and glue, and the
+	// inprocessing and portfolio-sharing counters.
+	SAT sat.Stats
 }
 
 // Result is a successful synthesis outcome.
@@ -259,6 +264,19 @@ func (e *Engine) oracleCount() int64 {
 	return n
 }
 
+// satStats combines the persistent solvers' lifetime counters for Stats.SAT.
+// Per-check throwaway solvers and pooled workers are not folded in — their
+// call counts already land in OracleCalls via extraOracle.
+func (e *Engine) satStats() sat.Stats {
+	var st sat.Stats
+	for _, s := range []*sat.Solver{e.phiSolver, e.verifySolver, e.candiSolver} {
+		if s != nil {
+			st.Accumulate(s.Stats())
+		}
+	}
+	return st
+}
+
 // Synthesize runs Manthan3 on the instance. ctx cancels the run promptly:
 // it is threaded into every SAT oracle (polled inside Solve calls) and
 // checked at every loop boundary; a canceled run returns ErrCanceled, an
@@ -311,6 +329,7 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 		case sat.Unsat:
 			e.stats.Phases = rec.Phases()
 			e.stats.OracleCalls = e.oracleCount()
+			e.stats.SAT = e.satStats()
 			return &Result{Vector: dqbf.NewFuncVector(e.b), Stats: e.stats}, nil
 		case sat.Sat:
 			return nil, ErrFalse
@@ -362,6 +381,7 @@ func Synthesize(ctx context.Context, in *dqbf.Instance, opts Options) (*Result, 
 	}
 	e.stats.Phases = rec.Phases()
 	e.stats.OracleCalls = e.oracleCount()
+	e.stats.SAT = e.satStats()
 
 	vec, err := e.substitute()
 	if err != nil {

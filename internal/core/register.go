@@ -26,12 +26,27 @@ func init() {
 			if err != nil {
 				return nil, backendErr(err)
 			}
+			stats := fmt.Sprintf("%d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined, %d oracle calls",
+				res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations,
+				res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
+				res.Stats.UnatesDetected, res.Stats.UniqueDefined, res.Stats.OracleCalls)
+			if opts.Logf != nil {
+				// Verbose runs also report the aggregated SAT-solver counters:
+				// learnt tiers and glue next to the inprocessing and
+				// portfolio clause-sharing totals.
+				ss := res.Stats.SAT
+				avgGlue := 0.0
+				if ss.LearntClauses > 0 {
+					avgGlue = float64(ss.LBDSum) / float64(ss.LearntClauses)
+				}
+				stats += fmt.Sprintf("; sat: %d conflicts, %d restarts, tiers %d/%d/%d, avg glue %.2f, %d inprocess rounds, %d vivified, %d subsumed, %d strengthened, %d vars eliminated, shared %d out / %d in",
+					ss.Conflicts, ss.Restarts, ss.TierCore, ss.TierMid, ss.TierLocal, avgGlue,
+					ss.InprocessRounds, ss.Vivified, ss.SubsumedClauses, ss.Strengthened,
+					ss.ElimVars, ss.SharedExported, ss.SharedImported)
+			}
 			return &backend.Result{
 				Vector: res.Vector,
-				Stats: fmt.Sprintf("%d samples, %d verify calls, %d repair iterations, %d repairs, %d constants, %d unates, %d defined, %d oracle calls",
-					res.Stats.Samples, res.Stats.VerifyCalls, res.Stats.RepairIterations,
-					res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
-					res.Stats.UnatesDetected, res.Stats.UniqueDefined, res.Stats.OracleCalls),
+				Stats:  stats,
 				Phases: res.Stats.Phases,
 			}, nil
 		}))

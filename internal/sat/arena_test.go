@@ -287,3 +287,72 @@ func TestArenaStatsCounters(t *testing.T) {
 		t.Fatalf("ArenaWasted = %d, want 0 right after compaction", st.ArenaWasted)
 	}
 }
+
+// checkWatchArenaInvariants walks every span and asserts the watch-arena
+// representation invariants: spans lie within the arena, no two spans
+// overlap, every watcher's cref points at a live clause header, and
+// watchWaste accounts exactly for the slots no span owns.
+func checkWatchArenaInvariants(t *testing.T, s *Solver) {
+	t.Helper()
+	owned := make([]bool, len(s.watchArena))
+	reserved := 0
+	for qi := range s.wspans {
+		sp := s.wspans[qi]
+		if sp.n < 0 || sp.cap < sp.n {
+			t.Fatalf("span %d: n=%d cap=%d", qi, sp.n, sp.cap)
+		}
+		if int(sp.off)+int(sp.cap) > len(s.watchArena) {
+			t.Fatalf("span %d: [%d,%d) exceeds arena len %d",
+				qi, sp.off, int(sp.off)+int(sp.cap), len(s.watchArena))
+		}
+		reserved += int(sp.cap)
+		for k := int32(0); k < sp.cap; k++ {
+			if owned[sp.off+k] {
+				t.Fatalf("span %d overlaps another span at slot %d", qi, sp.off+k)
+			}
+			owned[sp.off+k] = true
+		}
+		for _, w := range s.watchList(lit(qi)) {
+			c := w.cref()
+			if int(c) >= len(s.arena) {
+				t.Fatalf("span %d: watcher cref %d out of arena", qi, c)
+			}
+			if s.arena[c]&hdrReloc != 0 {
+				t.Fatalf("span %d: watcher points at relocated clause %d", qi, c)
+			}
+		}
+	}
+	if waste := len(s.watchArena) - reserved; waste != s.watchWaste {
+		t.Fatalf("watchWaste = %d, but %d arena slots are unowned", s.watchWaste, waste)
+	}
+}
+
+// TestWatchArenaInvariants drives solvers through load, search, clause-DB
+// reduction, arena GC, and explicit watch compaction, checking the flat
+// watch arena's representation invariants at every stage.
+func TestWatchArenaInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 40; trial++ {
+		nVars := 10 + rng.Intn(40)
+		f := randomFormula(rng, nVars, 4*nVars, 3)
+		s := New()
+		s.AddFormula(f)
+		checkWatchArenaInvariants(t, s)
+		s.Solve()
+		checkWatchArenaInvariants(t, s)
+		s.reduceDB()
+		s.garbageCollect()
+		checkWatchArenaInvariants(t, s)
+		s.compactWatches()
+		if s.watchWaste != 0 {
+			t.Fatalf("trial %d: watchWaste = %d after compactWatches, want 0", trial, s.watchWaste)
+		}
+		checkWatchArenaInvariants(t, s)
+		// The compacted solver must still search correctly.
+		fresh := New()
+		fresh.AddFormula(f)
+		if got, want := s.Solve(), fresh.Solve(); got != want {
+			t.Fatalf("trial %d: post-compaction solve=%v fresh=%v", trial, got, want)
+		}
+	}
+}

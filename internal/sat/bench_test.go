@@ -68,8 +68,23 @@ func BenchmarkPropagate(b *testing.B) {
 }
 
 // BenchmarkSolveRandom3SAT measures end-to-end CDCL search (AddFormula +
-// Solve) on near-phase-transition random 3-SAT instances.
+// Solve) on near-phase-transition random 3-SAT instances, with the default
+// profile — inprocessing schedule on, one search thread.
 func BenchmarkSolveRandom3SAT(b *testing.B) {
+	benchmarkSolveRandom3SAT(b, Options{})
+}
+
+// BenchmarkSolveRandom3SATNoInprocess is the inprocessing-off contrast run:
+// the gap between this and BenchmarkSolveRandom3SAT is the schedule's net
+// cost (or win) on this instance family. Uniform random 3-SAT is the
+// worst case for inprocessing — no subsumption pairs, no profitable
+// eliminations — so the two should stay within noise of each other; a
+// widening gap means the schedule's gating broke.
+func BenchmarkSolveRandom3SATNoInprocess(b *testing.B) {
+	benchmarkSolveRandom3SAT(b, Options{InprocessConflicts: -1})
+}
+
+func benchmarkSolveRandom3SAT(b *testing.B, opts Options) {
 	rng := rand.New(rand.NewSource(12345))
 	const nInstances = 8
 	formulas := make([]*cnf.Formula, nInstances)
@@ -79,7 +94,7 @@ func BenchmarkSolveRandom3SAT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := New()
+		s := NewWith(opts)
 		s.AddFormula(formulas[i%nInstances])
 		if st := s.Solve(); st == Unknown {
 			b.Fatal("unexpected Unknown")

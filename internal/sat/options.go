@@ -2,6 +2,7 @@ package sat
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 )
 
@@ -77,6 +78,47 @@ type Options struct {
 	// number of reason-clause expansions allowed per conflict (default
 	// 4096). Exhaustion keeps the remaining literals — always sound.
 	MinimizeBudget int
+
+	// InprocessConflicts is the conflict interval of the inprocessing
+	// schedule (see inprocess.go): a round of vivification, subsumption,
+	// and bounded variable elimination runs at the first restart boundary
+	// after this many lifetime conflicts have accumulated since the last
+	// round, with the interval doubling after each round. Easy queries never
+	// reach the threshold and pay nothing. Default 1000; negative disables
+	// inprocessing entirely.
+	InprocessConflicts int64
+	// VivifyBudget bounds each inprocessing round's vivification pass in
+	// unit propagations (default 50000). Exhaustion leaves the remaining
+	// candidates for the next round — always sound.
+	VivifyBudget int64
+	// BVEOccLimit caps bounded variable elimination: a variable with more
+	// than this many occurrences in either polarity is never a candidate
+	// (default 16). Elimination additionally requires the resolvent count
+	// to not exceed the replaced clause count plus BVEGrowth.
+	BVEOccLimit int
+	// BVEGrowth is the number of extra resolvents (beyond the clauses
+	// removed) an elimination may introduce (default 0).
+	BVEGrowth int
+
+	// SearchThreads > 1 turns Solve/SolveAssume into a clause-sharing
+	// portfolio (see portfolio.go): after a short sequential head start
+	// (SearchInitConflicts), k workers search a shared snapshot of the
+	// formula with perturbed seeds/profiles, exchanging low-LBD learnt
+	// clauses; the first definitive answer wins and losers are stopped.
+	// 0 or 1 means ordinary sequential search; negative means
+	// runtime.NumCPU(). The answer status is deterministic, but which
+	// model/core is reported may vary run to run — see the package
+	// comment's determinism note.
+	SearchThreads int
+	// ShareLBD is the portfolio's sharing filter: a worker exports a learnt
+	// clause only when its learning-time LBD is ≤ ShareLBD (default 2, the
+	// glue-clause cut; unit learnts always qualify).
+	ShareLBD int
+	// SearchInitConflicts is the sequential head start of a portfolio
+	// solve: the calling goroutine searches alone for this many conflicts
+	// before any workers launch, so cheap incremental queries never pay
+	// thread startup (default 3000).
+	SearchInitConflicts int64
 }
 
 // withDefaults fills zero fields with the package defaults.
@@ -99,6 +141,24 @@ func (o Options) withDefaults() Options {
 	if o.MinimizeBudget == 0 {
 		o.MinimizeBudget = 4096
 	}
+	if o.InprocessConflicts == 0 {
+		o.InprocessConflicts = 1000
+	}
+	if o.VivifyBudget == 0 {
+		o.VivifyBudget = 50000
+	}
+	if o.BVEOccLimit == 0 {
+		o.BVEOccLimit = 16
+	}
+	if o.SearchThreads < 0 {
+		o.SearchThreads = runtime.NumCPU()
+	}
+	if o.ShareLBD == 0 {
+		o.ShareLBD = 2
+	}
+	if o.SearchInitConflicts == 0 {
+		o.SearchInitConflicts = 3000
+	}
 	return o
 }
 
@@ -118,6 +178,11 @@ const (
 	// ProfileLongRun targets long single solves (the persistent verify
 	// solver): the adaptive default with a larger minimization budget.
 	ProfileLongRun = "longrun"
+	// ProfileParallel is the default profile plus a clause-sharing search
+	// portfolio with runtime.NumCPU() workers (Options.SearchThreads). The
+	// answer status is deterministic; model/core identity may vary run to
+	// run, so bench/CSV runs pin 1 thread (see the package comment).
+	ProfileParallel = "parallel"
 )
 
 // profileTable maps profile names to their option presets.
@@ -129,13 +194,14 @@ func profileTable() map[string]Options {
 		ProfileLuby:        {Restart: RestartLuby},
 		ProfileIncremental: {Restart: RestartLuby, CoreLBD: 4, MidLBD: 8},
 		ProfileLongRun:     {MinimizeBudget: 16384},
+		ProfileParallel:    {SearchThreads: -1},
 	}
 }
 
 // Profiles returns the canonical profile names (aliases omitted), sorted for
 // display.
 func Profiles() []string {
-	return []string{ProfileDefault, ProfileIncremental, ProfileLongRun, ProfileLuby}
+	return []string{ProfileDefault, ProfileIncremental, ProfileLongRun, ProfileLuby, ProfileParallel}
 }
 
 // ProfileOptions resolves a named search profile to its Options. The empty

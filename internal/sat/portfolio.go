@@ -1,0 +1,360 @@
+package sat
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/cnf"
+)
+
+// The clause-sharing search portfolio: Options.SearchThreads = k > 1 turns
+// the search phase of Solve/SolveAssume into k worker solvers racing over
+// one snapshot of the live formula, each with a perturbed seed and restart
+// profile, exchanging low-LBD learnt clauses through bounded per-worker
+// export buffers. The first definitive answer wins; the losers are stopped
+// through context cancellation (the existing stopRequested path) and every
+// worker goroutine is always drained before the call returns, so no
+// goroutines outlive a portfolio solve.
+//
+// Determinism: the winning worker — and with it the reported model or core,
+// and all merged counters — depends on goroutine scheduling. The Status
+// itself is still deterministic (every worker decides the same formula).
+// This is the sanctioned nondeterminism boundary documented in the package
+// comment; everything needing bit-identical runs keeps SearchThreads ≤ 1.
+
+// shareCapWords bounds one worker's export buffer in int32 words. A full
+// buffer drops further exports (counted) instead of growing — sharing is an
+// optimization, never an obligation.
+const shareCapWords = 1 << 15
+
+// shareGroup is the clause exchange shared by the workers of one portfolio
+// solve: one append-only buffer per worker, each guarded by its own mutex.
+// Workers export into their own buffer at learning time and import the new
+// suffix of every sibling's buffer at restart boundaries (shareCursor
+// remembers how far each has been consumed).
+type shareGroup struct {
+	bufs []shareBuf
+}
+
+type shareBuf struct {
+	mu    sync.Mutex
+	words []int32 // records: [nLits, lbd, lit codes...]
+	drops int64   // exports rejected because the buffer was full
+}
+
+// exportLearnt publishes a freshly learnt clause to this worker's export
+// buffer when its glue passes the sharing filter (unit learnts always do).
+// Called from search right after conflict analysis, before backtracking.
+func (s *Solver) exportLearnt(lits []lit, lbd int) {
+	if len(lits) > 1 && lbd > s.opts.ShareLBD {
+		return
+	}
+	b := &s.share.bufs[s.shareIdx]
+	b.mu.Lock()
+	if len(b.words)+2+len(lits) > cap(b.words) {
+		b.drops++
+	} else {
+		b.words = append(b.words, int32(len(lits)), int32(lbd))
+		for _, p := range lits {
+			b.words = append(b.words, int32(p))
+		}
+		s.sharedExported++
+	}
+	b.mu.Unlock()
+}
+
+// importShared installs every clause the sibling workers exported since the
+// last import. Called at restart boundaries at decision level 0; each
+// sibling buffer is copied out under its lock and processed lock-free.
+func (s *Solver) importShared() {
+	for j := range s.share.bufs {
+		if j == s.shareIdx {
+			continue
+		}
+		b := &s.share.bufs[j]
+		b.mu.Lock()
+		n := len(b.words)
+		tmp := s.shareImp[:0]
+		if n > s.shareCursor[j] {
+			tmp = append(tmp, b.words[s.shareCursor[j]:n]...)
+		}
+		b.mu.Unlock()
+		s.shareCursor[j] = n
+		for i := 0; i+2 <= len(tmp); {
+			cl := int(tmp[i])
+			lbd := int(tmp[i+1])
+			i += 2
+			s.importLearnt(tmp[i:i+cl], lbd)
+			i += cl
+			if !s.ok {
+				s.shareImp = tmp[:0]
+				return
+			}
+		}
+		s.shareImp = tmp[:0]
+	}
+}
+
+// importLearnt installs one shared clause as a learnt of this solver,
+// filtered against the level-0 trail. Clauses the exporter learnt are
+// implied by the shared snapshot, so installing them is always sound — even
+// when they mention variables this worker has since eliminated (the
+// reconstructed model satisfies every consequence of the snapshot).
+func (s *Solver) importLearnt(words []int32, lbd int) {
+	out := s.importTmp[:0]
+	for _, w := range words {
+		p := lit(w)
+		switch s.litValue(p) {
+		case lTrue:
+			s.importTmp = out[:0]
+			return // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		out = append(out, p)
+	}
+	s.importTmp = out[:0]
+	switch len(out) {
+	case 0:
+		s.ok = false
+	case 1:
+		s.uncheckedEnqueue(out[0], reasonUndef)
+		if s.propagate() != crefUndef {
+			s.ok = false
+		}
+	default:
+		s.addLearnt(out, lbd)
+	}
+	s.sharedImported++
+}
+
+// portfolioSolve is SolveAssume's search phase for SearchThreads = k > 1: a
+// sequential head start bounded by Options.SearchInitConflicts (cheap
+// incremental queries never pay worker startup), then the worker race.
+func (s *Solver) portfolioSolve(k int) Status {
+	orig := s.conflictBudget
+	head := s.opts.SearchInitConflicts
+	if orig >= 0 && orig < head {
+		head = orig
+	}
+	s.conflictBudget = head
+	st := s.search()
+	s.conflictBudget = orig
+	if st != Unknown {
+		return st
+	}
+	if s.stopCause != StopConflictBudget {
+		return Unknown // stopped on the caller's context; honor it
+	}
+	if orig >= 0 && s.conflicts-s.budgetStart >= orig {
+		return Unknown // the caller's own conflict budget is spent
+	}
+	s.stopCause = StopNone
+	s.cancelUntil(0)
+	return s.runPortfolio(k, orig)
+}
+
+// portResult is one worker's outcome.
+type portResult struct {
+	idx      int
+	st       Status
+	panicked bool
+}
+
+// runPortfolio snapshots the live formula at level 0 and races k perturbed
+// workers over it. The caller (the solver's owning goroutine) blocks until
+// every worker has reported, canceling the rest as soon as one answer is
+// definitive, then adopts the winner's model or core and merges all worker
+// counters.
+func (s *Solver) runPortfolio(k int, origBudget int64) Status {
+	nv := s.numVars
+	// Snapshot: problem clauses, live group clauses (their activation
+	// literals ride along — the standing assumptions below keep the group
+	// semantics), core-tier learnts (implied and worth keeping), and the
+	// level-0 trail as unit clauses. One flat literal backing, one header
+	// slice; workers only read it.
+	nClauses, nWords := 0, 0
+	for _, c := range s.clauses {
+		nClauses++
+		nWords += s.claSize(c)
+	}
+	for gi := range s.groups {
+		for _, c := range s.groups[gi].crefs {
+			nClauses++
+			nWords += s.claSize(c)
+		}
+	}
+	for _, c := range s.learntsCore {
+		nClauses++
+		nWords += s.claSize(c)
+	}
+	backing := make([]cnf.Lit, 0, nWords+len(s.trail))
+	snap := make([]cnf.Clause, 0, nClauses+len(s.trail))
+	add := func(c cref) {
+		start := len(backing)
+		for _, u := range s.claLits(c) {
+			backing = append(backing, fromLit(lit(u)))
+		}
+		snap = append(snap, cnf.Clause(backing[start:len(backing):len(backing)]))
+	}
+	for _, c := range s.clauses {
+		add(c)
+	}
+	for gi := range s.groups {
+		for _, c := range s.groups[gi].crefs {
+			add(c)
+		}
+	}
+	for _, c := range s.learntsCore {
+		add(c)
+	}
+	for _, p := range s.trail {
+		start := len(backing)
+		backing = append(backing, fromLit(p))
+		snap = append(snap, cnf.Clause(backing[start:len(backing):len(backing)]))
+	}
+	// Assumptions include the standing group literals; workers freeze them
+	// on entry like any assumption (so a worker's own BVE never touches an
+	// activation variable).
+	assumps := make([]cnf.Lit, len(s.assumptions))
+	for i, p := range s.assumptions {
+		assumps[i] = fromLit(p)
+	}
+	remaining := int64(-1)
+	if origBudget >= 0 {
+		remaining = origBudget - (s.conflicts - s.budgetStart)
+	}
+
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	share := &shareGroup{bufs: make([]shareBuf, k)}
+	for i := range share.bufs {
+		share.bufs[i].words = make([]int32, 0, shareCapWords)
+	}
+	results := make(chan portResult, k)
+	workers := make([]*Solver, k)
+	for i := 0; i < k; i++ {
+		w := NewWith(s.workerOpts(i))
+		w.SetSeed(s.rngSeed*1000003 + int64(i+1)*7919)
+		if i >= 2 {
+			// Beyond the two deterministic profiles, diversify by a pinch of
+			// random branching (seeded per worker, so each is reproducible in
+			// isolation).
+			w.SetRandomVarFreq(0.02)
+		}
+		w.SetContext(cctx)
+		w.SetConflictBudget(remaining)
+		w.share = share
+		w.shareIdx = i
+		w.shareCursor = make([]int, k)
+		workers[i] = w
+		go func(i int, w *Solver) {
+			defer func() {
+				if r := recover(); r != nil {
+					results <- portResult{idx: i, panicked: true}
+				}
+			}()
+			w.EnsureVars(nv)
+			w.AddClauses(snap)
+			results <- portResult{idx: i, st: w.SolveAssume(assumps)}
+		}(i, w)
+	}
+	// Drain every worker: the first definitive answer cancels the rest, but
+	// all k results are awaited so no goroutine outlives this call.
+	winner := -1
+	var winnerSt Status
+	for done := 0; done < k; done++ {
+		r := <-results
+		if r.panicked {
+			continue
+		}
+		if winner < 0 && r.st != Unknown {
+			winner, winnerSt = r.idx, r.st
+			cancel()
+		}
+	}
+	if winner < 0 {
+		// Unanimous Unknown: the caller's context or budget stopped everyone
+		// (or every worker panicked, which the budget cause covers safely).
+		s.stopCause = StopConflictBudget
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.stopCause = StopDeadline
+			} else {
+				s.stopCause = StopCanceled
+			}
+		}
+	}
+	for _, w := range workers {
+		s.mergeWorkerStats(w)
+	}
+	switch {
+	case winner < 0:
+		return Unknown
+	case winnerSt == Sat:
+		// Adopt the winner's completed model without touching this solver's
+		// own trail; extendModel then reconstructs any variables THIS solver
+		// eliminated on top of it (modelVal reads extModel underneath).
+		s.extModel = workers[winner].ModelInto(s.extModel)
+		s.extModelOn = true
+		return Sat
+	default:
+		// Same variable numbering, so the worker's failed-assumption
+		// literals are directly meaningful here; AppendCore still filters
+		// this solver's activation literals.
+		s.conflict = append(s.conflict[:0], workers[winner].conflict...)
+		return Unsat
+	}
+}
+
+// workerOpts derives worker i's options: sequential search over the shared
+// snapshot, with the restart policy flipped on odd workers and the tier
+// cuts nudged on the second pair — cheap diversity so the workers explore
+// different parts of the space while sharing their best clauses.
+func (s *Solver) workerOpts(i int) Options {
+	o := s.opts
+	o.SearchThreads = 1
+	if i&1 == 1 {
+		if o.Restart == RestartLuby {
+			o.Restart = RestartAdaptive
+		} else {
+			o.Restart = RestartLuby
+		}
+	}
+	if i >= 2 && i&2 != 0 {
+		o.CoreLBD++
+		o.MidLBD += 2
+	}
+	return o
+}
+
+// mergeWorkerStats folds a worker's lifetime counters into this solver's,
+// so Stats after a portfolio solve reports the work actually done. Gauges
+// (tier sizes, arena words) are not merged — they describe this solver's
+// own database.
+func (s *Solver) mergeWorkerStats(w *Solver) {
+	s.conflicts += w.conflicts
+	s.propagations += w.propagations
+	s.decisions += w.decisions
+	s.restarts += w.restarts
+	s.blockedRestarts += w.blockedRestarts
+	s.learntLits += w.learntLits
+	s.learntClauses += w.learntClauses
+	s.lbdSum += w.lbdSum
+	s.minimizedLits += w.minimizedLits
+	s.reduceDBs += w.reduceDBs
+	s.promotions += w.promotions
+	s.demotions += w.demotions
+	s.inprocRounds += w.inprocRounds
+	s.vivified += w.vivified
+	s.subsumedCls += w.subsumedCls
+	s.strengthened += w.strengthened
+	s.elimVarCnt += w.elimVarCnt
+	s.sharedImported += w.sharedImported
+	s.sharedExported += w.sharedExported
+}

@@ -3,24 +3,39 @@ package sat
 // propagate performs unit propagation over the trail; it returns the
 // conflicting clause, or crefUndef if no conflict arises.
 //
-// Convention: watches[q] holds watchers for clauses in which the literal ¬q
+// Convention: wspans[q] holds watchers for clauses in which the literal ¬q
 // is watched; i.e. when q becomes true we must visit them. In steady state
-// (warm watch-list capacities) this function performs no heap allocations.
+// (warm watch-arena capacity) this function performs no heap allocations.
 func (s *Solver) propagate() cref {
 	ar := s.arena
+	// assigns never reallocates mid-propagate (uncheckedEnqueue only writes
+	// elements), so one local slice header saves the per-literal reload the
+	// compiler can't elide across the watch appends below. The watch arena
+	// CAN move — watchAppend reports that, and wa is refreshed then.
+	assigns := s.assigns
+	wa := s.watchArena
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
 		s.propagations++
 		falseLit := p.neg()
-		ws := s.watches[p]
+		// p's own span never relocates during this visit: a moved watcher
+		// goes to some q.neg() ≠ p (q is non-false, p is true), so off/n
+		// stay valid even while other lists grow.
+		sp := &s.wspans[p]
+		off := int(sp.off)
+		n := int(sp.n)
+		// A sliced view of p's span lets the compiler prove i,j < len(ws)
+		// from the loop bound and elide per-access bounds checks; off/n stay
+		// valid for the whole visit (see above), only the backing can move.
+		ws := wa[off : off+n : off+n]
 		i, j := 0, 0
 		confl := crefUndef
 	visit:
-		for i < len(ws) {
+		for i < n {
 			w := ws[i]
 			i++
-			bv := s.litValue(w.blocker)
+			bv := assigns[w.blocker]
 			if bv == lTrue {
 				ws[j] = w
 				j++
@@ -34,7 +49,7 @@ func (s *Solver) propagate() cref {
 				if bv == lFalse {
 					confl = w.cref()
 					s.qhead = len(s.trail)
-					for i < len(ws) {
+					for i < n {
 						ws[j] = ws[i]
 						i++
 						j++
@@ -48,33 +63,48 @@ func (s *Solver) propagate() cref {
 			hdr := ar[c]
 			base := int(c) + 1 + int(hdr&hdrLearnt)<<1
 			size := int(hdr >> hdrSizeShift)
+			// One sliced view of the clause body: the bounds check happens
+			// here once instead of on every literal access below.
+			cl := ar[base : base+size : base+size]
 			// Make sure the false literal is at position 1.
-			if lit(ar[base]) == falseLit {
-				ar[base], ar[base+1] = ar[base+1], ar[base]
+			if lit(cl[0]) == falseLit {
+				cl[0], cl[1] = cl[1], cl[0]
 			}
-			first := lit(ar[base])
-			if first != w.blocker && s.litValue(first) == lTrue {
+			first := lit(cl[0])
+			if first != w.blocker && assigns[first] == lTrue {
 				ws[j] = mkWatch(c, first, false)
 				j++
 				continue
 			}
 			// Look for a new literal to watch.
 			for k := 2; k < size; k++ {
-				q := lit(ar[base+k])
-				if s.litValue(q) != lFalse {
-					ar[base+1], ar[base+k] = ar[base+k], ar[base+1]
-					s.watches[q.neg()] = append(s.watches[q.neg()], mkWatch(c, first, false))
+				q := lit(cl[k])
+				if assigns[q] != lFalse {
+					cl[1], cl[k] = cl[k], cl[1]
+					// Open-coded watchAppend fast path: the target span has
+					// room almost always, and the call boundary would force
+					// wa/ws to be reloaded on every move.
+					nq := q.neg()
+					spq := &s.wspans[nq]
+					if spq.n < spq.cap {
+						wa[spq.off+spq.n] = mkWatch(c, first, false)
+						spq.n++
+					} else {
+						s.watchAppend(nq, mkWatch(c, first, false))
+						wa = s.watchArena
+						ws = wa[off : off+n : off+n]
+					}
 					continue visit // watcher moved; do not keep in this list
 				}
 			}
 			// Clause is unit or conflicting.
 			ws[j] = mkWatch(c, first, false)
 			j++
-			if s.litValue(first) == lFalse {
+			if assigns[first] == lFalse {
 				confl = c
 				s.qhead = len(s.trail)
 				// copy remaining watchers
-				for i < len(ws) {
+				for i < n {
 					ws[j] = ws[i]
 					i++
 					j++
@@ -83,7 +113,7 @@ func (s *Solver) propagate() cref {
 			}
 			s.uncheckedEnqueue(first, c)
 		}
-		s.watches[p] = ws[:j]
+		sp.n = int32(j)
 		if confl != crefUndef {
 			return confl
 		}

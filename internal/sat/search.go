@@ -24,6 +24,9 @@ func (s *Solver) search() Status {
 			if s.testOnLearnt != nil && len(learnt) > 1 {
 				s.testOnLearnt(learnt, btLevel)
 			}
+			if s.share != nil {
+				s.exportLearnt(learnt, lbd)
+			}
 			s.noteConflict(lbd, len(s.trail))
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
@@ -53,6 +56,23 @@ func (s *Solver) search() Status {
 			s.cancelUntil(s.assumptionLevel())
 			if s.decisionLevel() == 0 {
 				s.simplifyDB()
+				if !s.ok {
+					return Unsat
+				}
+			}
+			// Inprocessing and portfolio clause import both run at level 0;
+			// backing below the assumption levels is fine — the loop below
+			// re-asserts assumptions as pseudo-decisions every iteration.
+			if s.inprocessDue() {
+				s.cancelUntil(0)
+				s.inprocess()
+				if !s.ok {
+					return Unsat
+				}
+			}
+			if s.share != nil {
+				s.cancelUntil(0)
+				s.importShared()
 				if !s.ok {
 					return Unsat
 				}
@@ -98,7 +118,7 @@ func (s *Solver) pickBranchLit() lit {
 	v := 0
 	if s.randVarFreq > 0 && s.random().Float64() < s.randVarFreq && !s.heap.empty() {
 		cand := s.heap.data[s.random().Intn(len(s.heap.data))]
-		if s.varValue(cand) == lUndef {
+		if s.varValue(cand) == lUndef && !s.eliminated[cand] {
 			v = cand
 		}
 	}
@@ -106,8 +126,11 @@ func (s *Solver) pickBranchLit() lit {
 		if s.heap.empty() {
 			return 0
 		}
+		// Eliminated variables are skipped (no live clause mentions them;
+		// restoreVar re-inserts them on restore). Dropping them from the heap
+		// here is fine — cancelUntil only re-inserts assigned variables.
 		cand := s.heap.removeMin()
-		if s.varValue(cand) == lUndef {
+		if s.varValue(cand) == lUndef && !s.eliminated[cand] {
 			v = cand
 		}
 	}

@@ -21,6 +21,9 @@
 //	reduce.go     the three-tier learnt database and top-level simplification
 //	restart.go    Luby and adaptive (EMA + trail-blocking) restart policies
 //	search.go     the CDCL driver loop, decision heuristics, stop conditions
+//	inprocess.go  restart-boundary vivification, subsumption, and bounded
+//	              variable elimination with model reconstruction
+//	portfolio.go  the clause-sharing multi-worker search portfolio
 //	options.go    Options, tuning knobs, and named search profiles
 //
 // # Clause arena
@@ -44,13 +47,21 @@
 //
 // # Watch lists
 //
-// watches[q] is a flat []watch of the clauses in which literal ¬q is watched;
-// the list is visited when q becomes true. Each watch packs the clause cref
-// and a binary-clause flag into one word (crb = cref<<1 | bin) next to a
-// blocker literal whose truth lets the visit skip the clause body. For binary
-// clauses the blocker IS the other literal, so propagating a binary clause
-// never reads the arena at all: the watch entry alone decides between skip,
-// enqueue, and conflict.
+// Watch lists live in a second flat arena: watchArena is one pointer-free
+// []watch and wspans[q] = {off, n, cap} is literal q's list — the watchers
+// of clauses in which ¬q is watched, visited when q becomes true. Each
+// watch packs the clause cref and a binary-clause flag into one word
+// (crb = cref<<1 | bin) next to a blocker literal whose truth lets the
+// visit skip the clause body. For binary clauses the blocker IS the other
+// literal, so propagating a binary clause never reads the arena at all: the
+// watch entry alone decides between skip, enqueue, and conflict. A list
+// that outgrows its span relocates to the arena tail with doubled capacity
+// (watchAppend); the dead slots are accounted in watchWaste and reclaimed
+// by a full re-carve (compactWatches) alongside clause-arena GC. Compared
+// to per-literal []watch slices this removes one heap object and slice
+// header per literal: bulk loading carves every list from one allocation
+// (reserveWatches), and the GC neither scans watcher memory nor takes
+// write barriers on watch moves.
 //
 // # Glue tiers
 //
@@ -92,8 +103,29 @@
 // list, so neither reduceDB nor simplifyDB ever frees or demotes them; only
 // ReleaseGroup does. Core never reports activation literals.
 //
+// # Inprocessing
+//
+// Between restarts (and once at the start of the first solve) the solver
+// runs inprocessing rounds under a doubling conflict-interval schedule
+// (Options.InprocessConflicts): clause vivification, backward subsumption
+// with self-subsumption strengthening over occurrence lists, and bounded
+// variable elimination with a reconstruction stack that extends every model
+// over the eliminated variables (see inprocess.go). Group clauses and
+// activation variables are never vivified, subsumed, strengthened, or
+// eliminated, and assumption variables are frozen, so clause groups and
+// incremental solving stay sound. Adding a clause (or assuming a literal)
+// over an eliminated variable transparently restores its saved clauses.
+//
 // The package is under the determinism contract — results must be
 // bit-identical across runs and worker counts (see internal/analysis).
+// Sanctioned exception (the portfolio nondeterminism boundary): when
+// Options.SearchThreads > 1, Solve races k workers and the first definitive
+// answer wins, so the Status is still deterministic (all workers decide the
+// same formula) but WHICH model or core is returned, and all Stats
+// counters, may vary run to run with goroutine scheduling. Anything that
+// must be reproducible bit-for-bit — benchmarks, CSV runs, the determinism
+// analyzer's subjects — pins SearchThreads to 0/1 (every profile except
+// "parallel" does).
 //lint:deterministic
 package sat
 
@@ -223,6 +255,88 @@ func mkWatch(c cref, blocker lit, bin bool) watch {
 func (w watch) cref() cref  { return cref(w.crb >> 1) }
 func (w watch) isBin() bool { return w.crb&1 != 0 }
 
+// watchSpan is one literal's watch list: the window
+// watchArena[off : off+n], with room up to off+cap. The zero span is an
+// empty list with no reserved room (first append relocates it).
+type watchSpan struct {
+	off, n, cap int32
+	_           int32 // pad to 16 bytes: keeps the off+n pair's 8-byte load aligned
+}
+
+// watchAppend adds w to literal q's watch list, relocating the list to the
+// arena tail when its span is full. Returns true when the arena slice
+// changed (longer, or a reallocated backing), so propagate can refresh a
+// local slice header.
+func (s *Solver) watchAppend(q lit, w watch) bool {
+	sp := &s.wspans[q]
+	if sp.n < sp.cap {
+		s.watchArena[sp.off+sp.n] = w
+		sp.n++
+		return false
+	}
+	newCap := int(sp.cap) * 2
+	if newCap < 4 {
+		newCap = 4
+	}
+	off := len(s.watchArena)
+	if int(sp.off)+int(sp.cap) == off && off+newCap-int(sp.cap) <= cap(s.watchArena) {
+		// The span already ends at the arena tail: grow it in place —
+		// no copy, no stranded slots.
+		s.watchArena = s.watchArena[:int(sp.off)+newCap]
+		s.watchArena[sp.off+sp.n] = w
+		sp.cap = int32(newCap)
+		sp.n++
+		return true
+	}
+	if need := off + newCap; need > cap(s.watchArena) {
+		grown := make([]watch, off, max(2*cap(s.watchArena), need))
+		copy(grown, s.watchArena)
+		s.watchArena = grown
+	}
+	s.watchArena = s.watchArena[:off+newCap]
+	copy(s.watchArena[off:], s.watchArena[sp.off:sp.off+sp.n])
+	s.watchArena[off+int(sp.n)] = w
+	s.watchWaste += int(sp.cap)
+	sp.off = int32(off)
+	sp.cap = int32(newCap)
+	sp.n++
+	return true
+}
+
+// watchList returns literal p's current watch list as a live sub-slice of
+// the watch arena. The slice must not be held across watchAppend.
+func (s *Solver) watchList(p lit) []watch {
+	sp := s.wspans[p]
+	return s.watchArena[sp.off : sp.off+sp.n]
+}
+
+// compactWatches re-carves every span tightly (small slack) into a fresh
+// backing, dropping the slots retired by span relocations.
+func (s *Solver) compactWatches() {
+	const slack = 4
+	total := 0
+	for i := range s.wspans {
+		if s.wspans[i].n > 0 {
+			total += int(s.wspans[i].n) + slack
+		}
+	}
+	fresh := make([]watch, total)
+	off := 0
+	for i := range s.wspans {
+		sp := &s.wspans[i]
+		if sp.n == 0 {
+			*sp = watchSpan{}
+			continue
+		}
+		copy(fresh[off:], s.watchArena[sp.off:sp.off+sp.n])
+		sp.off = int32(off)
+		sp.cap = sp.n + slack
+		off += int(sp.cap)
+	}
+	s.watchArena = fresh
+	s.watchWaste = 0
+}
+
 const (
 	lUndef int8 = 0
 	lTrue  int8 = 1
@@ -248,7 +362,15 @@ type Solver struct {
 	learntsMid   []cref
 	learntsLocal []cref
 
-	watches [][]watch // indexed by lit code
+	// Watch lists live in ONE pointer-free backing array, addressed by
+	// per-literal spans: no per-list heap object, no write barrier when a
+	// watcher moves between lists, and propagation walks memory the GC never
+	// scans. A list that outgrows its span relocates to the arena tail
+	// (geometric growth, so a list's retired slots never exceed its live
+	// capacity); garbageCollect re-carves everything tightly.
+	watchArena []watch
+	wspans     []watchSpan // indexed by lit code
+	watchWaste int         // dead slots left behind by span relocations
 
 	assigns  []int8  // per literal code: lTrue/lFalse/lUndef (both phases kept)
 	level    []int32 // decision level of assignment
@@ -330,6 +452,47 @@ type Solver struct {
 
 	simpLastTrail int // trail size at the last top-level simplification
 
+	// Inprocessing state (inprocess.go).
+	lastInproc int64 // lifetime conflicts at the last inprocessing round
+	inprocGap  int64 // conflicts between rounds; doubles after each round
+	eliminated []bool  // per var: removed by bounded variable elimination
+	frozen     []bool  // per var: never a BVE candidate (assumption vars, restored vars)
+	elimVal    []int8  // per var: reconstructed model value for eliminated vars
+	elimLits   []lit   // flat store of the clauses removed by elimination
+	elimBnd    []int32 // clause boundaries into elimLits (starts [0])
+	elimStack  []elimVarRec // elimination records, in elimination order
+	elimIdx    []int32      // per var: position+1 of its record in elimStack; 0 = none
+	occ        [][]cref // scratch: per lit code, clauses containing the literal
+	occFlat    []cref   // scratch: one flat backing the occ lists are carved from
+	occStamp   []uint32 // scratch: per lit code, subsumption/resolution stamps
+	occStampN  uint32
+	roundFrozen []uint32 // per var: stamped when frozen for the current round
+	roundStamp  uint32
+	inprocCand []cref    // scratch: the round's candidate clause list
+	vivTmp     []lit     // scratch: vivification clause copy
+	vivOut     []lit     // scratch: vivification shrunk clause
+	bvePos     []cref    // scratch: BVE positive-occurrence clauses
+	bveNeg     []cref    // scratch: BVE negative-occurrence clauses
+	resolvTmp  []cnf.Lit // scratch: BVE resolvent under construction
+
+	// Portfolio state (portfolio.go). share is non-nil only on portfolio
+	// worker solvers; extModel holds a winning worker's model for the parent.
+	share       *shareGroup
+	shareIdx    int
+	shareCursor []int   // per sibling buffer: words already consumed
+	shareImp    []int32 // scratch: import copy taken under the buffer lock
+	importTmp   []lit   // scratch: imported clause under construction
+	extModel    cnf.Assignment
+	extModelOn  bool
+
+	inprocRounds   int64
+	vivified       int64
+	subsumedCls    int64
+	strengthened   int64
+	elimVarCnt     int64
+	sharedImported int64
+	sharedExported int64
+
 	// testOnLearnt, when non-nil, observes every multi-literal learnt clause
 	// right after analysis (before backtracking), with the backtrack level.
 	// Test instrumentation only; nil in production.
@@ -355,7 +518,7 @@ func NewWith(opts Options) *Solver {
 		learntAdjCnt:   100,
 		learntAdjIncr:  1.5,
 	}
-	s.watches = make([][]watch, 2)
+	s.wspans = make([]watchSpan, 2)
 	s.assigns = make([]int8, 2)
 	s.level = make([]int32, 1)
 	s.reason = []cref{reasonUndef}
@@ -388,12 +551,16 @@ func (s *Solver) EnsureVars(n int) {
 	if n <= s.numVars {
 		return
 	}
-	s.watches = growTo(s.watches, 2*(n+1))
+	s.wspans = growTo(s.wspans, 2*(n+1))
 	s.assigns = growTo(s.assigns, 2*(n+1))
 	s.level = growTo(s.level, n+1)
 	s.activity = growTo(s.activity, n+1)
 	s.phase = growTo(s.phase, n+1)
 	s.seen = growTo(s.seen, n+1)
+	s.eliminated = growTo(s.eliminated, n+1)
+	s.frozen = growTo(s.frozen, n+1)
+	s.elimVal = growTo(s.elimVal, n+1)
+	s.elimIdx = growTo(s.elimIdx, n+1)
 	s.minMark = growTo(s.minMark, n+1)
 	s.lbdStamps = growTo(s.lbdStamps, n+1)
 	old := len(s.reason)
@@ -535,8 +702,23 @@ type Stats struct {
 	Promotions int64
 	Demotions  int64
 	// ReduceDBs counts learnt-database reductions.
-	ReduceDBs   int64
-	ArenaWords  int       // current arena length (uint32 words)
+	ReduceDBs int64
+	// InprocessRounds counts inprocessing rounds (see inprocess.go); the
+	// next four counters are that machinery's lifetime totals: clauses
+	// shrunk by vivification, clauses removed by backward subsumption,
+	// clauses strengthened by self-subsumption, and variables eliminated by
+	// bounded variable elimination (restored variables are not subtracted).
+	InprocessRounds int64
+	Vivified        int64
+	SubsumedClauses int64
+	Strengthened    int64
+	ElimVars        int64
+	// SharedImported/SharedExported count learnt clauses received from and
+	// published to sibling portfolio workers (see portfolio.go); on the
+	// solver the caller holds, these aggregate over all workers it spawned.
+	SharedImported int64
+	SharedExported int64
+	ArenaWords     int       // current arena length (uint32 words)
 	ArenaWasted int       // dead words awaiting compaction
 	ArenaGCs    int64     // arena compactions performed
 	LiveGroups  int       // clause groups added and not yet released
@@ -563,12 +745,56 @@ func (s *Solver) Stats() Stats {
 		Promotions:      s.promotions,
 		Demotions:       s.demotions,
 		ReduceDBs:       s.reduceDBs,
+		InprocessRounds: s.inprocRounds,
+		Vivified:        s.vivified,
+		SubsumedClauses: s.subsumedCls,
+		Strengthened:    s.strengthened,
+		ElimVars:        s.elimVarCnt,
+		SharedImported:  s.sharedImported,
+		SharedExported:  s.sharedExported,
 		ArenaWords:      len(s.arena),
 		ArenaWasted:     s.wasted,
 		ArenaGCs:        s.arenaGCs,
 		LiveGroups:      len(s.standing),
 		GroupsFreed:     s.groupsFreed,
 		LastStop:        s.stopCause,
+	}
+}
+
+// Accumulate adds the counters and sizes of o into st, so callers holding
+// several solvers can report one combined Stats. LastStop keeps o's value
+// when o stopped early (the most recent interruption wins over StopNone).
+func (st *Stats) Accumulate(o Stats) {
+	st.Solves += o.Solves
+	st.Conflicts += o.Conflicts
+	st.Propagations += o.Propagations
+	st.Decisions += o.Decisions
+	st.Restarts += o.Restarts
+	st.BlockedRestarts += o.BlockedRestarts
+	st.LearntLits += o.LearntLits
+	st.LearntClauses += o.LearntClauses
+	st.LBDSum += o.LBDSum
+	st.MinimizedLits += o.MinimizedLits
+	st.TierCore += o.TierCore
+	st.TierMid += o.TierMid
+	st.TierLocal += o.TierLocal
+	st.Promotions += o.Promotions
+	st.Demotions += o.Demotions
+	st.ReduceDBs += o.ReduceDBs
+	st.InprocessRounds += o.InprocessRounds
+	st.Vivified += o.Vivified
+	st.SubsumedClauses += o.SubsumedClauses
+	st.Strengthened += o.Strengthened
+	st.ElimVars += o.ElimVars
+	st.SharedImported += o.SharedImported
+	st.SharedExported += o.SharedExported
+	st.ArenaWords += o.ArenaWords
+	st.ArenaWasted += o.ArenaWasted
+	st.ArenaGCs += o.ArenaGCs
+	st.LiveGroups += o.LiveGroups
+	st.GroupsFreed += o.GroupsFreed
+	if o.LastStop != StopNone {
+		st.LastStop = o.LastStop
 	}
 }
 
@@ -587,6 +813,15 @@ func (s *Solver) allocClause(lits []lit, learnt bool) cref {
 		panic("sat: clause arena exceeds 2^31 words")
 	}
 	c := cref(len(s.arena))
+	// Grow by doubling, not append's large-slice policy (~1.25×): the learnt
+	// database typically outgrows the problem clauses severalfold, and the
+	// shallower growth curve would copy the whole arena once per ~quarter of
+	// new clauses instead of once per doubling.
+	if need := len(s.arena) + len(lits) + 3; need > cap(s.arena) {
+		grown := make([]uint32, len(s.arena), max(2*cap(s.arena), need))
+		copy(grown, s.arena)
+		s.arena = grown
+	}
 	hdr := uint32(len(lits)) << hdrSizeShift
 	if learnt {
 		hdr |= hdrLearnt
@@ -653,6 +888,11 @@ func (s *Solver) maybeGC() {
 	if s.wasted >= minWastedWords && s.wasted*5 >= len(s.arena) {
 		s.garbageCollect()
 	}
+	// Same idea for the watch arena: span relocations strand dead slots, so
+	// re-carve once a third of the arena is retired.
+	if s.watchWaste >= 1024 && s.watchWaste*3 >= len(s.watchArena) {
+		s.compactWatches()
+	}
 }
 
 // garbageCollect compacts live clauses into a fresh arena and rewrites every
@@ -660,8 +900,8 @@ func (s *Solver) maybeGC() {
 // through forwarding offsets left in the old arena.
 func (s *Solver) garbageCollect() {
 	to := make([]uint32, 0, len(s.arena)-s.wasted)
-	for qi := range s.watches {
-		ws := s.watches[qi]
+	for qi := range s.wspans {
+		ws := s.watchList(lit(qi))
 		for k := range ws {
 			nc := s.relocate(ws[k].cref(), &to)
 			ws[k].crb = uint32(nc)<<1 | ws[k].crb&1
@@ -751,8 +991,8 @@ func (s *Solver) AddClauses(clauses []cnf.Clause) {
 // neighbour. Lists that already hold watches are left to ordinary append
 // growth.
 func (s *Solver) reserveWatches(clauses []cnf.Clause) {
-	const watchSlack = 8
-	cnt := growTo(s.watchCnt, len(s.watches))
+	const watchSlack = 2
+	cnt := growTo(s.watchCnt, len(s.wspans))
 	s.watchCnt = cnt
 	total := 0
 	for _, c := range clauses {
@@ -775,27 +1015,33 @@ func (s *Solver) reserveWatches(clauses []cnf.Clause) {
 	if total == 0 {
 		return
 	}
-	flat := make([]watch, total)
-	off := 0
-	// Second pass carves each touched list once and resets its count, so the
-	// scratch table is all-zero again on return.
-	for _, c := range clauses {
-		if len(c) < 2 {
+	off := len(s.watchArena)
+	if need := off + total; need > cap(s.watchArena) {
+		grown := make([]watch, off, max(2*cap(s.watchArena), need))
+		copy(grown, s.watchArena)
+		s.watchArena = grown
+	}
+	s.watchArena = s.watchArena[:off+total]
+	// Second pass carves each still-unreserved list once and resets its
+	// count, so the scratch table is all-zero again on return. It walks the
+	// count table — one visit per literal index — rather than re-deriving
+	// the watched literals clause by clause, which costs another full pass
+	// over the batch.
+	for q := range cnt {
+		if cnt[q] == 0 {
 			continue
 		}
-		for _, l := range c[:2] {
-			q := toLit(l).neg()
-			if int(q) >= len(cnt) || cnt[q] == 0 {
-				continue
-			}
-			if len(s.watches[q]) == 0 && cap(s.watches[q]) == 0 {
-				end := off + int(cnt[q]) + watchSlack
-				s.watches[q] = flat[off:off:end]
-				off = end
-			}
-			cnt[q] = 0
+		sp := &s.wspans[q]
+		if sp.cap == 0 {
+			sp.off = int32(off)
+			sp.cap = int32(cnt[q]) + watchSlack
+			off += int(sp.cap)
 		}
+		cnt[q] = 0
 	}
+	// Room counted for lists that already had capacity was never carved;
+	// return it to the arena tail.
+	s.watchArena = s.watchArena[:off]
 }
 
 // AddClause adds a clause to the solver. It returns false if the solver is
@@ -816,6 +1062,13 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 // problem-clause list, AddClauseGroup in the group's own list.
 func (s *Solver) addClauseCref(lits []cnf.Lit) (cref, bool) {
 	s.cancelUntil(0)
+	if !s.ok {
+		return crefUndef, false
+	}
+	// A new clause over a variable a past inprocessing round eliminated
+	// reintroduces that variable: its saved clauses must come back first so
+	// the database stays equivalent to "everything ever added".
+	s.restoreLits(lits)
 	if !s.ok {
 		return crefUndef, false
 	}
@@ -962,8 +1215,8 @@ func (s *Solver) attach(c cref) {
 	ls := s.claLits(c)
 	p0, p1 := lit(ls[0]), lit(ls[1])
 	bin := len(ls) == 2
-	s.watches[p0.neg()] = append(s.watches[p0.neg()], mkWatch(c, p1, bin))
-	s.watches[p1.neg()] = append(s.watches[p1.neg()], mkWatch(c, p0, bin))
+	s.watchAppend(p0.neg(), mkWatch(c, p1, bin))
+	s.watchAppend(p1.neg(), mkWatch(c, p0, bin))
 }
 
 func (s *Solver) detach(c cref) {
@@ -973,11 +1226,11 @@ func (s *Solver) detach(c cref) {
 }
 
 func (s *Solver) removeWatch(p lit, c cref) {
-	ws := s.watches[p]
+	ws := s.watchList(p)
 	for i := range ws {
 		if ws[i].cref() == c {
 			ws[i] = ws[len(ws)-1]
-			s.watches[p] = ws[:len(ws)-1]
+			s.wspans[p].n--
 			return
 		}
 	}
@@ -1045,12 +1298,19 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	s.cancelUntil(0)
 	s.conflict = s.conflict[:0]
 	s.stopCause = StopNone
+	s.extModelOn = false
 	if s.solveHook != nil {
 		if cause, inject := s.solveHook(s.solves); inject {
 			s.stopCause = cause
 			return Unknown
 		}
 	}
+	if !s.ok {
+		return Unsat
+	}
+	// Assumed variables must exist in the database: freeze them against
+	// elimination and bring back any a past round already eliminated.
+	s.restoreAssumed(assumps)
 	if !s.ok {
 		return Unsat
 	}
@@ -1078,17 +1338,48 @@ func (s *Solver) SolveAssume(assumps []cnf.Lit) Status {
 	s.budgetStart = s.conflicts
 	s.conflictsSinceRestart = 0
 	s.restartNum = 0
+	if s.inprocessDue() {
+		s.inprocess()
+		if !s.ok {
+			return Unsat
+		}
+	}
 	if s.stopRequested(true) {
 		s.cancelUntil(0)
 		return Unknown
 	}
-	status := s.search()
+	var status Status
+	if s.opts.SearchThreads > 1 && s.share == nil {
+		status = s.portfolioSolve(s.opts.SearchThreads)
+	} else {
+		status = s.search()
+	}
 	if status == Sat {
 		// keep trail for Model; caller must read before next Solve
+		s.extendModel()
 		return Sat
 	}
 	s.cancelUntil(0)
 	return status
+}
+
+// restoreAssumed prepares the assumption variables of an incoming solve:
+// each is frozen against future elimination, and any already eliminated is
+// restored (its saved clauses re-added) so assuming it is meaningful.
+func (s *Solver) restoreAssumed(assumps []cnf.Lit) {
+	for _, a := range assumps {
+		v := int(a.Var())
+		if v <= 0 || v > s.numVars {
+			continue // allocated later by the assumption loop; nothing to restore
+		}
+		s.frozen[v] = true
+		if s.eliminated[v] {
+			s.restoreVar(v)
+			if !s.ok {
+				return
+			}
+		}
+	}
 }
 
 // Model returns the satisfying assignment found by the last successful
@@ -1105,17 +1396,36 @@ func (s *Solver) ModelInto(dst cnf.Assignment) cnf.Assignment {
 	}
 	m = m[:s.numVars+1]
 	for v := 1; v <= s.numVars; v++ {
-		switch s.varValue(v) {
-		case lTrue:
-			m.Set(cnf.Var(v), cnf.True)
-		case lFalse:
-			m.Set(cnf.Var(v), cnf.False)
-		default:
-			// Unconstrained variable: pick saved phase for determinism.
-			m.Set(cnf.Var(v), cnf.BoolValue(s.phase[v]))
-		}
+		m.Set(cnf.Var(v), s.modelVal(v))
 	}
 	return m
+}
+
+// modelVal is the model value of variable v after a Sat result: the value
+// reconstructed by extendModel for eliminated variables, the winning
+// worker's value for portfolio solves, and otherwise the trail value (saved
+// phase for unconstrained variables, for determinism).
+func (s *Solver) modelVal(v int) cnf.Value {
+	if s.eliminated[v] {
+		return cnf.BoolValue(s.elimVal[v] == lTrue)
+	}
+	if s.extModelOn {
+		// Workers complete their models, so Unassigned only means v is newer
+		// than the snapshot; complete it from the saved phase like any other
+		// unconstrained variable.
+		if val := s.extModel.Get(cnf.Var(v)); val != cnf.Unassigned {
+			return val
+		}
+		return cnf.BoolValue(s.phase[v])
+	}
+	switch s.varValue(v) {
+	case lTrue:
+		return cnf.True
+	case lFalse:
+		return cnf.False
+	default:
+		return cnf.BoolValue(s.phase[v])
+	}
 }
 
 // ModelValue returns the value of v in the model found by the last
@@ -1127,16 +1437,7 @@ func (s *Solver) ModelValue(v cnf.Var) cnf.Value {
 	if iv <= 0 || iv > s.numVars {
 		return cnf.Unassigned
 	}
-	switch s.varValue(iv) {
-	case lTrue:
-		return cnf.True
-	case lFalse:
-		return cnf.False
-	default:
-		// Unconstrained variable: pick saved phase for determinism (the same
-		// completion Model reports).
-		return cnf.BoolValue(s.phase[iv])
-	}
+	return s.modelVal(iv)
 }
 
 // Core returns the failed assumptions from the last Unsat SolveAssume call:
