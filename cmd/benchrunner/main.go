@@ -87,6 +87,14 @@ func run() int {
 	benchOut := flag.String("bench-out", "", "run the internal/sat and internal/core micro-benchmarks and write median results as JSON to this file, then exit")
 	benchCount := flag.Int("bench-count", 3, "benchmark repetitions per micro-benchmark for -bench-out (medians are reported)")
 	benchTime := flag.String("bench-time", "1s", "benchtime per micro-benchmark run for -bench-out (accepts Nx iteration counts)")
+	serveLoad := flag.String("serve-load", "", "open-loop load test against the manthand service: \"self\" (in-process server honoring -faults) or a base URL; reports p50/p99 latency, shed and outcome counts, then exits")
+	slRate := flag.Float64("sl-rate", 50, "serve-load arrival rate in requests/second (open loop: arrivals never wait for responses)")
+	slDuration := flag.Duration("sl-duration", 3*time.Second, "serve-load generation window")
+	slSpec := flag.String("sl-spec", "manthan3", "serve-load engine spec sent with every request")
+	slInstances := flag.Int("sl-instances", 4, "serve-load distinct instance count (cycled; repeats exercise the server's warm verify pools)")
+	slTimeout := flag.Duration("sl-timeout", 2*time.Second, "serve-load per-request client deadline hint")
+	slQueue := flag.Int("sl-queue", 8, "serve-load self-server admission queue cap (small by default so overload sheds)")
+	slConcurrency := flag.Int("sl-concurrency", 2, "serve-load self-server worker count")
 	flag.Parse()
 
 	if *benchOut != "" {
@@ -95,6 +103,20 @@ func run() int {
 			return 1
 		}
 		return 0
+	}
+	if *serveLoad != "" {
+		return runServeLoad(serveLoadConfig{
+			target:      *serveLoad,
+			rate:        *slRate,
+			duration:    *slDuration,
+			spec:        *slSpec,
+			instances:   *slInstances,
+			timeoutMS:   slTimeout.Milliseconds(),
+			seed:        *seed,
+			faults:      *faults,
+			queue:       *slQueue,
+			concurrency: *slConcurrency,
+		})
 	}
 	if _, err := sat.ProfileOptions(*satProfile); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -30,6 +30,7 @@ var loopScope = map[string]bool{
 	"repro/internal/sat":     true,
 	"repro/internal/core":    true,
 	"repro/internal/backend": true,
+	"repro/internal/service": true,
 }
 
 func runCtxDiscipline(pass *analysis.Pass) error {

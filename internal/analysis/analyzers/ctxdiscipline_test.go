@@ -8,8 +8,9 @@ import (
 
 func TestCtxDiscipline(t *testing.T) {
 	analysistest.Run(t, analysistest.SrcRoot, CtxDiscipline,
-		"ctxfirst",           // parameter position + Background/TODO confinement
-		"mainpkg",            // clean fixture: main packages may mint contexts
-		"repro/internal/sat", // unbounded-loop rule in the solver packages
+		"ctxfirst",               // parameter position + Background/TODO confinement
+		"mainpkg",                // clean fixture: main packages may mint contexts
+		"repro/internal/sat",     // unbounded-loop rule in the solver packages
+		"repro/internal/service", // unbounded-loop rule on the service's worker/handler shapes
 	)
 }

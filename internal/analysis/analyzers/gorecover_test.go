@@ -8,7 +8,8 @@ import (
 
 func TestGoRecover(t *testing.T) {
 	analysistest.Run(t, analysistest.SrcRoot, GoRecover,
-		"repro/internal/gofix", // flagged fixture: internal/ path
-		"plainpkg",             // clean fixture: outside internal/, no diagnostics
+		"repro/internal/gofix",           // flagged fixture: internal/ path
+		"plainpkg",                       // clean fixture: outside internal/, no diagnostics
+		"repro/internal/service/workers", // the service's worker-pool and serve-goroutine shapes
 	)
 }

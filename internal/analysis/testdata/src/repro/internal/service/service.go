@@ -1,0 +1,80 @@
+// Package servicefix impersonates repro/internal/service to exercise
+// ctxdiscipline there: the service package joined loopScope (its workers
+// run request loops that must honor cancellation), so unbounded loops,
+// ctx-parameter position, and Background/TODO confinement are all enforced
+// on the shapes the real server uses.
+package servicefix
+
+import "context"
+
+// server mirrors the real Server: the request queue is drained by workers
+// and per-task contexts carry the deadlines.
+type server struct {
+	queue chan int
+}
+
+type task struct {
+	ctx context.Context
+}
+
+// workerLoop is the real drain-loop shape: range over the queue channel is
+// bounded by close(queue), so the unbounded-loop rule does not apply.
+func (s *server) workerLoop() {
+	for t := range s.queue {
+		_ = t
+	}
+}
+
+// pollTask polls the task's ctx: a ctx-typed expression in the body makes
+// the unbounded loop cancellable.
+func pollTask(t *task) {
+	for {
+		if t.ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// waitCtx takes a ctx parameter: cancellable.
+func waitCtx(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// spinForever has no context anywhere in reach.
+func spinForever(n int) int {
+	for { // want "unbounded for loop with no context in reach"
+		n++
+		if n > 1000 {
+			return n
+		}
+	}
+}
+
+// handle is the handler shape: ctx first, like every Synthesize entry point.
+func handle(ctx context.Context, id int) error {
+	return ctx.Err()
+}
+
+// badParamOrder buries the ctx behind the payload.
+func badParamOrder(id int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return ctx.Err()
+}
+
+// nilGuard is the exempted idiom: a library entry point defaulting a nil ctx.
+func nilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// mintedCtx manufactures a root context outside a main package.
+func mintedCtx() context.Context {
+	return context.Background() // want "Background outside a main package"
+}

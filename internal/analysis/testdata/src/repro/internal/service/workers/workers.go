@@ -1,0 +1,49 @@
+// Package workersfix impersonates a repro/internal/service subpackage to
+// exercise gorecover on the service's handler-spawned goroutine shapes: the
+// worker pool (Safe-suffixed loop), the serve goroutine (func literal with a
+// deferred recover), and the flagged bare variants a refactor could slip in.
+package workersfix
+
+type server struct {
+	queue chan int
+}
+
+func (s *server) workerLoop()     {}
+func (s *server) workerLoopSafe() {}
+func (s *server) serveOne(t int)  {}
+
+// startWorkers is the real pool-launch shape: Safe-suffixed loop method.
+func (s *server) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		go s.workerLoopSafe()
+	}
+}
+
+// startWorkersBare launches the unisolated loop variant.
+func (s *server) startWorkersBare() {
+	go s.workerLoop() // want "goroutine launched without panic isolation"
+}
+
+// serveAsync is the Serve-goroutine shape: a func literal with a deferred
+// recover, so a panicking serve loop cannot kill the process.
+func (s *server) serveAsync() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		for t := range s.queue {
+			s.serveOne(t)
+		}
+	}()
+}
+
+// serveAsyncBare drains requests with no isolation at all.
+func (s *server) serveAsyncBare() {
+	go func() { // want "go func literal without panic isolation"
+		for t := range s.queue {
+			s.serveOne(t)
+		}
+	}()
+}

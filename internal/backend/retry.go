@@ -4,21 +4,64 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/dqbf"
 )
 
+// maxRetryBackoff caps the per-round pause; past round 8 the exponential
+// schedule saturates here.
+const maxRetryBackoff = 100 * time.Millisecond
+
 // retryBackoff is the wall-clock pause before retry round k (1-based):
-// 1ms, 2ms, 4ms, … capped at 100ms. The pause is mostly symbolic on a
-// single machine — the real escalation is the conflict budget — but it
-// yields the CPU between rounds and honors cancellation while waiting.
-func retryBackoff(k int) time.Duration {
-	d := time.Millisecond << (k - 1)
-	if d > 100*time.Millisecond {
-		d = 100 * time.Millisecond
+// exponential 1ms, 2ms, 4ms, … capped at 100ms, desynchronized by
+// deterministic seeded jitter. The pause is mostly symbolic on a single
+// machine — the real escalation is the conflict budget — but it yields the
+// CPU between rounds and honors cancellation while waiting.
+//
+// The exponent is clamped BEFORE shifting: a naive time.Millisecond<<(k-1)
+// wraps negative around k≈44 and shifts to zero at k≥64, sliding under the
+// cap check and turning late rounds into zero-length (or hour-long) pauses.
+// 2^7ms already exceeds the cap, so no exponent past 7 is ever needed.
+//
+// The jitter is the "equal jitter" scheme: the low half of the window is
+// kept, the high half is drawn from a splitmix64 stream keyed on (seed, k).
+// Identically-seeded runs pause identically (determinism contract), while
+// portfolio members on different seeds stop thundering in lockstep.
+func retryBackoff(k int, seed int64) time.Duration {
+	shift := k - 1
+	if shift < 0 {
+		shift = 0
 	}
-	return d
+	base := maxRetryBackoff
+	if shift < 7 {
+		base = time.Millisecond << shift
+	}
+	half := base / 2
+	jitter := time.Duration(splitmix64(uint64(seed)+uint64(k)<<32) % uint64(half+1))
+	return half + jitter
+}
+
+// escalatedBudget is retry round k's conflict budget: base quadrupled per
+// round, saturating at MaxInt64. The shift is overflow-guarded like
+// retryBackoff's — a large round count would otherwise wrap the budget
+// negative (which the solver reads as unlimited).
+func escalatedBudget(base int64, round int) int64 {
+	shift := 2 * round
+	if shift >= 63 || base > math.MaxInt64>>shift {
+		return math.MaxInt64
+	}
+	return base << shift
+}
+
+// splitmix64 is the standard 64-bit mixer (Steele et al.); one round is
+// enough to decorrelate the (seed, round) lattice into jitter draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // Retry returns a Backend that runs base and, when the run fails with
@@ -71,10 +114,10 @@ func (r *retry) Synthesize(ctx context.Context, in *dqbf.Instance, opts Options)
 		if round > 0 {
 			// Escalate: 4× conflict budget per round, perturbed seed via the
 			// @seed pin machinery so the attempt is visible in Name()/Stats.
-			runOpts.SATConflictBudget = baseBudget << (2 * round)
+			runOpts.SATConflictBudget = escalatedBudget(baseBudget, round)
 			b = &seeded{base: r.base, seed: opts.Seed + int64(round)}
 			select {
-			case <-time.After(retryBackoff(round)):
+			case <-time.After(retryBackoff(round, opts.Seed)):
 			case <-ctx.Done():
 				return nil, fmt.Errorf("%s: %w: %w", r.Name(), ErrCanceled, ctx.Err())
 			}

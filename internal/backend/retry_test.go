@@ -1,0 +1,82 @@
+package backend
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryBackoffLargeK is the regression test for the shift-overflow bug:
+// time.Millisecond<<(k-1) wraps negative around k≈44 and shifts to zero for
+// k≥64, both of which slid under the old cap check. Every round — including
+// absurd ones — must pause within (0, maxRetryBackoff].
+func TestRetryBackoffLargeK(t *testing.T) {
+	for _, k := range []int{1, 2, 7, 8, 9, 20, 43, 44, 45, 63, 64, 65, 100, 1 << 20} {
+		for _, seed := range []int64{0, 1, 42, -7} {
+			d := retryBackoff(k, seed)
+			if d <= 0 {
+				t.Errorf("retryBackoff(%d, %d) = %v, want > 0 (overflow regression)", k, seed, d)
+			}
+			if d > maxRetryBackoff {
+				t.Errorf("retryBackoff(%d, %d) = %v, want <= %v", k, seed, d, maxRetryBackoff)
+			}
+		}
+	}
+}
+
+// TestRetryBackoffSchedule pins the shape: the jittered pause for round k
+// stays within [2^(k-1)/2 ms, 2^(k-1) ms] while below the cap, so the
+// schedule is still recognizably exponential.
+func TestRetryBackoffSchedule(t *testing.T) {
+	for k := 1; k <= 7; k++ {
+		base := time.Millisecond << (k - 1)
+		d := retryBackoff(k, 7)
+		if d < base/2 || d > base {
+			t.Errorf("retryBackoff(%d, 7) = %v, want in [%v, %v]", k, d, base/2, base)
+		}
+	}
+}
+
+// TestRetryBackoffDeterministicJitter: same (k, seed) always pauses the same
+// (the determinism contract), different seeds must disagree somewhere (the
+// anti-thundering-herd point of the jitter).
+func TestRetryBackoffDeterministicJitter(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		if a, b := retryBackoff(k, 3), retryBackoff(k, 3); a != b {
+			t.Fatalf("retryBackoff(%d, 3) nondeterministic: %v vs %v", k, a, b)
+		}
+	}
+	diverged := false
+	for k := 4; k <= 10; k++ {
+		if retryBackoff(k, 1) != retryBackoff(k, 2) {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 1 and 2 produced identical backoff schedules; jitter is not seed-keyed")
+	}
+}
+
+// TestRetryBudgetEscalationClamped: the 4×-per-round budget escalation must
+// grow monotonically and saturate instead of wrapping negative for large
+// round counts.
+func TestRetryBudgetEscalationClamped(t *testing.T) {
+	base := int64(DefaultSATConflictBudget)
+	prev := int64(0)
+	for round := 1; round < 100; round++ {
+		budget := escalatedBudget(base, round)
+		if budget <= 0 {
+			t.Fatalf("round %d: escalated budget %d is non-positive (overflow regression)", round, budget)
+		}
+		if budget < prev {
+			t.Fatalf("round %d: escalated budget %d < round %d's %d; schedule must be monotone", round, budget, round-1, prev)
+		}
+		prev = budget
+	}
+	if got := escalatedBudget(base, 4); got != base<<8 {
+		t.Fatalf("round 4 budget = %d, want %d (4^4 × base)", got, base<<8)
+	}
+	if got := escalatedBudget(base, 50); got != 1<<63-1 {
+		t.Fatalf("round 50 budget = %d, want MaxInt64 saturation", got)
+	}
+}

@@ -154,6 +154,7 @@ func (e *engine) countDefined() error {
 		}
 		wg.Wait()
 	}
+	e.stats.SolversEvicted = pool.Evicted()
 	// Deterministic merge in declaration order. Indices are claimed in
 	// increasing order, so any unprocessed suffix left by a canceled run
 	// sits behind an errored slot and is never merged.

@@ -92,6 +92,9 @@ type Stats struct {
 	InstClauses int
 	VerifyCalls int
 	SynthesisNs int64
+	// SolversEvicted counts Padoa-pool oracles discarded as poisoned after a
+	// panic inside a definition check (oracle.Pool.Evicted).
+	SolversEvicted int
 	// Phases is the per-phase telemetry (define → refine) in the shared
 	// backend vocabulary: define is the Padoa definition pass, refine the
 	// counterexample-guided arbiter loop (including its verification

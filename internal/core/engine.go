@@ -152,6 +152,11 @@ type Stats struct {
 	// RepairSolversBuilt counts ϕ-loaded solvers constructed (including
 	// rebuilt after a panic eviction) by the batched-verification slot pool.
 	RepairSolversBuilt int
+	// SolversEvicted totals the pooled solvers discarded as poisoned after a
+	// panic inside an oracle query, across the preprocessing pools
+	// (constant/unate/Padoa) and the batched-repair slot pool. Non-zero means
+	// panic isolation actually fired during the run.
+	SolversEvicted int
 	// OracleCalls totals the SAT/MaxSAT solver calls of the whole run.
 	OracleCalls int64
 	// Phases reports per-phase telemetry (name, wall-clock duration, oracle
@@ -216,6 +221,9 @@ type Engine struct {
 	repairPool *oracle.SlotPool
 	probes     []repairProbe
 	slotIdxs   [repairSlots][]int
+	// preprocEvicted carries the preprocessing pools' eviction total forward
+	// so Stats.SolversEvicted can stay cumulative as repair batches add to it.
+	preprocEvicted int
 
 	// Engine-owned verify-repair scratch, reused across rounds so the hot
 	// loop stops allocating: the repackaged verify model, the persistent

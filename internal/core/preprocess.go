@@ -147,6 +147,8 @@ func (e *Engine) preprocess() error {
 		wg.Wait()
 	}
 	e.stats.PreprocSolversBuilt = pool.consts.Built()
+	e.preprocEvicted = pool.consts.Evicted() + pool.unate.pool.Evicted() + pool.padoa.pool.Evicted()
+	e.stats.SolversEvicted = e.preprocEvicted
 
 	// Deterministic merge in declaration order: all engine mutation happens
 	// here, serially. Indices are claimed in increasing order, so any

@@ -31,9 +31,13 @@ func init() {
 				res.Stats.CandidatesRepaired, res.Stats.ConstantsDetected,
 				res.Stats.UnatesDetected, res.Stats.UniqueDefined, res.Stats.OracleCalls)
 			if opts.Logf != nil {
-				// Verbose runs also report the aggregated SAT-solver counters:
-				// learnt tiers and glue next to the inprocessing and
-				// portfolio clause-sharing totals.
+				// Verbose runs also report the pooled-solver lifecycle (panic
+				// evictions are otherwise invisible outside tests) and the
+				// aggregated SAT-solver counters: learnt tiers and glue next
+				// to the inprocessing and portfolio clause-sharing totals.
+				stats += fmt.Sprintf("; pools: %d preproc built, %d repair built, %d evicted",
+					res.Stats.PreprocSolversBuilt, res.Stats.RepairSolversBuilt,
+					res.Stats.SolversEvicted)
 				ss := res.Stats.SAT
 				avgGlue := 0.0
 				if ss.LearntClauses > 0 {
@@ -45,9 +49,10 @@ func init() {
 					ss.ElimVars, ss.SharedExported, ss.SharedImported)
 			}
 			return &backend.Result{
-				Vector: res.Vector,
-				Stats:  stats,
-				Phases: res.Stats.Phases,
+				Vector:        res.Vector,
+				Stats:         stats,
+				Phases:        res.Stats.Phases,
+				PoolEvictions: res.Stats.SolversEvicted,
 			}, nil
 		}))
 }

@@ -251,6 +251,7 @@ func (e *Engine) runBatch(n int) {
 	}
 	e.extraOracle += int64(n)
 	e.stats.RepairSolversBuilt = e.repairPool.Built() + e.repairPool.Evicted()
+	e.stats.SolversEvicted = e.preprocEvicted + e.repairPool.Evicted()
 }
 
 // probeSlotSafe runs one slot's probes in index order under panic

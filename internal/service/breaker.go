@@ -1,0 +1,192 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the three classic circuit-breaker states.
+type BreakerState int32
+
+const (
+	// BreakerClosed: requests flow normally; consecutive unhealthy outcomes
+	// are counted and trip the breaker at the threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests naming this engine fail fast (or reroute through
+	// the configured fallback) until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// allowed through. A healthy probe closes the breaker, an unhealthy one
+	// reopens it for another cooldown.
+	BreakerHalfOpen
+)
+
+// String returns the state name used in /statz and log lines.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes the per-engine circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of CONSECUTIVE unhealthy outcomes (engine
+	// panics mapped to backend.ErrInternal, or requests that stalled into
+	// their server-clamped deadline) that trips the breaker open. 0 means
+	// DefaultBreakerThreshold; negative disables the breakers entirely.
+	Threshold int
+	// Cooldown is how long a tripped breaker stays open before allowing a
+	// half-open probe. 0 means DefaultBreakerCooldown.
+	Cooldown time.Duration
+}
+
+// Breaker defaults; see BreakerConfig.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultBreakerThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultBreakerCooldown
+	}
+	return c
+}
+
+// breaker is one engine's circuit breaker. The service keeps one per engine
+// spec a request has ever named (plus one per configured fallback target),
+// keyed by the spec string. Unhealthy outcomes are decided by the caller
+// (see unhealthyOutcome); the breaker only runs the state machine.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int       // consecutive unhealthy outcomes while closed
+	trips       int64     // lifetime closed→open transitions
+	probes      int64     // half-open probes attempted
+	openedAt    time.Time // last closed/half-open → open transition
+	probing     bool      // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// Admit reports whether a request naming this engine may dispatch now. In
+// the open state it returns false until the cooldown elapses, at which point
+// the breaker moves to half-open and admits exactly one probe; further
+// requests are rejected until that probe's Record call. Every true return
+// MUST be paired with exactly one Record call.
+func (b *breaker) Admit() bool {
+	if b.cfg.Threshold < 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probes++
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+}
+
+// Record feeds one admitted request's outcome back into the state machine.
+func (b *breaker) Record(healthy bool) {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if healthy {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if healthy {
+			b.state = BreakerClosed
+			b.consecutive = 0
+			return
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+	case BreakerOpen:
+		// A request admitted before the trip finished after it; the breaker
+		// is already open, nothing to learn.
+	}
+}
+
+// abandonProbe releases an Admit slot whose request never reached the engine
+// (shed at the queue, rejected during drain, or expired while queued). The
+// engine was never exercised, so the breaker must learn nothing: a half-open
+// probe slot is handed back without closing or reopening the breaker, and in
+// every other state this is a no-op.
+func (b *breaker) abandonProbe() {
+	if b.cfg.Threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// BreakerSnapshot is one breaker's state as exported on /statz.
+type BreakerSnapshot struct {
+	State       string `json:"state"`
+	Consecutive int    `json:"consecutive_unhealthy"`
+	Trips       int64  `json:"trips"`
+	Probes      int64  `json:"probes"`
+	// OpenForMS is how long the breaker has been open (0 unless open).
+	OpenForMS float64 `json:"open_for_ms,omitempty"`
+}
+
+func (b *breaker) snapshot() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		State:       b.state.String(),
+		Consecutive: b.consecutive,
+		Trips:       b.trips,
+		Probes:      b.probes,
+	}
+	if b.state == BreakerOpen {
+		s.OpenForMS = float64(b.now().Sub(b.openedAt)) / float64(time.Millisecond)
+	}
+	return s
+}

@@ -1,0 +1,555 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/dqbf"
+	"repro/internal/faultinject"
+
+	// Engine registrations for the specs the tests dispatch through.
+	_ "repro/internal/baselines/cegar"
+	_ "repro/internal/core"
+)
+
+// tinyDQDIMACS is ∀x1 ∃y2(x1). ϕ = (x1→y2)∧(y2→x1), i.e. y2 ↔ x1 — True
+// with the unique Skolem function y2 := x1. Small enough that manthan3
+// solves it in single-digit milliseconds.
+const tinyDQDIMACS = "p cnf 2 2\na 1 0\ne 2 0\n-1 2 0\n1 -2 0\n"
+
+func postSynth(t *testing.T, client *http.Client, url string, req Request) (*http.Response, *Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/synthesize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /synthesize: %v", err)
+	}
+	defer resp.Body.Close()
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, &r
+}
+
+// startTestServer runs a full Server (workers + HTTP mux) on httptest
+// plumbing and returns its base URL. The caller owns Shutdown.
+func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.StartWorkers()
+	ts := httptest.NewServer(srv.Handler())
+	return srv, ts
+}
+
+func shutdownServer(t *testing.T, srv *Server, ts *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts.Close()
+}
+
+// blockingBackend returns a WrapBackend that replaces every engine with one
+// that parks until release is closed (or the request context ends, which
+// classifies as canceled).
+func blockingBackend(release <-chan struct{}) func(backend.Backend) backend.Backend {
+	return func(backend.Backend) backend.Backend {
+		return backend.NewFunc("blocked", func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
+			select {
+			case <-release:
+				return nil, fmt.Errorf("%w: released without an answer", backend.ErrBudget)
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %w", backend.ErrCanceled, ctx.Err())
+			}
+		})
+	}
+}
+
+// TestSynthesizeEndToEnd: a real dispatch through the registry returns a
+// verified vector with telemetry.
+func TestSynthesizeEndToEnd(t *testing.T) {
+	srv, ts := startTestServer(t, Config{Concurrency: 2})
+	defer shutdownServer(t, srv, ts)
+	resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, Spec: "manthan3"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d, want 200", resp.StatusCode)
+	}
+	if r.Status != "ok" || r.Outcome != backend.OutcomeOK || !r.Verified {
+		t.Fatalf("response: %+v", r)
+	}
+	if len(r.Functions) == 0 || !strings.Contains(strings.Join(r.Functions, "\n"), "y2") {
+		t.Fatalf("functions: %v", r.Functions)
+	}
+	st := srv.Stats()
+	if st.Admitted != 1 || st.Completed != 1 || st.Outcomes["ok"] != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestQueueFullSheds429: with one worker and a one-deep queue, a third
+// concurrent request must be shed immediately with 429 + Retry-After — never
+// parked anywhere unbounded.
+func TestQueueFullSheds429(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts := startTestServer(t, Config{
+		Concurrency: 1,
+		QueueDepth:  1,
+		WrapBackend: blockingBackend(release),
+	})
+	client := ts.Client()
+
+	// Request 1 occupies the worker; request 2 occupies the queue slot.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postSynth(t, client, ts.URL, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 30_000})
+		}()
+		// Wait until the request is observably held (in flight or queued)
+		// before sending the next.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			st := srv.Stats()
+			if int(st.Admitted) >= i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("request %d never admitted: %+v", i+1, st)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	resp, r := postSynth(t, client, ts.URL, Request{DQDIMACS: tinyDQDIMACS})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429 (body %+v)", resp.StatusCode, r)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if r.Outcome != OutcomeShed {
+		t.Fatalf("outcome %q, want %q", r.Outcome, OutcomeShed)
+	}
+	if st := srv.Stats(); st.Shed != 1 {
+		t.Fatalf("shed count: %+v", st)
+	}
+
+	close(release)
+	wg.Wait()
+	shutdownServer(t, srv, ts)
+}
+
+// TestDrainGoroutineLeakFree is the graceful-drain contract on the REAL
+// listener path (Serve, not httptest): a request in flight when Shutdown
+// begins completes; /readyz flips to 503 while the listener is still
+// serving (i.e. before it closes); post-drain admission is refused; and the
+// whole lifecycle leaks zero goroutines.
+func TestDrainGoroutineLeakFree(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	srv, err := New(Config{
+		Concurrency: 2,
+		WrapBackend: blockingBackend(release),
+		Breaker:     BreakerConfig{Threshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() {
+		defer func() { _ = recover() }()
+		serveErr <- srv.Serve(l)
+	}()
+	url := "http://" + l.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// One request in flight, parked in the engine.
+	reqDone := make(chan *Response, 1)
+	go func() {
+		defer func() { _ = recover() }()
+		_, r := postSynth(t, client, url, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 30_000})
+		reqDone <- r
+	}()
+	waitFor(t, "request in flight", func() bool { return srv.Stats().InFlight == 1 })
+
+	if code := getStatus(t, client, url+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz before drain: HTTP %d, want 200", code)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		defer func() { _ = recover() }()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// readyz must flip while the in-flight request still holds the drain
+	// open — the listener is provably still serving because the probe itself
+	// succeeds at the HTTP layer.
+	waitFor(t, "readyz flips during drain", func() bool {
+		return getStatus(t, client, url+"/readyz") == http.StatusServiceUnavailable
+	})
+	if code := getStatus(t, client, url+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain: HTTP %d, want 200 (liveness is not readiness)", code)
+	}
+
+	// New work is refused while draining.
+	resp, r := postSynth(t, client, url, Request{DQDIMACS: tinyDQDIMACS})
+	if resp.StatusCode != http.StatusServiceUnavailable || r.Outcome != OutcomeDraining {
+		t.Fatalf("during drain: HTTP %d outcome %q, want 503 %q", resp.StatusCode, r.Outcome, OutcomeDraining)
+	}
+
+	// Let the in-flight request finish; the drain must then complete and the
+	// request must have received a classified answer.
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	select {
+	case r := <-reqDone:
+		if r.Outcome != backend.OutcomeBudget {
+			t.Fatalf("in-flight request outcome %q, want %q", r.Outcome, backend.OutcomeBudget)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+
+	client.CloseIdleConnections()
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestQueueExpiredClassifiesCanceled: a queued request whose clamped
+// deadline passes before a worker frees up is classified canceled without
+// ever dispatching — queue wait spends the request's own budget.
+func TestQueueExpiredClassifiesCanceled(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts := startTestServer(t, Config{
+		Concurrency: 1,
+		QueueDepth:  4,
+		WrapBackend: blockingBackend(release),
+		Breaker:     BreakerConfig{Threshold: -1},
+	})
+	client := ts.Client()
+
+	// Worker occupied with a long request; a short-deadline request waits in
+	// queue and expires there.
+	go func() {
+		defer func() { _ = recover() }()
+		postSynth(t, client, ts.URL, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 30_000})
+	}()
+	waitFor(t, "long request in flight", func() bool { return srv.Stats().InFlight == 1 })
+
+	shortDone := make(chan *Response, 1)
+	go func() {
+		defer func() { _ = recover() }()
+		_, r := postSynth(t, client, ts.URL, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 50})
+		shortDone <- r
+	}()
+	waitFor(t, "short request queued", func() bool { return srv.Stats().Admitted == 2 })
+	time.Sleep(80 * time.Millisecond) // let the queued deadline expire
+	close(release)                    // free the worker; it must NOT dispatch the stale item
+
+	select {
+	case r := <-shortDone:
+		if r.Outcome != backend.OutcomeCanceled {
+			t.Fatalf("queue-expired outcome %q, want %q", r.Outcome, backend.OutcomeCanceled)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("short request never answered")
+	}
+	shutdownServer(t, srv, ts)
+}
+
+// TestBreakerTripsFailsFastAndReroutes: consecutive engine panics trip the
+// primary's breaker; with no fallback the next request fails fast with 503,
+// and with a fallback configured it reroutes and succeeds.
+func TestBreakerTripsFailsFastAndReroutes(t *testing.T) {
+	// Panic only when routed to manthan3; other specs run for real.
+	wrap := func(b backend.Backend) backend.Backend {
+		if b.Name() != "manthan3" {
+			return b
+		}
+		return backend.NewFunc("manthan3", func(context.Context, *dqbf.Instance, backend.Options) (*backend.Result, error) {
+			panic("engine bug")
+		})
+	}
+
+	t.Run("fail-fast", func(t *testing.T) {
+		srv, ts := startTestServer(t, Config{
+			Concurrency: 1,
+			WrapBackend: wrap,
+			Breaker:     BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+		})
+		defer shutdownServer(t, srv, ts)
+		for i := 0; i < 2; i++ {
+			resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, Spec: "manthan3"})
+			if resp.StatusCode != http.StatusOK || r.Outcome != backend.OutcomeInternal {
+				t.Fatalf("panic request %d: HTTP %d outcome %q, want 200 %q", i, resp.StatusCode, r.Outcome, backend.OutcomeInternal)
+			}
+		}
+		resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, Spec: "manthan3"})
+		if resp.StatusCode != http.StatusServiceUnavailable || r.Outcome != OutcomeBreakerOpen {
+			t.Fatalf("tripped: HTTP %d outcome %q, want 503 %q", resp.StatusCode, r.Outcome, OutcomeBreakerOpen)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("breaker-open 503 without Retry-After")
+		}
+		st := srv.Stats()
+		if b, ok := st.Breakers["manthan3"]; !ok || b.State != "open" || b.Trips != 1 {
+			t.Fatalf("breaker snapshot: %+v", st.Breakers)
+		}
+	})
+
+	t.Run("reroute", func(t *testing.T) {
+		srv, ts := startTestServer(t, Config{
+			Concurrency: 1,
+			WrapBackend: wrap,
+			Breaker:     BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+			Fallbacks:   map[string]string{"manthan3": "cegar"},
+		})
+		defer shutdownServer(t, srv, ts)
+		for i := 0; i < 2; i++ {
+			postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, Spec: "manthan3"})
+		}
+		resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, Spec: "manthan3", TimeoutMS: 20_000})
+		if resp.StatusCode != http.StatusOK || r.Status != "ok" {
+			t.Fatalf("reroute: HTTP %d %+v", resp.StatusCode, r)
+		}
+		if !r.Rerouted || r.Engine != "cegar" || !r.Verified {
+			t.Fatalf("reroute: engine %q rerouted=%v verified=%v", r.Engine, r.Rerouted, r.Verified)
+		}
+		if st := srv.Stats(); st.Rerouted != 1 {
+			t.Fatalf("rerouted count: %+v", st)
+		}
+	})
+}
+
+// TestBudgetFailuresDontTrip: budget exhaustion is a healthy outcome — the
+// engine answered for itself — and must never open the breaker.
+func TestBudgetFailuresDontTrip(t *testing.T) {
+	wrap := func(backend.Backend) backend.Backend {
+		return backend.NewFunc("budgety", func(context.Context, *dqbf.Instance, backend.Options) (*backend.Result, error) {
+			return nil, fmt.Errorf("%w: conflict budget exhausted", backend.ErrBudget)
+		})
+	}
+	srv, ts := startTestServer(t, Config{
+		Concurrency: 1,
+		WrapBackend: wrap,
+		Breaker:     BreakerConfig{Threshold: 2, Cooldown: time.Hour},
+	})
+	defer shutdownServer(t, srv, ts)
+	for i := 0; i < 5; i++ {
+		resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS})
+		if resp.StatusCode != http.StatusOK || r.Outcome != backend.OutcomeBudget {
+			t.Fatalf("request %d: HTTP %d outcome %q", i, resp.StatusCode, r.Outcome)
+		}
+	}
+	if b := srv.Stats().Breakers["manthan3"]; b.State != "closed" || b.Trips != 0 {
+		t.Fatalf("breaker: %+v", b)
+	}
+}
+
+// TestVerifyRejectsBadVector: an engine returning a wrong vector must be
+// caught by the service's independent verification and classified internal,
+// never served as "ok".
+func TestVerifyRejectsBadVector(t *testing.T) {
+	wrap := func(backend.Backend) backend.Backend {
+		return backend.NewFunc("liar", func(ctx context.Context, in *dqbf.Instance, opts backend.Options) (*backend.Result, error) {
+			vec := dqbf.NewFuncVector(nil)
+			for _, y := range in.Exist {
+				vec.Funcs[y] = vec.B.True() // y2 := true is wrong for x1=0
+			}
+			return &backend.Result{Vector: vec, Stats: "fabricated"}, nil
+		})
+	}
+	srv, ts := startTestServer(t, Config{Concurrency: 1, WrapBackend: wrap})
+	defer shutdownServer(t, srv, ts)
+	resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d, want 200", resp.StatusCode)
+	}
+	if r.Status != "error" || r.Outcome != backend.OutcomeInternal || r.Verified {
+		t.Fatalf("bad vector served: %+v", r)
+	}
+	if !strings.Contains(r.Error, "failed verification") {
+		t.Fatalf("error text: %q", r.Error)
+	}
+}
+
+// TestWarmVerifyPoolReuse: repeat traffic on one formula reuses the warm
+// verification pool (fingerprint hit) instead of re-encoding ¬ϕ.
+func TestWarmVerifyPoolReuse(t *testing.T) {
+	srv, ts := startTestServer(t, Config{Concurrency: 1})
+	defer shutdownServer(t, srv, ts)
+	for i := 0; i < 3; i++ {
+		resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 20_000})
+		if resp.StatusCode != http.StatusOK || r.Status != "ok" || !r.Verified {
+			t.Fatalf("request %d: HTTP %d %+v", i, resp.StatusCode, r)
+		}
+	}
+	vs := srv.Stats().Verify
+	if vs.Misses != 1 || vs.Hits != 2 || vs.WarmFormulas != 1 {
+		t.Fatalf("verify stats: %+v (want 1 miss, 2 hits, 1 warm formula)", vs)
+	}
+}
+
+// TestFaultSoak drives every fault-injection kind through the full service
+// path under concurrency: the process must survive, classify every response
+// through the taxonomy, and drain leak-free. This is the in-package half of
+// the acceptance soak (benchrunner -serve-load is the overload half).
+func TestFaultSoak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, plan := range []string{"panic@1", "budget@1", "unknown@1", "cancel@1", "stall(5ms)@1", "panic@1,stall(5ms)@2"} {
+		t.Run(plan, func(t *testing.T) {
+			rules, err := faultinject.Parse(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, ts := startTestServer(t, Config{
+				Concurrency: 2,
+				QueueDepth:  8,
+				Breaker:     BreakerConfig{Threshold: -1},
+				WrapBackend: func(b backend.Backend) backend.Backend {
+					return faultinject.New(7, rules...).Backend(b)
+				},
+			})
+			var wg sync.WaitGroup
+			for i := 0; i < 6; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { _ = recover() }()
+					resp, r := postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 10_000})
+					switch resp.StatusCode {
+					case http.StatusOK, http.StatusTooManyRequests:
+					default:
+						t.Errorf("HTTP %d: %+v", resp.StatusCode, r)
+					}
+					if r.Outcome == "" {
+						t.Errorf("unclassified response: %+v", r)
+					}
+				}()
+			}
+			wg.Wait()
+			shutdownServer(t, srv, ts)
+			st := srv.Stats()
+			var classified int64
+			for _, n := range st.Outcomes {
+				classified += n
+			}
+			if classified != st.Completed+st.Shed {
+				t.Fatalf("classification gap: %+v", st)
+			}
+		})
+	}
+	assertNoGoroutineLeak(t, baseline)
+}
+
+// TestStatzEndpoint: the telemetry endpoint serves well-formed JSON with the
+// breaker, verify, and outcome blocks present.
+func TestStatzEndpoint(t *testing.T) {
+	srv, ts := startTestServer(t, Config{Concurrency: 1})
+	defer shutdownServer(t, srv, ts)
+	postSynth(t, ts.Client(), ts.URL, Request{DQDIMACS: tinyDQDIMACS, TimeoutMS: 20_000})
+	resp, err := ts.Client().Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Statz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 1 || st.Outcomes["ok"] != 1 || st.QueueCap == 0 {
+		t.Fatalf("statz: %+v", st)
+	}
+	if _, ok := st.Breakers["manthan3"]; !ok {
+		t.Fatalf("statz missing breaker for dispatched spec: %+v", st.Breakers)
+	}
+}
+
+// TestBadRequests: parse failures are 400 with a bad-request outcome, not
+// dispatches.
+func TestBadRequests(t *testing.T) {
+	srv, ts := startTestServer(t, Config{Concurrency: 1})
+	defer shutdownServer(t, srv, ts)
+	for name, req := range map[string]Request{
+		"empty":    {},
+		"garbage":  {DQDIMACS: "not a dqdimacs file"},
+		"bad spec": {DQDIMACS: tinyDQDIMACS, Spec: "no-such-engine"},
+	} {
+		resp, r := postSynth(t, ts.Client(), ts.URL, req)
+		if resp.StatusCode != http.StatusBadRequest || r.Outcome != "bad-request" {
+			t.Errorf("%s: HTTP %d outcome %q, want 400 bad-request", name, resp.StatusCode, r.Outcome)
+		}
+	}
+	if st := srv.Stats(); st.Admitted != 0 {
+		t.Fatalf("bad requests were admitted: %+v", st)
+	}
+}
+
+func getStatus(t *testing.T, client *http.Client, url string) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		return -1 // listener gone
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// assertNoGoroutineLeak polls for the goroutine count to return to the
+// baseline; lingering runtime/netpoll goroutines get a grace period (the
+// same retry idiom as internal/backend's soak tests).
+func assertNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	var n int
+	for wait := time.Millisecond; wait < 4*time.Second; wait *= 2 {
+		if n = runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		time.Sleep(wait)
+	}
+	t.Fatalf("goroutine leak: %d running vs %d baseline", n, baseline)
+}
